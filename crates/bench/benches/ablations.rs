@@ -1,0 +1,88 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * the endemic push optimization (action (iv)) on vs. off,
+//! * failure compensation on vs. off under message loss,
+//! * the LV normalizing constant p (convergence speed vs. per-period work).
+//!
+//! Criterion measures wall-clock cost; each iteration also returns the
+//! domain metric (equilibrium error, convergence periods) so the relationship
+//! between the knob and the protocol behaviour can be read from the bench
+//! output with `--verbose`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpde_core::runtime::{AggregateRuntime, InitialStates};
+use dpde_core::ProtocolCompiler;
+use dpde_protocols::endemic::EndemicParams;
+use dpde_protocols::lv::LvParams;
+use netsim::{LossConfig, Scenario};
+use std::hint::black_box;
+
+fn bench_push_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_push_action");
+    for (label, params) in [
+        ("with_push_b2", EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap()),
+        ("without_push_b4", EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap().without_push()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let scenario = Scenario::new(5_000, 300).unwrap().with_seed(3);
+                let run = dpde_bench::run_endemic(black_box(params), &scenario, false);
+                run.run.final_counts().to_vec()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_compensation_ablation(c: &mut Criterion) {
+    let params = EndemicParams::new(0.8, 0.1, 0.02).unwrap();
+    let sys = params.equations();
+    let loss = LossConfig::new(0.3, 0.0).unwrap();
+    let f = loss.effective_contact_failure(1);
+    let mut group = c.benchmark_group("ablation_failure_compensation");
+    for (label, compensation) in [("uncompensated", 0.0), ("compensated", f)] {
+        let protocol = ProtocolCompiler::new(label)
+            .with_failure_compensation(compensation)
+            .compile(&sys)
+            .unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let run = AggregateRuntime::new(protocol.clone())
+                    .with_loss(loss)
+                    .run(
+                        50_000,
+                        2_000,
+                        &InitialStates::fractions(&[0.125, 0.15, 0.725]),
+                        9,
+                    )
+                    .unwrap();
+                // Domain metric: receptive count error vs. the lossless target.
+                let target = 0.125 * 50_000.0;
+                (run.final_counts()[0] - target).abs()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lv_normalizing_constant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lv_normalizing_constant");
+    for &p in &[0.005, 0.01, 0.05] {
+        let params = LvParams::new().with_normalizing_constant(p).unwrap();
+        group.bench_with_input(BenchmarkId::new("convergence", p), &p, |b, _| {
+            b.iter(|| {
+                let scenario = Scenario::new(5_000, 1_200).unwrap().with_seed(4);
+                let run = dpde_bench::run_lv(black_box(params), &scenario, &[3_000, 2_000, 0]);
+                dpde_bench::lv_convergence_period(&run, 5.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_push_ablation, bench_failure_compensation_ablation, bench_lv_normalizing_constant
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the ODE→protocol compiler and the taxonomy checks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpde_core::ProtocolCompiler;
+use dpde_protocols::endemic::EndemicParams;
+use dpde_protocols::lv::LvParams;
+use odekit::{taxonomy, EquationSystem, EquationSystemBuilder};
+use std::hint::black_box;
+
+/// A synthetic completely-partitionable system with `dim` variables and
+/// `dim · terms_per_var` cancelling term pairs.
+fn synthetic_system(dim: usize, terms_per_var: usize) -> EquationSystem {
+    let names: Vec<String> = (0..dim).map(|i| format!("v{i}")).collect();
+    let mut builder = EquationSystemBuilder::new().vars(names.clone());
+    for src in 0..dim {
+        for k in 0..terms_per_var {
+            let dst = (src + 1 + k) % dim;
+            if dst == src {
+                continue;
+            }
+            let other = (src + 2 + k) % dim;
+            let c = 0.1 + 0.05 * k as f64;
+            builder = builder
+                .term(&names[src], -c, &[(&names[src], 1), (&names[other], 1)])
+                .term(&names[dst], c, &[(&names[src], 1), (&names[other], 1)]);
+        }
+    }
+    builder.build().expect("synthetic system is well-formed")
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+
+    let endemic = EndemicParams::new(4.0, 1.0, 0.01).unwrap().equations();
+    group.bench_function("compile_endemic", |b| {
+        b.iter(|| ProtocolCompiler::new("endemic").compile(black_box(&endemic)).unwrap())
+    });
+
+    let lv = LvParams::new().rewritten_equations();
+    group.bench_function("compile_lv", |b| {
+        b.iter(|| {
+            ProtocolCompiler::new("lv")
+                .with_normalizing_constant(0.01)
+                .compile(black_box(&lv))
+                .unwrap()
+        })
+    });
+
+    for (dim, terms) in [(5usize, 4usize), (10, 8), (20, 16)] {
+        let sys = synthetic_system(dim, terms);
+        group.bench_function(format!("compile_synthetic_{dim}v_{terms}t"), |b| {
+            b.iter_batched(
+                || sys.clone(),
+                |s| ProtocolCompiler::new("synthetic").compile(black_box(&s)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("classify_synthetic_{dim}v_{terms}t"), |b| {
+            b.iter(|| taxonomy::classify(black_box(&sys)))
+        });
+        group.bench_function(format!("partition_synthetic_{dim}v_{terms}t"), |b| {
+            b.iter(|| taxonomy::partition(black_box(&sys)))
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let text = "x' = -beta*x*y + alpha*z\ny' = beta*x*y - gamma*y\nz' = gamma*y - alpha*z";
+    c.bench_function("parse_endemic_text", |b| {
+        b.iter(|| {
+            odekit::parse::parse_system(
+                black_box(text),
+                &[("beta", 4.0), ("gamma", 1.0), ("alpha", 0.01)],
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_compiler, bench_parser);
+criterion_main!(benches);

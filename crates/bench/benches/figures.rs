@@ -1,0 +1,57 @@
+//! Criterion benchmarks that regenerate scaled-down versions of the paper's
+//! headline figures, timing the full experiment pipeline (scenario set-up,
+//! agent simulation, metric extraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpde_bench::{lv_convergence_period, run_endemic, run_lv};
+use dpde_protocols::endemic::EndemicParams;
+use dpde_protocols::lv::LvParams;
+use netsim::Scenario;
+use std::hint::black_box;
+
+fn bench_figure5_scaled(c: &mut Criterion) {
+    // Figure 5 at 1/50 scale: 2000 hosts, 600 periods, 50% failure halfway.
+    let params = EndemicParams::from_contact_count(2, 0.05, 0.002).unwrap();
+    c.bench_function("fig05_endemic_massive_failure_n2000", |b| {
+        b.iter(|| {
+            let scenario = Scenario::new(2_000, 600)
+                .unwrap()
+                .with_massive_failure(300, 0.5)
+                .unwrap()
+                .with_seed(5);
+            let run = run_endemic(black_box(params), &scenario, false);
+            run.run.final_counts().to_vec()
+        })
+    });
+}
+
+fn bench_figure8_scaled(c: &mut Criterion) {
+    // Figure 8 at full size (it is already small): N = 1000 with tracking.
+    let params = EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap();
+    c.bench_function("fig08_endemic_untraceability_n1000", |b| {
+        b.iter(|| {
+            let scenario = Scenario::new(1_000, 400).unwrap().with_seed(8);
+            let run = run_endemic(black_box(params), &scenario, true);
+            run.run.tracked_members.len()
+        })
+    });
+}
+
+fn bench_figure11_scaled(c: &mut Criterion) {
+    // Figure 11 at 1/20 scale: 5000 processes, 60/40 split.
+    let params = LvParams::new();
+    c.bench_function("fig11_lv_convergence_n5000", |b| {
+        b.iter(|| {
+            let scenario = Scenario::new(5_000, 600).unwrap().with_seed(11);
+            let run = run_lv(black_box(params), &scenario, &[3_000, 2_000, 0]);
+            lv_convergence_period(&run, 5.0)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure5_scaled, bench_figure8_scaled, bench_figure11_scaled
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the numerical integrators and the analysis toolbox.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpde_protocols::endemic::EndemicParams;
+use odekit::analysis::{analyze_equilibrium, EquilibriumFinder, Matrix};
+use odekit::integrate::{Euler, Integrator, Rk4, Rkf45};
+use std::hint::black_box;
+
+fn bench_integrators(c: &mut Criterion) {
+    let params = EndemicParams::new(4.0, 1.0, 0.01).unwrap();
+    let sys = params.equations();
+    let y0 = [0.999, 0.001, 0.0];
+    let mut group = c.benchmark_group("integrators");
+    group.bench_function("euler_endemic_100tu_h1e-2", |b| {
+        b.iter(|| Euler::new(1e-2).integrate(black_box(&sys), 0.0, &y0, 100.0).unwrap())
+    });
+    group.bench_function("rk4_endemic_100tu_h1e-2", |b| {
+        b.iter(|| Rk4::new(1e-2).integrate(black_box(&sys), 0.0, &y0, 100.0).unwrap())
+    });
+    group.bench_function("rkf45_endemic_100tu_tol1e-8", |b| {
+        b.iter(|| {
+            Rkf45::new(1e-8, 1e-8)
+                .with_max_step(5.0)
+                .integrate(black_box(&sys), 0.0, &y0, 100.0)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let params = EndemicParams::new(4.0, 1.0, 0.01).unwrap();
+    let sys = params.equations();
+    let eq = params.equilibria(1.0).endemic;
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("analyze_equilibrium_endemic", |b| {
+        b.iter(|| analyze_equilibrium(black_box(&sys), black_box(&eq)).unwrap())
+    });
+    group.bench_function("equilibrium_search_simplex_res6", |b| {
+        b.iter(|| EquilibriumFinder::new().search_simplex(black_box(&sys), 6))
+    });
+    let m = Matrix::from_rows(&[
+        vec![-0.5, 1.0, 0.0, 2.0],
+        vec![0.3, -1.2, 0.7, 0.0],
+        vec![0.0, 0.4, -0.9, 0.1],
+        vec![1.0, 0.0, 0.2, -0.3],
+    ])
+    .unwrap();
+    group.bench_function("eigenvalues_4x4", |b| b.iter(|| m.eigenvalues().unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrators, bench_analysis);
+criterion_main!(benches);

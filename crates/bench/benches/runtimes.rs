@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the agent and aggregate runtimes: cost per
+//! protocol period as a function of group size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpde_core::runtime::{AgentRuntime, AggregateRuntime, InitialStates};
+use dpde_protocols::endemic::EndemicParams;
+use netsim::Scenario;
+use std::hint::black_box;
+
+fn bench_agent_runtime(c: &mut Criterion) {
+    let params = EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap();
+    let protocol = params.figure1_protocol().unwrap();
+    let mut group = c.benchmark_group("agent_runtime");
+    let periods = 50u64;
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64 * periods));
+        let eq = params.equilibria(n as f64).endemic;
+        let counts = [
+            eq[0].round() as u64,
+            eq[1].round() as u64,
+            n as u64 - eq[0].round() as u64 - eq[1].round() as u64,
+        ];
+        group.bench_with_input(BenchmarkId::new("endemic_50_periods", n), &n, |b, &n| {
+            b.iter(|| {
+                let scenario = Scenario::new(n, periods).unwrap().with_seed(1);
+                AgentRuntime::new(protocol.clone())
+                    .run(black_box(&scenario), &InitialStates::counts(&counts))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate_runtime(c: &mut Criterion) {
+    let params = EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap();
+    let protocol = params.canonical_protocol().unwrap();
+    let mut group = c.benchmark_group("aggregate_runtime");
+    let periods = 1_000u64;
+    for &n in &[10_000u64, 100_000, 1_000_000] {
+        group.throughput(Throughput::Elements(periods));
+        let eq = params.equilibria(n as f64).endemic;
+        let counts = [
+            eq[0].round() as u64,
+            eq[1].round() as u64,
+            n - eq[0].round() as u64 - eq[1].round() as u64,
+        ];
+        group.bench_with_input(BenchmarkId::new("endemic_1000_periods", n), &n, |b, &n| {
+            b.iter(|| {
+                AggregateRuntime::new(protocol.clone())
+                    .run(black_box(n), periods, &InitialStates::counts(&counts), 1)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_agent_runtime, bench_aggregate_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Section 4.1.3: equilibria of the endemic equations (eq. 2), Theorem 3
+//! stability, and the convergence-regime classification.
+
+use dpde_bench::{banner, compare_line, scale_from_args};
+use dpde_protocols::endemic::analysis::ConvergenceCase;
+use dpde_protocols::endemic::EndemicParams;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Endemic equilibria", "eq. 2, Theorem 3 and the convergence regimes", scale);
+
+    println!("beta,gamma,alpha,N,x_inf,y_inf,z_inf,tau,delta,stable,regime");
+    let settings = [
+        (4.0, 1.0, 0.01, 1_000.0),    // Figure 2
+        (4.0, 0.1, 0.001, 100_000.0), // Figures 5-7
+        (64.0, 0.1, 0.005, 2_000.0),  // Figures 9-10
+        (1.1, 1.0, 1.0, 1_000.0),     // real-eigenvalue regime
+    ];
+    for (beta, gamma, alpha, n) in settings {
+        let p = EndemicParams::new(beta, gamma, alpha).unwrap();
+        let eq = p.equilibria(n).endemic;
+        let (tau, delta) = p.trace_det();
+        let (case, _) = p.convergence_case();
+        let regime = match case {
+            ConvergenceCase::DampedOscillation => "stable spiral",
+            ConvergenceCase::RealDistinct => "real eigenvalues",
+            ConvergenceCase::RealEqual => "repeated eigenvalue",
+        };
+        println!(
+            "{beta},{gamma},{alpha},{n},{:.2},{:.2},{:.2},{tau:.4},{delta:.4},{},{regime}",
+            eq[0],
+            eq[1],
+            eq[2],
+            p.endemic_equilibrium_is_stable(),
+        );
+    }
+
+    println!("\n== summary ==");
+    let fig2 = EndemicParams::new(4.0, 1.0, 0.01).unwrap();
+    compare_line(
+        "Theorem 3: second equilibrium always stable (α, γ > 0, N > γ/β)",
+        "stable",
+        if fig2.endemic_equilibrium_is_stable() { "stable" } else { "NOT stable" },
+    );
+    compare_line(
+        "Figure 2 parameters give a stable spiral",
+        "stable spiral",
+        if fig2.is_stable_spiral().unwrap_or(false) { "stable spiral" } else { "other" },
+    );
+    let report = fig2.stability_report().unwrap();
+    let eigs: Vec<String> = report.eigenvalues.iter().map(|e| format!("{e}")).collect();
+    println!("eigenvalues at the endemic equilibrium (Figure 2 parameters): {}", eigs.join(", "));
+}

@@ -1,0 +1,38 @@
+//! Section 4.1.3, "Probabilistic Safety": expected object longevity as a
+//! function of the equilibrium replica count.
+
+use dpde_bench::{banner, compare_line, scale_from_args};
+use dpde_protocols::endemic::analysis::{longevity, replicas_for_extinction_exponent};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Replica longevity", "probability of all replicas disappearing, and expected lifetime", scale);
+
+    println!("replicas,extinction_probability,expected_periods,expected_years(6-min period)");
+    for replicas in [10.0, 20.0, 50.0, 88.63, 100.0] {
+        let l = longevity(replicas, 360.0);
+        println!(
+            "{replicas},{:.3e},{:.3e},{:.3e}",
+            l.extinction_probability, l.expected_periods, l.expected_years
+        );
+    }
+
+    println!("\n== summary ==");
+    let fifty = longevity(50.0, 360.0);
+    compare_line(
+        "N = 1024, 50 replicas, 6-minute period",
+        "1.28e10 years",
+        &format!("{:.2e} years", fifty.expected_years),
+    );
+    let hundred = longevity(100.0, 360.0);
+    compare_line(
+        "N = 2^20, 100 replicas, 6-minute period",
+        "1.45e25 years",
+        &format!("{:.2e} years", hundred.expected_years),
+    );
+    compare_line(
+        "replicas needed for extinction probability N^-c (c=5, N=1024)",
+        "50 = 5·log2(1024)",
+        &format!("{}", replicas_for_extinction_exponent(5.0, 1024.0)),
+    );
+}

@@ -1,0 +1,45 @@
+//! Section 4.2.2, Theorem 4: equilibria of the LV system and their stability,
+//! plus the convergence complexity.
+
+use dpde_bench::{banner, compare_line, scale_from_args};
+use dpde_protocols::lv::LvParams;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("LV equilibria", "Theorem 4 classifications and convergence complexity", scale);
+
+    let params = LvParams::new();
+    let classes = params.classify_equilibria().unwrap();
+    let found = params.equilibria_found_by_search();
+
+    println!("point,paper,measured");
+    let rows = [
+        ("(0,0)", "unstable", format!("{}", classes[0])),
+        ("(1,0)", "stable", format!("{}", classes[1])),
+        ("(0,1)", "stable", format!("{}", classes[2])),
+        ("(1/3,1/3)", "saddle", format!("{}", classes[3])),
+    ];
+    for (point, paper, measured) in &rows {
+        println!("{point},{paper},{measured}");
+    }
+
+    println!("\n== summary ==");
+    for (point, paper, measured) in &rows {
+        compare_line(&format!("stability of {point}"), paper, measured);
+    }
+    compare_line(
+        "number of equilibria found by multi-start Newton search",
+        "4",
+        &format!("{}", found.len()),
+    );
+    compare_line(
+        "convergence complexity",
+        "O(log N) periods to O(1) minority",
+        &format!(
+            "predicted {:.0} periods at N = 100 000 (p = 0.01)",
+            params.expected_convergence_periods(100_000)
+        ),
+    );
+    let (x, y) = params.convergence_trajectory(0.01, 0.0, 2.0);
+    println!("linearized trajectory near (0,1) after 2 time units from u0=0.01: x = {x:.2e}, y = {y:.6}");
+}

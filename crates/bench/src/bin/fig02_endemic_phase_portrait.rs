@@ -1,0 +1,75 @@
+//! Figure 2: phase portrait of the endemic protocol (stable spiral).
+//!
+//! N = 1000, α = 0.01, β = 4 (b = 2), γ = 1.0, started from the paper's seven
+//! initial points. Prints, for every initial point, the protocol's (X, Y)
+//! trajectory and the ODE trajectory ("analysis"), plus the spiral
+//! classification of the non-trivial equilibrium.
+
+use dpde_bench::{banner, compare_line, scale_from_args, scaled};
+use dpde_bench::{run_endemic_from, ENDEMIC_SERIES};
+use dpde_protocols::endemic::EndemicParams;
+use netsim::Scenario;
+use odekit::analysis::phase_portrait;
+use odekit::integrate::Rk4;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Figure 2", "phase portrait of the endemic protocol (stable spiral)", scale);
+
+    let n = scaled(1000, scale, 200) as u64;
+    let periods = scaled(3000, scale.max(0.2), 600);
+    let params = EndemicParams::new(4.0, 1.0, 0.01).expect("valid parameters");
+
+    // The paper's seven initial points (X, Y, Z) for N = 1000, rescaled to n.
+    let paper_points: [(f64, f64, f64); 7] = [
+        (999.0, 1.0, 0.0),
+        (0.0, 1.0, 999.0),
+        (0.0, 1000.0, 0.0),
+        (500.0, 500.0, 0.0),
+        (500.0, 1.0, 499.0),
+        (1.0, 500.0, 499.0),
+        (333.0, 333.0, 334.0),
+    ];
+
+    println!("source,label,period,X,Y");
+    let mut ode_points = Vec::new();
+    for (px, py, pz) in paper_points {
+        let _ = pz;
+        let f = n as f64 / 1000.0;
+        let x0 = ((px * f).round() as u64).min(n);
+        let y0 = ((py * f).round().max(1.0) as u64).min(n - x0);
+        let counts = [x0, y0, n - x0 - y0];
+        let label = format!("({},{},{})", counts[0], counts[1], counts[2]);
+        let scenario = Scenario::new(n as usize, periods).unwrap().with_seed(2);
+        let run = run_endemic_from(params, &scenario, &counts);
+        let xs = run.run.state_series(ENDEMIC_SERIES[0]).unwrap();
+        let ys = run.run.state_series(ENDEMIC_SERIES[1]).unwrap();
+        for (i, (x, y)) in xs.iter().zip(&ys).enumerate().step_by(5) {
+            println!("protocol,{label},{i},{x},{y}");
+        }
+        ode_points.push(vec![counts[0] as f64 / n as f64, counts[1] as f64 / n as f64, counts[2] as f64 / n as f64]);
+    }
+
+    // The analysis curves: integrate the equations from the same points.
+    let portrait =
+        phase_portrait(&params.equations(), &Rk4::new(0.05), &ode_points, periods as f64)
+            .expect("integration succeeds");
+    for (label, series) in portrait.projection(0, 1) {
+        for (i, (x, y)) in series.iter().enumerate().step_by(20) {
+            println!("analysis,{label},{i},{},{}", x * n as f64, y * n as f64);
+        }
+    }
+
+    println!("\n== summary ==");
+    let eq = params.equilibria(n as f64).endemic;
+    compare_line(
+        "non-trivial equilibrium is a stable spiral",
+        "yes",
+        if params.is_stable_spiral().unwrap_or(false) { "yes" } else { "no" },
+    );
+    compare_line(
+        "equilibrium (X, Y) the trajectories spiral into (N = 1000)",
+        "(250, ~7.4)",
+        &format!("({:.0}, {:.1})", eq[0], eq[1]),
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 4: phase portrait of the LV protocol.
+//!
+//! N = 1000 processes started from the paper's seven initial points; every
+//! initial point with x > y converges to (1000, 0), every point with x < y to
+//! (0, 1000), and the symmetric point drifts towards (333, 333, 333) before
+//! randomization breaks the tie.
+
+use dpde_bench::{banner, compare_line, run_lv, scale_from_args, scaled, LV_SERIES};
+use dpde_protocols::lv::LvParams;
+use netsim::Scenario;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Figure 4", "phase portrait of the LV protocol", scale);
+
+    let n = scaled(1000, scale, 200) as u64;
+    let periods = scaled(1500, scale.max(0.3), 400);
+    let params = LvParams::new();
+
+    let paper_points: [(f64, f64, f64); 7] = [
+        (100.0, 200.0, 700.0),
+        (200.0, 100.0, 700.0),
+        (300.0, 500.0, 200.0),
+        (500.0, 300.0, 200.0),
+        (100.0, 800.0, 100.0),
+        (800.0, 100.0, 100.0),
+        (100.0, 100.0, 800.0),
+    ];
+
+    println!("label,period,X,Y");
+    let mut outcomes = Vec::new();
+    for (seed, (px, py, _)) in paper_points.iter().enumerate() {
+        let f = n as f64 / 1000.0;
+        let x0 = (px * f).round() as u64;
+        let y0 = (py * f).round() as u64;
+        let counts = [x0, y0, n - x0 - y0];
+        let label = format!("({},{},{})", counts[0], counts[1], counts[2]);
+        let scenario = Scenario::new(n as usize, periods).unwrap().with_seed(40 + seed as u64);
+        let run = run_lv(params, &scenario, &counts);
+        let xs = run.state_series(LV_SERIES[0]).unwrap();
+        let ys = run.state_series(LV_SERIES[1]).unwrap();
+        for (i, (x, y)) in xs.iter().zip(&ys).enumerate().step_by(5) {
+            println!("{label},{i},{x},{y}");
+        }
+        let final_x = *xs.last().unwrap();
+        let final_y = *ys.last().unwrap();
+        outcomes.push((counts, final_x, final_y));
+    }
+
+    println!("\n== summary ==");
+    for (counts, fx, fy) in outcomes {
+        let expectation = if counts[0] > counts[1] {
+            "converges toward (N, 0)"
+        } else if counts[0] < counts[1] {
+            "converges toward (0, N)"
+        } else {
+            "tie: moves toward (N/3, N/3) then picks a side"
+        };
+        let measured = format!("final (X, Y) = ({fx:.0}, {fy:.0})");
+        compare_line(
+            &format!("start ({}, {}, {})", counts[0], counts[1], counts[2]),
+            expectation,
+            &measured,
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 6: file-flux rate (receptive→stash transfers per protocol period)
+//! for the Figure 5 experiment.
+//!
+//! A massive failure of 50 % of the hosts at t = 5000 does not change the
+//! flux drastically: the flux is γ·y∞ at equilibrium and the stasher count
+//! roughly halves, so the flux roughly halves as well — and stays tiny
+//! relative to the group size throughout.
+
+use dpde_bench::{banner, compare_line, run_endemic, scale_from_args, scaled};
+use dpde_protocols::endemic::{EndemicParams, RECEPTIVE, STASH};
+use netsim::Scenario;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Figure 6", "endemic protocol, file flux rate under massive failure", scale);
+
+    let n = scaled(100_000, scale, 2_000) as usize;
+    let horizon = scaled(10_000, scale.max(0.2), 2_000);
+    let failure_at = horizon / 2;
+    let params = EndemicParams::from_contact_count(2, 1e-3, 1e-6).expect("valid parameters");
+
+    let scenario = Scenario::new(n, horizon)
+        .unwrap()
+        .with_massive_failure(failure_at, 0.5)
+        .unwrap()
+        .with_seed(5);
+    let result = run_endemic(params, &scenario, false);
+
+    // The flux series: receptive→stash transitions per period.
+    let edge = format!("{RECEPTIVE}->{STASH}");
+    let flux = result.run.transitions.series(&edge).map(|s| s.to_vec()).unwrap_or_default();
+    println!("period,Rcptv->Stash");
+    let stride = (horizon / 200).max(1);
+    let mut by_period = vec![0.0f64; horizon as usize + 1];
+    for (p, v) in &flux {
+        by_period[*p as usize] += v;
+    }
+    for (p, v) in by_period.iter().enumerate().step_by(stride as usize) {
+        println!("{p},{v}");
+    }
+
+    let mean = |s: &[f64]| if s.is_empty() { 0.0 } else { s.iter().sum::<f64>() / s.len() as f64 };
+    let pre = mean(&by_period[(failure_at as usize - 500).max(0)..failure_at as usize]);
+    let post = mean(&by_period[(horizon as usize - 500)..horizon as usize]);
+    let expected_pre = params.expected_stashers(n as f64) * params.gamma;
+
+    println!("\n== summary ==");
+    compare_line(
+        "flux stays low and is not affected drastically by the failure",
+        "no wild variation",
+        &format!("pre-failure mean {pre:.1}, post-failure mean {post:.1} transfers/period"),
+    );
+    compare_line(
+        "pre-failure flux matches the analytical rate gamma*y_inf",
+        &format!("{expected_pre:.1}"),
+        &format!("{pre:.1}"),
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 8: replica untraceability and load balancing.
+//!
+//! N = 1000 hosts, b = 2, γ = 0.1 (the caption's stable stasher count of
+//! 88.63 corresponds to γ/α = 10). The binary prints which hosts are stashers
+//! at the end of every protocol period in the window [1000, 1200] — the
+//! scatter the paper plots — and summarizes the absence of correlations:
+//! replica sets turn over quickly (low consecutive Jaccard similarity), no
+//! host stores the replica for long (no long horizontal lines), and load is
+//! spread evenly across hosts.
+
+use dpde_bench::{banner, compare_line, scale_from_args, scaled};
+use dpde_core::runtime::{AgentRuntime, InitialStates, RunConfig};
+use dpde_protocols::endemic::replication::{coverage, load_balance_cv, mean_consecutive_jaccard};
+use dpde_protocols::endemic::{EndemicParams, RECEPTIVE, STASH};
+use netsim::Scenario;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Figure 8", "endemic protocol, replica untraceability and load balancing", scale);
+
+    let n = scaled(1_000, scale, 300) as usize;
+    let window_start = scaled(1_000, scale.max(0.3), 200);
+    let window_end = window_start + scaled(200, scale.max(0.3), 100);
+    let params = EndemicParams::from_contact_count(2, 0.1, 0.01).expect("valid parameters");
+
+    let protocol = params.figure1_protocol().expect("protocol builds");
+    let receptive = protocol.require_state(RECEPTIVE).unwrap();
+    let stash = protocol.require_state(STASH).unwrap();
+    let config = RunConfig {
+        rejoin_state: Some(receptive),
+        track_members_of: Some(stash),
+        count_alive_only: true,
+    };
+    let eq = params.equilibria(n as f64).endemic;
+    let counts = [
+        eq[0].round() as u64,
+        eq[1].round() as u64,
+        n as u64 - eq[0].round() as u64 - eq[1].round() as u64,
+    ];
+    let scenario = Scenario::new(n, window_end).unwrap().with_seed(88);
+    let run = AgentRuntime::new(protocol)
+        .with_config(config)
+        .run(&scenario, &InitialStates::counts(&counts))
+        .expect("run succeeds");
+
+    // The scatter: one line per (period, stasher id) in the window.
+    println!("period,host_id");
+    let window: Vec<_> = run
+        .tracked_members
+        .iter()
+        .filter(|(p, _)| *p >= window_start && *p <= window_end)
+        .cloned()
+        .collect();
+    for (period, members) in &window {
+        for id in members {
+            println!("{period},{}", id.index());
+        }
+    }
+
+    // Summary statistics over the window.
+    let stashers = run.state_series(STASH).unwrap();
+    let mean_stashers = stashers[window_start as usize..].iter().sum::<f64>()
+        / (stashers.len() - window_start as usize) as f64;
+    let jaccard = mean_consecutive_jaccard(&window);
+    let cv = load_balance_cv(&run.tracked_members, n);
+    let cov = coverage(&run.tracked_members, n);
+    let seconds_between_stashers = 360.0 / (params.gamma * mean_stashers);
+
+    println!("\n== summary ==");
+    compare_line("stable number of stashers (N = 1000)", "88.63", &format!("{mean_stashers:.1}"));
+    compare_line(
+        "a new stasher is created every",
+        "40.6 s",
+        &format!("{seconds_between_stashers:.1} s"),
+    );
+    compare_line(
+        "stasher set turns over between periods (untraceability)",
+        "no time/host-id correlations visible",
+        &format!("mean consecutive Jaccard similarity {jaccard:.2}"),
+    );
+    compare_line(
+        "no significant horizontal lines (load balancing)",
+        "no host stores a replica for very long",
+        &format!("per-host stash-time coefficient of variation {cv:.2}, coverage {:.0}%", cov * 100.0),
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 10: effect of host churn (B) — state transitions per protocol
+//! period.
+//!
+//! Same experiment as Figure 9 (N = 2000, b = 32, γ = 0.1, α = 0.005, hourly
+//! churn 10–25 %); this binary prints the number of receptive→stash,
+//! stash→averse and averse→receptive transitions per protocol period over the
+//! final window, which stay bounded (low file-flux rate despite churn).
+
+use dpde_bench::{banner, churn_scenario, compare_line, run_endemic, scale_from_args, scaled};
+use dpde_protocols::endemic::{EndemicParams, AVERSE, RECEPTIVE, STASH};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Figure 10", "endemic protocol under host churn: transitions per period", scale);
+
+    let n = scaled(2_000, scale, 500) as usize;
+    let hours = scaled(170, scale.max(0.2), 40) as usize;
+    let window_hours = 20.min(hours / 2);
+    let params = EndemicParams::from_contact_count(32, 0.1, 0.005).expect("valid parameters");
+
+    let scenario = churn_scenario(n, hours, 99);
+    let periods_per_hour = scenario.clock().periods_per_hour();
+    let result = run_endemic(params, &scenario, false);
+
+    let edges = [
+        format!("{RECEPTIVE}->{STASH}"),
+        format!("{STASH}->{AVERSE}"),
+        format!("{AVERSE}->{RECEPTIVE}"),
+    ];
+    let start_period = (hours - window_hours) as u64 * periods_per_hour;
+
+    // Collect per-period transition counts for each edge.
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for edge in &edges {
+        let mut by_period = vec![0.0f64; scenario.periods() as usize + 1];
+        if let Ok(samples) = result.run.transitions.series(edge) {
+            for (p, v) in samples {
+                by_period[*p as usize] += v;
+            }
+        }
+        series.push(by_period);
+    }
+
+    println!("hour,Rcptv->Stash,Stash->Avers,Avers->Rcptv");
+    for p in start_period..scenario.periods() {
+        let hour = p as f64 / periods_per_hour as f64;
+        println!(
+            "{hour:.1},{},{},{}",
+            series[0][p as usize], series[1][p as usize], series[2][p as usize]
+        );
+    }
+
+    let mean_tail = |s: &[f64]| {
+        let tail = &s[start_period as usize..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
+    println!("\n== summary ==");
+    compare_line(
+        "file flux (receptive->stash) per period stays low under churn",
+        "bounded, no blow-up (paper plots < ~200/period at N = 2000)",
+        &format!("mean {:.1} per period", mean_tail(&series[0])),
+    );
+    compare_line(
+        "stash->averse and averse->receptive rates stay stable",
+        "stable",
+        &format!(
+            "means {:.1} and {:.1} per period",
+            mean_tail(&series[1]),
+            mean_tail(&series[2])
+        ),
+    );
+}

@@ -1,0 +1,53 @@
+//! Runs every experiment binary in sequence (at the current scale), so
+//! `cargo run --release -p dpde-bench --bin run_all -- --scale 0.05` gives a
+//! quick end-to-end smoke test of the whole harness and
+//! `cargo run --release -p dpde-bench --bin run_all` regenerates every figure
+//! at the paper's dimensions.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "exp_endemic_equilibria",
+    "exp_lv_equilibria",
+    "exp_longevity_table",
+    "exp_reality_check",
+    "exp_epidemic_logn",
+    "fig02_endemic_phase_portrait",
+    "fig04_lv_phase_portrait",
+    "fig05_endemic_massive_failure",
+    "fig06_endemic_file_flux",
+    "fig07_endemic_analysis_vs_measured",
+    "fig08_endemic_untraceability",
+    "fig09_endemic_churn_counts",
+    "fig10_endemic_churn_transitions",
+    "fig11_lv_convergence",
+    "fig12_lv_massive_failure",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .expect("executable directory");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n=========================== {bin} ===========================");
+        let path = exe_dir.join(bin);
+        let status = Command::new(&path).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                println!("!! {bin} failed: {other:?}");
+                failures.push(*bin);
+            }
+        }
+    }
+    println!("\n=========================== done ===========================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", BINS.len());
+    } else {
+        println!("{} experiment(s) failed: {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

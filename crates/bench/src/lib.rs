@@ -1,0 +1,233 @@
+//! Shared machinery for the experiment harness.
+//!
+//! Every figure of the paper's evaluation (Figures 2, 4–12) and every in-text
+//! numerical claim has a binary in `src/bin/` that regenerates the
+//! corresponding series or table on stdout (CSV-ish, ready for plotting), plus
+//! a `== summary ==` section comparing the paper's reported values with the
+//! measured ones. The Criterion benches in `benches/` time the framework's
+//! components and scaled-down figure regenerations.
+//!
+//! All binaries accept `--scale <f>` (or the `DPDE_SCALE` environment
+//! variable) to shrink the group sizes and horizons by a factor, so the full
+//! suite can be smoke-tested quickly; the default `--scale 1` reproduces the
+//! paper's dimensions.
+
+use dpde_core::runtime::{AgentRuntime, InitialStates, RunConfig, RunResult};
+use dpde_core::Protocol;
+use dpde_protocols::endemic::{EndemicParams, AVERSE, RECEPTIVE, STASH};
+use dpde_protocols::lv::{LvParams, STATE_X, STATE_Y, STATE_Z};
+use netsim::{Rng, Scenario, SyntheticChurnConfig};
+
+/// Parses the `--scale` argument / `DPDE_SCALE` environment variable.
+///
+/// The scale multiplies group sizes and horizons (clamped to sensible minima
+/// by the callers). `1.0` reproduces the paper's dimensions.
+pub fn scale_from_args() -> f64 {
+    let mut scale = std::env::var("DPDE_SCALE").ok().and_then(|v| v.parse::<f64>().ok());
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--scale" {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+                scale = Some(v);
+            }
+        }
+    }
+    let s = scale.unwrap_or(1.0);
+    if s.is_finite() && s > 0.0 {
+        s.min(1.0)
+    } else {
+        1.0
+    }
+}
+
+/// Applies a scale factor to a paper-sized quantity, keeping a minimum.
+pub fn scaled(value: u64, scale: f64, min: u64) -> u64 {
+    ((value as f64 * scale).round() as u64).max(min)
+}
+
+/// Prints a CSV header followed by rows.
+pub fn print_csv<R: AsRef<[String]>>(header: &[&str], rows: impl IntoIterator<Item = R>) {
+    println!("{}", header.join(","));
+    for row in rows {
+        println!("{}", row.as_ref().join(","));
+    }
+}
+
+/// Prints one paper-vs-measured comparison line.
+pub fn compare_line(label: &str, paper: &str, measured: &str) {
+    println!("{label:<58} paper: {paper:<18} measured: {measured}");
+}
+
+/// Standard experiment header.
+pub fn banner(figure: &str, description: &str, scale: f64) {
+    println!("# {figure} — {description}");
+    if (scale - 1.0).abs() > f64::EPSILON {
+        println!("# running at scale {scale} of the paper's dimensions");
+    }
+    println!();
+}
+
+/// Result of one endemic-protocol experiment plus the settings it ran with.
+#[derive(Debug)]
+pub struct EndemicRun {
+    /// The protocol parameters used.
+    pub params: EndemicParams,
+    /// Group size.
+    pub n: usize,
+    /// The raw run output.
+    pub run: RunResult,
+}
+
+/// Runs the Figure 1 endemic protocol from its analytical equilibrium under
+/// the given scenario.
+pub fn run_endemic(
+    params: EndemicParams,
+    scenario: &Scenario,
+    track_stashers: bool,
+) -> EndemicRun {
+    let protocol = params.figure1_protocol().expect("valid endemic parameters");
+    let n = scenario.group_size();
+    let eq = params.equilibria(n as f64).endemic;
+    let mut counts = [eq[0].round() as u64, eq[1].round().max(1.0) as u64, 0];
+    counts[2] = n as u64 - counts[0] - counts[1];
+    let receptive = protocol.require_state(RECEPTIVE).expect("state exists");
+    let stash = protocol.require_state(STASH).expect("state exists");
+    let config = RunConfig {
+        rejoin_state: Some(receptive),
+        track_members_of: if track_stashers { Some(stash) } else { None },
+        count_alive_only: true,
+    };
+    let run = AgentRuntime::new(protocol)
+        .with_config(config)
+        .run(scenario, &InitialStates::counts(&counts))
+        .expect("endemic run");
+    EndemicRun { params, n, run }
+}
+
+/// Runs the endemic protocol from an arbitrary `[receptive, stash, averse]`
+/// distribution.
+pub fn run_endemic_from(
+    params: EndemicParams,
+    scenario: &Scenario,
+    counts: &[u64; 3],
+) -> EndemicRun {
+    let protocol = params.figure1_protocol().expect("valid endemic parameters");
+    let receptive = protocol.require_state(RECEPTIVE).expect("state exists");
+    let config = RunConfig {
+        rejoin_state: Some(receptive),
+        track_members_of: None,
+        count_alive_only: true,
+    };
+    let run = AgentRuntime::new(protocol)
+        .with_config(config)
+        .run(scenario, &InitialStates::counts(counts))
+        .expect("endemic run");
+    EndemicRun { params, n: scenario.group_size(), run }
+}
+
+/// Runs the LV protocol from a given `(x, y, z)` split. Counts report alive
+/// processes only, so runs with massive failures (Figure 12) show the
+/// surviving population converging.
+pub fn run_lv(params: LvParams, scenario: &Scenario, counts: &[u64; 3]) -> RunResult {
+    let protocol: Protocol = params.protocol().expect("valid LV parameters");
+    let config = RunConfig { count_alive_only: true, ..Default::default() };
+    AgentRuntime::new(protocol)
+        .with_config(config)
+        .run(scenario, &InitialStates::counts(counts))
+        .expect("LV run")
+}
+
+/// The series names used when printing endemic runs.
+pub const ENDEMIC_SERIES: [&str; 3] = [RECEPTIVE, STASH, AVERSE];
+/// The series names used when printing LV runs.
+pub const LV_SERIES: [&str; 3] = [STATE_X, STATE_Y, STATE_Z];
+
+/// Builds the synthetic Overnet-like churn scenario used by Figures 9 and 10:
+/// `n` hosts, `hours` hours of trace at 10–25 % hourly churn, 6-minute
+/// protocol periods.
+pub fn churn_scenario(n: usize, hours: usize, seed: u64) -> Scenario {
+    let cfg = SyntheticChurnConfig {
+        hosts: n,
+        hours,
+        mean_availability: 0.7,
+        churn_min: 0.10,
+        churn_max: 0.25,
+    };
+    let mut rng = Rng::seed_from(seed);
+    let trace = cfg.generate(&mut rng).expect("valid churn configuration");
+    let clock = netsim::PeriodClock::six_minutes();
+    let periods = clock.periods_per_hour() * hours as u64;
+    Scenario::new(n, periods)
+        .expect("valid scenario")
+        .with_clock(clock)
+        .with_churn_trace(&trace, &mut rng)
+        .expect("matching trace")
+        .with_seed(seed + 1)
+}
+
+/// First period at which `minority` (the smaller of the x/y series) drops to
+/// at most `threshold` — the LV convergence time.
+pub fn lv_convergence_period(result: &RunResult, threshold: f64) -> Option<u64> {
+    let xs = result.state_series(STATE_X).ok()?;
+    let ys = result.state_series(STATE_Y).ok()?;
+    xs.iter()
+        .zip(ys)
+        .position(|(x, y)| x.min(y) <= threshold)
+        .map(|p| p as u64)
+}
+
+/// Downsamples a run into printable rows `period, series...` every `stride`
+/// periods.
+pub fn downsampled_rows(result: &RunResult, series: &[&str], stride: usize) -> Vec<Vec<String>> {
+    let columns: Vec<Vec<f64>> = series
+        .iter()
+        .map(|name| result.state_series(name).unwrap_or_default())
+        .collect();
+    let len = columns.first().map_or(0, Vec::len);
+    let mut rows = Vec::new();
+    for i in (0..len).step_by(stride.max(1)) {
+        let mut row = vec![i.to_string()];
+        for col in &columns {
+            row.push(format!("{}", col[i]));
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_helpers() {
+        assert_eq!(scaled(100_000, 0.01, 500), 1_000);
+        assert_eq!(scaled(100, 0.001, 50), 50);
+        assert!(scale_from_args() > 0.0);
+    }
+
+    #[test]
+    fn endemic_and_lv_helpers_run() {
+        let params = EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap();
+        let scenario = Scenario::new(400, 50).unwrap().with_seed(1);
+        let run = run_endemic(params, &scenario, true);
+        assert_eq!(run.n, 400);
+        assert_eq!(run.run.counts.len(), 51);
+        let rows = downsampled_rows(&run.run, &ENDEMIC_SERIES, 10);
+        assert_eq!(rows.len(), 6);
+
+        let scenario = Scenario::new(400, 100).unwrap().with_seed(2);
+        let lv = run_lv(LvParams::new(), &scenario, &[240, 160, 0]);
+        assert_eq!(lv.counts.len(), 101);
+        // Convergence threshold of N is trivially met at period 0.
+        assert_eq!(lv_convergence_period(&lv, 400.0), Some(0));
+    }
+
+    #[test]
+    fn churn_scenario_builds() {
+        let s = churn_scenario(200, 3, 9);
+        assert_eq!(s.group_size(), 200);
+        assert_eq!(s.periods(), 30);
+        assert!(!s.churn_events().is_empty());
+    }
+}

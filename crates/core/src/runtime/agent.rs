@@ -1,0 +1,557 @@
+//! The per-process (agent-based) protocol runtime.
+
+use super::{edge_name, InitialStates, RunConfig, RunResult};
+use crate::action::Action;
+use crate::state_machine::{Protocol, StateId};
+use crate::Result;
+use netsim::{Group, ProcessId, Rng, Scenario};
+
+/// Executes a protocol with one explicit state per process.
+///
+/// Every protocol period the runtime
+///
+/// 1. applies the scenario's failure and churn events for that period,
+/// 2. lets every alive process execute the actions of its current state (in
+///    order, stopping after the first action that makes the process itself
+///    transition), sampling contacts uniformly from the **maximal**
+///    membership — a contact aimed at a crashed process is fruitless, exactly
+///    as in the paper, and
+/// 3. records per-state counts, transition counts and auxiliary metrics.
+///
+/// Processes are visited in id order within a period; the protocols are
+/// symmetric and memoryless across periods, so the visiting order has no
+/// statistically visible effect at the group sizes used in the experiments.
+///
+/// # Examples
+///
+/// ```
+/// use dpde_core::{ProtocolCompiler, runtime::{AgentRuntime, InitialStates}};
+/// use netsim::Scenario;
+/// use odekit::EquationSystemBuilder;
+///
+/// // Epidemic: 1 initial infective in a group of 1000.
+/// let sys = EquationSystemBuilder::new()
+///     .vars(["x", "y"])
+///     .term("x", -1.0, &[("x", 1), ("y", 1)])
+///     .term("y", 1.0, &[("x", 1), ("y", 1)])
+///     .build()?;
+/// let protocol = ProtocolCompiler::new("epidemic").compile(&sys)?;
+/// let scenario = Scenario::new(1000, 30)?.with_seed(7);
+/// let result = AgentRuntime::new(protocol).run(&scenario, &InitialStates::counts(&[999, 1]))?;
+/// let infected = result.final_counts()[1];
+/// assert!(infected > 990.0, "epidemic should saturate, got {infected}");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgentRuntime {
+    protocol: Protocol,
+    config: RunConfig,
+}
+
+impl AgentRuntime {
+    /// Creates a runtime for the given protocol with the default
+    /// [`RunConfig`].
+    pub fn new(protocol: Protocol) -> Self {
+        AgentRuntime { protocol, config: RunConfig::default() }
+    }
+
+    /// Replaces the run configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// Runs the protocol under the given scenario and initial state
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors (mismatched initial distribution, invalid
+    /// protocol) and propagates scenario errors.
+    pub fn run(&self, scenario: &Scenario, initial: &InitialStates) -> Result<RunResult> {
+        self.protocol.validate()?;
+        let n = scenario.group_size();
+        let num_states = self.protocol.num_states();
+        let counts_spec = initial.resolve(num_states, n as u64)?;
+
+        let mut rng = scenario.build_rng();
+        let mut group = scenario.build_group();
+
+        // Assign initial states: counts_spec[i] processes in state i, shuffled
+        // so state assignment is independent of process id.
+        let mut assignment: Vec<usize> = Vec::with_capacity(n);
+        for (state, count) in counts_spec.iter().enumerate() {
+            assignment.extend(std::iter::repeat(state).take(*count as usize));
+        }
+        rng.shuffle(&mut assignment);
+
+        let mut members = Membership::new(num_states, &assignment);
+        let mut result = RunResult::new(&self.protocol);
+
+        // Record the initial configuration at period 0.
+        self.record(&mut result, 0, &members, &group);
+
+        let loss = *scenario.loss();
+        for period in 0..scenario.periods() {
+            // 1. Environment events.
+            let (_down, up) = scenario.apply_period_events(period, &mut group, &mut rng)?;
+            if let Some(rejoin) = self.config.rejoin_state {
+                for id in up {
+                    members.force_state(id.index(), rejoin.index());
+                }
+            }
+
+            // 2. Protocol actions.
+            let mut messages: u64 = 0;
+            for p in 0..n {
+                if !group.is_alive(ProcessId(p))? {
+                    continue;
+                }
+                let state = members.state_of(p);
+                // Copy the action list length to avoid borrowing issues; the
+                // protocol is immutable during the run.
+                let num_actions = self.protocol.actions(StateId::new(state)).len();
+                for action_idx in 0..num_actions {
+                    // Re-read the current state: a previous action may have
+                    // moved us (moves_self actions break out, but push/token
+                    // transitions performed by *other* processes only happen
+                    // outside this inner loop, so `state` is still valid).
+                    let action = &self.protocol.actions(StateId::new(state))[action_idx];
+                    messages += u64::from(action.messages_per_period());
+                    let moved = self.execute_action(
+                        p,
+                        state,
+                        action,
+                        &mut members,
+                        &group,
+                        &loss,
+                        &mut rng,
+                        &mut result,
+                        period,
+                    )?;
+                    if moved {
+                        break;
+                    }
+                }
+            }
+
+            // 3. Metrics.
+            result.metrics.record("messages", period, messages as f64);
+            self.record(&mut result, period + 1, &members, &group);
+        }
+        Ok(result)
+    }
+
+    /// Executes one action for process `p` (currently in `state`). Returns
+    /// `true` if the process itself transitioned.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_action(
+        &self,
+        p: usize,
+        state: usize,
+        action: &Action,
+        members: &mut Membership,
+        group: &Group,
+        loss: &netsim::LossConfig,
+        rng: &mut Rng,
+        result: &mut RunResult,
+        period: u64,
+    ) -> Result<bool> {
+        let n = group.size();
+        match action {
+            Action::Flip { prob, to } => {
+                if rng.chance(*prob) {
+                    self.transition(p, state, to.index(), members, result, period);
+                    return Ok(true);
+                }
+            }
+            Action::Sample { required, prob, to } => {
+                let mut all_match = true;
+                for req in required {
+                    let target = rng.index(n);
+                    let ok = group.is_alive(ProcessId(target))?
+                        && loss.contact_succeeds(rng, 1)
+                        && members.state_of(target) == req.index();
+                    if !ok {
+                        all_match = false;
+                        // Keep sampling the remaining targets so the message
+                        // count (already added) stays faithful, but the
+                        // outcome is decided.
+                    }
+                }
+                if all_match && rng.chance(*prob) {
+                    self.transition(p, state, to.index(), members, result, period);
+                    return Ok(true);
+                }
+            }
+            Action::SampleAny { target_state, samples, prob, to } => {
+                let mut found = false;
+                for _ in 0..*samples {
+                    let target = rng.index(n);
+                    if group.is_alive(ProcessId(target))?
+                        && loss.contact_succeeds(rng, 1)
+                        && members.state_of(target) == target_state.index()
+                    {
+                        found = true;
+                    }
+                }
+                if found && rng.chance(*prob) {
+                    self.transition(p, state, to.index(), members, result, period);
+                    return Ok(true);
+                }
+            }
+            Action::PushSample { target_state, samples, prob, to } => {
+                for _ in 0..*samples {
+                    let target = rng.index(n);
+                    if target != p
+                        && group.is_alive(ProcessId(target))?
+                        && loss.contact_succeeds(rng, 1)
+                        && members.state_of(target) == target_state.index()
+                        && rng.chance(*prob)
+                    {
+                        self.transition(target, target_state.index(), to.index(), members, result, period);
+                    }
+                }
+            }
+            Action::Tokenize { required, prob, token_state, to } => {
+                let mut all_match = true;
+                for req in required {
+                    let target = rng.index(n);
+                    let ok = group.is_alive(ProcessId(target))?
+                        && loss.contact_succeeds(rng, 1)
+                        && members.state_of(target) == req.index();
+                    if !ok {
+                        all_match = false;
+                    }
+                }
+                if all_match && rng.chance(*prob) {
+                    // Forward the token to an alive process currently in
+                    // `token_state`; if none can be found the token is dropped
+                    // (Section 6's "if no processes are in state x").
+                    if let Some(consumer) =
+                        members.random_alive_in_state(token_state.index(), group, rng)
+                    {
+                        if loss.contact_succeeds(rng, 1) {
+                            self.transition(
+                                consumer,
+                                token_state.index(),
+                                to.index(),
+                                members,
+                                result,
+                                period,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn transition(
+        &self,
+        p: usize,
+        from: usize,
+        to: usize,
+        members: &mut Membership,
+        result: &mut RunResult,
+        period: u64,
+    ) {
+        if from == to {
+            return;
+        }
+        members.force_state(p, to);
+        let name = edge_name(&self.protocol, StateId::new(from), StateId::new(to));
+        result.transitions.add(&name, period, 1.0);
+    }
+
+    fn record(&self, result: &mut RunResult, period: u64, members: &Membership, group: &Group) {
+        let counts = if self.config.count_alive_only {
+            members.counts_alive(group)
+        } else {
+            members.counts().to_vec()
+        };
+        result.counts.push(period as f64, counts.iter().map(|&c| c as f64).collect());
+        result.metrics.record("alive", period, group.alive_count() as f64);
+        if let Some(track) = self.config.track_members_of {
+            let ids: Vec<ProcessId> = members
+                .members_of(track.index())
+                .iter()
+                .map(|&p| ProcessId(p as usize))
+                .filter(|id| group.is_alive(*id).unwrap_or(false))
+                .collect();
+            result.tracked_members.push((period, ids));
+        }
+    }
+
+    /// Convenience wrapper: run and return only the final per-state counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_final_counts(
+        &self,
+        scenario: &Scenario,
+        initial: &InitialStates,
+    ) -> Result<Vec<f64>> {
+        Ok(self.run(scenario, initial)?.final_counts().to_vec())
+    }
+}
+
+/// Per-process state bookkeeping with O(1) transitions and per-state member
+/// lists (needed for token consumers and member tracking).
+#[derive(Debug, Clone)]
+struct Membership {
+    state: Vec<u32>,
+    position: Vec<u32>,
+    members: Vec<Vec<u32>>,
+    counts: Vec<u64>,
+}
+
+impl Membership {
+    fn new(num_states: usize, assignment: &[usize]) -> Self {
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_states];
+        let mut state = Vec::with_capacity(assignment.len());
+        let mut position = Vec::with_capacity(assignment.len());
+        for (p, &s) in assignment.iter().enumerate() {
+            state.push(s as u32);
+            position.push(members[s].len() as u32);
+            members[s].push(p as u32);
+        }
+        let counts = members.iter().map(|m| m.len() as u64).collect();
+        Membership { state, position, members, counts }
+    }
+
+    fn state_of(&self, p: usize) -> usize {
+        self.state[p] as usize
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn counts_alive(&self, group: &Group) -> Vec<u64> {
+        let mut counts = vec![0u64; self.members.len()];
+        for (p, &s) in self.state.iter().enumerate() {
+            if group.is_alive(ProcessId(p)).unwrap_or(false) {
+                counts[s as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    fn members_of(&self, state: usize) -> &[u32] {
+        &self.members[state]
+    }
+
+    fn force_state(&mut self, p: usize, to: usize) {
+        let from = self.state[p] as usize;
+        if from == to {
+            return;
+        }
+        // Remove from the old member list via swap_remove, fixing the swapped
+        // element's position.
+        let pos = self.position[p] as usize;
+        let list = &mut self.members[from];
+        let last = *list.last().expect("member list cannot be empty");
+        list.swap_remove(pos);
+        if (last as usize) != p {
+            self.position[last as usize] = pos as u32;
+        }
+        self.counts[from] -= 1;
+        // Insert into the new list.
+        self.position[p] = self.members[to].len() as u32;
+        self.members[to].push(p as u32);
+        self.counts[to] += 1;
+        self.state[p] = to as u32;
+    }
+
+    /// Picks a uniformly random *alive* member of `state`, or `None` if the
+    /// state is empty or only contains crashed processes (checked by a bounded
+    /// number of retries followed by a linear scan).
+    fn random_alive_in_state(&self, state: usize, group: &Group, rng: &mut Rng) -> Option<usize> {
+        let list = &self.members[state];
+        if list.is_empty() {
+            return None;
+        }
+        for _ in 0..16 {
+            let candidate = list[rng.index(list.len())] as usize;
+            if group.is_alive(ProcessId(candidate)).unwrap_or(false) {
+                return Some(candidate);
+            }
+        }
+        list.iter()
+            .map(|&p| p as usize)
+            .find(|&p| group.is_alive(ProcessId(p)).unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use crate::mapping::ProtocolCompiler;
+    use odekit::system::EquationSystemBuilder;
+
+    fn epidemic_protocol() -> Protocol {
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        ProtocolCompiler::new("epidemic").compile(&sys).unwrap()
+    }
+
+    #[test]
+    fn epidemic_saturates_in_logarithmic_time() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(4096, 40).unwrap().with_seed(11);
+        let result = AgentRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[4095, 1]))
+            .unwrap();
+        // Conservation every period.
+        for (_, s) in result.counts.iter() {
+            assert_eq!(s[0] + s[1], 4096.0);
+        }
+        // Saturation.
+        assert!(result.final_counts()[1] > 4000.0);
+        // O(log N) spread: find the first period with > half infected; for
+        // N = 4096 the pull epidemic needs roughly log2(N) ≈ 12 periods to
+        // take off, comfortably under 30.
+        let y = result.state_series("y").unwrap();
+        let first_half = y.iter().position(|&v| v > 2048.0).unwrap();
+        assert!(first_half < 30, "took {first_half} periods to infect half");
+        // Transition counter adds up to the total number of infections.
+        assert_eq!(result.total_transitions("x", "y"), result.final_counts()[1] - 1.0);
+        // Messages were counted.
+        assert!(result.metrics.series("messages").unwrap().iter().any(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn initial_distribution_must_match_group() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(100, 5).unwrap();
+        let err = AgentRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[50, 49]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn crashed_processes_do_not_participate() {
+        // With every process crashed at period 0, nothing ever transitions.
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(50, 10)
+            .unwrap()
+            .with_massive_failure(0, 1.0)
+            .unwrap()
+            .with_seed(3);
+        let runtime = AgentRuntime::new(protocol)
+            .with_config(RunConfig { count_alive_only: false, ..Default::default() });
+        let result = runtime.run(&scenario, &InitialStates::counts(&[49, 1])).unwrap();
+        assert_eq!(result.final_counts(), &[49.0, 1.0]);
+        assert_eq!(result.total_transitions("x", "y"), 0.0);
+    }
+
+    #[test]
+    fn count_alive_only_excludes_crashed_processes() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(100, 3)
+            .unwrap()
+            .with_massive_failure(1, 0.5)
+            .unwrap()
+            .with_seed(5);
+        let runtime = AgentRuntime::new(protocol)
+            .with_config(RunConfig { count_alive_only: true, ..Default::default() });
+        let result = runtime.run(&scenario, &InitialStates::counts(&[100, 0])).unwrap();
+        // After the massive failure the alive-only counts sum to 50.
+        let last = result.final_counts();
+        assert_eq!(last.iter().sum::<f64>(), 50.0);
+        assert_eq!(result.metrics.last("alive"), Some(50.0));
+    }
+
+    #[test]
+    fn rejoin_state_is_applied_on_recovery() {
+        // Crash a specific process and recover it later; with rejoin_state =
+        // y it must come back in state y even though it started in x. An
+        // action-free protocol isolates the rejoin mechanism.
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let y = protocol.require_state("y").unwrap();
+        let mut schedule = netsim::FailureSchedule::new();
+        schedule.add(0, netsim::FailureEvent::Crash(ProcessId(0)));
+        schedule.add(2, netsim::FailureEvent::Recover(ProcessId(0)));
+        let scenario = Scenario::new(10, 5)
+            .unwrap()
+            .with_failure_schedule(schedule)
+            .with_seed(1);
+        let runtime = AgentRuntime::new(protocol).with_config(RunConfig {
+            rejoin_state: Some(y),
+            count_alive_only: false,
+            ..Default::default()
+        });
+        // The only way a y can appear is via the rejoin rule.
+        let result = runtime.run(&scenario, &InitialStates::counts(&[10, 0])).unwrap();
+        assert_eq!(result.final_counts()[1], 1.0);
+    }
+
+    #[test]
+    fn member_tracking_records_state_membership() {
+        let protocol = epidemic_protocol();
+        let y = protocol.require_state("y").unwrap();
+        let scenario = Scenario::new(64, 15).unwrap().with_seed(2);
+        let runtime = AgentRuntime::new(protocol)
+            .with_config(RunConfig { track_members_of: Some(y), ..Default::default() });
+        let result = runtime.run(&scenario, &InitialStates::counts(&[63, 1])).unwrap();
+        // One snapshot per recorded period (periods + 1 including period 0).
+        assert_eq!(result.tracked_members.len(), 16);
+        // Snapshot sizes match the recorded y counts.
+        let y_series = result.state_series("y").unwrap();
+        for ((_, ids), count) in result.tracked_members.iter().zip(&y_series) {
+            assert_eq!(ids.len() as f64, *count);
+        }
+    }
+
+    #[test]
+    fn membership_bookkeeping_is_consistent() {
+        let mut m = Membership::new(3, &[0, 0, 1, 2, 1]);
+        assert_eq!(m.counts(), &[2, 2, 1]);
+        assert_eq!(m.state_of(3), 2);
+        m.force_state(0, 2);
+        m.force_state(0, 2); // no-op
+        assert_eq!(m.counts(), &[1, 2, 2]);
+        assert_eq!(m.state_of(0), 2);
+        assert!(m.members_of(2).contains(&0));
+        m.force_state(4, 0);
+        assert_eq!(m.counts(), &[2, 1, 2]);
+        // Every process appears exactly once across all member lists.
+        let mut all: Vec<u32> = m.members.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn message_losses_slow_the_epidemic_down() {
+        let protocol = epidemic_protocol();
+        let reliable = Scenario::new(2000, 15).unwrap().with_seed(9);
+        let lossy = Scenario::new(2000, 15)
+            .unwrap()
+            .with_seed(9)
+            .with_loss(netsim::LossConfig::new(0.8, 0.0).unwrap());
+        let runtime = AgentRuntime::new(protocol);
+        let a = runtime.run(&reliable, &InitialStates::counts(&[1999, 1])).unwrap();
+        let b = runtime.run(&lossy, &InitialStates::counts(&[1999, 1])).unwrap();
+        assert!(
+            a.final_counts()[1] > b.final_counts()[1],
+            "losses should slow dissemination: {} vs {}",
+            a.final_counts()[1],
+            b.final_counts()[1]
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Protocol runtimes: execute a compiled [`Protocol`](crate::Protocol) in
+//! simulation.
+//!
+//! Two runtimes are provided:
+//!
+//! * [`AgentRuntime`] — keeps one state per process and executes every
+//!   process's actions each protocol period against a
+//!   [`Scenario`](netsim::Scenario) (failures, churn, message loss). This is
+//!   the faithful, per-host simulation used for the paper's figures that need
+//!   host identity (untraceability, churn).
+//! * [`AggregateRuntime`] — keeps only the per-state *counts* and samples how
+//!   many processes take each transition per period (binomial/multinomial
+//!   draws from the same per-process probabilities). Statistically equivalent
+//!   under the synchronous-round approximation and orders of magnitude
+//!   faster, it is used for large parameter sweeps and property tests against
+//!   the ODE.
+
+mod agent;
+mod aggregate;
+
+pub use agent::AgentRuntime;
+pub use aggregate::AggregateRuntime;
+
+use crate::error::CoreError;
+use crate::state_machine::{Protocol, StateId};
+use crate::Result;
+use netsim::{MetricsRecorder, ProcessId};
+use odekit::integrate::Trajectory;
+
+/// How the initial protocol states are assigned to processes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitialStates {
+    /// Explicit number of processes per state (must sum to the group size in
+    /// the agent runtime; used verbatim by the aggregate runtime).
+    Counts(Vec<u64>),
+    /// Fractions per state (must sum to ~1); converted to counts by largest-
+    /// remainder rounding.
+    Fractions(Vec<f64>),
+}
+
+impl InitialStates {
+    /// Convenience constructor from counts.
+    pub fn counts(counts: &[u64]) -> Self {
+        InitialStates::Counts(counts.to_vec())
+    }
+
+    /// Convenience constructor from fractions.
+    pub fn fractions(fractions: &[f64]) -> Self {
+        InitialStates::Fractions(fractions.to_vec())
+    }
+
+    /// Resolves the specification into per-state counts for a group of `n`
+    /// processes distributed over `num_states` states.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the length does not match `num_states`, counts do
+    /// not sum to `n`, or fractions are negative / do not sum to ~1.
+    pub fn resolve(&self, num_states: usize, n: u64) -> Result<Vec<u64>> {
+        match self {
+            InitialStates::Counts(counts) => {
+                if counts.len() != num_states {
+                    return Err(CoreError::InvalidConfig {
+                        name: "initial_states",
+                        reason: format!(
+                            "expected {num_states} counts, got {}",
+                            counts.len()
+                        ),
+                    });
+                }
+                let total: u64 = counts.iter().sum();
+                if total != n {
+                    return Err(CoreError::InvalidConfig {
+                        name: "initial_states",
+                        reason: format!("counts sum to {total}, expected {n}"),
+                    });
+                }
+                Ok(counts.clone())
+            }
+            InitialStates::Fractions(fracs) => {
+                if fracs.len() != num_states {
+                    return Err(CoreError::InvalidConfig {
+                        name: "initial_states",
+                        reason: format!("expected {num_states} fractions, got {}", fracs.len()),
+                    });
+                }
+                if fracs.iter().any(|f| !f.is_finite() || *f < 0.0) {
+                    return Err(CoreError::InvalidConfig {
+                        name: "initial_states",
+                        reason: "fractions must be non-negative and finite".into(),
+                    });
+                }
+                let sum: f64 = fracs.iter().sum();
+                if (sum - 1.0).abs() > 1e-6 {
+                    return Err(CoreError::InvalidConfig {
+                        name: "initial_states",
+                        reason: format!("fractions sum to {sum}, expected 1"),
+                    });
+                }
+                // Largest-remainder rounding so the counts sum to exactly n.
+                let raw: Vec<f64> = fracs.iter().map(|f| f * n as f64).collect();
+                let mut counts: Vec<u64> = raw.iter().map(|r| r.floor() as u64).collect();
+                let mut leftover = n - counts.iter().sum::<u64>();
+                let mut order: Vec<usize> = (0..fracs.len()).collect();
+                order.sort_by(|a, b| {
+                    let ra = raw[*a] - raw[*a].floor();
+                    let rb = raw[*b] - raw[*b].floor();
+                    rb.partial_cmp(&ra).unwrap()
+                });
+                for i in order {
+                    if leftover == 0 {
+                        break;
+                    }
+                    counts[i] += 1;
+                    leftover -= 1;
+                }
+                Ok(counts)
+            }
+        }
+    }
+}
+
+/// Configuration knobs shared by the runtimes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunConfig {
+    /// State a process is placed in when it recovers / rejoins (`None` keeps
+    /// its previous state). The endemic replication protocol sets this to the
+    /// receptive state: a host that lost its disk rejoins without replicas.
+    pub rejoin_state: Option<StateId>,
+    /// If set, the agent runtime records the ids of the (alive) processes in
+    /// this state at the end of every period — used for the paper's
+    /// untraceability / load-balancing plot (Figure 8).
+    pub track_members_of: Option<StateId>,
+    /// Count only alive processes in the per-period state counts (default
+    /// `false` counts every process regardless of liveness).
+    pub count_alive_only: bool,
+}
+
+/// The output of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    protocol_states: Vec<String>,
+    /// Per-period state counts; time is the period index, one component per
+    /// protocol state.
+    pub counts: Trajectory,
+    /// Per-period transition counts, one series per `from->to` edge.
+    pub transitions: MetricsRecorder,
+    /// Auxiliary series: `alive` (alive process count), `messages` (sampling
+    /// messages sent), and anything a caller adds.
+    pub metrics: MetricsRecorder,
+    /// `(period, members)` snapshots of the tracked state, if configured.
+    pub tracked_members: Vec<(u64, Vec<ProcessId>)>,
+    /// ODE time advanced per protocol period (the protocol's normalizing
+    /// constant), recorded so trajectories can be compared against
+    /// integrations of the source equations.
+    pub time_scale: f64,
+}
+
+impl RunResult {
+    pub(crate) fn new(protocol: &Protocol) -> Self {
+        RunResult {
+            protocol_states: protocol.state_names().to_vec(),
+            counts: Trajectory::new(),
+            transitions: MetricsRecorder::new(),
+            metrics: MetricsRecorder::new(),
+            tracked_members: Vec::new(),
+            time_scale: protocol.time_scale(),
+        }
+    }
+
+    /// The state names, in the order used by [`counts`](Self::counts).
+    pub fn state_names(&self) -> &[String] {
+        &self.protocol_states
+    }
+
+    /// The count series of one state (by name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownState`] if the name is not a protocol state.
+    pub fn state_series(&self, name: &str) -> Result<Vec<f64>> {
+        let idx = self
+            .protocol_states
+            .iter()
+            .position(|s| s == name)
+            .ok_or_else(|| CoreError::UnknownState(name.to_string()))?;
+        Ok(self.counts.component(idx))
+    }
+
+    /// The final per-state counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run recorded no periods.
+    pub fn final_counts(&self) -> &[f64] {
+        self.counts.last_state()
+    }
+
+    /// The per-period counts normalized to fractions of `n`.
+    pub fn fractions(&self, n: f64) -> Trajectory {
+        let mut out = Trajectory::with_capacity(self.counts.len());
+        for (t, s) in self.counts.iter() {
+            out.push(t, s.iter().map(|c| c / n).collect());
+        }
+        out
+    }
+
+    /// The per-period counts re-timed to ODE time (period × time-scale),
+    /// normalized by `n` — directly comparable to an integration of the
+    /// source equations over fractions.
+    pub fn as_ode_trajectory(&self, n: f64) -> Trajectory {
+        let mut out = Trajectory::with_capacity(self.counts.len());
+        for (t, s) in self.counts.iter() {
+            out.push(t * self.time_scale, s.iter().map(|c| c / n).collect());
+        }
+        out
+    }
+
+    /// Total number of transitions along a given edge over the whole run.
+    pub fn total_transitions(&self, from: &str, to: &str) -> f64 {
+        self.transitions
+            .series(&format!("{from}->{to}"))
+            .map(|s| s.iter().map(|(_, v)| v).sum())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Name used for transition series: `from->to`.
+pub(crate) fn edge_name(protocol: &Protocol, from: StateId, to: StateId) -> String {
+    format!("{}->{}", protocol.state_name(from), protocol.state_name(to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ProtocolCompiler;
+    use odekit::system::EquationSystemBuilder;
+
+    fn protocol() -> Protocol {
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        ProtocolCompiler::new("epidemic").compile(&sys).unwrap()
+    }
+
+    #[test]
+    fn initial_states_counts_validation() {
+        assert_eq!(InitialStates::counts(&[60, 40]).resolve(2, 100).unwrap(), vec![60, 40]);
+        assert!(InitialStates::counts(&[60, 40]).resolve(3, 100).is_err());
+        assert!(InitialStates::counts(&[60, 41]).resolve(2, 100).is_err());
+    }
+
+    #[test]
+    fn initial_states_fraction_rounding() {
+        let counts = InitialStates::fractions(&[0.6, 0.4]).resolve(2, 101).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 101);
+        assert_eq!(counts, vec![61, 40]);
+        // Thirds still sum exactly.
+        let counts = InitialStates::fractions(&[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0])
+            .resolve(3, 1000)
+            .unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+        assert!(InitialStates::fractions(&[0.6, 0.6]).resolve(2, 10).is_err());
+        assert!(InitialStates::fractions(&[-0.1, 1.1]).resolve(2, 10).is_err());
+        assert!(InitialStates::fractions(&[1.0]).resolve(2, 10).is_err());
+    }
+
+    #[test]
+    fn run_result_accessors() {
+        let p = protocol();
+        let mut r = RunResult::new(&p);
+        r.counts.push(0.0, vec![90.0, 10.0]);
+        r.counts.push(1.0, vec![50.0, 50.0]);
+        r.transitions.record("x->y", 1, 40.0);
+        assert_eq!(r.state_names(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(r.state_series("y").unwrap(), vec![10.0, 50.0]);
+        assert!(r.state_series("q").is_err());
+        assert_eq!(r.final_counts(), &[50.0, 50.0]);
+        assert_eq!(r.fractions(100.0).last_state(), &[0.5, 0.5]);
+        assert_eq!(r.total_transitions("x", "y"), 40.0);
+        assert_eq!(r.total_transitions("y", "x"), 0.0);
+        let ode = r.as_ode_trajectory(100.0);
+        assert_eq!(ode.times()[1], p.time_scale());
+    }
+
+    #[test]
+    fn edge_name_uses_state_names() {
+        let p = protocol();
+        let x = p.require_state("x").unwrap();
+        let y = p.require_state("y").unwrap();
+        assert_eq!(edge_name(&p, x, y), "x->y");
+    }
+}

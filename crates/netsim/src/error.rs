@@ -1,0 +1,92 @@
+//! Error types for the `netsim` crate.
+
+use std::fmt;
+
+/// The error type returned by fallible `netsim` operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A process id was outside the group.
+    UnknownProcess {
+        /// The offending process index.
+        id: usize,
+        /// The group size.
+        group_size: usize,
+    },
+    /// A probability parameter was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint violated.
+        reason: String,
+    },
+    /// A requested metric series does not exist.
+    UnknownSeries(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownProcess { id, group_size } => {
+                write!(f, "process {id} is outside the group of size {group_size}")
+            }
+            SimError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` must lie in [0, 1], got {value}")
+            }
+            SimError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            SimError::UnknownSeries(name) => write!(f, "unknown metric series `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Validates that `value` is a probability in `[0, 1]`.
+pub(crate) fn check_probability(name: &'static str, value: f64) -> crate::Result<()> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(SimError::InvalidProbability { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::UnknownProcess { id: 5, group_size: 3 }.to_string().contains('5'));
+        assert!(SimError::InvalidProbability { name: "p", value: 2.0 }
+            .to_string()
+            .contains("[0, 1]"));
+        assert!(SimError::InvalidConfig { name: "n", reason: "zero".into() }
+            .to_string()
+            .contains("zero"));
+        assert!(SimError::UnknownSeries("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn probability_check() {
+        assert!(check_probability("p", 0.0).is_ok());
+        assert!(check_probability("p", 1.0).is_ok());
+        assert!(check_probability("p", -0.1).is_err());
+        assert!(check_probability("p", 1.1).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,294 @@
+//! Failure injection: scheduled events and probabilistic crash/recovery models.
+
+use crate::error::{check_probability, SimError};
+use crate::group::{Group, ProcessId};
+use crate::rng::Rng;
+use crate::Result;
+
+/// A failure event scheduled for a specific protocol period.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FailureEvent {
+    /// Crash a uniformly random fraction of the currently alive processes
+    /// (the paper's Figures 5, 6 and 12: "massive failure of 50 % of hosts").
+    MassiveFailure {
+        /// Fraction of the alive processes to crash, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Crash one specific process.
+    Crash(ProcessId),
+    /// Recover one specific process.
+    Recover(ProcessId),
+}
+
+/// A time-ordered schedule of failure events.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::{FailureEvent, FailureSchedule, Group, Rng};
+///
+/// let mut schedule = FailureSchedule::new();
+/// schedule.add(5000, FailureEvent::MassiveFailure { fraction: 0.5 });
+///
+/// let mut group = Group::new(1000);
+/// let mut rng = Rng::seed_from(1);
+/// schedule.apply(4999, &mut group, &mut rng)?; // nothing yet
+/// assert_eq!(group.alive_count(), 1000);
+/// schedule.apply(5000, &mut group, &mut rng)?;
+/// assert_eq!(group.alive_count(), 500);
+/// # Ok::<(), netsim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FailureSchedule {
+    events: Vec<(u64, FailureEvent)>,
+}
+
+impl FailureSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event at the given protocol period.
+    pub fn add(&mut self, period: u64, event: FailureEvent) -> &mut Self {
+        self.events.push((period, event));
+        self
+    }
+
+    /// Convenience constructor for the paper's "crash 50 % at time t" setup.
+    pub fn massive_failure_at(period: u64, fraction: f64) -> Self {
+        let mut s = Self::new();
+        s.add(period, FailureEvent::MassiveFailure { fraction });
+        s
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events (period, event), in insertion order.
+    pub fn events(&self) -> &[(u64, FailureEvent)] {
+        &self.events
+    }
+
+    /// Applies all events scheduled for exactly `period` to the group.
+    /// Returns the ids that crashed and the ids that recovered during this
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid fractions or unknown process ids.
+    pub fn apply(
+        &self,
+        period: u64,
+        group: &mut Group,
+        rng: &mut Rng,
+    ) -> Result<(Vec<ProcessId>, Vec<ProcessId>)> {
+        let mut crashed = Vec::new();
+        let mut recovered = Vec::new();
+        for (p, event) in &self.events {
+            if *p != period {
+                continue;
+            }
+            match event {
+                FailureEvent::MassiveFailure { fraction } => {
+                    crashed.extend(group.crash_random_fraction(rng, *fraction)?);
+                }
+                FailureEvent::Crash(id) => {
+                    group.crash(*id)?;
+                    crashed.push(*id);
+                }
+                FailureEvent::Recover(id) => {
+                    group.recover(*id)?;
+                    recovered.push(*id);
+                }
+            }
+        }
+        Ok((crashed, recovered))
+    }
+}
+
+/// A probabilistic crash / recovery model applied every protocol period:
+/// each alive process crashes with probability `crash_prob`, and each crashed
+/// process recovers with probability `recover_prob` (crash-recovery failures
+/// in the paper's system model).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FailureModel {
+    crash_prob: f64,
+    recover_prob: f64,
+}
+
+impl FailureModel {
+    /// No background failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Creates a model with the given per-period crash and recovery
+    /// probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either probability lies outside `[0, 1]`.
+    pub fn new(crash_prob: f64, recover_prob: f64) -> Result<Self> {
+        check_probability("crash_prob", crash_prob)?;
+        check_probability("recover_prob", recover_prob)?;
+        Ok(FailureModel { crash_prob, recover_prob })
+    }
+
+    /// Per-period crash probability of an alive process.
+    pub fn crash_prob(&self) -> f64 {
+        self.crash_prob
+    }
+
+    /// Per-period recovery probability of a crashed process.
+    pub fn recover_prob(&self) -> f64 {
+        self.recover_prob
+    }
+
+    /// Expected steady-state availability `recover / (crash + recover)`, or
+    /// 1.0 when no failures are configured.
+    pub fn steady_state_availability(&self) -> f64 {
+        if self.crash_prob == 0.0 {
+            1.0
+        } else {
+            self.recover_prob / (self.crash_prob + self.recover_prob)
+        }
+    }
+
+    /// Applies one period of the model to the group, returning the ids that
+    /// crashed and the ids that recovered.
+    ///
+    /// # Errors
+    ///
+    /// This cannot fail for ids drawn from the group itself; errors are
+    /// propagated defensively.
+    pub fn step(
+        &self,
+        group: &mut Group,
+        rng: &mut Rng,
+    ) -> Result<(Vec<ProcessId>, Vec<ProcessId>)> {
+        if self.crash_prob == 0.0 && self.recover_prob == 0.0 {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let mut crashed = Vec::new();
+        let mut recovered = Vec::new();
+        for id in group.all_ids() {
+            if group.is_alive(id)? {
+                if rng.chance(self.crash_prob) {
+                    crashed.push(id);
+                }
+            } else if rng.chance(self.recover_prob) {
+                recovered.push(id);
+            }
+        }
+        for id in &crashed {
+            group.crash(*id)?;
+        }
+        for id in &recovered {
+            group.recover(*id)?;
+        }
+        Ok((crashed, recovered))
+    }
+}
+
+/// Validates a massive-failure event fraction eagerly (useful when building
+/// schedules from user input).
+pub fn validate_event(event: &FailureEvent, group_size: usize) -> Result<()> {
+    match event {
+        FailureEvent::MassiveFailure { fraction } => check_probability("fraction", *fraction),
+        FailureEvent::Crash(id) | FailureEvent::Recover(id) => {
+            if id.index() < group_size {
+                Ok(())
+            } else {
+                Err(SimError::UnknownProcess { id: id.index(), group_size })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_applies_only_at_the_right_period() {
+        let mut s = FailureSchedule::new();
+        s.add(10, FailureEvent::Crash(ProcessId(3)))
+            .add(10, FailureEvent::Crash(ProcessId(4)))
+            .add(20, FailureEvent::Recover(ProcessId(3)));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut group = Group::new(10);
+        let mut rng = Rng::seed_from(1);
+        let (down, up) = s.apply(9, &mut group, &mut rng).unwrap();
+        assert!(down.is_empty() && up.is_empty());
+        let (down, up) = s.apply(10, &mut group, &mut rng).unwrap();
+        assert_eq!(down.len(), 2);
+        assert!(up.is_empty());
+        assert_eq!(group.alive_count(), 8);
+        let (down, up) = s.apply(20, &mut group, &mut rng).unwrap();
+        assert!(down.is_empty());
+        assert_eq!(up, vec![ProcessId(3)]);
+        assert_eq!(group.alive_count(), 9);
+        assert!(group.is_alive(ProcessId(3)).unwrap());
+    }
+
+    #[test]
+    fn massive_failure_constructor() {
+        let s = FailureSchedule::massive_failure_at(5000, 0.5);
+        let mut group = Group::new(100_000);
+        let mut rng = Rng::seed_from(2);
+        s.apply(5000, &mut group, &mut rng).unwrap();
+        assert_eq!(group.alive_count(), 50_000);
+        assert_eq!(s.events().len(), 1);
+    }
+
+    #[test]
+    fn invalid_fraction_propagates() {
+        let s = FailureSchedule::massive_failure_at(1, 2.0);
+        let mut group = Group::new(10);
+        let mut rng = Rng::seed_from(3);
+        assert!(s.apply(1, &mut group, &mut rng).is_err());
+        assert!(validate_event(&FailureEvent::MassiveFailure { fraction: 2.0 }, 10).is_err());
+        assert!(validate_event(&FailureEvent::Crash(ProcessId(20)), 10).is_err());
+        assert!(validate_event(&FailureEvent::Recover(ProcessId(5)), 10).is_ok());
+    }
+
+    #[test]
+    fn failure_model_statistics() {
+        let model = FailureModel::new(0.01, 0.04).unwrap();
+        assert_eq!(model.crash_prob(), 0.01);
+        assert_eq!(model.recover_prob(), 0.04);
+        assert!((model.steady_state_availability() - 0.8).abs() < 1e-12);
+        assert_eq!(FailureModel::none().steady_state_availability(), 1.0);
+        assert!(FailureModel::new(1.5, 0.0).is_err());
+
+        // Run the model to steady state and measure availability.
+        let mut group = Group::new(2_000);
+        let mut rng = Rng::seed_from(4);
+        for _ in 0..600 {
+            model.step(&mut group, &mut rng).unwrap();
+        }
+        let availability = group.alive_fraction();
+        assert!((availability - 0.8).abs() < 0.05, "availability {availability}");
+    }
+
+    #[test]
+    fn none_model_is_a_noop() {
+        let mut group = Group::new(50);
+        let mut rng = Rng::seed_from(5);
+        let (c, r) = FailureModel::none().step(&mut group, &mut rng).unwrap();
+        assert!(c.is_empty() && r.is_empty());
+        assert_eq!(group.alive_count(), 50);
+    }
+}

@@ -1,0 +1,295 @@
+//! Group membership: a closed group of `N` processes with per-process liveness.
+
+use crate::error::SimError;
+use crate::rng::Rng;
+use crate::Result;
+use std::fmt;
+
+/// Identifier of a process within a [`Group`] (a dense index in `0..N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(value: usize) -> Self {
+        ProcessId(value)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A closed group of `N` processes, following the paper's system model: every
+/// process knows the maximal membership (all `N − 1` peers), and processes
+/// may be crashed (not alive) at any time.
+///
+/// Sampling a contact is done over the *maximal* membership — exactly as in
+/// the paper, where a contact aimed at a crashed host is simply fruitless —
+/// via [`Group::random_member`]; [`Group::random_alive`] is also provided for
+/// protocols that use a failure detector.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Group {
+    alive: Vec<bool>,
+    alive_count: usize,
+}
+
+impl Group {
+    /// Creates a group of `n` processes, all initially alive.
+    pub fn new(n: usize) -> Self {
+        Group { alive: vec![true; n], alive_count: n }
+    }
+
+    /// Total (maximal) group size `N`, including crashed processes.
+    pub fn size(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of currently alive processes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Number of currently crashed / departed processes.
+    pub fn crashed_count(&self) -> usize {
+        self.size() - self.alive_count
+    }
+
+    /// Fraction of the maximal membership that is currently alive.
+    pub fn alive_fraction(&self) -> f64 {
+        if self.alive.is_empty() {
+            0.0
+        } else {
+            self.alive_count as f64 / self.alive.len() as f64
+        }
+    }
+
+    /// `true` if process `id` is currently alive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`] if `id` is out of range.
+    pub fn is_alive(&self, id: ProcessId) -> Result<bool> {
+        self.alive
+            .get(id.index())
+            .copied()
+            .ok_or(SimError::UnknownProcess { id: id.index(), group_size: self.size() })
+    }
+
+    /// Marks a process as crashed / departed. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`] if `id` is out of range.
+    pub fn crash(&mut self, id: ProcessId) -> Result<()> {
+        let i = id.index();
+        if i >= self.alive.len() {
+            return Err(SimError::UnknownProcess { id: i, group_size: self.size() });
+        }
+        if self.alive[i] {
+            self.alive[i] = false;
+            self.alive_count -= 1;
+        }
+        Ok(())
+    }
+
+    /// Marks a process as alive again (crash-recovery / rejoin). Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProcess`] if `id` is out of range.
+    pub fn recover(&mut self, id: ProcessId) -> Result<()> {
+        let i = id.index();
+        if i >= self.alive.len() {
+            return Err(SimError::UnknownProcess { id: i, group_size: self.size() });
+        }
+        if !self.alive[i] {
+            self.alive[i] = true;
+            self.alive_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Samples a process uniformly at random from the **maximal** membership
+    /// (alive or not), as the paper's protocols do. Returns `None` for an
+    /// empty group.
+    pub fn random_member(&self, rng: &mut Rng) -> Option<ProcessId> {
+        if self.alive.is_empty() {
+            None
+        } else {
+            Some(ProcessId(rng.index(self.alive.len())))
+        }
+    }
+
+    /// Samples an **alive** process uniformly at random, or `None` if none are
+    /// alive. Costs O(1) expected time while a constant fraction is alive,
+    /// with a fallback scan for heavily depleted groups.
+    pub fn random_alive(&self, rng: &mut Rng) -> Option<ProcessId> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        // Rejection sampling is fast while at least ~1% of the group is alive.
+        if self.alive_count * 100 >= self.size() {
+            loop {
+                let candidate = rng.index(self.alive.len());
+                if self.alive[candidate] {
+                    return Some(ProcessId(candidate));
+                }
+            }
+        }
+        // Fallback: pick the k-th alive process.
+        let k = rng.index(self.alive_count);
+        self.alive_ids().nth(k)
+    }
+
+    /// Crashes a uniformly random set of `⌊fraction·alive⌋` currently alive
+    /// processes (the paper's "massive failure" events). Returns the crashed
+    /// ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProbability`] if `fraction` is outside `[0, 1]`.
+    pub fn crash_random_fraction(&mut self, rng: &mut Rng, fraction: f64) -> Result<Vec<ProcessId>> {
+        crate::error::check_probability("fraction", fraction)?;
+        let alive_ids: Vec<ProcessId> = self.alive_ids().collect();
+        let k = (fraction * alive_ids.len() as f64).floor() as usize;
+        let chosen = crate::stochastic::sample_without_replacement(rng, alive_ids.len(), k);
+        let mut crashed = Vec::with_capacity(k);
+        for idx in chosen {
+            let id = alive_ids[idx];
+            self.crash(id)?;
+            crashed.push(id);
+        }
+        Ok(crashed)
+    }
+
+    /// Iterator over the ids of currently alive processes.
+    pub fn alive_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &alive)| alive)
+            .map(|(i, _)| ProcessId(i))
+    }
+
+    /// Iterator over all process ids in the maximal membership.
+    pub fn all_ids(&self) -> impl Iterator<Item = ProcessId> {
+        (0..self.size()).map(ProcessId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_group_is_fully_alive() {
+        let g = Group::new(10);
+        assert_eq!(g.size(), 10);
+        assert_eq!(g.alive_count(), 10);
+        assert_eq!(g.crashed_count(), 0);
+        assert_eq!(g.alive_fraction(), 1.0);
+        assert_eq!(g.all_ids().count(), 10);
+        assert_eq!(g.alive_ids().count(), 10);
+    }
+
+    #[test]
+    fn crash_and_recover_are_idempotent() {
+        let mut g = Group::new(5);
+        g.crash(ProcessId(2)).unwrap();
+        g.crash(ProcessId(2)).unwrap();
+        assert_eq!(g.alive_count(), 4);
+        assert!(!g.is_alive(ProcessId(2)).unwrap());
+        g.recover(ProcessId(2)).unwrap();
+        g.recover(ProcessId(2)).unwrap();
+        assert_eq!(g.alive_count(), 5);
+        assert!(g.is_alive(ProcessId(2)).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_ids_error() {
+        let mut g = Group::new(3);
+        assert!(g.is_alive(ProcessId(3)).is_err());
+        assert!(g.crash(ProcessId(7)).is_err());
+        assert!(g.recover(ProcessId(7)).is_err());
+    }
+
+    #[test]
+    fn random_member_includes_crashed() {
+        let mut g = Group::new(10);
+        let mut rng = Rng::seed_from(1);
+        for i in 0..9 {
+            g.crash(ProcessId(i)).unwrap();
+        }
+        // Only process 9 is alive; random_member still returns crashed ones.
+        let mut saw_crashed = false;
+        for _ in 0..200 {
+            let m = g.random_member(&mut rng).unwrap();
+            if m.index() != 9 {
+                saw_crashed = true;
+            }
+        }
+        assert!(saw_crashed);
+        // random_alive only ever returns the survivor.
+        for _ in 0..50 {
+            assert_eq!(g.random_alive(&mut rng), Some(ProcessId(9)));
+        }
+    }
+
+    #[test]
+    fn random_alive_none_when_all_crashed() {
+        let mut g = Group::new(4);
+        let mut rng = Rng::seed_from(2);
+        for i in 0..4 {
+            g.crash(ProcessId(i)).unwrap();
+        }
+        assert_eq!(g.random_alive(&mut rng), None);
+        assert_eq!(Group::new(0).random_member(&mut rng), None);
+        assert_eq!(Group::new(0).alive_fraction(), 0.0);
+    }
+
+    #[test]
+    fn massive_failure_crashes_exact_fraction() {
+        let mut g = Group::new(1000);
+        let mut rng = Rng::seed_from(3);
+        let crashed = g.crash_random_fraction(&mut rng, 0.5).unwrap();
+        assert_eq!(crashed.len(), 500);
+        assert_eq!(g.alive_count(), 500);
+        // Crashing 50% of the survivors leaves 250.
+        let crashed2 = g.crash_random_fraction(&mut rng, 0.5).unwrap();
+        assert_eq!(crashed2.len(), 250);
+        assert_eq!(g.alive_count(), 250);
+        assert!(g.crash_random_fraction(&mut rng, 1.5).is_err());
+    }
+
+    #[test]
+    fn random_alive_sparse_fallback() {
+        let mut g = Group::new(10_000);
+        let mut rng = Rng::seed_from(4);
+        // Crash all but 5 (0.05% alive → below the 1% rejection threshold).
+        for i in 0..9_995 {
+            g.crash(ProcessId(i)).unwrap();
+        }
+        for _ in 0..100 {
+            let id = g.random_alive(&mut rng).unwrap();
+            assert!(id.index() >= 9_995);
+        }
+    }
+
+    #[test]
+    fn process_id_display_and_conversion() {
+        let id: ProcessId = 7.into();
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "p7");
+    }
+}

@@ -1,0 +1,54 @@
+//! # netsim — a round-based process-group simulator
+//!
+//! This crate provides the distributed-systems substrate on which the
+//! protocols synthesized by `dpde-core` run, mirroring the experimental setup
+//! of *"On the Design of Distributed Protocols from Differential Equations"*
+//! (Gupta, PODC 2004): a closed group of `N` processes executing in protocol
+//! periods over an unreliable network, subject to crash-stop and
+//! crash-recovery failures, massive correlated failures, and host churn.
+//!
+//! Components:
+//!
+//! * [`rng`] — a self-contained, seedable xoshiro256** PRNG so simulations
+//!   are bit-reproducible (the paper used a Mersenne Twister; only the
+//!   statistical quality of the uniform stream matters),
+//! * [`stochastic`] — Bernoulli/binomial/multinomial samplers used by the
+//!   aggregate (count-based) protocol runtime,
+//! * [`group`] — group membership with per-process liveness,
+//! * [`network`] — message/connection loss model,
+//! * [`failure`] — scheduled failure events (massive failures, crashes,
+//!   recoveries) and probabilistic crash/recovery models,
+//! * [`churn`] — availability traces: a synthetic Overnet-like generator and
+//!   a replay engine (the paper injects hourly churn of 10–25 % of hosts),
+//! * [`clock`] — protocol-period bookkeeping (periods ↔ wall-clock time),
+//! * [`metrics`] — time-series recording and summary statistics for
+//!   experiment output,
+//! * [`scenario`] — a bundle of all of the above describing one experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod churn;
+pub mod clock;
+pub mod error;
+pub mod failure;
+pub mod group;
+pub mod metrics;
+pub mod network;
+pub mod rng;
+pub mod scenario;
+pub mod stochastic;
+
+pub use churn::{ChurnEvent, ChurnTrace, SyntheticChurnConfig};
+pub use clock::PeriodClock;
+pub use error::SimError;
+pub use failure::{FailureEvent, FailureModel, FailureSchedule};
+pub use group::{Group, ProcessId};
+pub use metrics::{MetricsRecorder, SummaryStats};
+pub use network::LossConfig;
+pub use rng::Rng;
+pub use scenario::Scenario;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,261 @@
+//! Time-series metrics recording and summary statistics for experiments.
+
+use crate::error::SimError;
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// Summary statistics of a set of samples (used by the paper's Figure 7,
+/// which reports median, minimum and maximum over a time window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub std_dev: f64,
+}
+
+impl SummaryStats {
+    /// Computes summary statistics of a slice of samples.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn of(samples: &[f64]) -> Option<SummaryStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let std_dev = if count > 1 {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Some(SummaryStats { count, mean, median, min, max, std_dev })
+    }
+}
+
+/// Records named time series of `(period, value)` samples during a run.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::MetricsRecorder;
+///
+/// let mut m = MetricsRecorder::new();
+/// for t in 0..10 {
+///     m.record("stashers", t, (100 + t) as f64);
+/// }
+/// let stats = m.summary("stashers", 0, 10)?;
+/// assert_eq!(stats.count, 10);
+/// assert_eq!(stats.min, 100.0);
+/// # Ok::<(), netsim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRecorder {
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl MetricsRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to the named series (creating it if needed).
+    pub fn record(&mut self, series: &str, period: u64, value: f64) {
+        self.series.entry(series.to_string()).or_default().push((period, value));
+    }
+
+    /// Increments the last sample of the named series at `period` by `delta`,
+    /// or starts it at `delta` if the period has no sample yet. Useful for
+    /// counting events (e.g. state transitions) as they happen within a round.
+    pub fn add(&mut self, series: &str, period: u64, delta: f64) {
+        let entry = self.series.entry(series.to_string()).or_default();
+        match entry.last_mut() {
+            Some((p, v)) if *p == period => *v += delta,
+            _ => entry.push((period, delta)),
+        }
+    }
+
+    /// The names of all recorded series.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// The raw samples of a series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSeries`] if the series does not exist.
+    pub fn series(&self, name: &str) -> Result<&[(u64, f64)]> {
+        self.series
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| SimError::UnknownSeries(name.to_string()))
+    }
+
+    /// The values of a series restricted to periods in `[from, to)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSeries`] if the series does not exist.
+    pub fn window(&self, name: &str, from: u64, to: u64) -> Result<Vec<f64>> {
+        Ok(self
+            .series(name)?
+            .iter()
+            .filter(|(p, _)| *p >= from && *p < to)
+            .map(|(_, v)| *v)
+            .collect())
+    }
+
+    /// Summary statistics of a series over the period window `[from, to)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSeries`] if the series does not exist, or
+    /// [`SimError::InvalidConfig`] if the window contains no samples.
+    pub fn summary(&self, name: &str, from: u64, to: u64) -> Result<SummaryStats> {
+        let values = self.window(name, from, to)?;
+        SummaryStats::of(&values).ok_or(SimError::InvalidConfig {
+            name: "window",
+            reason: format!("series `{name}` has no samples in [{from}, {to})"),
+        })
+    }
+
+    /// The most recent value of a series, if any.
+    pub fn last(&self, name: &str) -> Option<f64> {
+        self.series.get(name).and_then(|s| s.last()).map(|(_, v)| *v)
+    }
+
+    /// Renders the named series side by side as CSV (`period,name1,name2,…`),
+    /// using empty cells where a series has no sample for a period.
+    pub fn to_csv(&self, names: &[&str]) -> String {
+        let mut periods: Vec<u64> = Vec::new();
+        for name in names {
+            if let Some(s) = self.series.get(*name) {
+                periods.extend(s.iter().map(|(p, _)| *p));
+            }
+        }
+        periods.sort_unstable();
+        periods.dedup();
+
+        let mut out = String::from("period");
+        for name in names {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for p in periods {
+            out.push_str(&p.to_string());
+            for name in names {
+                out.push(',');
+                if let Some(s) = self.series.get(*name) {
+                    if let Some((_, v)) = s.iter().find(|(sp, _)| *sp == p) {
+                        out.push_str(&format!("{v}"));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merges another recorder's series into this one (samples are appended).
+    pub fn merge(&mut self, other: &MetricsRecorder) {
+        for (name, samples) in &other.series {
+            self.series.entry(name.clone()).or_default().extend(samples.iter().copied());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_stats_basics() {
+        assert!(SummaryStats::of(&[]).is_none());
+        let s = SummaryStats::of(&[1.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.std_dev, 0.0);
+        let s = SummaryStats::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - (5.0 / 3.0_f64).sqrt()).abs() < 1e-12);
+        let s = SummaryStats::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn record_window_and_summary() {
+        let mut m = MetricsRecorder::new();
+        for t in 0..100u64 {
+            m.record("stashers", t, t as f64);
+            m.record("receptives", t, 2.0 * t as f64);
+        }
+        assert_eq!(m.series_names(), vec!["receptives", "stashers"]);
+        assert_eq!(m.series("stashers").unwrap().len(), 100);
+        assert!(m.series("nope").is_err());
+        let w = m.window("stashers", 10, 20).unwrap();
+        assert_eq!(w.len(), 10);
+        let s = m.summary("stashers", 10, 20).unwrap();
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 19.0);
+        assert!(m.summary("stashers", 200, 300).is_err());
+        assert_eq!(m.last("receptives"), Some(198.0));
+        assert_eq!(m.last("nope"), None);
+    }
+
+    #[test]
+    fn add_accumulates_within_a_period() {
+        let mut m = MetricsRecorder::new();
+        m.add("transfers", 5, 1.0);
+        m.add("transfers", 5, 1.0);
+        m.add("transfers", 6, 1.0);
+        assert_eq!(m.series("transfers").unwrap(), &[(5, 2.0), (6, 1.0)]);
+    }
+
+    #[test]
+    fn csv_output_aligns_series() {
+        let mut m = MetricsRecorder::new();
+        m.record("a", 0, 1.0);
+        m.record("a", 1, 2.0);
+        m.record("b", 1, 3.0);
+        let csv = m.to_csv(&["a", "b"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "period,a,b");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1,2,3");
+    }
+
+    #[test]
+    fn merge_combines_recorders() {
+        let mut a = MetricsRecorder::new();
+        a.record("x", 0, 1.0);
+        let mut b = MetricsRecorder::new();
+        b.record("x", 1, 2.0);
+        b.record("y", 0, 3.0);
+        a.merge(&b);
+        assert_eq!(a.series("x").unwrap().len(), 2);
+        assert_eq!(a.series("y").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! Experiment scenarios: everything describing one simulation run.
+
+use crate::churn::{ChurnEvent, ChurnTrace};
+use crate::clock::PeriodClock;
+use crate::error::SimError;
+use crate::failure::{FailureModel, FailureSchedule};
+use crate::group::Group;
+use crate::network::LossConfig;
+use crate::rng::Rng;
+use crate::Result;
+
+/// A complete description of the environment for one simulation run:
+/// group size, horizon, failure injection, churn, network losses, protocol
+/// period and PRNG seed.
+///
+/// The protocol runtimes in `dpde-core` consume a `Scenario` to drive their
+/// execution; the experiment harness builds one per figure of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::Scenario;
+///
+/// // The paper's Figure 5 environment: 100 000 hosts, 10 000 periods,
+/// // half of them crashing at period 5000.
+/// let scenario = Scenario::new(100_000, 10_000)?
+///     .with_massive_failure(5_000, 0.5)?
+///     .with_seed(1);
+/// assert_eq!(scenario.group_size(), 100_000);
+/// # Ok::<(), netsim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    group_size: usize,
+    periods: u64,
+    seed: u64,
+    loss: LossConfig,
+    failure_schedule: FailureSchedule,
+    failure_model: FailureModel,
+    churn_events: Vec<ChurnEvent>,
+    initial_availability: Option<Vec<bool>>,
+    clock: PeriodClock,
+}
+
+impl Scenario {
+    /// Creates a scenario of `group_size` processes running for `periods`
+    /// protocol periods, with a reliable network, no failures, no churn, a
+    /// 6-minute protocol period and seed 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the group size or horizon is zero.
+    pub fn new(group_size: usize, periods: u64) -> Result<Self> {
+        if group_size == 0 {
+            return Err(SimError::InvalidConfig {
+                name: "group_size",
+                reason: "group must contain at least one process".into(),
+            });
+        }
+        if periods == 0 {
+            return Err(SimError::InvalidConfig {
+                name: "periods",
+                reason: "scenario must run for at least one period".into(),
+            });
+        }
+        Ok(Scenario {
+            group_size,
+            periods,
+            seed: 0,
+            loss: LossConfig::reliable(),
+            failure_schedule: FailureSchedule::new(),
+            failure_model: FailureModel::none(),
+            churn_events: Vec::new(),
+            initial_availability: None,
+            clock: PeriodClock::six_minutes(),
+        })
+    }
+
+    /// Sets the PRNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network loss configuration.
+    #[must_use]
+    pub fn with_loss(mut self, loss: LossConfig) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Adds a massive-failure event (crash a fraction of alive hosts at the
+    /// given period).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fraction lies outside `[0, 1]`.
+    pub fn with_massive_failure(mut self, period: u64, fraction: f64) -> Result<Self> {
+        crate::error::check_probability("fraction", fraction)?;
+        self.failure_schedule
+            .add(period, crate::failure::FailureEvent::MassiveFailure { fraction });
+        Ok(self)
+    }
+
+    /// Replaces the whole failure schedule.
+    #[must_use]
+    pub fn with_failure_schedule(mut self, schedule: FailureSchedule) -> Self {
+        self.failure_schedule = schedule;
+        self
+    }
+
+    /// Sets a probabilistic per-period crash/recovery model.
+    #[must_use]
+    pub fn with_failure_model(mut self, model: FailureModel) -> Self {
+        self.failure_model = model;
+        self
+    }
+
+    /// Sets the protocol-period clock.
+    #[must_use]
+    pub fn with_clock(mut self, clock: PeriodClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Installs a churn trace: hour-0 availability is applied to the group at
+    /// start-up, and the hourly changes are spread over protocol periods.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the trace covers a different number of hosts than
+    /// the scenario.
+    pub fn with_churn_trace(mut self, trace: &ChurnTrace, rng: &mut Rng) -> Result<Self> {
+        if trace.hosts() != self.group_size {
+            return Err(SimError::InvalidConfig {
+                name: "churn_trace",
+                reason: format!(
+                    "trace covers {} hosts but the scenario has {}",
+                    trace.hosts(),
+                    self.group_size
+                ),
+            });
+        }
+        self.initial_availability = Some(trace.initial_availability().to_vec());
+        self.churn_events = trace.spread_over_periods(self.clock.periods_per_hour(), rng);
+        Ok(self)
+    }
+
+    /// The maximal group size `N`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The number of protocol periods to run.
+    pub fn periods(&self) -> u64 {
+        self.periods
+    }
+
+    /// The PRNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The network loss configuration.
+    pub fn loss(&self) -> &LossConfig {
+        &self.loss
+    }
+
+    /// The scheduled failure events.
+    pub fn failure_schedule(&self) -> &FailureSchedule {
+        &self.failure_schedule
+    }
+
+    /// The probabilistic crash/recovery model.
+    pub fn failure_model(&self) -> &FailureModel {
+        &self.failure_model
+    }
+
+    /// The per-period churn events.
+    pub fn churn_events(&self) -> &[ChurnEvent] {
+        &self.churn_events
+    }
+
+    /// The protocol-period clock.
+    pub fn clock(&self) -> &PeriodClock {
+        &self.clock
+    }
+
+    /// Builds the initial [`Group`] (applying hour-0 churn availability if a
+    /// trace was installed).
+    pub fn build_group(&self) -> Group {
+        let mut group = Group::new(self.group_size);
+        if let Some(avail) = &self.initial_availability {
+            for (i, &alive) in avail.iter().enumerate() {
+                if !alive {
+                    // Ids come straight from the trace and are in range.
+                    let _ = group.crash(crate::group::ProcessId(i));
+                }
+            }
+        }
+        group
+    }
+
+    /// Creates the root PRNG for this scenario.
+    pub fn build_rng(&self) -> Rng {
+        Rng::seed_from(self.seed)
+    }
+
+    /// Applies everything scheduled for `period` (failure events, probabilistic
+    /// failures, churn) to the group. Returns `(crashed_or_left, recovered_or_joined)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the failure schedule (invalid fractions, ids).
+    pub fn apply_period_events(
+        &self,
+        period: u64,
+        group: &mut Group,
+        rng: &mut Rng,
+    ) -> Result<(Vec<crate::group::ProcessId>, Vec<crate::group::ProcessId>)> {
+        let (mut down, mut recovered) = self.failure_schedule.apply(period, group, rng)?;
+        let (crashed, model_recovered) = self.failure_model.step(group, rng)?;
+        down.extend(crashed);
+        recovered.extend(model_recovered);
+        for ev in self.churn_events.iter().filter(|e| e.period == period) {
+            for id in &ev.leaves {
+                group.crash(*id)?;
+                down.push(*id);
+            }
+            for id in &ev.joins {
+                group.recover(*id)?;
+                recovered.push(*id);
+            }
+        }
+        Ok((down, recovered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::SyntheticChurnConfig;
+
+    #[test]
+    fn construction_and_validation() {
+        assert!(Scenario::new(0, 10).is_err());
+        assert!(Scenario::new(10, 0).is_err());
+        let s = Scenario::new(100, 50).unwrap().with_seed(7);
+        assert_eq!(s.group_size(), 100);
+        assert_eq!(s.periods(), 50);
+        assert_eq!(s.seed(), 7);
+        assert_eq!(s.loss().connection_failure(), 0.0);
+        assert!(s.failure_schedule().is_empty());
+        assert_eq!(s.churn_events().len(), 0);
+        assert_eq!(s.clock().period_secs(), 360.0);
+        assert_eq!(s.build_group().alive_count(), 100);
+        let _ = s.build_rng();
+    }
+
+    #[test]
+    fn massive_failure_applies_at_period() {
+        let s = Scenario::new(1000, 100).unwrap().with_massive_failure(50, 0.5).unwrap();
+        let mut group = s.build_group();
+        let mut rng = s.build_rng();
+        let (down, up) = s.apply_period_events(49, &mut group, &mut rng).unwrap();
+        assert!(down.is_empty() && up.is_empty());
+        let (down, _) = s.apply_period_events(50, &mut group, &mut rng).unwrap();
+        assert_eq!(down.len(), 500);
+        assert_eq!(group.alive_count(), 500);
+        assert!(Scenario::new(10, 10).unwrap().with_massive_failure(1, 1.5).is_err());
+    }
+
+    #[test]
+    fn failure_model_is_applied_every_period() {
+        let s = Scenario::new(1000, 10)
+            .unwrap()
+            .with_failure_model(FailureModel::new(0.5, 0.0).unwrap());
+        let mut group = s.build_group();
+        let mut rng = s.build_rng();
+        s.apply_period_events(0, &mut group, &mut rng).unwrap();
+        assert!(group.alive_count() < 600);
+    }
+
+    #[test]
+    fn churn_trace_requires_matching_size_and_applies_events() {
+        let cfg = SyntheticChurnConfig {
+            hosts: 200,
+            hours: 5,
+            mean_availability: 0.5,
+            churn_min: 0.2,
+            churn_max: 0.3,
+        };
+        let mut rng = Rng::seed_from(3);
+        let trace = cfg.generate(&mut rng).unwrap();
+        // Mismatched size is rejected.
+        assert!(Scenario::new(100, 100)
+            .unwrap()
+            .with_churn_trace(&trace, &mut rng)
+            .is_err());
+        let s = Scenario::new(200, 100).unwrap().with_churn_trace(&trace, &mut rng).unwrap();
+        let group = s.build_group();
+        // Hour-0 availability applied: roughly half alive.
+        assert!(group.alive_count() > 60 && group.alive_count() < 140);
+        // Applying all periods' events keeps the group within the maximal size.
+        let mut group = s.build_group();
+        let mut rng2 = s.build_rng();
+        let mut total_changes = 0;
+        for p in 0..s.periods() {
+            let (down, up) = s.apply_period_events(p, &mut group, &mut rng2).unwrap();
+            total_changes += down.len() + up.len();
+        }
+        assert!(total_changes > 0, "churn events should fire");
+        assert!(group.alive_count() <= 200);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let s = Scenario::new(10, 10)
+            .unwrap()
+            .with_loss(LossConfig::new(0.1, 0.0).unwrap())
+            .with_clock(PeriodClock::new(1.0).unwrap())
+            .with_failure_schedule(FailureSchedule::massive_failure_at(3, 0.1));
+        assert_eq!(s.loss().connection_failure(), 0.1);
+        assert_eq!(s.clock().period_secs(), 1.0);
+        assert_eq!(s.failure_schedule().len(), 1);
+        assert_eq!(s.failure_model().crash_prob(), 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Distribution sampling for the aggregate (count-based) protocol runtime.
+//!
+//! The aggregate runtime in `dpde-core` advances a protocol by sampling *how
+//! many* of the processes in a state take a transition each period, which
+//! requires binomial and multinomial draws. `rand_distr` is not part of the
+//! offline dependency set, so the samplers are implemented here:
+//!
+//! * exact inverse-CDF binomial sampling for small `n·p`,
+//! * a normal-approximation (with continuity correction) fallback for large
+//!   counts, accurate to well below the stochastic noise of the experiments,
+//! * sequential-conditional multinomial sampling built on the binomial.
+
+use crate::rng::Rng;
+
+/// Draws from `Binomial(n, p)`: the number of successes in `n` independent
+/// Bernoulli(`p`) trials.
+///
+/// Uses exact inversion when the expected count is small and a
+/// continuity-corrected normal approximation otherwise. `p` is clamped to
+/// `[0, 1]`.
+pub fn binomial(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Work with the smaller tail for numerical stability.
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    let mean = n as f64 * p;
+    if n <= 64 {
+        // Direct simulation is cheapest for tiny n.
+        let mut count = 0;
+        for _ in 0..n {
+            if rng.chance(p) {
+                count += 1;
+            }
+        }
+        count
+    } else if mean < 30.0 {
+        binomial_inverse(rng, n, p)
+    } else {
+        binomial_normal_approx(rng, n, p)
+    }
+}
+
+/// Exact inverse-CDF binomial sampling (efficient when `n·p` is small).
+fn binomial_inverse(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let mut f = q.powf(n as f64); // P(X = 0)
+    if f <= 0.0 {
+        // Underflow (extremely unlikely given the mean < 30 guard); fall back.
+        return binomial_normal_approx(rng, n, p);
+    }
+    let u = rng.next_f64();
+    let mut cdf = f;
+    let mut k = 0u64;
+    while u > cdf && k < n {
+        k += 1;
+        f *= s * (n - k + 1) as f64 / k as f64;
+        cdf += f;
+    }
+    k
+}
+
+/// Normal approximation with continuity correction, clamped to `[0, n]`.
+fn binomial_normal_approx(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    let z = standard_normal(rng);
+    let value = (mean + sd * z + 0.5).floor();
+    value.clamp(0.0, n as f64) as u64
+}
+
+/// Draws a standard normal variate using the Box–Muller transform.
+pub fn standard_normal(rng: &mut Rng) -> f64 {
+    // Avoid log(0).
+    let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws from `Multinomial(n, weights)`: distributes `n` trials over
+/// `weights.len()` categories with probabilities proportional to `weights`.
+///
+/// Zero or negative weights get zero probability; if all weights are zero the
+/// result is all zeros except that no trials are assigned at all.
+pub fn multinomial(rng: &mut Rng, n: u64, weights: &[f64]) -> Vec<u64> {
+    let mut counts = vec![0u64; weights.len()];
+    let mut remaining = n;
+    let mut weight_left: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    for (i, w) in weights.iter().enumerate() {
+        if remaining == 0 || weight_left <= 0.0 {
+            break;
+        }
+        let w = w.max(0.0);
+        if i + 1 == weights.len() {
+            counts[i] = remaining;
+            remaining = 0;
+        } else {
+            let p = (w / weight_left).clamp(0.0, 1.0);
+            let k = binomial(rng, remaining, p);
+            counts[i] = k;
+            remaining -= k;
+            weight_left -= w;
+        }
+    }
+    counts
+}
+
+/// Samples `k` distinct indices uniformly at random from `0..n` (Floyd's
+/// algorithm). If `k >= n` every index is returned.
+pub fn sample_without_replacement(rng: &mut Rng, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    // Floyd's algorithm keeps memory at O(k).
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.index(j + 1);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+/// Draws from a geometric distribution: the number of independent
+/// Bernoulli(`p`) failures before the first success. Returns `u64::MAX` when
+/// `p <= 0`.
+pub fn geometric(rng: &mut Rng, p: f64) -> u64 {
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    if p >= 1.0 {
+        return 0;
+    }
+    let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::seed_from(0xD1CE)
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 100, 0.0), 0);
+        assert_eq!(binomial(&mut r, 100, 1.0), 100);
+        assert_eq!(binomial(&mut r, 100, -0.5), 0);
+        assert_eq!(binomial(&mut r, 100, 1.5), 100);
+    }
+
+    #[test]
+    fn binomial_moments_small_n() {
+        let mut r = rng();
+        let (n, p, draws) = (40u64, 0.2, 20_000);
+        let samples: Vec<u64> = (0..draws).map(|_| binomial(&mut r, n, p)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / draws as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / draws as f64;
+        assert!((mean - n as f64 * p).abs() < 0.2, "mean {mean}");
+        assert!((var - n as f64 * p * (1.0 - p)).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn binomial_moments_inverse_cdf_regime() {
+        let mut r = rng();
+        // n large, mean < 30 → inverse CDF path.
+        let (n, p, draws) = (10_000u64, 0.001, 20_000);
+        let samples: Vec<u64> = (0..draws).map(|_| binomial(&mut r, n, p)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / draws as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+        assert!(samples.iter().all(|&x| x <= n));
+    }
+
+    #[test]
+    fn binomial_moments_normal_approx_regime() {
+        let mut r = rng();
+        let (n, p, draws) = (100_000u64, 0.3, 5_000);
+        let samples: Vec<u64> = (0..draws).map(|_| binomial(&mut r, n, p)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / draws as f64;
+        let expected = n as f64 * p;
+        assert!((mean - expected).abs() < expected * 0.005, "mean {mean}");
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / draws as f64;
+        assert!((var.sqrt() - sd).abs() < sd * 0.1);
+    }
+
+    #[test]
+    fn binomial_large_p_symmetry() {
+        let mut r = rng();
+        let (n, draws) = (1000u64, 10_000);
+        let mean: f64 =
+            (0..draws).map(|_| binomial(&mut r, n, 0.97) as f64).sum::<f64>() / draws as f64;
+        assert!((mean - 970.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_variate_moments() {
+        let mut r = rng();
+        let draws = 100_000;
+        let samples: Vec<f64> = (0..draws).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / draws as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn multinomial_conserves_total_and_proportions() {
+        let mut r = rng();
+        let weights = [0.5, 0.3, 0.2];
+        let mut totals = [0u64; 3];
+        let draws = 2_000;
+        let n = 1_000;
+        for _ in 0..draws {
+            let counts = multinomial(&mut r, n, &weights);
+            assert_eq!(counts.iter().sum::<u64>(), n);
+            for (t, c) in totals.iter_mut().zip(&counts) {
+                *t += c;
+            }
+        }
+        let total = (draws * n) as f64;
+        for (t, w) in totals.iter().zip(&weights) {
+            assert!((*t as f64 / total - w).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn multinomial_degenerate_weights() {
+        let mut r = rng();
+        let counts = multinomial(&mut r, 100, &[0.0, 0.0, 1.0]);
+        assert_eq!(counts, vec![0, 0, 100]);
+        let counts = multinomial(&mut r, 100, &[0.0, 0.0]);
+        assert_eq!(counts.iter().sum::<u64>(), 0);
+        let counts = multinomial(&mut r, 0, &[0.2, 0.8]);
+        assert_eq!(counts, vec![0, 0]);
+        // Negative weights are treated as zero.
+        let counts = multinomial(&mut r, 50, &[-1.0, 1.0]);
+        assert_eq!(counts, vec![0, 50]);
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct_and_uniform() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = sample_without_replacement(&mut r, 20, 5);
+            assert_eq!(s.len(), 5);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "indices must be distinct");
+            assert!(s.iter().all(|&i| i < 20));
+        }
+        // k >= n returns everything.
+        assert_eq!(sample_without_replacement(&mut r, 4, 10), vec![0, 1, 2, 3]);
+        // Coverage: each index selected roughly equally often.
+        let mut hits = [0usize; 10];
+        for _ in 0..10_000 {
+            for i in sample_without_replacement(&mut r, 10, 3) {
+                hits[i] += 1;
+            }
+        }
+        for &h in &hits {
+            assert!((h as f64 - 3_000.0).abs() < 300.0, "hits {h}");
+        }
+    }
+
+    #[test]
+    fn geometric_moments_and_edges() {
+        let mut r = rng();
+        assert_eq!(geometric(&mut r, 1.0), 0);
+        assert_eq!(geometric(&mut r, 0.0), u64::MAX);
+        let p = 0.25;
+        let draws = 50_000;
+        let mean: f64 =
+            (0..draws).map(|_| geometric(&mut r, p) as f64).sum::<f64>() / draws as f64;
+        // E[failures before success] = (1-p)/p = 3.
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+}

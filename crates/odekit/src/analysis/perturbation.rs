@@ -1,0 +1,265 @@
+//! Perturbation analysis around an equilibrium (the paper's Section 4.1.3
+//! "Are the Equilibria Self-Correcting?").
+
+use super::linalg::Matrix;
+use crate::error::OdeError;
+use crate::integrate::{Integrator, OdeSystem, Rk4, Trajectory};
+use crate::system::EquationSystem;
+use crate::Result;
+
+/// The linearization `δ̇ = J·δ` of a system around an equilibrium point.
+///
+/// This is the object the paper analyses in equations (3)–(5): start the
+/// system at `X₀ = X∞·(1 + u)` and study how the relative perturbation `u`
+/// evolves under the Jacobian at `X∞`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linearization {
+    equilibrium: Vec<f64>,
+    jacobian: Matrix,
+}
+
+impl Linearization {
+    /// Linearizes `sys` at `equilibrium`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::DimensionMismatch`] if the point has the wrong
+    /// dimension.
+    pub fn at(sys: &EquationSystem, equilibrium: &[f64]) -> Result<Self> {
+        if equilibrium.len() != sys.dim() {
+            return Err(OdeError::DimensionMismatch {
+                expected: sys.dim(),
+                actual: equilibrium.len(),
+            });
+        }
+        let jacobian = Matrix::from_rows(&sys.jacobian_at(equilibrium))?;
+        Ok(Linearization { equilibrium: equilibrium.to_vec(), jacobian })
+    }
+
+    /// The equilibrium point.
+    pub fn equilibrium(&self) -> &[f64] {
+        &self.equilibrium
+    }
+
+    /// The Jacobian at the equilibrium.
+    pub fn jacobian(&self) -> &Matrix {
+        &self.jacobian
+    }
+
+    /// Evolves an initial *absolute* perturbation `δ₀` under the linear
+    /// dynamics `δ̇ = J δ` for `t_end` time units, sampled with step `step`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integration errors.
+    pub fn evolve(&self, delta0: &[f64], t_end: f64, step: f64) -> Result<Trajectory> {
+        if delta0.len() != self.equilibrium.len() {
+            return Err(OdeError::DimensionMismatch {
+                expected: self.equilibrium.len(),
+                actual: delta0.len(),
+            });
+        }
+        let jac = self.jacobian.clone();
+        let sys = LinearSystem { jacobian: jac };
+        Rk4::new(step).integrate(&sys, 0.0, delta0, t_end)
+    }
+}
+
+/// `δ̇ = J δ` as an [`OdeSystem`].
+#[derive(Debug, Clone)]
+struct LinearSystem {
+    jacobian: Matrix,
+}
+
+impl OdeSystem for LinearSystem {
+    fn dim(&self) -> usize {
+        self.jacobian.rows()
+    }
+
+    fn rhs(&self, _t: f64, state: &[f64], out: &mut [f64]) {
+        for r in 0..self.jacobian.rows() {
+            let mut acc = 0.0;
+            for c in 0..self.jacobian.cols() {
+                acc += self.jacobian.get(r, c) * state[c];
+            }
+            out[r] = acc;
+        }
+    }
+}
+
+/// Builds the perturbed initial state `X₀ = X∞ ⊙ (1 + u)` used by the paper's
+/// perturbation argument (component-wise relative perturbation `u`).
+///
+/// # Errors
+///
+/// Returns [`OdeError::DimensionMismatch`] if the vectors have different
+/// lengths.
+pub fn perturbed_state(equilibrium: &[f64], relative: &[f64]) -> Result<Vec<f64>> {
+    if equilibrium.len() != relative.len() {
+        return Err(OdeError::DimensionMismatch {
+            expected: equilibrium.len(),
+            actual: relative.len(),
+        });
+    }
+    Ok(equilibrium.iter().zip(relative).map(|(x, u)| x * (1.0 + u)).collect())
+}
+
+/// Result of comparing the non-linear evolution of a perturbation with the
+/// prediction of the linearization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerturbationDecay {
+    /// Times at which the deviation was sampled.
+    pub times: Vec<f64>,
+    /// Euclidean norm of the deviation from the equilibrium at each time
+    /// under the full non-linear dynamics.
+    pub nonlinear_deviation: Vec<f64>,
+    /// Euclidean norm of the deviation predicted by the linearization.
+    pub linear_deviation: Vec<f64>,
+}
+
+impl PerturbationDecay {
+    /// `true` if the non-linear deviation at the final time is smaller than
+    /// `fraction` of the initial deviation (i.e. the perturbation died out).
+    pub fn decayed_below(&self, fraction: f64) -> bool {
+        match (self.nonlinear_deviation.first(), self.nonlinear_deviation.last()) {
+            (Some(first), Some(last)) if *first > 0.0 => last / first < fraction,
+            _ => false,
+        }
+    }
+}
+
+/// Starts `sys` from a relatively perturbed equilibrium and records how the
+/// deviation decays, both under the full non-linear dynamics and under the
+/// linearization (the paper's "perturbations die out" argument, Theorem 3).
+///
+/// # Errors
+///
+/// Propagates dimension and integration errors.
+pub fn perturbation_decay(
+    sys: &EquationSystem,
+    equilibrium: &[f64],
+    relative: &[f64],
+    t_end: f64,
+    step: f64,
+) -> Result<PerturbationDecay> {
+    let x0 = perturbed_state(equilibrium, relative)?;
+    let nonlinear = Rk4::new(step).integrate(sys, 0.0, &x0, t_end)?;
+    let lin = Linearization::at(sys, equilibrium)?;
+    let delta0: Vec<f64> = x0.iter().zip(equilibrium).map(|(a, b)| a - b).collect();
+    let linear = lin.evolve(&delta0, t_end, step)?;
+
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let times: Vec<f64> = nonlinear.times().to_vec();
+    let nonlinear_deviation: Vec<f64> = nonlinear
+        .states()
+        .iter()
+        .map(|s| {
+            norm(&s.iter().zip(equilibrium).map(|(a, b)| a - b).collect::<Vec<f64>>())
+        })
+        .collect();
+    let linear_deviation: Vec<f64> = times
+        .iter()
+        .map(|t| linear.state_at(*t).map_or(f64::NAN, |s| norm(&s)))
+        .collect();
+    Ok(PerturbationDecay { times, nonlinear_deviation, linear_deviation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::EquationSystemBuilder;
+
+    fn endemic(beta: f64, gamma: f64, alpha: f64) -> EquationSystem {
+        EquationSystemBuilder::new()
+            .vars(["x", "y", "z"])
+            .term("x", -beta, &[("x", 1), ("y", 1)])
+            .term("x", alpha, &[("z", 1)])
+            .term("y", beta, &[("x", 1), ("y", 1)])
+            .term("y", -gamma, &[("y", 1)])
+            .term("z", gamma, &[("y", 1)])
+            .term("z", -alpha, &[("z", 1)])
+            .build()
+            .unwrap()
+    }
+
+    fn endemic_equilibrium(beta: f64, gamma: f64, alpha: f64) -> Vec<f64> {
+        vec![
+            gamma / beta,
+            (1.0 - gamma / beta) / (1.0 + gamma / alpha),
+            (1.0 - gamma / beta) / (1.0 + alpha / gamma),
+        ]
+    }
+
+    #[test]
+    fn perturbed_state_composition() {
+        let x = perturbed_state(&[0.5, 0.25, 0.25], &[0.1, 0.0, -0.1]).unwrap();
+        assert!((x[0] - 0.55).abs() < 1e-12);
+        assert!((x[1] - 0.25).abs() < 1e-12);
+        assert!((x[2] - 0.225).abs() < 1e-12);
+        assert!(perturbed_state(&[1.0], &[0.1, 0.1]).is_err());
+    }
+
+    #[test]
+    fn endemic_perturbation_dies_out() {
+        // Theorem 3: the second equilibrium is always stable (α, γ > 0, N > γ/β).
+        let (beta, gamma, alpha) = (4.0, 1.0, 0.1);
+        let sys = endemic(beta, gamma, alpha);
+        let eq = endemic_equilibrium(beta, gamma, alpha);
+        // Pick a relative perturbation that conserves Σx = 1 (the protocol can
+        // only redistribute processes among states, not create them), so the
+        // trajectory returns to the *same* equilibrium.
+        let (u, v) = (0.05, 0.05);
+        let w = -(eq[0] * u + eq[1] * v) / eq[2];
+        let decay = perturbation_decay(&sys, &eq, &[u, v, w], 200.0, 0.05).unwrap();
+        assert!(decay.decayed_below(0.05), "perturbation should decay to <5%");
+        // The linear prediction also decays.
+        let first = decay.linear_deviation[0];
+        let last = *decay.linear_deviation.last().unwrap();
+        assert!(last < first * 0.05);
+    }
+
+    #[test]
+    fn linear_and_nonlinear_agree_for_small_perturbations() {
+        let (beta, gamma, alpha) = (4.0, 1.0, 0.1);
+        let sys = endemic(beta, gamma, alpha);
+        let eq = endemic_equilibrium(beta, gamma, alpha);
+        let decay = perturbation_decay(&sys, &eq, &[0.01, 0.01, -0.01], 20.0, 0.02).unwrap();
+        // At every sampled time the two deviations stay within a factor ~2.
+        for (nl, l) in decay.nonlinear_deviation.iter().zip(&decay.linear_deviation) {
+            if *nl > 1e-9 && l.is_finite() {
+                let ratio = nl / l;
+                assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearization_accessors_and_errors() {
+        let sys = endemic(4.0, 1.0, 0.1);
+        let eq = endemic_equilibrium(4.0, 1.0, 0.1);
+        let lin = Linearization::at(&sys, &eq).unwrap();
+        assert_eq!(lin.equilibrium().len(), 3);
+        assert_eq!(lin.jacobian().rows(), 3);
+        assert!(Linearization::at(&sys, &[0.0]).is_err());
+        assert!(lin.evolve(&[0.1], 1.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn unstable_equilibrium_perturbation_grows() {
+        // x' = x - xy ... simpler: saddle at origin for x' = x, y' = -y (complete? not needed).
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", 1.0, &[("x", 1)])
+            .term("y", -1.0, &[("y", 1)])
+            .build()
+            .unwrap();
+        let decay =
+            perturbation_decay(&sys, &[0.0, 0.0], &[0.0, 0.0], 1.0, 0.01).unwrap();
+        // Zero perturbation of a zero equilibrium: nothing to decay.
+        assert!(!decay.decayed_below(0.5));
+        // Absolute perturbation along the unstable direction grows.
+        let lin = Linearization::at(&sys, &[0.0, 0.0]).unwrap();
+        let traj = lin.evolve(&[1e-3, 0.0], 3.0, 0.01).unwrap();
+        assert!(traj.last_state()[0] > 1e-2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Phase portraits: trajectories from many initial points, projected to 2-d.
+//!
+//! The paper's Figures 2 and 4 are phase portraits of the endemic and LV
+//! systems; the same structure is reused by the experiment harness to plot
+//! the *protocol* runs, so [`PhasePortrait`] only depends on
+//! [`Trajectory`](crate::integrate::Trajectory), not on where the points came
+//! from.
+
+use crate::error::OdeError;
+use crate::integrate::{Integrator, OdeSystem, Trajectory};
+use crate::Result;
+
+/// A labelled trajectory inside a phase portrait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortraitTrajectory {
+    /// Human-readable label, typically the initial point.
+    pub label: String,
+    /// The initial state.
+    pub initial: Vec<f64>,
+    /// The recorded trajectory.
+    pub trajectory: Trajectory,
+}
+
+/// A collection of trajectories of the same system started from different
+/// initial points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhasePortrait {
+    trajectories: Vec<PortraitTrajectory>,
+}
+
+impl PhasePortrait {
+    /// Creates an empty phase portrait.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a labelled trajectory.
+    pub fn push(&mut self, label: impl Into<String>, initial: Vec<f64>, trajectory: Trajectory) {
+        self.trajectories.push(PortraitTrajectory { label: label.into(), initial, trajectory });
+    }
+
+    /// The contained trajectories.
+    pub fn trajectories(&self) -> &[PortraitTrajectory] {
+        &self.trajectories
+    }
+
+    /// Number of trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// `true` if no trajectories have been added.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Projects every trajectory onto components `(a, b)`, producing one
+    /// series of `(x_a, x_b)` points per trajectory (the format of the
+    /// paper's Figures 2 and 4).
+    pub fn projection(&self, a: usize, b: usize) -> Vec<(String, Vec<(f64, f64)>)> {
+        self.trajectories
+            .iter()
+            .map(|t| (t.label.clone(), t.trajectory.projection(a, b)))
+            .collect()
+    }
+
+    /// Final state of each trajectory, for convergence summaries.
+    pub fn final_states(&self) -> Vec<(String, Vec<f64>)> {
+        self.trajectories
+            .iter()
+            .map(|t| (t.label.clone(), t.trajectory.last_state().to_vec()))
+            .collect()
+    }
+
+    /// Renders the `(a, b)` projection as CSV: `label,step,xa,xb` rows.
+    pub fn to_csv(&self, a: usize, b: usize) -> String {
+        let mut out = String::from("label,step,u,v\n");
+        for (label, series) in self.projection(a, b) {
+            for (i, (u, v)) in series.iter().enumerate() {
+                out.push_str(&format!("{label},{i},{u},{v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Integrates `sys` from each of `initial_points` and assembles a phase
+/// portrait. Labels are generated from the initial points.
+///
+/// # Errors
+///
+/// Propagates integration errors; all points must have the system dimension.
+pub fn phase_portrait<S, I>(
+    sys: &S,
+    integrator: &I,
+    initial_points: &[Vec<f64>],
+    t_end: f64,
+) -> Result<PhasePortrait>
+where
+    S: OdeSystem,
+    I: Integrator,
+{
+    let mut portrait = PhasePortrait::new();
+    for point in initial_points {
+        if point.len() != sys.dim() {
+            return Err(OdeError::DimensionMismatch { expected: sys.dim(), actual: point.len() });
+        }
+        let traj = integrator.integrate(sys, 0.0, point, t_end)?;
+        let label = format!(
+            "({})",
+            point.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(",")
+        );
+        portrait.push(label, point.clone(), traj);
+    }
+    Ok(portrait)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::Rk4;
+    use crate::system::EquationSystemBuilder;
+
+    fn epidemic() -> EquationSystemBuilder {
+        EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+    }
+
+    #[test]
+    fn portrait_from_multiple_initial_points() {
+        let sys = epidemic().build().unwrap();
+        let points = vec![vec![0.99, 0.01], vec![0.5, 0.5], vec![0.1, 0.9]];
+        let portrait = phase_portrait(&sys, &Rk4::new(0.05), &points, 20.0).unwrap();
+        assert_eq!(portrait.len(), 3);
+        assert!(!portrait.is_empty());
+        // All trajectories converge to y ≈ 1.
+        for (_, last) in portrait.final_states() {
+            assert!(last[1] > 0.95);
+        }
+        let proj = portrait.projection(0, 1);
+        assert_eq!(proj.len(), 3);
+        assert!(proj[0].1.len() > 10);
+        let csv = portrait.to_csv(0, 1);
+        assert!(csv.starts_with("label,step,u,v"));
+        assert!(csv.lines().count() > 10);
+    }
+
+    #[test]
+    fn wrong_dimension_rejected() {
+        let sys = epidemic().build().unwrap();
+        let err = phase_portrait(&sys, &Rk4::new(0.05), &[vec![0.5]], 1.0);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn manual_push_and_accessors() {
+        let mut p = PhasePortrait::new();
+        let mut t = Trajectory::new();
+        t.push(0.0, vec![1.0, 0.0]);
+        t.push(1.0, vec![0.5, 0.5]);
+        p.push("start", vec![1.0, 0.0], t);
+        assert_eq!(p.trajectories()[0].label, "start");
+        assert_eq!(p.trajectories()[0].initial, vec![1.0, 0.0]);
+        assert_eq!(p.final_states()[0].1, vec![0.5, 0.5]);
+    }
+}

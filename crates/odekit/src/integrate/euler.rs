@@ -1,0 +1,127 @@
+//! Explicit (forward) Euler integration.
+
+use super::{check_initial, check_step, Integrator, OdeSystem, Trajectory};
+use crate::error::OdeError;
+use crate::Result;
+
+/// First-order explicit Euler integrator with a fixed step size.
+///
+/// Mainly useful as a baseline (its global error is `O(h)`, which the test
+/// suite exploits to verify convergence orders) and for quick-and-dirty
+/// integration of well-behaved systems.
+///
+/// # Examples
+///
+/// ```
+/// use odekit::integrate::{Euler, FnSystem, Integrator};
+///
+/// let sys = FnSystem::new(1, |_t, y: &[f64], out: &mut [f64]| out[0] = -y[0]);
+/// let traj = Euler::new(1e-4).integrate(&sys, 0.0, &[1.0], 1.0)?;
+/// assert!((traj.last_state()[0] - (-1.0_f64).exp()).abs() < 1e-3);
+/// # Ok::<(), odekit::OdeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Euler {
+    step: f64,
+}
+
+impl Euler {
+    /// Creates an Euler integrator with the given step size.
+    pub fn new(step: f64) -> Self {
+        Euler { step }
+    }
+
+    /// The configured step size.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+}
+
+impl Integrator for Euler {
+    fn integrate<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+    ) -> Result<Trajectory> {
+        check_step("step", self.step)?;
+        check_initial(sys, y0, t0, t_end)?;
+
+        let dim = sys.dim();
+        let mut traj = Trajectory::with_capacity(((t_end - t0) / self.step) as usize + 2);
+        let mut y = y0.to_vec();
+        let mut t = t0;
+        let mut dydt = vec![0.0; dim];
+        traj.push(t, y.clone());
+
+        while t < t_end {
+            let h = self.step.min(t_end - t);
+            sys.rhs(t, &y, &mut dydt);
+            for (yi, di) in y.iter_mut().zip(&dydt) {
+                *yi += h * di;
+            }
+            t += h;
+            if !y.iter().all(|v| v.is_finite()) {
+                return Err(OdeError::NonFiniteState { time: t });
+            }
+            traj.push(t, y.clone());
+        }
+        Ok(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::FnSystem;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y: &[f64], out: &mut [f64]| out[0] = -y[0])
+    }
+
+    #[test]
+    fn exponential_decay_is_first_order_accurate() {
+        let exact = (-1.0_f64).exp();
+        let coarse = Euler::new(1e-2).integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
+        let fine = Euler::new(1e-3).integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
+        let e_coarse = (coarse.last_state()[0] - exact).abs();
+        let e_fine = (fine.last_state()[0] - exact).abs();
+        // Halving... reducing h by 10x should reduce error by ~10x (order 1).
+        let ratio = e_coarse / e_fine;
+        assert!(ratio > 5.0 && ratio < 20.0, "error ratio {ratio} not consistent with order 1");
+    }
+
+    #[test]
+    fn trajectory_endpoints_match_request() {
+        let traj = Euler::new(0.3).integrate(&decay(), 1.0, &[2.0], 2.0).unwrap();
+        assert_eq!(traj.times()[0], 1.0);
+        assert!((traj.last_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_interval_returns_initial_point() {
+        let traj = Euler::new(0.1).integrate(&decay(), 0.0, &[5.0], 0.0).unwrap();
+        assert_eq!(traj.len(), 1);
+        assert_eq!(traj.last_state(), &[5.0]);
+    }
+
+    #[test]
+    fn invalid_step_rejected() {
+        assert!(Euler::new(-0.1).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
+        assert!(Euler::new(f64::NAN).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        // ẏ = y² blows up in finite time from y(0)=1 at t=1.
+        let sys = FnSystem::new(1, |_t, y: &[f64], out: &mut [f64]| out[0] = y[0] * y[0]);
+        let res = Euler::new(0.01).integrate(&sys, 0.0, &[1e6], 10.0);
+        assert!(matches!(res, Err(OdeError::NonFiniteState { .. })));
+    }
+
+    #[test]
+    fn accessor() {
+        assert_eq!(Euler::new(0.5).step(), 0.5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Numerical integration of ODE systems.
+//!
+//! Three explicit integrators are provided:
+//!
+//! * [`Euler`] — first-order explicit Euler; cheap, useful as a baseline and
+//!   in property tests of convergence order,
+//! * [`Rk4`] — the classic fixed-step fourth-order Runge–Kutta method, the
+//!   workhorse used to produce the paper's "analysis" curves,
+//! * [`Rkf45`] — adaptive Runge–Kutta–Fehlberg 4(5) with per-step error
+//!   control, for stiff parameter regimes (e.g. the endemic system with
+//!   `α = 10⁻⁶`).
+//!
+//! All integrators consume anything implementing [`OdeSystem`] — in
+//! particular [`EquationSystem`](crate::EquationSystem) and ad-hoc closures
+//! wrapped in [`FnSystem`] — and produce a [`Trajectory`].
+
+mod euler;
+mod rk4;
+mod rkf45;
+mod trajectory;
+
+pub use euler::Euler;
+pub use rk4::Rk4;
+pub use rkf45::Rkf45;
+pub use trajectory::Trajectory;
+
+use crate::error::OdeError;
+use crate::system::EquationSystem;
+use crate::Result;
+
+/// A first-order ODE system `ẏ = f(t, y)` that integrators can drive.
+///
+/// Implemented by [`EquationSystem`] (autonomous polynomial systems) and by
+/// [`FnSystem`] (arbitrary closures).
+pub trait OdeSystem {
+    /// Number of state components.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, state)` into `out`.
+    ///
+    /// Implementations may assume `state.len() == out.len() == self.dim()`.
+    fn rhs(&self, t: f64, state: &[f64], out: &mut [f64]);
+}
+
+impl OdeSystem for EquationSystem {
+    fn dim(&self) -> usize {
+        EquationSystem::dim(self)
+    }
+
+    fn rhs(&self, _t: f64, state: &[f64], out: &mut [f64]) {
+        self.eval_rhs_into(state, out);
+    }
+}
+
+impl<S: OdeSystem + ?Sized> OdeSystem for &S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn rhs(&self, t: f64, state: &[f64], out: &mut [f64]) {
+        (**self).rhs(t, state, out);
+    }
+}
+
+/// Adapter turning a closure `f(t, y, out)` into an [`OdeSystem`].
+///
+/// # Examples
+///
+/// ```
+/// use odekit::integrate::{FnSystem, Integrator, Rk4};
+///
+/// // ẏ = -y, y(0) = 1  →  y(t) = e^{-t}
+/// let sys = FnSystem::new(1, |_t, y: &[f64], out: &mut [f64]| out[0] = -y[0]);
+/// let traj = Rk4::new(1e-3).integrate(&sys, 0.0, &[1.0], 1.0)?;
+/// assert!((traj.last_state()[0] - (-1.0_f64).exp()).abs() < 1e-8);
+/// # Ok::<(), odekit::OdeError>(())
+/// ```
+pub struct FnSystem<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F> std::fmt::Debug for FnSystem<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSystem").field("dim", &self.dim).finish()
+    }
+}
+
+impl<F> FnSystem<F>
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+{
+    /// Wraps the closure `f(t, state, out)` as a `dim`-dimensional system.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnSystem { dim, f }
+    }
+}
+
+impl<F> OdeSystem for FnSystem<F>
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rhs(&self, t: f64, state: &[f64], out: &mut [f64]) {
+        (self.f)(t, state, out);
+    }
+}
+
+/// A numerical integration scheme.
+pub trait Integrator {
+    /// Integrates `sys` from `(t0, y0)` until `t_end`, returning the full
+    /// trajectory including the initial point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::DimensionMismatch`] if `y0.len() != sys.dim()`,
+    /// [`OdeError::NonFiniteState`] if the state diverges, and (for adaptive
+    /// methods) [`OdeError::StepSizeUnderflow`] if the tolerance cannot be met.
+    fn integrate<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+    ) -> Result<Trajectory>;
+}
+
+/// Validates initial conditions shared by all integrators.
+pub(crate) fn check_initial<S: OdeSystem>(sys: &S, y0: &[f64], t0: f64, t_end: f64) -> Result<()> {
+    if y0.len() != sys.dim() {
+        return Err(OdeError::DimensionMismatch { expected: sys.dim(), actual: y0.len() });
+    }
+    if !y0.iter().all(|v| v.is_finite()) {
+        return Err(OdeError::NonFiniteState { time: t0 });
+    }
+    if !t0.is_finite() || !t_end.is_finite() || t_end < t0 {
+        return Err(OdeError::InvalidParameter {
+            name: "t_end",
+            reason: format!("integration interval [{t0}, {t_end}] is invalid"),
+        });
+    }
+    Ok(())
+}
+
+/// Validates a step size parameter.
+pub(crate) fn check_step(name: &'static str, h: f64) -> Result<()> {
+    if !h.is_finite() || h <= 0.0 {
+        return Err(OdeError::InvalidParameter {
+            name,
+            reason: format!("step size must be finite and positive, got {h}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::EquationSystemBuilder;
+
+    #[test]
+    fn equation_system_implements_ode_system() {
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        let mut out = vec![0.0; 2];
+        OdeSystem::rhs(&sys, 0.0, &[0.5, 0.5], &mut out);
+        assert!((out[0] + 0.25).abs() < 1e-12);
+        assert_eq!(OdeSystem::dim(&sys), 2);
+        // Blanket impl for references:
+        assert_eq!(OdeSystem::dim(&&sys), 2);
+    }
+
+    #[test]
+    fn fn_system_debug_and_dim() {
+        let f = FnSystem::new(3, |_t, _y: &[f64], out: &mut [f64]| out.fill(0.0));
+        assert_eq!(f.dim(), 3);
+        assert!(format!("{f:?}").contains("FnSystem"));
+    }
+
+    #[test]
+    fn initial_condition_validation() {
+        let sys = FnSystem::new(2, |_t, _y: &[f64], out: &mut [f64]| out.fill(0.0));
+        assert!(check_initial(&sys, &[1.0], 0.0, 1.0).is_err());
+        assert!(check_initial(&sys, &[1.0, f64::NAN], 0.0, 1.0).is_err());
+        assert!(check_initial(&sys, &[1.0, 1.0], 0.0, -1.0).is_err());
+        assert!(check_initial(&sys, &[1.0, 1.0], 0.0, 1.0).is_ok());
+        assert!(check_step("h", 0.0).is_err());
+        assert!(check_step("h", 0.1).is_ok());
+    }
+}

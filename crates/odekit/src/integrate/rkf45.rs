@@ -1,0 +1,258 @@
+//! Adaptive Runge–Kutta–Fehlberg 4(5) integration.
+
+use super::{check_initial, check_step, Integrator, OdeSystem, Trajectory};
+use crate::error::OdeError;
+use crate::Result;
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5) integrator.
+///
+/// The step size is adjusted so the estimated local error stays below
+/// `abs_tol + rel_tol · |y|` per component. Useful when the paper's parameter
+/// regimes span several orders of magnitude (e.g. the endemic system with
+/// `α = 10⁻⁶`, `γ = 10⁻³`), where a fixed step is either wasteful or unstable.
+///
+/// # Examples
+///
+/// ```
+/// use odekit::integrate::{FnSystem, Integrator, Rkf45};
+///
+/// let sys = FnSystem::new(1, |_t, y: &[f64], out: &mut [f64]| out[0] = -y[0]);
+/// let traj = Rkf45::default().integrate(&sys, 0.0, &[1.0], 5.0)?;
+/// assert!((traj.last_state()[0] - (-5.0_f64).exp()).abs() < 1e-6);
+/// # Ok::<(), odekit::OdeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rkf45 {
+    abs_tol: f64,
+    rel_tol: f64,
+    initial_step: f64,
+    min_step: f64,
+    max_step: f64,
+}
+
+impl Default for Rkf45 {
+    fn default() -> Self {
+        Rkf45 { abs_tol: 1e-9, rel_tol: 1e-9, initial_step: 1e-3, min_step: 1e-12, max_step: 1.0 }
+    }
+}
+
+impl Rkf45 {
+    /// Creates an adaptive integrator with the given absolute and relative
+    /// error tolerances (per step, per component).
+    pub fn new(abs_tol: f64, rel_tol: f64) -> Self {
+        Rkf45 { abs_tol, rel_tol, ..Self::default() }
+    }
+
+    /// Sets the initial trial step size.
+    #[must_use]
+    pub fn with_initial_step(mut self, h: f64) -> Self {
+        self.initial_step = h;
+        self
+    }
+
+    /// Sets the maximum step size.
+    #[must_use]
+    pub fn with_max_step(mut self, h: f64) -> Self {
+        self.max_step = h;
+        self
+    }
+
+    /// Sets the minimum step size (below which integration fails).
+    #[must_use]
+    pub fn with_min_step(mut self, h: f64) -> Self {
+        self.min_step = h;
+        self
+    }
+
+    /// The configured absolute tolerance.
+    pub fn abs_tol(&self) -> f64 {
+        self.abs_tol
+    }
+
+    /// The configured relative tolerance.
+    pub fn rel_tol(&self) -> f64 {
+        self.rel_tol
+    }
+}
+
+// Fehlberg coefficients.
+const A: [[f64; 5]; 5] = [
+    [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+    [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+    [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+    [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+];
+const C: [f64; 6] = [0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0];
+const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+const B5: [f64; 6] =
+    [16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0];
+
+impl Integrator for Rkf45 {
+    fn integrate<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+    ) -> Result<Trajectory> {
+        check_step("initial_step", self.initial_step)?;
+        check_step("max_step", self.max_step)?;
+        check_initial(sys, y0, t0, t_end)?;
+        if !(self.abs_tol > 0.0) || !(self.rel_tol >= 0.0) {
+            return Err(OdeError::InvalidParameter {
+                name: "tolerance",
+                reason: format!("abs_tol {} / rel_tol {} invalid", self.abs_tol, self.rel_tol),
+            });
+        }
+
+        let dim = sys.dim();
+        let mut traj = Trajectory::new();
+        let mut y = y0.to_vec();
+        let mut t = t0;
+        let mut h = self.initial_step.min(self.max_step).min((t_end - t0).max(self.min_step));
+        traj.push(t, y.clone());
+
+        let mut k = vec![vec![0.0; dim]; 6];
+        let mut tmp = vec![0.0; dim];
+
+        while t < t_end {
+            h = h.min(t_end - t);
+            // Compute the six stages.
+            sys.rhs(t, &y, &mut k[0]);
+            for stage in 1..6 {
+                for i in 0..dim {
+                    let mut acc = 0.0;
+                    for (j, kj) in k.iter().enumerate().take(stage) {
+                        acc += A[stage - 1][j] * kj[i];
+                    }
+                    tmp[i] = y[i] + h * acc;
+                }
+                let (head, tail) = k.split_at_mut(stage);
+                let _ = head;
+                sys.rhs(t + C[stage] * h, &tmp, &mut tail[0]);
+            }
+
+            // 4th- and 5th-order solutions and the error estimate.
+            let mut err_norm = 0.0_f64;
+            let mut y5 = vec![0.0; dim];
+            for i in 0..dim {
+                let mut acc4 = 0.0;
+                let mut acc5 = 0.0;
+                for j in 0..6 {
+                    acc4 += B4[j] * k[j][i];
+                    acc5 += B5[j] * k[j][i];
+                }
+                let y4i = y[i] + h * acc4;
+                let y5i = y[i] + h * acc5;
+                y5[i] = y5i;
+                let scale = self.abs_tol + self.rel_tol * y[i].abs().max(y5i.abs());
+                err_norm = err_norm.max(((y5i - y4i) / scale).abs());
+            }
+
+            if err_norm <= 1.0 || h <= self.min_step {
+                // Accept the (higher-order) solution.
+                t += h;
+                y = y5;
+                if !y.iter().all(|v| v.is_finite()) {
+                    return Err(OdeError::NonFiniteState { time: t });
+                }
+                traj.push(t, y.clone());
+            }
+
+            // Step-size update (standard safety-factor controller).
+            let factor = if err_norm > 0.0 {
+                (0.9 * err_norm.powf(-0.2)).clamp(0.2, 5.0)
+            } else {
+                5.0
+            };
+            h = (h * factor).clamp(self.min_step, self.max_step);
+            if h <= self.min_step && err_norm > 1.0 {
+                return Err(OdeError::StepSizeUnderflow { time: t });
+            }
+        }
+        Ok(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::{FnSystem, Rk4};
+    use crate::system::EquationSystemBuilder;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y: &[f64], out: &mut [f64]| out[0] = -y[0])
+    }
+
+    #[test]
+    fn meets_tolerance_on_decay() {
+        let traj = Rkf45::new(1e-10, 1e-10).integrate(&decay(), 0.0, &[1.0], 3.0).unwrap();
+        assert!((traj.last_state()[0] - (-3.0_f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn adaptive_uses_fewer_points_than_fixed_step_for_same_accuracy() {
+        let adaptive = Rkf45::new(1e-8, 1e-8)
+            .with_max_step(10.0)
+            .integrate(&decay(), 0.0, &[1.0], 10.0)
+            .unwrap();
+        let fixed = Rk4::new(1e-3).integrate(&decay(), 0.0, &[1.0], 10.0).unwrap();
+        assert!(adaptive.len() < fixed.len() / 10);
+    }
+
+    #[test]
+    fn harmonic_oscillator_energy_preserved() {
+        let sys = FnSystem::new(2, |_t, y: &[f64], out: &mut [f64]| {
+            out[0] = y[1];
+            out[1] = -y[0];
+        });
+        let traj =
+            Rkf45::new(1e-10, 1e-10).integrate(&sys, 0.0, &[1.0, 0.0], 20.0).unwrap();
+        let s = traj.last_state();
+        let energy = s[0] * s[0] + s[1] * s[1];
+        assert!((energy - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stiffish_endemic_parameters() {
+        // Endemic system with the Figure 5 parameters (α=1e-6, γ=1e-3, β≈2b/N·N=4... here fractions):
+        let (beta, gamma, alpha) = (4.0, 1e-3, 1e-6);
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y", "z"])
+            .term("x", -beta, &[("x", 1), ("y", 1)])
+            .term("x", alpha, &[("z", 1)])
+            .term("y", beta, &[("x", 1), ("y", 1)])
+            .term("y", -gamma, &[("y", 1)])
+            .term("z", gamma, &[("y", 1)])
+            .term("z", -alpha, &[("z", 1)])
+            .build()
+            .unwrap();
+        let traj = Rkf45::new(1e-9, 1e-9)
+            .with_max_step(50.0)
+            .integrate(&sys, 0.0, &[0.999, 0.001, 0.0], 2000.0)
+            .unwrap();
+        // Mass conservation.
+        let s = traj.last_state();
+        assert!((s[0] + s[1] + s[2] - 1.0).abs() < 1e-6);
+        assert!(s.iter().all(|v| *v >= -1e-6));
+    }
+
+    #[test]
+    fn invalid_tolerances_rejected() {
+        let res = Rkf45::new(0.0, -1.0).integrate(&decay(), 0.0, &[1.0], 1.0);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn builder_style_configuration() {
+        let i = Rkf45::new(1e-6, 1e-6)
+            .with_initial_step(0.5)
+            .with_max_step(2.0)
+            .with_min_step(1e-10);
+        assert_eq!(i.abs_tol(), 1e-6);
+        assert_eq!(i.rel_tol(), 1e-6);
+        let traj = i.integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
+        assert!((traj.last_state()[0] - (-1.0_f64).exp()).abs() < 1e-5);
+    }
+}

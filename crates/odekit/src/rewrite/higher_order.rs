@@ -1,0 +1,205 @@
+//! Reduction of a higher-order ODE to an equivalent first-order system.
+
+use crate::error::OdeError;
+use crate::poly::Polynomial;
+use crate::system::EquationSystem;
+use crate::term::Term;
+use crate::Result;
+
+/// A single ODE of arbitrary order `k ≥ 1` and degree 1 in one dependent
+/// variable:
+///
+/// ```text
+/// x⁽ᵏ⁾ = g(x, x′, x″, …, x⁽ᵏ⁻¹⁾)
+/// ```
+///
+/// where `g` is a polynomial over the `k` "derivative slots"
+/// `[x, x′, …, x⁽ᵏ⁻¹⁾]` (slot `i` is the `i`-th derivative). The paper's
+/// Section 7 example `ẍ + ẋ = x` is `order = 2` with `g = x − x′`.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HigherOrderEquation {
+    order: usize,
+    rhs: Polynomial,
+}
+
+impl HigherOrderEquation {
+    /// Creates a higher-order equation of the given order.
+    ///
+    /// `rhs` must be a polynomial over exactly `order` variables; variable `i`
+    /// of the polynomial stands for the `i`-th derivative of the dependent
+    /// variable (variable 0 is the function itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidParameter`] if `order` is zero, and
+    /// [`OdeError::DimensionMismatch`] if a term of `rhs` is not over `order`
+    /// variables.
+    pub fn new(order: usize, rhs: Polynomial) -> Result<Self> {
+        if order == 0 {
+            return Err(OdeError::InvalidParameter {
+                name: "order",
+                reason: "order must be at least 1".to_string(),
+            });
+        }
+        for t in rhs.terms() {
+            if t.dim() != order {
+                return Err(OdeError::DimensionMismatch { expected: order, actual: t.dim() });
+            }
+        }
+        Ok(HigherOrderEquation { order, rhs })
+    }
+
+    /// The order `k` of the equation.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The right-hand side polynomial over `[x, x′, …, x⁽ᵏ⁻¹⁾]`.
+    pub fn rhs(&self) -> &Polynomial {
+        &self.rhs
+    }
+}
+
+/// Rewrites a higher-order equation as an equivalent first-order system by
+/// introducing one new variable per derivative:
+///
+/// ```text
+/// x′      = x_d1
+/// x_d1′   = x_d2
+///   …
+/// x_d(k-1)′ = g(x, x_d1, …, x_d(k-1))
+/// ```
+///
+/// Variable names are `base`, `base_d1`, `base_d2`, …; the resulting system
+/// has exactly `k` variables. (Completion — adding a slack variable so the
+/// right-hand sides sum to zero — is a separate step; see
+/// [`complete`](crate::rewrite::complete).)
+///
+/// # Errors
+///
+/// Propagates construction errors from [`EquationSystem::new`].
+///
+/// # Examples
+///
+/// The paper's example `ẍ + ẋ = x`, i.e. `ẍ = x − ẋ`:
+///
+/// ```
+/// use odekit::{Polynomial, Term};
+/// use odekit::rewrite::{reduce_order, HigherOrderEquation};
+///
+/// let g = Polynomial::from_terms(vec![
+///     Term::new(1.0, vec![1, 0]),   // +x
+///     Term::new(-1.0, vec![0, 1]),  // -x'
+/// ]);
+/// let eq = HigherOrderEquation::new(2, g)?;
+/// let sys = reduce_order(&eq, "x")?;
+/// assert_eq!(sys.var_names(), &["x".to_string(), "x_d1".to_string()]);
+/// // x' = x_d1 ; x_d1' = x - x_d1
+/// let rhs = sys.eval_rhs(&[2.0, 5.0]);
+/// assert_eq!(rhs, vec![5.0, -3.0]);
+/// # Ok::<(), odekit::OdeError>(())
+/// ```
+pub fn reduce_order(eq: &HigherOrderEquation, base: &str) -> Result<EquationSystem> {
+    let k = eq.order();
+    let mut names = Vec::with_capacity(k);
+    names.push(base.to_string());
+    for i in 1..k {
+        names.push(format!("{base}_d{i}"));
+    }
+
+    let mut equations = Vec::with_capacity(k);
+    // x_di' = x_d(i+1) for i = 0..k-2
+    for i in 0..k.saturating_sub(1) {
+        equations.push(Polynomial::from_terms(vec![Term::linear(1.0, i + 1, k)]));
+    }
+    // Highest derivative: x_d(k-1)' = g(...). The polynomial is already over
+    // the k derivative slots, which are exactly our k variables in order.
+    equations.push(eq.rhs().clone());
+
+    EquationSystem::new(names, equations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::{Integrator, Rk4};
+    use crate::rewrite::complete;
+    use crate::taxonomy;
+
+    fn paper_example() -> HigherOrderEquation {
+        // ẍ = x − ẋ
+        let g = Polynomial::from_terms(vec![
+            Term::new(1.0, vec![1, 0]),
+            Term::new(-1.0, vec![0, 1]),
+        ]);
+        HigherOrderEquation::new(2, g).unwrap()
+    }
+
+    #[test]
+    fn order_zero_rejected() {
+        assert!(HigherOrderEquation::new(0, Polynomial::zero()).is_err());
+    }
+
+    #[test]
+    fn wrong_rhs_dimension_rejected() {
+        let g = Polynomial::from_terms(vec![Term::new(1.0, vec![1, 0, 0])]);
+        assert!(HigherOrderEquation::new(2, g).is_err());
+    }
+
+    #[test]
+    fn first_order_is_passthrough() {
+        // x' = -x  (order 1, rhs over [x])
+        let g = Polynomial::from_terms(vec![Term::new(-1.0, vec![1])]);
+        let eq = HigherOrderEquation::new(1, g).unwrap();
+        let sys = reduce_order(&eq, "x").unwrap();
+        assert_eq!(sys.dim(), 1);
+        assert_eq!(sys.eval_rhs(&[3.0]), vec![-3.0]);
+    }
+
+    #[test]
+    fn paper_example_reduces_and_completes() {
+        let sys = reduce_order(&paper_example(), "x").unwrap();
+        assert_eq!(sys.dim(), 2);
+        // The paper then completes it with a z variable: x' = u; u' = x - u; z' = -x.
+        let completed = complete(&sys, "z").unwrap();
+        assert!(taxonomy::is_complete(&completed));
+        let z = completed.var("z").unwrap();
+        // z' = -(x_d1) - (x - x_d1) = -x
+        let rhs = completed.eval_rhs(&[0.7, 0.2, 0.1]);
+        let _ = z;
+        assert!((rhs[2] + 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn third_order_chain() {
+        // x''' = -x   (rhs over [x, x', x''])
+        let g = Polynomial::from_terms(vec![Term::new(-1.0, vec![1, 0, 0])]);
+        let eq = HigherOrderEquation::new(3, g).unwrap();
+        let sys = reduce_order(&eq, "q").unwrap();
+        assert_eq!(
+            sys.var_names(),
+            &["q".to_string(), "q_d1".to_string(), "q_d2".to_string()]
+        );
+        let rhs = sys.eval_rhs(&[1.0, 2.0, 3.0]);
+        assert_eq!(rhs, vec![2.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn reduced_system_reproduces_analytic_solution() {
+        // ẍ = -x with x(0)=1, ẋ(0)=0 has solution cos(t).
+        let g = Polynomial::from_terms(vec![Term::new(-1.0, vec![1, 0])]);
+        let eq = HigherOrderEquation::new(2, g).unwrap();
+        let sys = reduce_order(&eq, "x").unwrap();
+        let traj = Rk4::new(1e-3).integrate(&sys, 0.0, &[1.0, 0.0], 3.0).unwrap();
+        let x_end = traj.last_state()[0];
+        assert!((x_end - 3.0_f64.cos()).abs() < 1e-6, "got {x_end}");
+    }
+
+    #[test]
+    fn accessors() {
+        let eq = paper_example();
+        assert_eq!(eq.order(), 2);
+        assert_eq!(eq.rhs().len(), 2);
+    }
+}

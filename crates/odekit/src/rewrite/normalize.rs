@@ -1,0 +1,149 @@
+//! The *Normalizing* rewrite: switch between absolute counts and fractions.
+
+use crate::error::OdeError;
+use crate::poly::Polynomial;
+use crate::system::EquationSystem;
+use crate::Result;
+
+/// Rewrites a system expressed in absolute process counts (variables summing
+/// to the constant group size `n`) into the equivalent system over fractions
+/// (variables summing to 1).
+///
+/// If `X` are counts with `Ẋ = f(X)` and `x̂ = X/n`, then
+/// `x̂' = f(n·x̂)/n`, so a term of total degree `d` keeps its monomial and has
+/// its coefficient multiplied by `n^(d−1)`.
+///
+/// This is the paper's Section 7 *Normalizing* example: the epidemic system in
+/// counts, `Ẋ = −XY/N, Ẏ = XY/N`, becomes `ẋ = −xy, ẏ = xy` over fractions.
+///
+/// # Errors
+///
+/// Returns [`OdeError::InvalidParameter`] if `n` is not finite and positive.
+pub fn to_fractions(sys: &EquationSystem, n: f64) -> Result<EquationSystem> {
+    rescale(sys, n, true)
+}
+
+/// The inverse of [`to_fractions`]: rewrites a system over fractions into the
+/// equivalent system over absolute counts summing to `n`.
+///
+/// A term of total degree `d` has its coefficient multiplied by `n^(1−d)`.
+///
+/// # Errors
+///
+/// Returns [`OdeError::InvalidParameter`] if `n` is not finite and positive.
+pub fn to_counts(sys: &EquationSystem, n: f64) -> Result<EquationSystem> {
+    rescale(sys, n, false)
+}
+
+fn rescale(sys: &EquationSystem, n: f64, to_fractions: bool) -> Result<EquationSystem> {
+    if !n.is_finite() || n <= 0.0 {
+        return Err(OdeError::InvalidParameter {
+            name: "n",
+            reason: format!("group size must be finite and positive, got {n}"),
+        });
+    }
+    let equations = sys
+        .equations()
+        .iter()
+        .map(|poly| {
+            Polynomial::from_terms(
+                poly.terms()
+                    .iter()
+                    .map(|t| {
+                        let d = i32::try_from(t.total_degree()).unwrap_or(i32::MAX);
+                        let exp = if to_fractions { d - 1 } else { 1 - d };
+                        t.scaled(n.powi(exp))
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    EquationSystem::new(sys.var_names().to_vec(), equations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::EquationSystemBuilder;
+
+    /// The epidemic system in counts: Ẋ = −XY/N, Ẏ = XY/N.
+    fn epidemic_counts(n: f64) -> EquationSystem {
+        EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0 / n, &[("x", 1), ("y", 1)])
+            .term("y", 1.0 / n, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_normalizing_example() {
+        let n = 1000.0;
+        let counts = epidemic_counts(n);
+        let fractions = to_fractions(&counts, n).unwrap();
+        // ẋ = -xy exactly.
+        let t = &fractions.equation(fractions.var("x").unwrap()).terms()[0];
+        assert!((t.coeff() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let n = 250.0;
+        let counts = epidemic_counts(n);
+        let back = to_counts(&to_fractions(&counts, n).unwrap(), n).unwrap();
+        for (a, b) in counts.equations().iter().zip(back.equations()) {
+            for (ta, tb) in a.terms().iter().zip(b.terms()) {
+                assert!((ta.coeff() - tb.coeff()).abs() < 1e-15);
+                assert_eq!(ta.exponents(), tb.exponents());
+            }
+        }
+    }
+
+    #[test]
+    fn linear_terms_are_unchanged() {
+        // degree-1 terms have n^0 = 1 scaling in both directions.
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -0.3, &[("x", 1)])
+            .term("y", 0.3, &[("x", 1)])
+            .build()
+            .unwrap();
+        let f = to_fractions(&sys, 1e6).unwrap();
+        assert_eq!(f, sys);
+    }
+
+    #[test]
+    fn constant_terms_scale_inversely() {
+        // A constant inflow of c processes/period becomes c/n in fractions.
+        let sys = EquationSystemBuilder::new()
+            .vars(["x"])
+            .constant("x", 10.0)
+            .build()
+            .unwrap();
+        let f = to_fractions(&sys, 100.0).unwrap();
+        assert!((f.equation(f.var("x").unwrap()).terms()[0].coeff() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectories_correspond_under_scaling() {
+        // d/dt of counts at X = n * x̂ equals n * d/dt of fractions at x̂.
+        let n = 500.0;
+        let counts = epidemic_counts(n);
+        let fracs = to_fractions(&counts, n).unwrap();
+        let frac_state = [0.8, 0.2];
+        let count_state = [0.8 * n, 0.2 * n];
+        let dc = counts.eval_rhs(&count_state);
+        let df = fracs.eval_rhs(&frac_state);
+        for (c, f) in dc.iter().zip(&df) {
+            assert!((c - f * n).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_group_size_rejected() {
+        let sys = epidemic_counts(10.0);
+        assert!(to_fractions(&sys, 0.0).is_err());
+        assert!(to_fractions(&sys, f64::NAN).is_err());
+        assert!(to_counts(&sys, -5.0).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Probabilistic majority selection on top of the LV protocol.
+//!
+//! Each process initially proposes 0 or 1; proposers of 0 start in state `x`,
+//! proposers of 1 in state `y`. The protocol runs forever and each process
+//! maintains a running decision variable — its current state, or *undecided*
+//! while in `z`. With high probability all processes eventually agree on the
+//! initial majority value (Theorem 4 plus the finite-group argument of
+//! Section 4.2.2).
+
+use super::{LvParams, STATE_X, STATE_Y, STATE_Z};
+use dpde_core::runtime::{AgentRuntime, InitialStates, RunResult};
+use dpde_core::CoreError;
+use netsim::Scenario;
+
+/// The running decision value of a process or of the whole group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Deciding on proposal 0 (state `x`).
+    Zero,
+    /// Deciding on proposal 1 (state `y`).
+    One,
+    /// Undecided (state `z`, or no quorum yet).
+    Undecided,
+}
+
+/// Outcome of one majority-selection run.
+#[derive(Debug, Clone)]
+pub struct MajorityOutcome {
+    /// The full simulation output.
+    pub run: RunResult,
+    /// The group-wide decision at the end of the run (the value backed by at
+    /// least [`MajoritySelection::quorum`] of the non-crashed processes).
+    pub decision: Decision,
+    /// The initial majority value (ties report `Undecided`).
+    pub initial_majority: Decision,
+    /// `true` if the final decision matches the initial majority.
+    pub correct: bool,
+    /// First period at which the eventual decision value was backed by the
+    /// quorum fraction (`None` if that never happened).
+    pub convergence_period: Option<u64>,
+}
+
+/// Driver for probabilistic majority selection over the LV protocol.
+#[derive(Debug, Clone)]
+pub struct MajoritySelection {
+    params: LvParams,
+    quorum: f64,
+}
+
+impl MajoritySelection {
+    /// Creates a driver with the paper's LV parameters and a 99 % quorum
+    /// threshold for declaring convergence.
+    pub fn new(params: LvParams) -> Self {
+        MajoritySelection { params, quorum: 0.99 }
+    }
+
+    /// Sets the fraction of (alive) processes that must back a value before
+    /// the group is considered converged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the quorum lies in `(0.5, 1]`.
+    pub fn with_quorum(mut self, quorum: f64) -> Result<Self, CoreError> {
+        if !(quorum > 0.5 && quorum <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "quorum",
+                reason: format!("quorum must lie in (0.5, 1], got {quorum}"),
+            });
+        }
+        self.quorum = quorum;
+        Ok(self)
+    }
+
+    /// The convergence quorum fraction.
+    pub fn quorum(&self) -> f64 {
+        self.quorum
+    }
+
+    /// The LV parameters in use.
+    pub fn params(&self) -> &LvParams {
+        &self.params
+    }
+
+    /// Runs majority selection: `zeros` processes initially propose 0 and
+    /// `ones` propose 1 (they must sum to the scenario's group size; nobody
+    /// starts undecided, as in the paper's experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and runtime errors.
+    pub fn run(
+        &self,
+        scenario: &Scenario,
+        zeros: u64,
+        ones: u64,
+    ) -> Result<MajorityOutcome, CoreError> {
+        let protocol = self.params.protocol()?;
+        let initial = InitialStates::counts(&[zeros, ones, 0]);
+        // Decisions are evaluated over the non-crashed processes only, so the
+        // quorum refers to the surviving population (the paper's Figure 12).
+        let config =
+            dpde_core::runtime::RunConfig { count_alive_only: true, ..Default::default() };
+        let run = AgentRuntime::new(protocol).with_config(config).run(scenario, &initial)?;
+
+        let initial_majority = if zeros > ones {
+            Decision::Zero
+        } else if ones > zeros {
+            Decision::One
+        } else {
+            Decision::Undecided
+        };
+
+        let xs = run.state_series(STATE_X)?;
+        let ys = run.state_series(STATE_Y)?;
+        let zs = run.state_series(STATE_Z)?;
+        let decision_at = |i: usize| -> Decision {
+            let alive = xs[i] + ys[i] + zs[i];
+            if alive == 0.0 {
+                return Decision::Undecided;
+            }
+            if xs[i] / alive >= self.quorum {
+                Decision::Zero
+            } else if ys[i] / alive >= self.quorum {
+                Decision::One
+            } else {
+                Decision::Undecided
+            }
+        };
+        let final_decision = decision_at(xs.len() - 1);
+        let convergence_period = if final_decision == Decision::Undecided {
+            None
+        } else {
+            // First period from which the group stays at the final decision.
+            let mut first = None;
+            for i in (0..xs.len()).rev() {
+                if decision_at(i) == final_decision {
+                    first = Some(i as u64);
+                } else {
+                    break;
+                }
+            }
+            first
+        };
+
+        Ok(MajorityOutcome {
+            run,
+            decision: final_decision,
+            initial_majority,
+            correct: final_decision == initial_majority,
+            convergence_period,
+        })
+    }
+
+    /// Runs `repetitions` independent majority selections (varying the seed)
+    /// and returns the fraction that decided the initial majority value —
+    /// an empirical estimate of the "w.h.p." guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and runtime errors.
+    pub fn success_rate(
+        &self,
+        n: usize,
+        periods: u64,
+        zeros: u64,
+        ones: u64,
+        repetitions: u32,
+    ) -> Result<f64, CoreError> {
+        let mut successes = 0u32;
+        for rep in 0..repetitions {
+            let scenario = Scenario::new(n, periods)?.with_seed(1000 + u64::from(rep));
+            if self.run(&scenario, zeros, ones)?.correct {
+                successes += 1;
+            }
+        }
+        Ok(f64::from(successes) / f64::from(repetitions.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_validation_and_accessors() {
+        let m = MajoritySelection::new(LvParams::new());
+        assert_eq!(m.quorum(), 0.99);
+        assert_eq!(m.params().rate, 3.0);
+        assert!(m.clone().with_quorum(0.4).is_err());
+        assert!(m.clone().with_quorum(1.5).is_err());
+        assert_eq!(m.with_quorum(0.9).unwrap().quorum(), 0.9);
+    }
+
+    #[test]
+    fn clear_majority_is_selected_correctly() {
+        // 60/40 split in a 2000-process group (Figure 11, scaled down).
+        let m = MajoritySelection::new(LvParams::new());
+        let scenario = Scenario::new(2000, 700).unwrap().with_seed(21);
+        let outcome = m.run(&scenario, 1200, 800).unwrap();
+        assert_eq!(outcome.initial_majority, Decision::Zero);
+        assert_eq!(outcome.decision, Decision::Zero);
+        assert!(outcome.correct);
+        let converged = outcome.convergence_period.expect("should converge");
+        assert!(converged < 600, "converged at {converged}");
+        // Conservation of processes.
+        for (_, s) in outcome.run.counts.iter() {
+            assert_eq!(s.iter().sum::<f64>(), 2000.0);
+        }
+    }
+
+    #[test]
+    fn reversed_majority_selects_the_other_value() {
+        let m = MajoritySelection::new(LvParams::new());
+        let scenario = Scenario::new(2000, 700).unwrap().with_seed(22);
+        let outcome = m.run(&scenario, 800, 1200).unwrap();
+        assert_eq!(outcome.decision, Decision::One);
+        assert!(outcome.correct);
+    }
+
+    #[test]
+    fn tie_still_converges_to_some_value() {
+        // With an exact tie the deterministic system sits on the saddle, but
+        // randomization pushes a finite group to one of the stable points
+        // (Section 4.2.2). The outcome is then "incorrect" by definition
+        // (there is no majority) but the group still agrees.
+        let m = MajoritySelection::new(LvParams::new());
+        let scenario = Scenario::new(1000, 1500).unwrap().with_seed(23);
+        let outcome = m.run(&scenario, 500, 500).unwrap();
+        assert_eq!(outcome.initial_majority, Decision::Undecided);
+        assert!(matches!(outcome.decision, Decision::Zero | Decision::One));
+        assert!(!outcome.correct);
+    }
+
+    #[test]
+    fn short_run_reports_no_convergence() {
+        let m = MajoritySelection::new(LvParams::new());
+        let scenario = Scenario::new(500, 3).unwrap().with_seed(24);
+        let outcome = m.run(&scenario, 300, 200).unwrap();
+        assert_eq!(outcome.decision, Decision::Undecided);
+        assert_eq!(outcome.convergence_period, None);
+        assert!(!outcome.correct);
+    }
+
+    #[test]
+    fn success_rate_is_high_for_clear_majorities() {
+        let m = MajoritySelection::new(LvParams::new());
+        let rate = m.success_rate(600, 700, 390, 210, 5).unwrap();
+        assert!(rate >= 0.8, "success rate {rate}");
+    }
+}

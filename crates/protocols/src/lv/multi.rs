@@ -1,0 +1,281 @@
+//! Extension: plurality selection among more than two proposals.
+//!
+//! The Principle of Competitive Exclusion that motivates the paper's LV
+//! protocol is not limited to two species. This module generalizes the
+//! construction to `k ≥ 2` competing proposals: whenever supporters of two
+//! *different* proposals meet they both become undecided, and undecided
+//! processes adopt the proposal of supporters they meet. For `k = 2` the
+//! equations reduce exactly to the paper's rewritten system (eq. 7); for
+//! larger `k` the group converges, with high probability, on the proposal
+//! with the largest initial support (plurality selection).
+//!
+//! This is a faithful application of the paper's framework to a system it
+//! does not explicitly evaluate — the generalized equations are restricted
+//! polynomial and completely partitionable, so the compiler of Section 3
+//! applies unchanged.
+
+use super::LvParams;
+use dpde_core::runtime::{AgentRuntime, InitialStates, RunConfig, RunResult};
+use dpde_core::{CoreError, Protocol, ProtocolCompiler};
+use netsim::Scenario;
+use odekit::{EquationSystem, EquationSystemBuilder};
+
+/// Name of the undecided state in the generalized protocol.
+pub const UNDECIDED: &str = "z";
+
+/// A `k`-proposal competitive-exclusion protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiLvParams {
+    /// Number of competing proposals (`k ≥ 2`).
+    pub choices: usize,
+    /// Competition rate constant (3 in the paper's two-choice system).
+    pub rate: f64,
+    /// Normalizing constant `p`.
+    pub normalizing_constant: f64,
+}
+
+impl MultiLvParams {
+    /// Creates a `k`-proposal configuration with the paper's rate (3) and
+    /// normalizing constant (0.01).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `choices < 2`.
+    pub fn new(choices: usize) -> Result<Self, CoreError> {
+        if choices < 2 {
+            return Err(CoreError::InvalidConfig {
+                name: "choices",
+                reason: format!("plurality selection needs at least 2 proposals, got {choices}"),
+            });
+        }
+        Ok(MultiLvParams { choices, rate: 3.0, normalizing_constant: 0.01 })
+    }
+
+    /// Derives the two-choice parameters this generalizes.
+    pub fn as_pairwise(&self) -> LvParams {
+        LvParams { rate: self.rate, normalizing_constant: self.normalizing_constant }
+    }
+
+    /// The name of the state backing proposal `i` (0-based).
+    pub fn choice_state(&self, i: usize) -> String {
+        format!("x{i}")
+    }
+
+    /// The generalized competition equations over `k` proposal states plus the
+    /// undecided state:
+    ///
+    /// ```text
+    /// ẋᵢ = r·xᵢ·z − r·xᵢ·Σ_{j≠i} xⱼ
+    /// ż  = −r·z·Σᵢ xᵢ + r·Σ_{i≠j} xᵢ·xⱼ
+    /// ```
+    pub fn equations(&self) -> EquationSystem {
+        let k = self.choices;
+        let r = self.rate;
+        let names: Vec<String> =
+            (0..k).map(|i| self.choice_state(i)).chain([UNDECIDED.to_string()]).collect();
+        let mut builder = EquationSystemBuilder::new().vars(names.clone());
+        for i in 0..k {
+            let xi = names[i].as_str();
+            // Recruitment of undecided processes.
+            builder = builder.term(xi, r, &[(xi, 1), (UNDECIDED, 1)]);
+            builder = builder.term(UNDECIDED, -r, &[(xi, 1), (UNDECIDED, 1)]);
+            // Competition with every other proposal.
+            for j in 0..k {
+                if j == i {
+                    continue;
+                }
+                let xj = names[j].as_str();
+                builder = builder.term(xi, -r, &[(xi, 1), (xj, 1)]);
+                builder = builder.term(UNDECIDED, r, &[(xi, 1), (xj, 1)]);
+            }
+        }
+        builder.build().expect("generalized LV equations are well-formed")
+    }
+
+    /// The compiled protocol (one state per proposal plus undecided).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors (only possible for an invalid normalizing
+    /// constant).
+    pub fn protocol(&self) -> Result<Protocol, CoreError> {
+        ProtocolCompiler::new(format!("lv-{}-choices", self.choices))
+            .with_normalizing_constant(self.normalizing_constant)
+            .compile(&self.equations())
+    }
+}
+
+/// Outcome of a plurality-selection run.
+#[derive(Debug, Clone)]
+pub struct PluralityOutcome {
+    /// The full simulation output.
+    pub run: RunResult,
+    /// Index of the proposal the group converged on (`None` if no proposal
+    /// reached the quorum by the end of the run).
+    pub winner: Option<usize>,
+    /// Index of the proposal with the largest initial support (`None` for a
+    /// tie at the top).
+    pub initial_plurality: Option<usize>,
+    /// `true` if the winner matches the initial plurality.
+    pub correct: bool,
+}
+
+/// Driver for plurality selection over the generalized LV protocol.
+#[derive(Debug, Clone)]
+pub struct PluralitySelection {
+    params: MultiLvParams,
+    quorum: f64,
+}
+
+impl PluralitySelection {
+    /// Creates a driver with a 95 % quorum.
+    pub fn new(params: MultiLvParams) -> Self {
+        PluralitySelection { params, quorum: 0.95 }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &MultiLvParams {
+        &self.params
+    }
+
+    /// Runs plurality selection from the given per-proposal initial support
+    /// (must sum to the scenario's group size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and runtime errors (including a mismatched vote
+    /// vector).
+    pub fn run(&self, scenario: &Scenario, votes: &[u64]) -> Result<PluralityOutcome, CoreError> {
+        if votes.len() != self.params.choices {
+            return Err(CoreError::InvalidConfig {
+                name: "votes",
+                reason: format!(
+                    "expected {} vote counts, got {}",
+                    self.params.choices,
+                    votes.len()
+                ),
+            });
+        }
+        let protocol = self.params.protocol()?;
+        let mut counts = votes.to_vec();
+        counts.push(0); // undecided
+        let config = RunConfig { count_alive_only: true, ..Default::default() };
+        let run = AgentRuntime::new(protocol)
+            .with_config(config)
+            .run(scenario, &InitialStates::counts(&counts))?;
+
+        let initial_plurality = unique_argmax(votes);
+        let finals: Vec<f64> = (0..self.params.choices)
+            .map(|i| {
+                run.state_series(&self.params.choice_state(i))
+                    .map(|s| *s.last().unwrap_or(&0.0))
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let alive: f64 = run.final_counts().iter().sum();
+        let winner = finals
+            .iter()
+            .position(|&c| alive > 0.0 && c / alive >= self.quorum);
+        let correct = match (winner, initial_plurality) {
+            (Some(w), Some(p)) => w == p,
+            _ => false,
+        };
+        Ok(PluralityOutcome { run, winner, initial_plurality, correct })
+    }
+}
+
+/// Index of the strictly largest entry, or `None` if the maximum is tied.
+fn unique_argmax(values: &[u64]) -> Option<usize> {
+    let max = *values.iter().max()?;
+    let mut winners = values.iter().enumerate().filter(|(_, &v)| v == max);
+    let first = winners.next()?.0;
+    if winners.next().is_some() {
+        None
+    } else {
+        Some(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odekit::taxonomy;
+
+    #[test]
+    fn parameter_validation_and_accessors() {
+        assert!(MultiLvParams::new(1).is_err());
+        let p = MultiLvParams::new(4).unwrap();
+        assert_eq!(p.choices, 4);
+        assert_eq!(p.choice_state(2), "x2");
+        assert_eq!(p.as_pairwise().rate, 3.0);
+    }
+
+    #[test]
+    fn two_choice_case_matches_the_paper_system() {
+        let multi = MultiLvParams::new(2).unwrap();
+        let pairwise = multi.as_pairwise().rewritten_equations();
+        let generalized = multi.equations();
+        // Same dimension and same right-hand sides on the simplex (modulo
+        // variable naming: x0, x1, z vs x, y, z).
+        assert_eq!(generalized.dim(), pairwise.dim());
+        for state in [[0.5, 0.3, 0.2], [0.2, 0.2, 0.6], [0.1, 0.7, 0.2]] {
+            let a = generalized.eval_rhs(&state);
+            let b = pairwise.eval_rhs(&state);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_equations_are_mappable_for_many_choices() {
+        for k in [2usize, 3, 5] {
+            let p = MultiLvParams::new(k).unwrap();
+            let report = taxonomy::classify(&p.equations());
+            assert!(report.mappable_without_tokens(), "k = {k}");
+            let protocol = p.protocol().unwrap();
+            assert_eq!(protocol.num_states(), k + 1);
+            // Every proposal state has k actions (one per competitor plus the
+            // recruitment edge is hosted by the undecided state): specifically
+            // x_i carries k-1 competition actions; z carries k recruitment
+            // actions.
+            let z = protocol.require_state(UNDECIDED).unwrap();
+            assert_eq!(protocol.actions(z).len(), k);
+            for i in 0..k {
+                let xi = protocol.require_state(&p.choice_state(i)).unwrap();
+                assert_eq!(protocol.actions(xi).len(), k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn three_way_plurality_selects_the_largest_camp() {
+        let params = MultiLvParams::new(3).unwrap();
+        let selector = PluralitySelection::new(params);
+        let scenario = Scenario::new(2_000, 1_000).unwrap().with_seed(33);
+        let outcome = selector.run(&scenario, &[900, 650, 450]).unwrap();
+        assert_eq!(outcome.initial_plurality, Some(0));
+        assert_eq!(outcome.winner, Some(0), "largest camp should win");
+        assert!(outcome.correct);
+        // Conservation.
+        for (_, s) in outcome.run.counts.iter() {
+            assert_eq!(s.iter().sum::<f64>(), 2_000.0);
+        }
+    }
+
+    #[test]
+    fn vote_vector_must_match_choice_count() {
+        let params = MultiLvParams::new(3).unwrap();
+        let selector = PluralitySelection::new(params);
+        let scenario = Scenario::new(100, 10).unwrap();
+        assert!(selector.run(&scenario, &[50, 50]).is_err());
+        assert_eq!(selector.params().choices, 3);
+    }
+
+    #[test]
+    fn unique_argmax_handles_ties() {
+        assert_eq!(unique_argmax(&[1, 5, 3]), Some(1));
+        assert_eq!(unique_argmax(&[5, 5, 3]), None);
+        assert_eq!(unique_argmax(&[]), None);
+    }
+}

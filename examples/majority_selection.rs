@@ -1,0 +1,61 @@
+//! Case study II: probabilistic majority selection with the Lotka–Volterra
+//! protocol (Section 4.2 of the paper).
+//!
+//! 10 000 processes initially propose 0 or 1 (60 % / 40 %); the LV protocol
+//! drives the whole group to the initial majority value. A second run crashes
+//! half of the processes mid-run and still converges (the paper's Figure 12).
+//!
+//! Run with `cargo run --release --example majority_selection`.
+
+use dpde::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = LvParams::new(); // rate 3, normalizing constant p = 0.01
+    println!("LV protocol (Figure 3):\n{}", params.protocol()?.render());
+
+    // Theorem 4, verified numerically.
+    let classes = params.classify_equilibria()?;
+    println!("equilibrium classifications:");
+    for (point, class) in [("(0,0)", classes[0]), ("(1,0)", classes[1]), ("(0,1)", classes[2]), ("(1/3,1/3)", classes[3])]
+    {
+        println!("  {point:>9} : {class}");
+    }
+    println!(
+        "predicted convergence for N = 10 000: ≈ {:.0} periods\n",
+        params.expected_convergence_periods(10_000)
+    );
+
+    let n = 10_000usize;
+    let zeros = 6_000u64;
+    let ones = 4_000u64;
+    let selector = MajoritySelection::new(params);
+
+    // Run 1: failure-free (the paper's Figure 11 setting, scaled down).
+    let scenario = Scenario::new(n, 800)?.with_seed(1);
+    let outcome = selector.run(&scenario, zeros, ones)?;
+    print_outcome("failure-free run", &outcome);
+
+    // Run 2: half of the processes crash at period 100 (Figure 12).
+    let scenario = Scenario::new(n, 1_200)?.with_massive_failure(100, 0.5)?.with_seed(2);
+    let outcome = selector.run(&scenario, zeros, ones)?;
+    print_outcome("run with 50 % massive failure at t = 100", &outcome);
+    Ok(())
+}
+
+fn print_outcome(label: &str, outcome: &dpde::protocols::lv::majority::MajorityOutcome) {
+    println!("== {label} ==");
+    println!("initial majority: {:?}", outcome.initial_majority);
+    println!("decision:         {:?}", outcome.decision);
+    println!("correct:          {}", outcome.correct);
+    match outcome.convergence_period {
+        Some(t) => println!("converged at period {t}"),
+        None => println!("did not converge within the horizon"),
+    }
+    println!("state populations over time (x backs 0, y backs 1, z undecided):");
+    println!("period        x        y        z");
+    let len = outcome.run.counts.len();
+    for (t, s) in outcome.run.counts.iter().step_by(len / 10 + 1) {
+        println!("{t:>6}  {:>7}  {:>7}  {:>7}", s[0], s[1], s[2]);
+    }
+    println!();
+}

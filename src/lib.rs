@@ -1,0 +1,92 @@
+//! # dpde — distributed protocols from differential equations
+//!
+//! A Rust reproduction of *"On the Design of Distributed Protocols from
+//! Differential Equations"* (Indranil Gupta, PODC 2004).
+//!
+//! This facade crate re-exports the four member crates of the workspace:
+//!
+//! * [`odekit`] — polynomial ODE systems, the taxonomy (complete / completely
+//!   partitionable / restricted polynomial), rewriting, numerical integration
+//!   and non-linear dynamics analysis;
+//! * [`netsim`] — the round-based process-group simulator (membership,
+//!   failures, churn, message loss, metrics);
+//! * [`core`](dpde_core) — the ODE→protocol compiler (Flipping,
+//!   One-Time-Sampling, Tokenizing), the compiled state machines and the
+//!   agent / aggregate runtimes;
+//! * [`protocols`](dpde_protocols) — the paper's case studies: epidemic
+//!   dissemination, endemic migratory replication, and Lotka–Volterra
+//!   majority selection.
+//!
+//! The [`prelude`] pulls in the types most programs need.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpde::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Write differential equations.
+//! let sys = parse_system("x' = -x*y\ny' = x*y", &[])?;
+//!
+//! // 2. Compile them into a distributed protocol.
+//! let protocol = ProtocolCompiler::new("epidemic").compile(&sys)?;
+//!
+//! // 3. Run the protocol on a simulated group of processes.
+//! let scenario = Scenario::new(1_000, 30)?.with_seed(7);
+//! let result = AgentRuntime::new(protocol)
+//!     .run(&scenario, &InitialStates::counts(&[999, 1]))?;
+//! assert!(result.final_counts()[1] > 990.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dpde_core as core;
+pub use dpde_protocols as protocols;
+pub use netsim;
+pub use odekit;
+
+/// The most commonly used types, re-exported for convenient glob import.
+pub mod prelude {
+    pub use dpde_core::equivalence::{compare_to_system, compare_trajectories};
+    pub use dpde_core::runtime::{
+        AgentRuntime, AggregateRuntime, InitialStates, RunConfig, RunResult,
+    };
+    pub use dpde_core::{Action, MessageComplexity, Protocol, ProtocolCompiler, StateId};
+    pub use dpde_protocols::endemic::replication::MigratoryStore;
+    pub use dpde_protocols::endemic::EndemicParams;
+    pub use dpde_protocols::epidemic::{Epidemic, EpidemicStyle};
+    pub use dpde_protocols::lv::majority::{Decision, MajoritySelection};
+    pub use dpde_protocols::lv::LvParams;
+    pub use netsim::{
+        ChurnTrace, FailureSchedule, Group, LossConfig, MetricsRecorder, PeriodClock, Rng,
+        Scenario, SyntheticChurnConfig,
+    };
+    pub use odekit::analysis::{
+        analyze_equilibrium, phase_portrait, EquilibriumFinder, PhasePortrait, Stability,
+    };
+    pub use odekit::integrate::{Euler, Integrator, Rk4, Rkf45, Trajectory};
+    pub use odekit::parse::parse_system;
+    pub use odekit::rewrite;
+    pub use odekit::taxonomy;
+    pub use odekit::{EquationSystem, EquationSystemBuilder, Polynomial, Term};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports_work() {
+        use crate::prelude::*;
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        assert!(taxonomy::is_complete(&sys));
+        let protocol = ProtocolCompiler::new("epidemic").compile(&sys).unwrap();
+        assert_eq!(protocol.num_states(), 2);
+    }
+}

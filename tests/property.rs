@@ -1,0 +1,172 @@
+//! Property-based tests over randomly generated equation systems and protocol
+//! configurations, exercising the framework's invariants:
+//!
+//! * completion always yields a complete system;
+//! * systems built from random cancelling term pairs are completely
+//!   partitionable and compile;
+//! * compiled protocols never produce out-of-range probabilities and conserve
+//!   the process count when executed;
+//! * the normalizing constant only rescales time, not the equilibrium;
+//! * samplers and integrators behave within tolerance.
+
+use dpde::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random polynomial system over `dim` variables built from
+/// `pairs` cancelling term pairs (so it is complete and completely
+/// partitionable by construction), with every negative term containing its
+/// own variable (so it is also restricted polynomial).
+fn partitionable_system(dim: usize, pairs: usize) -> impl Strategy<Value = EquationSystem> {
+    let coeff = 0.05f64..1.0;
+    let src = 0..dim;
+    let dst = 0..dim;
+    let other = 0..dim;
+    proptest::collection::vec((coeff, src, dst, other, any::<bool>()), 1..=pairs).prop_map(
+        move |specs| {
+            let names: Vec<String> = (0..dim).map(|i| format!("v{i}")).collect();
+            let mut builder = EquationSystemBuilder::new().vars(names.clone());
+            for (c, src, dst, other, include_other) in specs {
+                let dst = if dst == src { (dst + 1) % dim } else { dst };
+                // Negative term in `src`'s equation, containing src (restricted),
+                // optionally multiplied by one more variable.
+                let mut factors: Vec<(&str, u32)> = vec![(names[src].as_str(), 1)];
+                if include_other {
+                    factors.push((names[other].as_str(), 1));
+                }
+                builder = builder.term(&names[src], -c, &factors);
+                builder = builder.term(&names[dst], c, &factors);
+            }
+            builder.build().expect("constructed system is well-formed")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Completion makes any random polynomial system complete, and preserves
+    /// the original right-hand sides.
+    #[test]
+    fn completion_always_yields_complete_systems(
+        coeffs in proptest::collection::vec((-2.0f64..2.0, 0usize..3, 0usize..3), 1..6)
+    ) {
+        let names = ["a", "b", "c"];
+        let mut builder = EquationSystemBuilder::new().vars(names);
+        for (c, var, target) in &coeffs {
+            builder = builder.term(names[*target], *c, &[(names[*var], 1)]);
+        }
+        let sys = builder.build().unwrap();
+        let completed = rewrite::complete(&sys, "slack").unwrap();
+        prop_assert!(taxonomy::is_complete(&completed));
+        // Original components unchanged at a probe point.
+        let probe3 = [0.2, 0.3, 0.1];
+        let probe4 = [0.2, 0.3, 0.1, 0.4];
+        let orig = sys.eval_rhs(&probe3);
+        let comp = completed.eval_rhs(&probe4);
+        for (o, c) in orig.iter().zip(&comp) {
+            prop_assert!((o - c).abs() < 1e-12);
+        }
+    }
+
+    /// Randomly generated partitionable systems are classified as mappable and
+    /// compile into protocols whose probabilities are all within [0, 1].
+    #[test]
+    fn random_partitionable_systems_compile(sys in partitionable_system(3, 5)) {
+        let report = taxonomy::classify(&sys);
+        prop_assert!(report.complete);
+        prop_assert!(report.completely_partitionable);
+        prop_assert!(report.restricted_polynomial);
+
+        let protocol = ProtocolCompiler::new("random").compile(&sys).unwrap();
+        prop_assert!(protocol.validate().is_ok());
+        prop_assert!(protocol.time_scale() > 0.0 && protocol.time_scale() <= 1.0);
+        for state in protocol.state_ids() {
+            for action in protocol.actions(state) {
+                prop_assert!((0.0..=1.0).contains(&action.prob()));
+            }
+        }
+    }
+
+    /// Executing a compiled protocol conserves the number of processes, in
+    /// both runtimes.
+    #[test]
+    fn compiled_protocols_conserve_processes(
+        sys in partitionable_system(3, 4),
+        seed in 0u64..1000,
+    ) {
+        let protocol = ProtocolCompiler::new("random").compile(&sys).unwrap();
+        let n = 600u64;
+        let initial = InitialStates::counts(&[200, 200, 200]);
+
+        let agg = AggregateRuntime::new(protocol.clone()).run(n, 40, &initial, seed).unwrap();
+        for (_, s) in agg.counts.iter() {
+            prop_assert_eq!(s.iter().sum::<f64>() as u64, n);
+        }
+
+        let scenario = Scenario::new(n as usize, 20).unwrap().with_seed(seed);
+        let agent = AgentRuntime::new(protocol).run(&scenario, &initial).unwrap();
+        for (_, s) in agent.counts.iter() {
+            prop_assert_eq!(s.iter().sum::<f64>() as u64, n);
+        }
+    }
+
+    /// The normalizing constant only rescales time: two compilations of the
+    /// same system with different p reach the same state at the same ODE time.
+    #[test]
+    fn normalizing_constant_only_rescales_time(seed in 0u64..500) {
+        let params = EndemicParams::new(0.8, 0.2, 0.05).unwrap();
+        let sys = params.equations();
+        let n = 200_000u64;
+        let initial = InitialStates::fractions(&[0.25, 0.25, 0.5]);
+
+        let fast = ProtocolCompiler::new("fast").with_normalizing_constant(1.0)
+            .compile(&sys).unwrap();
+        let slow = ProtocolCompiler::new("slow").with_normalizing_constant(0.25)
+            .compile(&sys).unwrap();
+
+        // 50 periods at p=1 cover the same ODE time as 200 periods at p=0.25.
+        let fast_run = AggregateRuntime::new(fast).run(n, 50, &initial, seed).unwrap();
+        let slow_run = AggregateRuntime::new(slow).run(n, 200, &initial, seed + 1).unwrap();
+        let f = fast_run.as_ode_trajectory(n as f64);
+        let s = slow_run.as_ode_trajectory(n as f64);
+        prop_assert!((f.last_time() - s.last_time()).abs() < 1e-9);
+        for (a, b) in f.last_state().iter().zip(s.last_state()) {
+            // Agreement within a few percent: stochastic noise at N = 200 000
+            // plus the coarser discretization of the p = 1 run.
+            prop_assert!((a - b).abs() < 0.04, "{a} vs {b}");
+        }
+    }
+
+    /// Binomial sampling (the aggregate runtime's engine) stays within 5
+    /// standard deviations of its mean.
+    #[test]
+    fn binomial_sampler_is_well_behaved(n in 1u64..50_000, p in 0.0f64..1.0, seed in 0u64..10_000) {
+        let mut rng = netsim::Rng::seed_from(seed);
+        let k = netsim::stochastic::binomial(&mut rng, n, p);
+        prop_assert!(k <= n);
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        prop_assert!((k as f64 - mean).abs() <= 5.0 * sd + 1.0);
+    }
+
+    /// RK4 conserves the invariant Σx of complete systems along the trajectory.
+    #[test]
+    fn rk4_preserves_completeness_invariant(sys in partitionable_system(3, 4)) {
+        let traj = Rk4::new(0.05).integrate(&sys, 0.0, &[0.3, 0.3, 0.4], 5.0).unwrap();
+        for (_, state) in traj.iter() {
+            let sum: f64 = state.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// The equilibrium finder only returns genuine zeros of the RHS.
+    #[test]
+    fn equilibrium_finder_returns_genuine_equilibria(sys in partitionable_system(3, 4)) {
+        for eq in EquilibriumFinder::new().search_simplex(&sys, 4) {
+            let rhs = sys.eval_rhs(&eq);
+            for v in rhs {
+                prop_assert!(v.abs() < 1e-6);
+            }
+        }
+    }
+}
