@@ -20,8 +20,16 @@ use std::hint::black_box;
 fn bench_push_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_push_action");
     for (label, params) in [
-        ("with_push_b2", EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap()),
-        ("without_push_b4", EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap().without_push()),
+        (
+            "with_push_b2",
+            EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap(),
+        ),
+        (
+            "without_push_b4",
+            EndemicParams::from_contact_count(2, 0.1, 0.01)
+                .unwrap()
+                .without_push(),
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {

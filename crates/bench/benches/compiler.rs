@@ -33,7 +33,11 @@ fn bench_compiler(c: &mut Criterion) {
 
     let endemic = EndemicParams::new(4.0, 1.0, 0.01).unwrap().equations();
     group.bench_function("compile_endemic", |b| {
-        b.iter(|| ProtocolCompiler::new("endemic").compile(black_box(&endemic)).unwrap())
+        b.iter(|| {
+            ProtocolCompiler::new("endemic")
+                .compile(black_box(&endemic))
+                .unwrap()
+        })
     });
 
     let lv = LvParams::new().rewritten_equations();
@@ -51,7 +55,11 @@ fn bench_compiler(c: &mut Criterion) {
         group.bench_function(format!("compile_synthetic_{dim}v_{terms}t"), |b| {
             b.iter_batched(
                 || sys.clone(),
-                |s| ProtocolCompiler::new("synthetic").compile(black_box(&s)).unwrap(),
+                |s| {
+                    ProtocolCompiler::new("synthetic")
+                        .compile(black_box(&s))
+                        .unwrap()
+                },
                 BatchSize::SmallInput,
             )
         });

@@ -12,10 +12,18 @@ fn bench_integrators(c: &mut Criterion) {
     let y0 = [0.999, 0.001, 0.0];
     let mut group = c.benchmark_group("integrators");
     group.bench_function("euler_endemic_100tu_h1e-2", |b| {
-        b.iter(|| Euler::new(1e-2).integrate(black_box(&sys), 0.0, &y0, 100.0).unwrap())
+        b.iter(|| {
+            Euler::new(1e-2)
+                .integrate(black_box(&sys), 0.0, &y0, 100.0)
+                .unwrap()
+        })
     });
     group.bench_function("rk4_endemic_100tu_h1e-2", |b| {
-        b.iter(|| Rk4::new(1e-2).integrate(black_box(&sys), 0.0, &y0, 100.0).unwrap())
+        b.iter(|| {
+            Rk4::new(1e-2)
+                .integrate(black_box(&sys), 0.0, &y0, 100.0)
+                .unwrap()
+        })
     });
     group.bench_function("rkf45_endemic_100tu_tol1e-8", |b| {
         b.iter(|| {

@@ -7,7 +7,11 @@ use dpde_protocols::endemic::EndemicParams;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Endemic equilibria", "eq. 2, Theorem 3 and the convergence regimes", scale);
+    banner(
+        "Endemic equilibria",
+        "eq. 2, Theorem 3 and the convergence regimes",
+        scale,
+    );
 
     println!("beta,gamma,alpha,N,x_inf,y_inf,z_inf,tau,delta,stable,regime");
     let settings = [
@@ -40,14 +44,25 @@ fn main() {
     compare_line(
         "Theorem 3: second equilibrium always stable (α, γ > 0, N > γ/β)",
         "stable",
-        if fig2.endemic_equilibrium_is_stable() { "stable" } else { "NOT stable" },
+        if fig2.endemic_equilibrium_is_stable() {
+            "stable"
+        } else {
+            "NOT stable"
+        },
     );
     compare_line(
         "Figure 2 parameters give a stable spiral",
         "stable spiral",
-        if fig2.is_stable_spiral().unwrap_or(false) { "stable spiral" } else { "other" },
+        if fig2.is_stable_spiral().unwrap_or(false) {
+            "stable spiral"
+        } else {
+            "other"
+        },
     );
     let report = fig2.stability_report().unwrap();
     let eigs: Vec<String> = report.eigenvalues.iter().map(|e| format!("{e}")).collect();
-    println!("eigenvalues at the endemic equilibrium (Figure 2 parameters): {}", eigs.join(", "));
+    println!(
+        "eigenvalues at the endemic equilibrium (Figure 2 parameters): {}",
+        eigs.join(", ")
+    );
 }

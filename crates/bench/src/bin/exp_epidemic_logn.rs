@@ -10,7 +10,11 @@ use netsim::Scenario;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Epidemic O(log N)", "periods to deliver a multicast to (almost) everyone", scale);
+    banner(
+        "Epidemic O(log N)",
+        "periods to deliver a multicast to (almost) everyone",
+        scale,
+    );
 
     println!("N,pull,push_pull,log2(N)+ln(N)");
     let mut last_ratio = None;
@@ -19,14 +23,21 @@ fn main() {
         let mut measured = Vec::new();
         for style in [EpidemicStyle::Pull, EpidemicStyle::PushPull] {
             let scenario = Scenario::new(n as usize, 100).unwrap().with_seed(1 + n);
-            let run = Epidemic::new().with_style(style).disseminate(&scenario, 1).unwrap();
+            let run = Epidemic::new()
+                .with_style(style)
+                .disseminate(&scenario, 1)
+                .unwrap();
             measured.push(Epidemic::rounds_to_reach(&run, 5.0));
         }
         let expected = Epidemic::expected_rounds(n);
         println!(
             "{n},{},{},{expected:.1}",
-            measured[0].map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
-            measured[1].map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            measured[0]
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
+            measured[1]
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
         );
         if let Some(r) = measured[0] {
             last_ratio = Some(r as f64 / expected);

@@ -6,7 +6,11 @@ use dpde_protocols::endemic::analysis::{longevity, replicas_for_extinction_expon
 
 fn main() {
     let scale = scale_from_args();
-    banner("Replica longevity", "probability of all replicas disappearing, and expected lifetime", scale);
+    banner(
+        "Replica longevity",
+        "probability of all replicas disappearing, and expected lifetime",
+        scale,
+    );
 
     println!("replicas,extinction_probability,expected_periods,expected_years(6-min period)");
     for replicas in [10.0, 20.0, 50.0, 88.63, 100.0] {

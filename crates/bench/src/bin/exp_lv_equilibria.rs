@@ -6,7 +6,11 @@ use dpde_protocols::lv::LvParams;
 
 fn main() {
     let scale = scale_from_args();
-    banner("LV equilibria", "Theorem 4 classifications and convergence complexity", scale);
+    banner(
+        "LV equilibria",
+        "Theorem 4 classifications and convergence complexity",
+        scale,
+    );
 
     let params = LvParams::new();
     let classes = params.classify_equilibria().unwrap();
@@ -41,5 +45,7 @@ fn main() {
         ),
     );
     let (x, y) = params.convergence_trajectory(0.01, 0.0, 2.0);
-    println!("linearized trajectory near (0,1) after 2 time units from u0=0.01: x = {x:.2e}, y = {y:.6}");
+    println!(
+        "linearized trajectory near (0,1) after 2 time units from u0=0.01: x = {x:.2e}, y = {y:.6}"
+    );
 }

@@ -6,20 +6,44 @@ use dpde_protocols::endemic::analysis::reality_check;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Reality check", "per-host storage and bandwidth cost of one replicated file", scale);
+    banner(
+        "Reality check",
+        "per-host storage and bandwidth cost of one replicated file",
+        scale,
+    );
 
     // 100 000 hosts, ~100 stashers, γ = 1e-3, 6-minute periods, 88.2 KB file.
     let rc = reality_check(100_000.0, 100.0, 1e-3, 360.0, 88.2 * 1000.0);
 
     println!("quantity,value");
-    println!("storage duty cycle per host,{:.4}%", rc.storage_duty_cycle * 100.0);
-    println!("storage duration per stint,{:.0} periods ({:.0} hours)", rc.storage_duration_periods, rc.storage_duration_hours);
-    println!("file transfers per period (system),{:.2}", rc.transfers_per_period);
-    println!("bandwidth per file per host,{:.3e} bps", rc.bandwidth_bps_per_host);
+    println!(
+        "storage duty cycle per host,{:.4}%",
+        rc.storage_duty_cycle * 100.0
+    );
+    println!(
+        "storage duration per stint,{:.0} periods ({:.0} hours)",
+        rc.storage_duration_periods, rc.storage_duration_hours
+    );
+    println!(
+        "file transfers per period (system),{:.2}",
+        rc.transfers_per_period
+    );
+    println!(
+        "bandwidth per file per host,{:.3e} bps",
+        rc.bandwidth_bps_per_host
+    );
 
     println!("\n== summary ==");
-    compare_line("each host stores the file", "0.1% of the time", &format!("{:.2}%", rc.storage_duty_cycle * 100.0));
-    compare_line("average storage duration", "~100 hours (a little over four days)", &format!("{:.0} hours", rc.storage_duration_hours));
+    compare_line(
+        "each host stores the file",
+        "0.1% of the time",
+        &format!("{:.2}%", rc.storage_duty_cycle * 100.0),
+    );
+    compare_line(
+        "average storage duration",
+        "~100 hours (a little over four days)",
+        &format!("{:.0} hours", rc.storage_duration_hours),
+    );
     compare_line(
         "bandwidth utilization per file per host",
         "3.92e-3 bps",

@@ -14,7 +14,11 @@ use odekit::integrate::Rk4;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 2", "phase portrait of the endemic protocol (stable spiral)", scale);
+    banner(
+        "Figure 2",
+        "phase portrait of the endemic protocol (stable spiral)",
+        scale,
+    );
 
     let n = scaled(1000, scale, 200) as u64;
     let periods = scaled(3000, scale.max(0.2), 600);
@@ -47,13 +51,21 @@ fn main() {
         for (i, (x, y)) in xs.iter().zip(&ys).enumerate().step_by(5) {
             println!("protocol,{label},{i},{x},{y}");
         }
-        ode_points.push(vec![counts[0] as f64 / n as f64, counts[1] as f64 / n as f64, counts[2] as f64 / n as f64]);
+        ode_points.push(vec![
+            counts[0] as f64 / n as f64,
+            counts[1] as f64 / n as f64,
+            counts[2] as f64 / n as f64,
+        ]);
     }
 
     // The analysis curves: integrate the equations from the same points.
-    let portrait =
-        phase_portrait(&params.equations(), &Rk4::new(0.05), &ode_points, periods as f64)
-            .expect("integration succeeds");
+    let portrait = phase_portrait(
+        &params.equations(),
+        &Rk4::new(0.05),
+        &ode_points,
+        periods as f64,
+    )
+    .expect("integration succeeds");
     for (label, series) in portrait.projection(0, 1) {
         for (i, (x, y)) in series.iter().enumerate().step_by(20) {
             println!("analysis,{label},{i},{},{}", x * n as f64, y * n as f64);
@@ -65,7 +77,11 @@ fn main() {
     compare_line(
         "non-trivial equilibrium is a stable spiral",
         "yes",
-        if params.is_stable_spiral().unwrap_or(false) { "yes" } else { "no" },
+        if params.is_stable_spiral().unwrap_or(false) {
+            "yes"
+        } else {
+            "no"
+        },
     );
     compare_line(
         "equilibrium (X, Y) the trajectories spiral into (N = 1000)",

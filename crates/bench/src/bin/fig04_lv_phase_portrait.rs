@@ -35,7 +35,9 @@ fn main() {
         let y0 = (py * f).round() as u64;
         let counts = [x0, y0, n - x0 - y0];
         let label = format!("({},{},{})", counts[0], counts[1], counts[2]);
-        let scenario = Scenario::new(n as usize, periods).unwrap().with_seed(40 + seed as u64);
+        let scenario = Scenario::new(n as usize, periods)
+            .unwrap()
+            .with_seed(40 + seed as u64);
         let run = run_lv(params, &scenario, &counts);
         let xs = run.state_series(LV_SERIES[0]).unwrap();
         let ys = run.state_series(LV_SERIES[1]).unwrap();

@@ -12,7 +12,11 @@ use netsim::Scenario;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 5", "endemic protocol, massive failure of 50% of hosts at t=5000", scale);
+    banner(
+        "Figure 5",
+        "endemic protocol, massive failure of 50% of hosts at t=5000",
+        scale,
+    );
 
     let n = scaled(100_000, scale, 2_000) as usize;
     let horizon = scaled(10_000, scale.max(0.2), 2_000);
@@ -27,7 +31,11 @@ fn main() {
     let result = run_endemic(params, &scenario, false);
 
     println!("period,Rcptv:Alive,Stash:Alive,Avers:Alive");
-    for row in downsampled_rows(&result.run, &dpde_bench::ENDEMIC_SERIES, (horizon / 200) as usize) {
+    for row in downsampled_rows(
+        &result.run,
+        &dpde_bench::ENDEMIC_SERIES,
+        (horizon / 200) as usize,
+    ) {
         println!("{}", row.join(","));
     }
 
@@ -47,7 +55,12 @@ fn main() {
     compare_line(
         "stashers drop by a factor of about two after the failure",
         "~2x drop",
-        &format!("{:.0} -> {:.0} ({:.2}x)", stash_pre, stash_post, stash_pre / stash_post.max(1.0)),
+        &format!(
+            "{:.0} -> {:.0} ({:.2}x)",
+            stash_pre,
+            stash_post,
+            stash_pre / stash_post.max(1.0)
+        ),
     );
     compare_line(
         "receptive count does not change (contacts become fruitless)",
@@ -57,6 +70,10 @@ fn main() {
     compare_line(
         "system stabilizes quickly after the failure",
         "yes",
-        if stash.last().unwrap() > &(stash_post * 0.5) { "yes" } else { "no" },
+        if stash.last().unwrap() > &(stash_post * 0.5) {
+            "yes"
+        } else {
+            "no"
+        },
     );
 }

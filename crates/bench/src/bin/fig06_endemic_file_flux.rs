@@ -12,7 +12,11 @@ use netsim::Scenario;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 6", "endemic protocol, file flux rate under massive failure", scale);
+    banner(
+        "Figure 6",
+        "endemic protocol, file flux rate under massive failure",
+        scale,
+    );
 
     let n = scaled(100_000, scale, 2_000) as usize;
     let horizon = scaled(10_000, scale.max(0.2), 2_000);
@@ -28,7 +32,12 @@ fn main() {
 
     // The flux series: receptive→stash transitions per period.
     let edge = format!("{RECEPTIVE}->{STASH}");
-    let flux = result.run.transitions.series(&edge).map(|s| s.to_vec()).unwrap_or_default();
+    let flux = result
+        .run
+        .transitions
+        .series(&edge)
+        .map(|s| s.to_vec())
+        .unwrap_or_default();
     println!("period,Rcptv->Stash");
     let stride = (horizon / 200).max(1);
     let mut by_period = vec![0.0f64; horizon as usize + 1];
@@ -39,8 +48,14 @@ fn main() {
         println!("{p},{v}");
     }
 
-    let mean = |s: &[f64]| if s.is_empty() { 0.0 } else { s.iter().sum::<f64>() / s.len() as f64 };
-    let pre = mean(&by_period[(failure_at as usize - 500).max(0)..failure_at as usize]);
+    let mean = |s: &[f64]| {
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    };
+    let pre = mean(&by_period[(failure_at as usize).saturating_sub(500)..failure_at as usize]);
     let post = mean(&by_period[(horizon as usize - 500)..horizon as usize]);
     let expected_pre = params.expected_stashers(n as f64) * params.gamma;
 

@@ -12,7 +12,11 @@ use netsim::{Scenario, SummaryStats};
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 7", "endemic protocol, analysis vs. measured equilibrium counts", scale);
+    banner(
+        "Figure 7",
+        "endemic protocol, analysis vs. measured equilibrium counts",
+        scale,
+    );
 
     let params = EndemicParams::from_contact_count(2, 0.1, 0.001).expect("valid parameters");
     let window = scaled(2_000, scale.max(0.2), 400);
@@ -41,7 +45,11 @@ fn main() {
     println!("relative error of the measured median w.r.t. the analysis:");
     for (n, series, expected, median) in rows_summary {
         let rel = (median - expected).abs() / expected.max(1.0);
-        println!("  N = {n:>7}, {series:<9}: {:.1} vs {expected:.1}  ({:.1}% off)", median, rel * 100.0);
+        println!(
+            "  N = {n:>7}, {series:<9}: {:.1} vs {expected:.1}  ({:.1}% off)",
+            median,
+            rel * 100.0
+        );
     }
     println!("(the paper reports the two tallying 'very closely')");
 }

@@ -16,7 +16,11 @@ use netsim::Scenario;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 8", "endemic protocol, replica untraceability and load balancing", scale);
+    banner(
+        "Figure 8",
+        "endemic protocol, replica untraceability and load balancing",
+        scale,
+    );
 
     let n = scaled(1_000, scale, 300) as usize;
     let window_start = scaled(1_000, scale.max(0.3), 200);
@@ -67,7 +71,11 @@ fn main() {
     let seconds_between_stashers = 360.0 / (params.gamma * mean_stashers);
 
     println!("\n== summary ==");
-    compare_line("stable number of stashers (N = 1000)", "88.63", &format!("{mean_stashers:.1}"));
+    compare_line(
+        "stable number of stashers (N = 1000)",
+        "88.63",
+        &format!("{mean_stashers:.1}"),
+    );
     compare_line(
         "a new stasher is created every",
         "40.6 s",
@@ -81,6 +89,9 @@ fn main() {
     compare_line(
         "no significant horizontal lines (load balancing)",
         "no host stores a replica for very long",
-        &format!("per-host stash-time coefficient of variation {cv:.2}, coverage {:.0}%", cov * 100.0),
+        &format!(
+            "per-host stash-time coefficient of variation {cv:.2}, coverage {:.0}%",
+            cov * 100.0
+        ),
     );
 }

@@ -7,12 +7,18 @@
 //! stashers, receptives and averse hosts remain stable, and the number of
 //! stashers stays low.
 
-use dpde_bench::{banner, churn_scenario, compare_line, run_endemic, scale_from_args, scaled, ENDEMIC_SERIES};
+use dpde_bench::{
+    banner, churn_scenario, compare_line, run_endemic, scale_from_args, scaled, ENDEMIC_SERIES,
+};
 use dpde_protocols::endemic::{EndemicParams, STASH};
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 9", "endemic protocol under host churn: state populations", scale);
+    banner(
+        "Figure 9",
+        "endemic protocol under host churn: state populations",
+        scale,
+    );
 
     let n = scaled(2_000, scale, 500) as usize;
     let hours = scaled(170, scale.max(0.2), 40) as usize;
@@ -34,8 +40,14 @@ fn main() {
     for p in (start_period..scenario.periods()).step_by(1) {
         let i = p as usize;
         let hour = p as f64 / periods_per_hour as f64;
-        let alive_now = alive.iter().find(|(ap, _)| *ap == p).map_or(0.0, |(_, v)| *v);
-        println!("{hour:.1},{},{},{},{alive_now}", stashers[i], receptives[i], averse[i]);
+        let alive_now = alive
+            .iter()
+            .find(|(ap, _)| *ap == p)
+            .map_or(0.0, |(_, v)| *v);
+        println!(
+            "{hour:.1},{},{},{},{alive_now}",
+            stashers[i], receptives[i], averse[i]
+        );
     }
 
     // Stability summary over the window.
@@ -64,6 +76,16 @@ fn main() {
     compare_line(
         "object survives the whole run",
         "yes",
-        if result.run.state_series(STASH).unwrap().iter().all(|&v| v > 0.0) { "yes" } else { "no" },
+        if result
+            .run
+            .state_series(STASH)
+            .unwrap()
+            .iter()
+            .all(|&v| v > 0.0)
+        {
+            "yes"
+        } else {
+            "no"
+        },
     );
 }

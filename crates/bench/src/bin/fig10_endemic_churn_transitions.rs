@@ -11,7 +11,11 @@ use dpde_protocols::endemic::{EndemicParams, AVERSE, RECEPTIVE, STASH};
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 10", "endemic protocol under host churn: transitions per period", scale);
+    banner(
+        "Figure 10",
+        "endemic protocol under host churn: transitions per period",
+        scale,
+    );
 
     let n = scaled(2_000, scale, 500) as usize;
     let hours = scaled(170, scale.max(0.2), 40) as usize;

@@ -5,15 +5,19 @@
 //! within 500 protocol periods.
 
 use dpde_bench::{
-    banner, compare_line, downsampled_rows, lv_convergence_period, run_lv, scale_from_args,
-    scaled, LV_SERIES,
+    banner, compare_line, downsampled_rows, lv_convergence_period, run_lv, scale_from_args, scaled,
+    LV_SERIES,
 };
 use dpde_protocols::lv::LvParams;
 use netsim::Scenario;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 11", "LV protocol, 60/40 split converges to the majority", scale);
+    banner(
+        "Figure 11",
+        "LV protocol, 60/40 split converges to the majority",
+        scale,
+    );
 
     let n = scaled(100_000, scale, 2_000);
     let horizon = scaled(1_000, scale.max(0.5), 600);
@@ -30,18 +34,29 @@ fn main() {
     }
 
     let convergence = lv_convergence_period(&result, (n / 1000).max(1) as f64);
-    let final_x = result.state_series(LV_SERIES[0]).unwrap().last().copied().unwrap_or(0.0);
+    let final_x = result
+        .state_series(LV_SERIES[0])
+        .unwrap()
+        .last()
+        .copied()
+        .unwrap_or(0.0);
 
     println!("\n== summary ==");
     compare_line(
         "group converges to the initial majority (state x)",
         "yes",
-        if final_x > 0.99 * n as f64 { "yes" } else { "no" },
+        if final_x > 0.99 * n as f64 {
+            "yes"
+        } else {
+            "no"
+        },
     );
     compare_line(
         "convergence time (minority below 0.1% of N)",
         "< 500 periods",
-        &convergence.map(|p| format!("{p} periods")).unwrap_or_else(|| "not reached".into()),
+        &convergence
+            .map(|p| format!("{p} periods"))
+            .unwrap_or_else(|| "not reached".into()),
     );
     compare_line(
         "predicted O(log N / (3p)) convergence",

@@ -6,15 +6,19 @@
 //! little later (the paper observes t = 862).
 
 use dpde_bench::{
-    banner, compare_line, downsampled_rows, lv_convergence_period, run_lv, scale_from_args,
-    scaled, LV_SERIES,
+    banner, compare_line, downsampled_rows, lv_convergence_period, run_lv, scale_from_args, scaled,
+    LV_SERIES,
 };
 use dpde_protocols::lv::LvParams;
 use netsim::Scenario;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 12", "LV protocol, 50% massive failure at t=100", scale);
+    banner(
+        "Figure 12",
+        "LV protocol, 50% massive failure at t=100",
+        scale,
+    );
 
     let n = scaled(100_000, scale, 2_000);
     let horizon = scaled(1_250, scale.max(0.5), 800);

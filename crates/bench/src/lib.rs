@@ -23,7 +23,9 @@ use netsim::{Rng, Scenario, SyntheticChurnConfig};
 /// The scale multiplies group sizes and horizons (clamped to sensible minima
 /// by the callers). `1.0` reproduces the paper's dimensions.
 pub fn scale_from_args() -> f64 {
-    let mut scale = std::env::var("DPDE_SCALE").ok().and_then(|v| v.parse::<f64>().ok());
+    let mut scale = std::env::var("DPDE_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
     let args: Vec<String> = std::env::args().collect();
     for i in 0..args.len() {
         if args[i] == "--scale" {
@@ -80,11 +82,7 @@ pub struct EndemicRun {
 
 /// Runs the Figure 1 endemic protocol from its analytical equilibrium under
 /// the given scenario.
-pub fn run_endemic(
-    params: EndemicParams,
-    scenario: &Scenario,
-    track_stashers: bool,
-) -> EndemicRun {
+pub fn run_endemic(params: EndemicParams, scenario: &Scenario, track_stashers: bool) -> EndemicRun {
     let protocol = params.figure1_protocol().expect("valid endemic parameters");
     let n = scenario.group_size();
     let eq = params.equilibria(n as f64).endemic;
@@ -122,7 +120,11 @@ pub fn run_endemic_from(
         .with_config(config)
         .run(scenario, &InitialStates::counts(counts))
         .expect("endemic run");
-    EndemicRun { params, n: scenario.group_size(), run }
+    EndemicRun {
+        params,
+        n: scenario.group_size(),
+        run,
+    }
 }
 
 /// Runs the LV protocol from a given `(x, y, z)` split. Counts report alive
@@ -130,7 +132,10 @@ pub fn run_endemic_from(
 /// surviving population converging.
 pub fn run_lv(params: LvParams, scenario: &Scenario, counts: &[u64; 3]) -> RunResult {
     let protocol: Protocol = params.protocol().expect("valid LV parameters");
-    let config = RunConfig { count_alive_only: true, ..Default::default() };
+    let config = RunConfig {
+        count_alive_only: true,
+        ..Default::default()
+    };
     AgentRuntime::new(protocol)
         .with_config(config)
         .run(scenario, &InitialStates::counts(counts))

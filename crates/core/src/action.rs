@@ -134,7 +134,10 @@ impl Action {
     /// `true` if executing this action can change the executing process's own
     /// state (as opposed to some other process's state).
     pub fn moves_self(&self) -> bool {
-        matches!(self, Action::Flip { .. } | Action::Sample { .. } | Action::SampleAny { .. })
+        matches!(
+            self,
+            Action::Flip { .. } | Action::Sample { .. } | Action::SampleAny { .. }
+        )
     }
 
     /// Returns a copy of the action with its coin probability replaced.
@@ -153,28 +156,50 @@ impl Action {
     /// Renders the action using state names from the surrounding protocol.
     pub fn render(&self, names: &[String]) -> String {
         let name = |s: &StateId| {
-            names.get(s.index()).cloned().unwrap_or_else(|| format!("s{}", s.index()))
+            names
+                .get(s.index())
+                .cloned()
+                .unwrap_or_else(|| format!("s{}", s.index()))
         };
         match self {
             Action::Flip { prob, to } => {
                 format!("flip(heads={prob:.4}) -> {}", name(to))
             }
             Action::Sample { required, prob, to } => {
-                let req: Vec<String> = required.iter().map(|s| name(s)).collect();
-                format!("sample[{}] & flip(heads={prob:.4}) -> {}", req.join(","), name(to))
+                let req: Vec<String> = required.iter().map(&name).collect();
+                format!(
+                    "sample[{}] & flip(heads={prob:.4}) -> {}",
+                    req.join(","),
+                    name(to)
+                )
             }
-            Action::SampleAny { target_state, samples, prob, to } => format!(
+            Action::SampleAny {
+                target_state,
+                samples,
+                prob,
+                to,
+            } => format!(
                 "sample {samples} targets, if any in {} & flip(heads={prob:.4}) -> {}",
                 name(target_state),
                 name(to)
             ),
-            Action::PushSample { target_state, samples, prob, to } => format!(
+            Action::PushSample {
+                target_state,
+                samples,
+                prob,
+                to,
+            } => format!(
                 "push to {samples} targets: any in {} moves (heads={prob:.4}) -> {}",
                 name(target_state),
                 name(to)
             ),
-            Action::Tokenize { required, prob, token_state, to } => {
-                let req: Vec<String> = required.iter().map(|s| name(s)).collect();
+            Action::Tokenize {
+                required,
+                prob,
+                token_state,
+                to,
+            } => {
+                let req: Vec<String> = required.iter().map(&name).collect();
                 format!(
                     "sample[{}] & flip(heads={prob:.4}) => token to a process in {}, which -> {}",
                     req.join(","),
@@ -202,12 +227,34 @@ mod tests {
 
     #[test]
     fn accessors_cover_all_variants() {
-        let actions = vec![
-            Action::Flip { prob: 0.1, to: sid(1) },
-            Action::Sample { required: vec![sid(0), sid(2)], prob: 0.2, to: sid(2) },
-            Action::SampleAny { target_state: sid(1), samples: 4, prob: 0.3, to: sid(1) },
-            Action::PushSample { target_state: sid(0), samples: 2, prob: 0.4, to: sid(1) },
-            Action::Tokenize { required: vec![sid(1)], prob: 0.5, token_state: sid(0), to: sid(2) },
+        let actions = [
+            Action::Flip {
+                prob: 0.1,
+                to: sid(1),
+            },
+            Action::Sample {
+                required: vec![sid(0), sid(2)],
+                prob: 0.2,
+                to: sid(2),
+            },
+            Action::SampleAny {
+                target_state: sid(1),
+                samples: 4,
+                prob: 0.3,
+                to: sid(1),
+            },
+            Action::PushSample {
+                target_state: sid(0),
+                samples: 2,
+                prob: 0.4,
+                to: sid(1),
+            },
+            Action::Tokenize {
+                required: vec![sid(1)],
+                prob: 0.5,
+                token_state: sid(0),
+                to: sid(2),
+            },
         ];
         let probs: Vec<f64> = actions.iter().map(Action::prob).collect();
         assert_eq!(probs, vec![0.1, 0.2, 0.3, 0.4, 0.5]);
@@ -224,7 +271,11 @@ mod tests {
 
     #[test]
     fn with_prob_replaces_only_probability() {
-        let a = Action::Sample { required: vec![sid(1)], prob: 0.2, to: sid(1) };
+        let a = Action::Sample {
+            required: vec![sid(1)],
+            prob: 0.2,
+            to: sid(1),
+        };
         let b = a.with_prob(0.9);
         assert_eq!(b.prob(), 0.9);
         assert_eq!(b.destination(), sid(1));
@@ -234,12 +285,23 @@ mod tests {
     #[test]
     fn rendering_uses_names_when_available() {
         let names: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
-        let a = Action::SampleAny { target_state: sid(1), samples: 2, prob: 0.25, to: sid(1) };
+        let a = Action::SampleAny {
+            target_state: sid(1),
+            samples: 2,
+            prob: 0.25,
+            to: sid(1),
+        };
         let text = a.render(&names);
         assert!(text.contains('y'));
         assert!(text.contains('2'));
         // Display falls back to positional names.
-        let plain = format!("{}", Action::Flip { prob: 0.5, to: sid(7) });
+        let plain = format!(
+            "{}",
+            Action::Flip {
+                prob: 0.5,
+                to: sid(7)
+            }
+        );
         assert!(plain.contains("s7"));
     }
 }

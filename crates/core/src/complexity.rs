@@ -21,7 +21,13 @@ impl MessageComplexity {
     pub fn of(protocol: &Protocol) -> Self {
         let per_state = protocol
             .state_ids()
-            .map(|s| protocol.actions(s).iter().map(|a| a.messages_per_period()).sum())
+            .map(|s| {
+                protocol
+                    .actions(s)
+                    .iter()
+                    .map(|a| a.messages_per_period())
+                    .sum()
+            })
             .collect();
         MessageComplexity { per_state }
     }
@@ -49,7 +55,11 @@ impl MessageComplexity {
     ///
     /// Panics if `fractions.len()` differs from the number of states.
     pub fn expected(&self, fractions: &[f64]) -> f64 {
-        assert_eq!(fractions.len(), self.per_state.len(), "fraction vector has wrong length");
+        assert_eq!(
+            fractions.len(),
+            self.per_state.len(),
+            "fraction vector has wrong length"
+        );
         self.per_state
             .iter()
             .zip(fractions)

@@ -69,7 +69,9 @@ pub fn compare_trajectories(
     let mut per_state = vec![0.0_f64; dim];
     let mut samples = 0usize;
     for (t, state) in protocol.iter() {
-        let Some(reference_state) = reference.state_at(t) else { continue };
+        let Some(reference_state) = reference.state_at(t) else {
+            continue;
+        };
         for (i, (p, r)) in state.iter().zip(&reference_state).enumerate() {
             let err = (p - r).abs();
             max_abs = max_abs.max(err);

@@ -98,20 +98,34 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        let e = CoreError::NotMappable { requirement: "complete", detail: "sum is x".into() };
+        let e = CoreError::NotMappable {
+            requirement: "complete",
+            detail: "sum is x".into(),
+        };
         assert!(e.to_string().contains("complete"));
-        let e = CoreError::NormalizationImpossible { max_rate: 7.0, requested_p: Some(0.5) };
+        let e = CoreError::NormalizationImpossible {
+            max_rate: 7.0,
+            requested_p: Some(0.5),
+        };
         assert!(e.to_string().contains("0.5"));
-        let e = CoreError::NormalizationImpossible { max_rate: 7.0, requested_p: None };
+        let e = CoreError::NormalizationImpossible {
+            max_rate: 7.0,
+            requested_p: None,
+        };
         assert!(e.to_string().contains('7'));
-        assert!(CoreError::UnknownState("q".into()).to_string().contains('q'));
+        assert!(CoreError::UnknownState("q".into())
+            .to_string()
+            .contains('q'));
         let e: CoreError = odekit::OdeError::EmptySystem.into();
         assert!(e.source().is_some());
         let e: CoreError = netsim::SimError::UnknownSeries("s".into()).into();
         assert!(e.source().is_some());
-        assert!(CoreError::InvalidProbability { context: "flip".into(), value: 2.0 }
-            .source()
-            .is_none());
+        assert!(CoreError::InvalidProbability {
+            context: "flip".into(),
+            value: 2.0
+        }
+        .source()
+        .is_none());
     }
 
     #[test]

@@ -167,7 +167,10 @@ impl ProtocolCompiler {
         if !report.completely_partitionable {
             return Err(CoreError::NotMappable {
                 requirement: "completely partitionable",
-                detail: format!("{} term(s) have no cancelling partner", report.unpaired_terms.len()),
+                detail: format!(
+                    "{} term(s) have no cancelling partner",
+                    report.unpaired_terms.len()
+                ),
             });
         }
         if !self.allow_tokenizing && !report.restricted_polynomial {
@@ -194,9 +197,18 @@ impl ProtocolCompiler {
             kind: BlueprintKind,
         }
         enum BlueprintKind {
-            Flip { to: StateId },
-            Sample { required: Vec<StateId>, to: StateId },
-            Tokenize { required: Vec<StateId>, token_state: StateId, to: StateId },
+            Flip {
+                to: StateId,
+            },
+            Sample {
+                required: Vec<StateId>,
+                to: StateId,
+            },
+            Tokenize {
+                required: Vec<StateId>,
+                token_state: StateId,
+                to: StateId,
+            },
         }
 
         let mut blueprints: Vec<Blueprint> = Vec::new();
@@ -303,9 +315,16 @@ impl ProtocolCompiler {
             let action = match b.kind {
                 BlueprintKind::Flip { to } => Action::Flip { prob, to },
                 BlueprintKind::Sample { required, to } => Action::Sample { required, prob, to },
-                BlueprintKind::Tokenize { required, token_state, to } => {
-                    Action::Tokenize { required, prob, token_state, to }
-                }
+                BlueprintKind::Tokenize {
+                    required,
+                    token_state,
+                    to,
+                } => Action::Tokenize {
+                    required,
+                    prob,
+                    token_state,
+                    to,
+                },
             };
             protocol.add_action(b.host, action)?;
         }
@@ -353,7 +372,9 @@ mod tests {
 
     #[test]
     fn epidemic_compiles_to_canonical_pull_protocol() {
-        let protocol = ProtocolCompiler::new("epidemic").compile(&epidemic()).unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .compile(&epidemic())
+            .unwrap();
         assert_eq!(protocol.num_states(), 2);
         assert_eq!(protocol.time_scale(), 1.0);
         let x = protocol.require_state("x").unwrap();
@@ -375,7 +396,9 @@ mod tests {
 
     #[test]
     fn endemic_compiles_with_three_actions_and_auto_p() {
-        let protocol = ProtocolCompiler::new("endemic").compile(&endemic(4.0, 1.0, 0.01)).unwrap();
+        let protocol = ProtocolCompiler::new("endemic")
+            .compile(&endemic(4.0, 1.0, 0.01))
+            .unwrap();
         let x = protocol.require_state("x").unwrap();
         let y = protocol.require_state("y").unwrap();
         let z = protocol.require_state("z").unwrap();
@@ -499,7 +522,13 @@ mod tests {
             .build()
             .unwrap();
         let err = ProtocolCompiler::new("bad").compile(&sys).unwrap_err();
-        assert!(matches!(err, CoreError::NotMappable { requirement: "complete", .. }));
+        assert!(matches!(
+            err,
+            CoreError::NotMappable {
+                requirement: "complete",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -516,7 +545,10 @@ mod tests {
         let err = ProtocolCompiler::new("bad").compile(&sys).unwrap_err();
         assert!(matches!(
             err,
-            CoreError::NotMappable { requirement: "completely partitionable", .. }
+            CoreError::NotMappable {
+                requirement: "completely partitionable",
+                ..
+            }
         ));
     }
 
@@ -537,7 +569,12 @@ mod tests {
         assert!(protocol.actions(x).is_empty());
         assert_eq!(protocol.actions(y).len(), 1);
         match &protocol.actions(y)[0] {
-            Action::Tokenize { required, prob, token_state, to } => {
+            Action::Tokenize {
+                required,
+                prob,
+                token_state,
+                to,
+            } => {
                 assert!(required.is_empty());
                 assert!((prob - 0.5).abs() < 1e-12);
                 assert_eq!(*token_state, x);

@@ -65,7 +65,12 @@ fn apply_action(equations: &mut [Polynomial], dim: usize, host: StateId, action:
             let term = Term::new(rate, monomial_with(dim, host, required));
             move_mass(equations, host.index(), to.index(), &term);
         }
-        Action::SampleAny { target_state, samples, prob, to } => {
+        Action::SampleAny {
+            target_state,
+            samples,
+            prob,
+            to,
+        } => {
             // prob · s · (1 − (1 − t)^b) expanded binomially:
             // Σ_{k=1..b} C(b,k)·(−1)^{k+1}·prob·s·t^k
             let rate = prob / p;
@@ -78,7 +83,12 @@ fn apply_action(equations: &mut [Polynomial], dim: usize, host: StateId, action:
                 move_mass(equations, host.index(), to.index(), &term);
             }
         }
-        Action::PushSample { target_state, samples, prob, to } => {
+        Action::PushSample {
+            target_state,
+            samples,
+            prob,
+            to,
+        } => {
             // Each of the b samples converts a member of `target_state` with
             // probability prob·target, so target-state mass flows at rate
             // b·prob·s·t.
@@ -89,7 +99,12 @@ fn apply_action(equations: &mut [Polynomial], dim: usize, host: StateId, action:
             let term = Term::new(rate, exps);
             move_mass(equations, target_state.index(), to.index(), &term);
         }
-        Action::Tokenize { required, prob, token_state, to } => {
+        Action::Tokenize {
+            required,
+            prob,
+            token_state,
+            to,
+        } => {
             let rate = prob / p;
             let term = Term::new(rate, monomial_with(dim, host, required));
             move_mass(equations, token_state.index(), to.index(), &term);
@@ -160,7 +175,11 @@ mod tests {
     }
 
     fn probes3() -> Vec<Vec<f64>> {
-        vec![vec![0.5, 0.2, 0.3], vec![0.1, 0.05, 0.85], vec![0.33, 0.33, 0.34]]
+        vec![
+            vec![0.5, 0.2, 0.3],
+            vec![0.1, 0.05, 0.85],
+            vec![0.33, 0.33, 0.34],
+        ]
     }
 
     #[test]
@@ -229,9 +248,13 @@ mod tests {
         let probe = [0.8, 0.01, 0.19];
         let rhs = derived.eval_rhs(&probe);
         let beta_eff = 4.0; // 2b
-        let expected_y = beta_eff * probe[0] * probe[1] - 1.0 * probe[0] * probe[1] * probe[1]
-            - 0.1 * probe[1];
-        assert!((rhs[1] - expected_y).abs() < 1e-9, "got {}, expected {expected_y}", rhs[1]);
+        let expected_y =
+            beta_eff * probe[0] * probe[1] - 1.0 * probe[0] * probe[1] * probe[1] - 0.1 * probe[1];
+        assert!(
+            (rhs[1] - expected_y).abs() < 1e-9,
+            "got {}, expected {expected_y}",
+            rhs[1]
+        );
         // Mass conservation holds exactly.
         let total: f64 = rhs.iter().sum();
         assert!(total.abs() < 1e-12);
@@ -252,18 +275,44 @@ mod tests {
             let receptive = protocol.require_state("receptive").unwrap();
             let stash = protocol.require_state("stash").unwrap();
             let averse = protocol.require_state("averse").unwrap();
-            protocol.add_action(stash, Action::Flip { prob: 0.1, to: averse }).unwrap();
-            protocol.add_action(averse, Action::Flip { prob: 0.01, to: receptive }).unwrap();
+            protocol
+                .add_action(
+                    stash,
+                    Action::Flip {
+                        prob: 0.1,
+                        to: averse,
+                    },
+                )
+                .unwrap();
+            protocol
+                .add_action(
+                    averse,
+                    Action::Flip {
+                        prob: 0.01,
+                        to: receptive,
+                    },
+                )
+                .unwrap();
             protocol
                 .add_action(
                     receptive,
-                    Action::SampleAny { target_state: stash, samples: 2, prob: 1.0, to: stash },
+                    Action::SampleAny {
+                        target_state: stash,
+                        samples: 2,
+                        prob: 1.0,
+                        to: stash,
+                    },
                 )
                 .unwrap();
             protocol
                 .add_action(
                     stash,
-                    Action::PushSample { target_state: receptive, samples: 2, prob: 1.0, to: stash },
+                    Action::PushSample {
+                        target_state: receptive,
+                        samples: 2,
+                        prob: 1.0,
+                        to: stash,
+                    },
                 )
                 .unwrap();
             protocol

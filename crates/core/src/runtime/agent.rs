@@ -52,7 +52,10 @@ impl AgentRuntime {
     /// Creates a runtime for the given protocol with the default
     /// [`RunConfig`].
     pub fn new(protocol: Protocol) -> Self {
-        AgentRuntime { protocol, config: RunConfig::default() }
+        AgentRuntime {
+            protocol,
+            config: RunConfig::default(),
+        }
     }
 
     /// Replaces the run configuration.
@@ -190,7 +193,12 @@ impl AgentRuntime {
                     return Ok(true);
                 }
             }
-            Action::SampleAny { target_state, samples, prob, to } => {
+            Action::SampleAny {
+                target_state,
+                samples,
+                prob,
+                to,
+            } => {
                 let mut found = false;
                 for _ in 0..*samples {
                     let target = rng.index(n);
@@ -206,7 +214,12 @@ impl AgentRuntime {
                     return Ok(true);
                 }
             }
-            Action::PushSample { target_state, samples, prob, to } => {
+            Action::PushSample {
+                target_state,
+                samples,
+                prob,
+                to,
+            } => {
                 for _ in 0..*samples {
                     let target = rng.index(n);
                     if target != p
@@ -215,11 +228,23 @@ impl AgentRuntime {
                         && members.state_of(target) == target_state.index()
                         && rng.chance(*prob)
                     {
-                        self.transition(target, target_state.index(), to.index(), members, result, period);
+                        self.transition(
+                            target,
+                            target_state.index(),
+                            to.index(),
+                            members,
+                            result,
+                            period,
+                        );
                     }
                 }
             }
-            Action::Tokenize { required, prob, token_state, to } => {
+            Action::Tokenize {
+                required,
+                prob,
+                token_state,
+                to,
+            } => {
                 let mut all_match = true;
                 for req in required {
                     let target = rng.index(n);
@@ -277,8 +302,12 @@ impl AgentRuntime {
         } else {
             members.counts().to_vec()
         };
-        result.counts.push(period as f64, counts.iter().map(|&c| c as f64).collect());
-        result.metrics.record("alive", period, group.alive_count() as f64);
+        result
+            .counts
+            .push(period as f64, counts.iter().map(|&c| c as f64).collect());
+        result
+            .metrics
+            .record("alive", period, group.alive_count() as f64);
         if let Some(track) = self.config.track_members_of {
             let ids: Vec<ProcessId> = members
                 .members_of(track.index())
@@ -325,7 +354,12 @@ impl Membership {
             members[s].push(p as u32);
         }
         let counts = members.iter().map(|m| m.len() as u64).collect();
-        Membership { state, position, members, counts }
+        Membership {
+            state,
+            position,
+            members,
+            counts,
+        }
     }
 
     fn state_of(&self, p: usize) -> usize {
@@ -429,9 +463,17 @@ mod tests {
         let first_half = y.iter().position(|&v| v > 2048.0).unwrap();
         assert!(first_half < 30, "took {first_half} periods to infect half");
         // Transition counter adds up to the total number of infections.
-        assert_eq!(result.total_transitions("x", "y"), result.final_counts()[1] - 1.0);
+        assert_eq!(
+            result.total_transitions("x", "y"),
+            result.final_counts()[1] - 1.0
+        );
         // Messages were counted.
-        assert!(result.metrics.series("messages").unwrap().iter().any(|(_, v)| *v > 0.0));
+        assert!(result
+            .metrics
+            .series("messages")
+            .unwrap()
+            .iter()
+            .any(|(_, v)| *v > 0.0));
     }
 
     #[test]
@@ -453,9 +495,13 @@ mod tests {
             .with_massive_failure(0, 1.0)
             .unwrap()
             .with_seed(3);
-        let runtime = AgentRuntime::new(protocol)
-            .with_config(RunConfig { count_alive_only: false, ..Default::default() });
-        let result = runtime.run(&scenario, &InitialStates::counts(&[49, 1])).unwrap();
+        let runtime = AgentRuntime::new(protocol).with_config(RunConfig {
+            count_alive_only: false,
+            ..Default::default()
+        });
+        let result = runtime
+            .run(&scenario, &InitialStates::counts(&[49, 1]))
+            .unwrap();
         assert_eq!(result.final_counts(), &[49.0, 1.0]);
         assert_eq!(result.total_transitions("x", "y"), 0.0);
     }
@@ -468,9 +514,13 @@ mod tests {
             .with_massive_failure(1, 0.5)
             .unwrap()
             .with_seed(5);
-        let runtime = AgentRuntime::new(protocol)
-            .with_config(RunConfig { count_alive_only: true, ..Default::default() });
-        let result = runtime.run(&scenario, &InitialStates::counts(&[100, 0])).unwrap();
+        let runtime = AgentRuntime::new(protocol).with_config(RunConfig {
+            count_alive_only: true,
+            ..Default::default()
+        });
+        let result = runtime
+            .run(&scenario, &InitialStates::counts(&[100, 0]))
+            .unwrap();
         // After the massive failure the alive-only counts sum to 50.
         let last = result.final_counts();
         assert_eq!(last.iter().sum::<f64>(), 50.0);
@@ -497,7 +547,9 @@ mod tests {
             ..Default::default()
         });
         // The only way a y can appear is via the rejoin rule.
-        let result = runtime.run(&scenario, &InitialStates::counts(&[10, 0])).unwrap();
+        let result = runtime
+            .run(&scenario, &InitialStates::counts(&[10, 0]))
+            .unwrap();
         assert_eq!(result.final_counts()[1], 1.0);
     }
 
@@ -506,9 +558,13 @@ mod tests {
         let protocol = epidemic_protocol();
         let y = protocol.require_state("y").unwrap();
         let scenario = Scenario::new(64, 15).unwrap().with_seed(2);
-        let runtime = AgentRuntime::new(protocol)
-            .with_config(RunConfig { track_members_of: Some(y), ..Default::default() });
-        let result = runtime.run(&scenario, &InitialStates::counts(&[63, 1])).unwrap();
+        let runtime = AgentRuntime::new(protocol).with_config(RunConfig {
+            track_members_of: Some(y),
+            ..Default::default()
+        });
+        let result = runtime
+            .run(&scenario, &InitialStates::counts(&[63, 1]))
+            .unwrap();
         // One snapshot per recorded period (periods + 1 including period 0).
         assert_eq!(result.tracked_members.len(), 16);
         // Snapshot sizes match the recorded y counts.
@@ -545,8 +601,12 @@ mod tests {
             .with_seed(9)
             .with_loss(netsim::LossConfig::new(0.8, 0.0).unwrap());
         let runtime = AgentRuntime::new(protocol);
-        let a = runtime.run(&reliable, &InitialStates::counts(&[1999, 1])).unwrap();
-        let b = runtime.run(&lossy, &InitialStates::counts(&[1999, 1])).unwrap();
+        let a = runtime
+            .run(&reliable, &InitialStates::counts(&[1999, 1]))
+            .unwrap();
+        let b = runtime
+            .run(&lossy, &InitialStates::counts(&[1999, 1]))
+            .unwrap();
         assert!(
             a.final_counts()[1] > b.final_counts()[1],
             "losses should slow dissemination: {} vs {}",

@@ -40,7 +40,11 @@ impl AggregateRuntime {
     /// Creates an aggregate runtime with a reliable network and a fully alive
     /// group.
     pub fn new(protocol: Protocol) -> Self {
-        AggregateRuntime { protocol, loss: LossConfig::reliable(), alive_fraction: 1.0 }
+        AggregateRuntime {
+            protocol,
+            loss: LossConfig::reliable(),
+            alive_fraction: 1.0,
+        }
     }
 
     /// Sets the message/connection loss configuration.
@@ -94,7 +98,9 @@ impl AggregateRuntime {
         let mut result = RunResult::new(&self.protocol);
         let n_f = n as f64;
 
-        result.counts.push(0.0, counts.iter().map(|&c| c as f64).collect());
+        result
+            .counts
+            .push(0.0, counts.iter().map(|&c| c as f64).collect());
         result.metrics.record("alive", 0, alive_n as f64);
 
         for period in 0..periods {
@@ -123,7 +129,12 @@ impl AggregateRuntime {
                             outcome_probs.push((to.index(), survive * fire));
                             survive *= 1.0 - fire;
                         }
-                        Action::PushSample { target_state, samples, prob, to } => {
+                        Action::PushSample {
+                            target_state,
+                            samples,
+                            prob,
+                            to,
+                        } => {
                             // Executors do not move; each of their samples
                             // converts an alive member of target_state with the
                             // per-draw probability.
@@ -143,7 +154,9 @@ impl AggregateRuntime {
                                 );
                             }
                         }
-                        Action::Tokenize { token_state, to, .. } => {
+                        Action::Tokenize {
+                            token_state, to, ..
+                        } => {
                             let fired = binomial(&mut rng, k_s, fire);
                             let consumed = fired.min(start[token_state.index()]);
                             if consumed > 0 {
@@ -161,8 +174,7 @@ impl AggregateRuntime {
 
                 if !outcome_probs.is_empty() {
                     // Multinomial draw over (outcome_1, ..., outcome_m, stay).
-                    let mut weights: Vec<f64> =
-                        outcome_probs.iter().map(|(_, p)| *p).collect();
+                    let mut weights: Vec<f64> = outcome_probs.iter().map(|(_, p)| *p).collect();
                     let stay = (1.0 - weights.iter().sum::<f64>()).max(0.0);
                     weights.push(stay);
                     let draws = multinomial(&mut rng, k_s, &weights);
@@ -187,7 +199,10 @@ impl AggregateRuntime {
                 let new = *c as i64 + d;
                 *c = new.max(0) as u64;
             }
-            result.counts.push((period + 1) as f64, counts.iter().map(|&c| c as f64).collect());
+            result.counts.push(
+                (period + 1) as f64,
+                counts.iter().map(|&c| c as f64).collect(),
+            );
             result.metrics.record("alive", period + 1, alive_n as f64);
         }
         Ok(result)
@@ -206,7 +221,12 @@ impl AggregateRuntime {
                 }
                 p
             }
-            Action::SampleAny { target_state, samples, prob, .. } => {
+            Action::SampleAny {
+                target_state,
+                samples,
+                prob,
+                ..
+            } => {
                 let hit = (counts[target_state.index()] as f64 / n) * contact_ok;
                 prob * (1.0 - (1.0 - hit).powi(*samples as i32))
             }
@@ -299,7 +319,9 @@ mod tests {
             .unwrap();
 
         let scenario = Scenario::new(n as usize, periods).unwrap().with_seed(42);
-        let agent = AgentRuntime::new(protocol).run(&scenario, &initial).unwrap();
+        let agent = AgentRuntime::new(protocol)
+            .run(&scenario, &initial)
+            .unwrap();
 
         let window_mean = |result: &RunResult| {
             let xs = result.state_series("x").unwrap();
@@ -348,7 +370,9 @@ mod tests {
             (0.8..1.2).contains(&ratio),
             "x_half/x_full = {ratio} (expected ≈ 1: same count, double fraction)"
         );
-        assert!(AggregateRuntime::new(epidemic_protocol()).with_alive_fraction(0.0).is_err());
+        assert!(AggregateRuntime::new(epidemic_protocol())
+            .with_alive_fraction(0.0)
+            .is_err());
     }
 
     #[test]
@@ -359,7 +383,15 @@ mod tests {
         let b = protocol.require_state("b").unwrap();
         let c = protocol.require_state("c").unwrap();
         protocol
-            .add_action(a, Action::PushSample { target_state: b, samples: 2, prob: 1.0, to: c })
+            .add_action(
+                a,
+                Action::PushSample {
+                    target_state: b,
+                    samples: 2,
+                    prob: 1.0,
+                    to: c,
+                },
+            )
             .unwrap();
         let result = AggregateRuntime::new(protocol)
             .run(1_000, 30, &InitialStates::counts(&[500, 500, 0]), 3)
@@ -367,7 +399,11 @@ mod tests {
         let last = result.final_counts();
         assert_eq!(last.iter().sum::<f64>(), 1_000.0);
         assert_eq!(last[0], 500.0, "pushers never move");
-        assert!(last[1] < 50.0, "almost all b processes get converted, got {}", last[1]);
+        assert!(
+            last[1] < 50.0,
+            "almost all b processes get converted, got {}",
+            last[1]
+        );
         assert!(result.total_transitions("b", "c") > 400.0);
     }
 
@@ -392,8 +428,12 @@ mod tests {
     #[test]
     fn initial_distribution_validation() {
         let runtime = AggregateRuntime::new(epidemic_protocol());
-        assert!(runtime.run(100, 5, &InitialStates::counts(&[50, 49]), 0).is_err());
-        assert!(runtime.run(100, 5, &InitialStates::counts(&[50, 50, 0]), 0).is_err());
+        assert!(runtime
+            .run(100, 5, &InitialStates::counts(&[50, 49]), 0)
+            .is_err());
+        assert!(runtime
+            .run(100, 5, &InitialStates::counts(&[50, 50, 0]), 0)
+            .is_err());
     }
 
     #[test]

@@ -62,10 +62,7 @@ impl InitialStates {
                 if counts.len() != num_states {
                     return Err(CoreError::InvalidConfig {
                         name: "initial_states",
-                        reason: format!(
-                            "expected {num_states} counts, got {}",
-                            counts.len()
-                        ),
+                        reason: format!("expected {num_states} counts, got {}", counts.len()),
                     });
                 }
                 let total: u64 = counts.iter().sum();
@@ -248,14 +245,19 @@ mod tests {
 
     #[test]
     fn initial_states_counts_validation() {
-        assert_eq!(InitialStates::counts(&[60, 40]).resolve(2, 100).unwrap(), vec![60, 40]);
+        assert_eq!(
+            InitialStates::counts(&[60, 40]).resolve(2, 100).unwrap(),
+            vec![60, 40]
+        );
         assert!(InitialStates::counts(&[60, 40]).resolve(3, 100).is_err());
         assert!(InitialStates::counts(&[60, 41]).resolve(2, 100).is_err());
     }
 
     #[test]
     fn initial_states_fraction_rounding() {
-        let counts = InitialStates::fractions(&[0.6, 0.4]).resolve(2, 101).unwrap();
+        let counts = InitialStates::fractions(&[0.6, 0.4])
+            .resolve(2, 101)
+            .unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 101);
         assert_eq!(counts, vec![61, 40]);
         // Thirds still sum exactly.
@@ -263,8 +265,12 @@ mod tests {
             .resolve(3, 1000)
             .unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 1000);
-        assert!(InitialStates::fractions(&[0.6, 0.6]).resolve(2, 10).is_err());
-        assert!(InitialStates::fractions(&[-0.1, 1.1]).resolve(2, 10).is_err());
+        assert!(InitialStates::fractions(&[0.6, 0.6])
+            .resolve(2, 10)
+            .is_err());
+        assert!(InitialStates::fractions(&[-0.1, 1.1])
+            .resolve(2, 10)
+            .is_err());
         assert!(InitialStates::fractions(&[1.0]).resolve(2, 10).is_err());
     }
 

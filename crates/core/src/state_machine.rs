@@ -80,7 +80,12 @@ impl Protocol {
             }
         }
         let n = states.len();
-        Ok(Protocol { name: name.into(), states, actions: vec![Vec::new(); n], time_scale: 1.0 })
+        Ok(Protocol {
+            name: name.into(),
+            states,
+            actions: vec![Vec::new(); n],
+            time_scale: 1.0,
+        })
     }
 
     /// The protocol's name (used in reports and rendered output).
@@ -118,7 +123,8 @@ impl Protocol {
     ///
     /// Returns [`CoreError::UnknownState`] if no state has that name.
     pub fn require_state(&self, name: &str) -> Result<StateId> {
-        self.state(name).ok_or_else(|| CoreError::UnknownState(name.to_string()))
+        self.state(name)
+            .ok_or_else(|| CoreError::UnknownState(name.to_string()))
     }
 
     /// All state ids in order.
@@ -211,7 +217,11 @@ impl Protocol {
                     self.check_state(*s)?;
                 }
             }
-            Action::Tokenize { required, token_state, .. } => {
+            Action::Tokenize {
+                required,
+                token_state,
+                ..
+            } => {
                 for s in required {
                     self.check_state(*s)?;
                 }
@@ -284,10 +294,25 @@ mod tests {
         // Bad probability.
         assert!(p.add_action(x, Action::Flip { prob: 1.5, to: y }).is_err());
         // Bad destination.
-        assert!(p.add_action(x, Action::Flip { prob: 0.5, to: StateId::new(9) }).is_err());
+        assert!(p
+            .add_action(
+                x,
+                Action::Flip {
+                    prob: 0.5,
+                    to: StateId::new(9)
+                }
+            )
+            .is_err());
         // Bad required state inside a Sample.
         assert!(p
-            .add_action(x, Action::Sample { required: vec![StateId::new(9)], prob: 0.1, to: y })
+            .add_action(
+                x,
+                Action::Sample {
+                    required: vec![StateId::new(9)],
+                    prob: 0.1,
+                    to: y
+                }
+            )
             .is_err());
         // Bad token state.
         assert!(p
@@ -305,11 +330,18 @@ mod tests {
         assert!(p
             .add_action(
                 x,
-                Action::SampleAny { target_state: StateId::new(9), samples: 1, prob: 0.1, to: y }
+                Action::SampleAny {
+                    target_state: StateId::new(9),
+                    samples: 1,
+                    prob: 0.1,
+                    to: y
+                }
             )
             .is_err());
         // Unknown source state.
-        assert!(p.add_action(StateId::new(9), Action::Flip { prob: 0.5, to: y }).is_err());
+        assert!(p
+            .add_action(StateId::new(9), Action::Flip { prob: 0.5, to: y })
+            .is_err());
         assert!(p.validate().is_ok());
     }
 
@@ -328,8 +360,16 @@ mod tests {
         let mut p = three_state();
         let x = p.require_state("x").unwrap();
         let y = p.require_state("y").unwrap();
-        p.add_action(x, Action::SampleAny { target_state: y, samples: 2, prob: 1.0, to: y })
-            .unwrap();
+        p.add_action(
+            x,
+            Action::SampleAny {
+                target_state: y,
+                samples: 2,
+                prob: 1.0,
+                to: y,
+            },
+        )
+        .unwrap();
         let text = p.render();
         assert!(text.contains("state x:"));
         assert!(text.contains("state z:"));

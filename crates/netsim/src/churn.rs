@@ -59,7 +59,10 @@ impl ChurnTrace {
                 reason: "all hours must cover the same number of hosts".into(),
             });
         }
-        Ok(ChurnTrace { availability: matrix, hosts })
+        Ok(ChurnTrace {
+            availability: matrix,
+            hosts,
+        })
     }
 
     /// Parses the simple text format: one line per hour, one `0`/`1` character
@@ -172,7 +175,10 @@ impl ChurnTrace {
         for hour in 1..self.hours() {
             let base_period = hour as u64 * periods_per_hour;
             let mut per_period: Vec<ChurnEvent> = (0..periods_per_hour)
-                .map(|k| ChurnEvent { period: base_period + k, ..Default::default() })
+                .map(|k| ChurnEvent {
+                    period: base_period + k,
+                    ..Default::default()
+                })
                 .collect();
             for host in 0..self.hosts {
                 let before = self.availability[hour - 1][host];
@@ -187,7 +193,11 @@ impl ChurnTrace {
                     per_period[slot].leaves.push(ProcessId(host));
                 }
             }
-            events.extend(per_period.into_iter().filter(|e| !e.joins.is_empty() || !e.leaves.is_empty()));
+            events.extend(
+                per_period
+                    .into_iter()
+                    .filter(|e| !e.joins.is_empty() || !e.leaves.is_empty()),
+            );
         }
         events
     }
@@ -324,8 +334,10 @@ mod tests {
         assert_eq!(trace.hours(), 100);
         assert_eq!(trace.hosts(), 2000);
         // Mean availability stays near the target.
-        let mean_avail: f64 =
-            (0..trace.hours()).map(|h| trace.availability_at(h)).sum::<f64>() / 100.0;
+        let mean_avail: f64 = (0..trace.hours())
+            .map(|h| trace.availability_at(h))
+            .sum::<f64>()
+            / 100.0;
         assert!((mean_avail - 0.7).abs() < 0.05, "availability {mean_avail}");
         // Mean hourly churn falls inside the configured band (generously).
         let churn = trace.mean_hourly_churn();
@@ -339,11 +351,21 @@ mod tests {
     #[test]
     fn synthetic_config_validation() {
         let mut rng = Rng::seed_from(1);
-        let bad = SyntheticChurnConfig { hosts: 0, ..Default::default() };
+        let bad = SyntheticChurnConfig {
+            hosts: 0,
+            ..Default::default()
+        };
         assert!(bad.generate(&mut rng).is_err());
-        let bad = SyntheticChurnConfig { churn_min: 0.5, churn_max: 0.2, ..Default::default() };
+        let bad = SyntheticChurnConfig {
+            churn_min: 0.5,
+            churn_max: 0.2,
+            ..Default::default()
+        };
         assert!(bad.generate(&mut rng).is_err());
-        let bad = SyntheticChurnConfig { mean_availability: 1.5, ..Default::default() };
+        let bad = SyntheticChurnConfig {
+            mean_availability: 1.5,
+            ..Default::default()
+        };
         assert!(bad.generate(&mut rng).is_err());
     }
 

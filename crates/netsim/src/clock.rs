@@ -31,12 +31,18 @@ impl PeriodClock {
                 reason: format!("period must be positive, got {period_secs}"),
             });
         }
-        Ok(PeriodClock { period_secs, drift_bound: 0.0 })
+        Ok(PeriodClock {
+            period_secs,
+            drift_bound: 0.0,
+        })
     }
 
     /// The paper's endemic-experiment setting: a 6-minute protocol period.
     pub fn six_minutes() -> Self {
-        PeriodClock { period_secs: 360.0, drift_bound: 0.0 }
+        PeriodClock {
+            period_secs: 360.0,
+            drift_bound: 0.0,
+        }
     }
 
     /// Sets the bounded relative clock drift (e.g. `0.01` = ±1 %) used when
@@ -130,7 +136,10 @@ mod tests {
 
     #[test]
     fn drift_sampling_is_bounded() {
-        let c = PeriodClock::new(100.0).unwrap().with_drift_bound(0.1).unwrap();
+        let c = PeriodClock::new(100.0)
+            .unwrap()
+            .with_drift_bound(0.1)
+            .unwrap();
         let mut rng = Rng::seed_from(1);
         let mut sum = 0.0;
         for _ in 0..10_000 {

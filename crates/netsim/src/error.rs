@@ -65,14 +65,27 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SimError::UnknownProcess { id: 5, group_size: 3 }.to_string().contains('5'));
-        assert!(SimError::InvalidProbability { name: "p", value: 2.0 }
+        assert!(SimError::UnknownProcess {
+            id: 5,
+            group_size: 3
+        }
+        .to_string()
+        .contains('5'));
+        assert!(SimError::InvalidProbability {
+            name: "p",
+            value: 2.0
+        }
+        .to_string()
+        .contains("[0, 1]"));
+        assert!(SimError::InvalidConfig {
+            name: "n",
+            reason: "zero".into()
+        }
+        .to_string()
+        .contains("zero"));
+        assert!(SimError::UnknownSeries("x".into())
             .to_string()
-            .contains("[0, 1]"));
-        assert!(SimError::InvalidConfig { name: "n", reason: "zero".into() }
-            .to_string()
-            .contains("zero"));
-        assert!(SimError::UnknownSeries("x".into()).to_string().contains('x'));
+            .contains('x'));
     }
 
     #[test]

@@ -142,7 +142,10 @@ impl FailureModel {
     pub fn new(crash_prob: f64, recover_prob: f64) -> Result<Self> {
         check_probability("crash_prob", crash_prob)?;
         check_probability("recover_prob", recover_prob)?;
-        Ok(FailureModel { crash_prob, recover_prob })
+        Ok(FailureModel {
+            crash_prob,
+            recover_prob,
+        })
     }
 
     /// Per-period crash probability of an alive process.
@@ -210,7 +213,10 @@ pub fn validate_event(event: &FailureEvent, group_size: usize) -> Result<()> {
             if id.index() < group_size {
                 Ok(())
             } else {
-                Err(SimError::UnknownProcess { id: id.index(), group_size })
+                Err(SimError::UnknownProcess {
+                    id: id.index(),
+                    group_size,
+                })
             }
         }
     }
@@ -280,7 +286,10 @@ mod tests {
             model.step(&mut group, &mut rng).unwrap();
         }
         let availability = group.alive_fraction();
-        assert!((availability - 0.8).abs() < 0.05, "availability {availability}");
+        assert!(
+            (availability - 0.8).abs() < 0.05,
+            "availability {availability}"
+        );
     }
 
     #[test]

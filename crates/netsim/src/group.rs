@@ -47,7 +47,10 @@ pub struct Group {
 impl Group {
     /// Creates a group of `n` processes, all initially alive.
     pub fn new(n: usize) -> Self {
-        Group { alive: vec![true; n], alive_count: n }
+        Group {
+            alive: vec![true; n],
+            alive_count: n,
+        }
     }
 
     /// Total (maximal) group size `N`, including crashed processes.
@@ -83,7 +86,10 @@ impl Group {
         self.alive
             .get(id.index())
             .copied()
-            .ok_or(SimError::UnknownProcess { id: id.index(), group_size: self.size() })
+            .ok_or(SimError::UnknownProcess {
+                id: id.index(),
+                group_size: self.size(),
+            })
     }
 
     /// Marks a process as crashed / departed. Idempotent.
@@ -94,7 +100,10 @@ impl Group {
     pub fn crash(&mut self, id: ProcessId) -> Result<()> {
         let i = id.index();
         if i >= self.alive.len() {
-            return Err(SimError::UnknownProcess { id: i, group_size: self.size() });
+            return Err(SimError::UnknownProcess {
+                id: i,
+                group_size: self.size(),
+            });
         }
         if self.alive[i] {
             self.alive[i] = false;
@@ -111,7 +120,10 @@ impl Group {
     pub fn recover(&mut self, id: ProcessId) -> Result<()> {
         let i = id.index();
         if i >= self.alive.len() {
-            return Err(SimError::UnknownProcess { id: i, group_size: self.size() });
+            return Err(SimError::UnknownProcess {
+                id: i,
+                group_size: self.size(),
+            });
         }
         if !self.alive[i] {
             self.alive[i] = true;
@@ -159,7 +171,11 @@ impl Group {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidProbability`] if `fraction` is outside `[0, 1]`.
-    pub fn crash_random_fraction(&mut self, rng: &mut Rng, fraction: f64) -> Result<Vec<ProcessId>> {
+    pub fn crash_random_fraction(
+        &mut self,
+        rng: &mut Rng,
+        fraction: f64,
+    ) -> Result<Vec<ProcessId>> {
         crate::error::check_probability("fraction", fraction)?;
         let alive_ids: Vec<ProcessId> = self.alive_ids().collect();
         let k = (fraction * alive_ids.len() as f64).floor() as usize;

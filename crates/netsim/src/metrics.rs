@@ -47,7 +47,14 @@ impl SummaryStats {
         } else {
             0.0
         };
-        Some(SummaryStats { count, mean, median, min, max, std_dev })
+        Some(SummaryStats {
+            count,
+            mean,
+            median,
+            min,
+            max,
+            std_dev,
+        })
     }
 }
 
@@ -80,7 +87,10 @@ impl MetricsRecorder {
 
     /// Appends a sample to the named series (creating it if needed).
     pub fn record(&mut self, series: &str, period: u64, value: f64) {
-        self.series.entry(series.to_string()).or_default().push((period, value));
+        self.series
+            .entry(series.to_string())
+            .or_default()
+            .push((period, value));
     }
 
     /// Increments the last sample of the named series at `period` by `delta`,
@@ -141,7 +151,10 @@ impl MetricsRecorder {
 
     /// The most recent value of a series, if any.
     pub fn last(&self, name: &str) -> Option<f64> {
-        self.series.get(name).and_then(|s| s.last()).map(|(_, v)| *v)
+        self.series
+            .get(name)
+            .and_then(|s| s.last())
+            .map(|(_, v)| *v)
     }
 
     /// Renders the named series side by side as CSV (`period,name1,name2,…`),
@@ -180,7 +193,10 @@ impl MetricsRecorder {
     /// Merges another recorder's series into this one (samples are appended).
     pub fn merge(&mut self, other: &MetricsRecorder) {
         for (name, samples) in &other.series {
-            self.series.entry(name.clone()).or_default().extend(samples.iter().copied());
+            self.series
+                .entry(name.clone())
+                .or_default()
+                .extend(samples.iter().copied());
         }
     }
 }

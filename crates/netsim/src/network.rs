@@ -27,7 +27,10 @@ pub struct LossConfig {
 
 impl Default for LossConfig {
     fn default() -> Self {
-        LossConfig { connection_failure: 0.0, message_loss: 0.0 }
+        LossConfig {
+            connection_failure: 0.0,
+            message_loss: 0.0,
+        }
     }
 }
 
@@ -45,7 +48,10 @@ impl LossConfig {
     pub fn new(connection_failure: f64, message_loss: f64) -> Result<Self> {
         check_probability("connection_failure", connection_failure)?;
         check_probability("message_loss", message_loss)?;
-        Ok(LossConfig { connection_failure, message_loss })
+        Ok(LossConfig {
+            connection_failure,
+            message_loss,
+        })
     }
 
     /// Probability that a contact attempt fails outright.
@@ -118,10 +124,14 @@ mod tests {
         let cfg = LossConfig::new(0.3, 0.1).unwrap();
         let mut rng = Rng::seed_from(2);
         let trials = 100_000;
-        let ok = (0..trials).filter(|_| cfg.contact_succeeds(&mut rng, 1)).count();
+        let ok = (0..trials)
+            .filter(|_| cfg.contact_succeeds(&mut rng, 1))
+            .count();
         let expected = 0.7 * 0.9;
         assert!((ok as f64 / trials as f64 - expected).abs() < 0.01);
-        let delivered = (0..trials).filter(|_| cfg.message_delivered(&mut rng)).count();
+        let delivered = (0..trials)
+            .filter(|_| cfg.message_delivered(&mut rng))
+            .count();
         assert!((delivered as f64 / trials as f64 - 0.9).abs() < 0.01);
     }
 }

@@ -98,8 +98,10 @@ impl Scenario {
     /// Returns an error if the fraction lies outside `[0, 1]`.
     pub fn with_massive_failure(mut self, period: u64, fraction: f64) -> Result<Self> {
         crate::error::check_probability("fraction", fraction)?;
-        self.failure_schedule
-            .add(period, crate::failure::FailureEvent::MassiveFailure { fraction });
+        self.failure_schedule.add(
+            period,
+            crate::failure::FailureEvent::MassiveFailure { fraction },
+        );
         Ok(self)
     }
 
@@ -260,7 +262,10 @@ mod tests {
 
     #[test]
     fn massive_failure_applies_at_period() {
-        let s = Scenario::new(1000, 100).unwrap().with_massive_failure(50, 0.5).unwrap();
+        let s = Scenario::new(1000, 100)
+            .unwrap()
+            .with_massive_failure(50, 0.5)
+            .unwrap();
         let mut group = s.build_group();
         let mut rng = s.build_rng();
         let (down, up) = s.apply_period_events(49, &mut group, &mut rng).unwrap();
@@ -268,7 +273,10 @@ mod tests {
         let (down, _) = s.apply_period_events(50, &mut group, &mut rng).unwrap();
         assert_eq!(down.len(), 500);
         assert_eq!(group.alive_count(), 500);
-        assert!(Scenario::new(10, 10).unwrap().with_massive_failure(1, 1.5).is_err());
+        assert!(Scenario::new(10, 10)
+            .unwrap()
+            .with_massive_failure(1, 1.5)
+            .is_err());
     }
 
     #[test]
@@ -298,7 +306,10 @@ mod tests {
             .unwrap()
             .with_churn_trace(&trace, &mut rng)
             .is_err());
-        let s = Scenario::new(200, 100).unwrap().with_churn_trace(&trace, &mut rng).unwrap();
+        let s = Scenario::new(200, 100)
+            .unwrap()
+            .with_churn_trace(&trace, &mut rng)
+            .unwrap();
         let group = s.build_group();
         // Hour-0 availability applied: roughly half alive.
         assert!(group.alive_count() > 60 && group.alive_count() < 140);

@@ -168,7 +168,11 @@ mod tests {
         let (n, p, draws) = (40u64, 0.2, 20_000);
         let samples: Vec<u64> = (0..draws).map(|_| binomial(&mut r, n, p)).collect();
         let mean = samples.iter().sum::<u64>() as f64 / draws as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / draws as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / draws as f64;
         assert!((mean - n as f64 * p).abs() < 0.2, "mean {mean}");
         assert!((var - n as f64 * p * (1.0 - p)).abs() < 0.5, "var {var}");
     }
@@ -193,7 +197,11 @@ mod tests {
         let expected = n as f64 * p;
         assert!((mean - expected).abs() < expected * 0.005, "mean {mean}");
         let sd = (n as f64 * p * (1.0 - p)).sqrt();
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / draws as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / draws as f64;
         assert!((var.sqrt() - sd).abs() < sd * 0.1);
     }
 
@@ -201,8 +209,10 @@ mod tests {
     fn binomial_large_p_symmetry() {
         let mut r = rng();
         let (n, draws) = (1000u64, 10_000);
-        let mean: f64 =
-            (0..draws).map(|_| binomial(&mut r, n, 0.97) as f64).sum::<f64>() / draws as f64;
+        let mean: f64 = (0..draws)
+            .map(|_| binomial(&mut r, n, 0.97) as f64)
+            .sum::<f64>()
+            / draws as f64;
         assert!((mean - 970.0).abs() < 2.0, "mean {mean}");
     }
 
@@ -284,8 +294,7 @@ mod tests {
         assert_eq!(geometric(&mut r, 0.0), u64::MAX);
         let p = 0.25;
         let draws = 50_000;
-        let mean: f64 =
-            (0..draws).map(|_| geometric(&mut r, p) as f64).sum::<f64>() / draws as f64;
+        let mean: f64 = (0..draws).map(|_| geometric(&mut r, p) as f64).sum::<f64>() / draws as f64;
         // E[failures before success] = (1-p)/p = 3.
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
     }

@@ -53,8 +53,11 @@ impl BasinMap {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let hits =
-            self.samples.iter().filter(|(_, o)| matches!(o, BasinOutcome::Undecided)).count();
+        let hits = self
+            .samples
+            .iter()
+            .filter(|(_, o)| matches!(o, BasinOutcome::Undecided))
+            .count();
         hits as f64 / self.samples.len() as f64
     }
 
@@ -87,7 +90,12 @@ pub struct BasinSweep {
 
 impl Default for BasinSweep {
     fn default() -> Self {
-        BasinSweep { t_end: 50.0, step: 0.05, tolerance: 1e-2, resolution: 8 }
+        BasinSweep {
+            t_end: 50.0,
+            step: 0.05,
+            tolerance: 1e-2,
+            resolution: 8,
+        }
     }
 }
 
@@ -101,22 +109,36 @@ impl BasinSweep {
     pub fn run(&self, sys: &EquationSystem, attractors: &[Vec<f64>]) -> Result<BasinMap> {
         for a in attractors {
             if a.len() != sys.dim() {
-                return Err(OdeError::DimensionMismatch { expected: sys.dim(), actual: a.len() });
+                return Err(OdeError::DimensionMismatch {
+                    expected: sys.dim(),
+                    actual: a.len(),
+                });
             }
         }
         let integrator = Rk4::new(self.step);
         let mut samples = Vec::new();
         let mut seed = vec![0usize; sys.dim()];
-        enumerate_simplex(0, self.resolution, &mut seed, &mut |grid| {
-            let point: Vec<f64> =
-                grid.iter().map(|&g| g as f64 / self.resolution.max(1) as f64).collect();
-            let outcome = match integrator.integrate(sys, 0.0, &point, self.t_end) {
-                Ok(traj) => classify_final(traj.last_state(), attractors, self.tolerance),
-                Err(_) => BasinOutcome::Undecided,
-            };
-            samples.push((point, outcome));
-        }, sys.dim());
-        Ok(BasinMap { attractors: attractors.to_vec(), samples })
+        enumerate_simplex(
+            0,
+            self.resolution,
+            &mut seed,
+            &mut |grid| {
+                let point: Vec<f64> = grid
+                    .iter()
+                    .map(|&g| g as f64 / self.resolution.max(1) as f64)
+                    .collect();
+                let outcome = match integrator.integrate(sys, 0.0, &point, self.t_end) {
+                    Ok(traj) => classify_final(traj.last_state(), attractors, self.tolerance),
+                    Err(_) => BasinOutcome::Undecided,
+                };
+                samples.push((point, outcome));
+            },
+            sys.dim(),
+        );
+        Ok(BasinMap {
+            attractors: attractors.to_vec(),
+            samples,
+        })
     }
 
     /// Convenience wrapper: finds the stable equilibria of `sys` automatically
@@ -142,8 +164,12 @@ impl BasinSweep {
 
 fn classify_final(state: &[f64], attractors: &[Vec<f64>], tol: f64) -> BasinOutcome {
     for (i, a) in attractors.iter().enumerate() {
-        let dist: f64 =
-            state.iter().zip(a).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+        let dist: f64 = state
+            .iter()
+            .zip(a)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
         if dist <= tol {
             return BasinOutcome::Attractor(i);
         }
@@ -194,7 +220,12 @@ mod tests {
     fn lv_basins_are_split_by_the_diagonal() {
         let sys = lv();
         let attractors = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]];
-        let map = BasinSweep { resolution: 8, ..Default::default() }.run(&sys, &attractors).unwrap();
+        let map = BasinSweep {
+            resolution: 8,
+            ..Default::default()
+        }
+        .run(&sys, &attractors)
+        .unwrap();
         // Every sampled point off the diagonal converges to the attractor on
         // its own side.
         for (point, outcome) in &map.samples {
@@ -211,7 +242,10 @@ mod tests {
         assert!((f0 - f1).abs() < 1e-9);
         assert!(f0 > 0.35);
         assert!(map.undecided_fraction() > 0.0);
-        assert_eq!(map.outcome_near(&[0.6, 0.2, 0.2]), Some(BasinOutcome::Attractor(0)));
+        assert_eq!(
+            map.outcome_near(&[0.6, 0.2, 0.2]),
+            Some(BasinOutcome::Attractor(0))
+        );
     }
 
     #[test]
@@ -231,8 +265,17 @@ mod tests {
             .term("y", -6.0, &[("x", 1), ("y", 1)])
             .build()
             .unwrap();
-        let map = BasinSweep { resolution: 6, ..Default::default() }.run_auto(&sys).unwrap();
-        assert_eq!(map.attractors.len(), 2, "the two winning corners are the only stable points");
+        let map = BasinSweep {
+            resolution: 6,
+            ..Default::default()
+        }
+        .run_auto(&sys)
+        .unwrap();
+        assert_eq!(
+            map.attractors.len(),
+            2,
+            "the two winning corners are the only stable points"
+        );
         assert!(map.basin_fraction(0) > 0.3);
         assert!(map.basin_fraction(1) > 0.3);
         assert!(map.undecided_fraction() < 0.35);
@@ -242,7 +285,10 @@ mod tests {
     fn dimension_mismatch_is_rejected_and_empty_map_is_safe() {
         let sys = lv();
         assert!(BasinSweep::default().run(&sys, &[vec![1.0, 0.0]]).is_err());
-        let empty = BasinMap { attractors: vec![], samples: vec![] };
+        let empty = BasinMap {
+            attractors: vec![],
+            samples: vec![],
+        };
         assert_eq!(empty.basin_fraction(0), 0.0);
         assert_eq!(empty.undecided_fraction(), 0.0);
         assert_eq!(empty.outcome_near(&[0.0]), None);
@@ -256,9 +302,13 @@ mod tests {
             .term("y", 1.0, &[("x", 1), ("y", 1)])
             .build()
             .unwrap();
-        let map = BasinSweep { t_end: 100.0, resolution: 10, ..Default::default() }
-            .run(&sys, &[vec![0.0, 1.0]])
-            .unwrap();
+        let map = BasinSweep {
+            t_end: 100.0,
+            resolution: 10,
+            ..Default::default()
+        }
+        .run(&sys, &[vec![0.0, 1.0]])
+        .unwrap();
         // Every point with at least one infected process converges to (0, 1);
         // the single undecided point is the disease-free corner (1, 0).
         assert!(map.basin_fraction(0) > 0.9);

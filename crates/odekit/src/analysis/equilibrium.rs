@@ -44,7 +44,11 @@ pub struct EquilibriumFinder {
 
 impl Default for EquilibriumFinder {
     fn default() -> Self {
-        EquilibriumFinder { max_iter: 200, tol: 1e-12, dedup_tol: 1e-6 }
+        EquilibriumFinder {
+            max_iter: 200,
+            tol: 1e-12,
+            dedup_tol: 1e-6,
+        }
     }
 }
 
@@ -87,7 +91,10 @@ impl EquilibriumFinder {
     /// iterate and no damping helps.
     pub fn from_guess(&self, sys: &EquationSystem, guess: &[f64]) -> Result<Vec<f64>> {
         if guess.len() != sys.dim() {
-            return Err(OdeError::DimensionMismatch { expected: sys.dim(), actual: guess.len() });
+            return Err(OdeError::DimensionMismatch {
+                expected: sys.dim(),
+                actual: guess.len(),
+            });
         }
         let mut x = guess.to_vec();
         for _ in 0..self.max_iter {
@@ -112,8 +119,11 @@ impl EquilibriumFinder {
             let mut step = 1.0;
             let mut improved = false;
             for _ in 0..30 {
-                let candidate: Vec<f64> =
-                    x.iter().zip(&delta).map(|(xi, di)| xi + step * di).collect();
+                let candidate: Vec<f64> = x
+                    .iter()
+                    .zip(&delta)
+                    .map(|(xi, di)| xi + step * di)
+                    .collect();
                 let f_new = sys.eval_rhs(&candidate);
                 let new_res = f_new.iter().fold(0.0_f64, |a, v| a.max(v.abs()));
                 if new_res < residual || new_res <= self.tol {
@@ -131,7 +141,10 @@ impl EquilibriumFinder {
                 }
             }
         }
-        Err(OdeError::NoConvergence { context: "Newton equilibrium search", iterations: self.max_iter })
+        Err(OdeError::NoConvergence {
+            context: "Newton equilibrium search",
+            iterations: self.max_iter,
+        })
     }
 
     /// Searches for equilibria by seeding Newton from a regular grid over the
@@ -158,8 +171,10 @@ impl EquilibriumFinder {
         let dim = sys.dim();
         if index == dim - 1 {
             seed[index] = remaining;
-            let guess: Vec<f64> =
-                seed.iter().map(|&k| k as f64 / resolution.max(1) as f64).collect();
+            let guess: Vec<f64> = seed
+                .iter()
+                .map(|&k| k as f64 / resolution.max(1) as f64)
+                .collect();
             if let Ok(eq) = self.from_guess(sys, &guess) {
                 if eq.iter().all(|v| v.is_finite()) && !self.is_duplicate(found, &eq) {
                     found.push(eq);
@@ -261,7 +276,9 @@ mod tests {
     fn simplex_search_finds_both_endemic_equilibria() {
         let sys = endemic(4.0, 1.0, 0.01);
         let eqs = EquilibriumFinder::new().search_simplex(&sys, 8);
-        assert!(eqs.iter().any(|p| (p[0] - 1.0).abs() < 1e-6 && p[1].abs() < 1e-6));
+        assert!(eqs
+            .iter()
+            .any(|p| (p[0] - 1.0).abs() < 1e-6 && p[1].abs() < 1e-6));
         assert!(eqs.iter().any(|p| (p[0] - 0.25).abs() < 1e-6));
     }
 
@@ -284,7 +301,8 @@ mod tests {
         let expect = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0 / 3.0, 1.0 / 3.0)];
         for (ex, ey) in expect {
             assert!(
-                eqs.iter().any(|p| (p[0] - ex).abs() < 1e-6 && (p[1] - ey).abs() < 1e-6),
+                eqs.iter()
+                    .any(|p| (p[0] - ex).abs() < 1e-6 && (p[1] - ey).abs() < 1e-6),
                 "missing equilibrium ({ex}, {ey}) in {eqs:?}"
             );
         }
@@ -295,7 +313,9 @@ mod tests {
     fn wrong_guess_dimension_rejected() {
         let sys = endemic(4.0, 1.0, 0.01);
         assert!(EquilibriumFinder::new().from_guess(&sys, &[0.1]).is_err());
-        assert!(EquilibriumFinder::new().search_box(&sys, &[(0.0, 1.0)], 2).is_err());
+        assert!(EquilibriumFinder::new()
+            .search_box(&sys, &[(0.0, 1.0)], 2)
+            .is_err());
     }
 
     #[test]
@@ -320,7 +340,9 @@ mod tests {
             .term("y", -1.0, &[("y", 1)])
             .build()
             .unwrap();
-        let eq = EquilibriumFinder::new().from_guess(&sys, &[0.4, 0.41]).unwrap();
+        let eq = EquilibriumFinder::new()
+            .from_guess(&sys, &[0.4, 0.41])
+            .unwrap();
         assert!((eq[0] - eq[1]).abs() < 1e-9);
     }
 }

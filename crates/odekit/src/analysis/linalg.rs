@@ -42,33 +42,51 @@ impl Complex {
         self.im.abs() <= tol * self.abs().max(1.0)
     }
 
-    /// Complex addition.
-    pub fn add(self, o: Complex) -> Complex {
-        Complex::new(self.re + o.re, self.im + o.im)
-    }
-
-    /// Complex subtraction.
-    pub fn sub(self, o: Complex) -> Complex {
-        Complex::new(self.re - o.re, self.im - o.im)
-    }
-
-    /// Complex multiplication.
-    pub fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
-    }
-
-    /// Complex division.
-    pub fn div(self, o: Complex) -> Complex {
-        let d = o.re * o.re + o.im * o.im;
-        Complex::new((self.re * o.re + self.im * o.im) / d, (self.im * o.re - self.re * o.im) / d)
-    }
-
     /// Principal square root.
     pub fn sqrt(self) -> Complex {
         let r = self.abs();
         let re = ((r + self.re) / 2.0).max(0.0).sqrt();
         let im_mag = ((r - self.re) / 2.0).max(0.0).sqrt();
         Complex::new(re, if self.im < 0.0 { -im_mag } else { im_mag })
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl std::ops::Div for Complex {
+    type Output = Complex;
+
+    fn div(self, o: Complex) -> Complex {
+        let d = o.re * o.re + o.im * o.im;
+        Complex::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
     }
 }
 
@@ -94,7 +112,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -119,13 +141,19 @@ impl Matrix {
         }
         let c = rows[0].len();
         if c == 0 || rows.iter().any(|row| row.len() != c) {
-            return Err(OdeError::Linalg("matrix rows have inconsistent lengths".into()));
+            return Err(OdeError::Linalg(
+                "matrix rows have inconsistent lengths".into(),
+            ));
         }
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -267,7 +295,9 @@ impl Matrix {
     /// Returns [`OdeError::Linalg`] if the matrix is not square.
     pub fn determinant(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(OdeError::Linalg("determinant requires a square matrix".into()));
+            return Err(OdeError::Linalg(
+                "determinant requires a square matrix".into(),
+            ));
         }
         let n = self.rows;
         let mut a = self.data.clone();
@@ -402,7 +432,9 @@ impl Matrix {
     /// [`OdeError::NoConvergence`] if root finding fails.
     pub fn eigenvalues(&self) -> Result<Vec<Complex>> {
         if !self.is_square() {
-            return Err(OdeError::Linalg("eigenvalues require a square matrix".into()));
+            return Err(OdeError::Linalg(
+                "eigenvalues require a square matrix".into(),
+            ));
         }
         match self.rows {
             0 => Ok(Vec::new()),
@@ -421,16 +453,25 @@ impl Matrix {
     ///
     /// Panics if the matrix is not 2×2.
     pub fn eigenvalues_2x2(&self) -> Vec<Complex> {
-        assert!(self.rows == 2 && self.cols == 2, "eigenvalues_2x2 requires a 2x2 matrix");
+        assert!(
+            self.rows == 2 && self.cols == 2,
+            "eigenvalues_2x2 requires a 2x2 matrix"
+        );
         let tau = self.trace();
         let delta = self.get(0, 0) * self.get(1, 1) - self.get(0, 1) * self.get(1, 0);
         let disc = tau * tau - 4.0 * delta;
         if disc >= 0.0 {
             let s = disc.sqrt();
-            vec![Complex::real((tau + s) / 2.0), Complex::real((tau - s) / 2.0)]
+            vec![
+                Complex::real((tau + s) / 2.0),
+                Complex::real((tau - s) / 2.0),
+            ]
         } else {
             let s = (-disc).sqrt();
-            vec![Complex::new(tau / 2.0, s / 2.0), Complex::new(tau / 2.0, -s / 2.0)]
+            vec![
+                Complex::new(tau / 2.0, s / 2.0),
+                Complex::new(tau / 2.0, -s / 2.0),
+            ]
         }
     }
 }
@@ -473,18 +514,14 @@ pub fn durand_kerner(coeffs: &[f64]) -> Result<Vec<Complex>> {
         // Horner evaluation from the highest coefficient down.
         let mut acc = Complex::real(monic[n]);
         for k in (0..n).rev() {
-            acc = acc.mul(z).add(Complex::real(monic[k]));
+            acc = acc * z + Complex::real(monic[k]);
         }
         acc
     };
 
     // Initial guesses on a circle of radius related to the coefficient bound,
     // using an irrational angle to avoid symmetry traps.
-    let radius = 1.0
-        + monic[..n]
-            .iter()
-            .map(|c| c.abs())
-            .fold(0.0_f64, f64::max);
+    let radius = 1.0 + monic[..n].iter().map(|c| c.abs()).fold(0.0_f64, f64::max);
     let mut roots: Vec<Complex> = (0..n)
         .map(|k| {
             let angle = 0.4 + 2.0 * std::f64::consts::PI * k as f64 / n as f64;
@@ -499,16 +536,16 @@ pub fn durand_kerner(coeffs: &[f64]) -> Result<Vec<Complex>> {
             let mut denom = Complex::real(1.0);
             for j in 0..n {
                 if i != j {
-                    denom = denom.mul(roots[i].sub(roots[j]));
+                    denom = denom * (roots[i] - roots[j]);
                 }
             }
             if denom.abs() < 1e-300 {
                 // Perturb coincident estimates slightly.
-                roots[i] = roots[i].add(Complex::new(1e-8, 1e-8));
+                roots[i] = roots[i] + Complex::new(1e-8, 1e-8);
                 continue;
             }
-            let delta = eval(roots[i]).div(denom);
-            roots[i] = roots[i].sub(delta);
+            let delta = eval(roots[i]) / denom;
+            roots[i] = roots[i] - delta;
             max_delta = max_delta.max(delta.abs());
         }
         if max_delta < 1e-13 * radius.max(1.0) {
@@ -521,7 +558,10 @@ pub fn durand_kerner(coeffs: &[f64]) -> Result<Vec<Complex>> {
             return Ok(roots);
         }
     }
-    Err(OdeError::NoConvergence { context: "Durand-Kerner root finding", iterations: max_iter })
+    Err(OdeError::NoConvergence {
+        context: "Durand-Kerner root finding",
+        iterations: max_iter,
+    })
 }
 
 #[cfg(test)]
@@ -529,7 +569,11 @@ mod tests {
     use super::*;
 
     fn sorted_re(mut v: Vec<Complex>) -> Vec<Complex> {
-        v.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap().then(a.im.partial_cmp(&b.im).unwrap()));
+        v.sort_by(|a, b| {
+            a.re.partial_cmp(&b.re)
+                .unwrap()
+                .then(a.im.partial_cmp(&b.im).unwrap())
+        });
         v
     }
 
@@ -537,13 +581,14 @@ mod tests {
     fn complex_arithmetic() {
         let a = Complex::new(1.0, 2.0);
         let b = Complex::new(3.0, -1.0);
-        assert_eq!(a.add(b), Complex::new(4.0, 1.0));
-        assert_eq!(a.sub(b), Complex::new(-2.0, 3.0));
-        assert_eq!(a.mul(b), Complex::new(5.0, 5.0));
-        let q = a.div(b);
-        let back = q.mul(b);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        let back = q * b;
         assert!((back.re - a.re).abs() < 1e-12 && (back.im - a.im).abs() < 1e-12);
-        assert!((Complex::new(0.0, 2.0).sqrt().mul(Complex::new(0.0, 2.0).sqrt()).im - 2.0).abs() < 1e-12);
+        let sq = Complex::new(0.0, 2.0).sqrt() * Complex::new(0.0, 2.0).sqrt();
+        assert!((sq.im - 2.0).abs() < 1e-12);
         assert!(Complex::real(3.0).is_real(1e-12));
         assert!(!Complex::new(1.0, 1.0).is_real(1e-12));
         assert!(Complex::new(3.0, 4.0).abs() - 5.0 < 1e-12);
@@ -621,7 +666,9 @@ mod tests {
         // Complex: rotation-like matrix [[0, -1], [1, 0]] has eigs ±i
         let r = Matrix::from_rows(&[vec![0.0, -1.0], vec![1.0, 0.0]]).unwrap();
         let eig = r.eigenvalues().unwrap();
-        assert!(eig.iter().all(|e| e.re.abs() < 1e-12 && (e.im.abs() - 1.0).abs() < 1e-12));
+        assert!(eig
+            .iter()
+            .all(|e| e.re.abs() < 1e-12 && (e.im.abs() - 1.0).abs() < 1e-12));
     }
 
     #[test]

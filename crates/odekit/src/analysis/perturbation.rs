@@ -33,7 +33,10 @@ impl Linearization {
             });
         }
         let jacobian = Matrix::from_rows(&sys.jacobian_at(equilibrium))?;
-        Ok(Linearization { equilibrium: equilibrium.to_vec(), jacobian })
+        Ok(Linearization {
+            equilibrium: equilibrium.to_vec(),
+            jacobian,
+        })
     }
 
     /// The equilibrium point.
@@ -77,12 +80,13 @@ impl OdeSystem for LinearSystem {
     }
 
     fn rhs(&self, _t: f64, state: &[f64], out: &mut [f64]) {
-        for r in 0..self.jacobian.rows() {
-            let mut acc = 0.0;
-            for c in 0..self.jacobian.cols() {
-                acc += self.jacobian.get(r, c) * state[c];
-            }
-            out[r] = acc;
+        for (r, slot) in out.iter_mut().enumerate().take(self.jacobian.rows()) {
+            *slot = state
+                .iter()
+                .enumerate()
+                .take(self.jacobian.cols())
+                .map(|(c, x)| self.jacobian.get(r, c) * x)
+                .sum();
         }
     }
 }
@@ -101,7 +105,11 @@ pub fn perturbed_state(equilibrium: &[f64], relative: &[f64]) -> Result<Vec<f64>
             actual: relative.len(),
         });
     }
-    Ok(equilibrium.iter().zip(relative).map(|(x, u)| x * (1.0 + u)).collect())
+    Ok(equilibrium
+        .iter()
+        .zip(relative)
+        .map(|(x, u)| x * (1.0 + u))
+        .collect())
 }
 
 /// Result of comparing the non-linear evolution of a perturbation with the
@@ -121,7 +129,10 @@ impl PerturbationDecay {
     /// `true` if the non-linear deviation at the final time is smaller than
     /// `fraction` of the initial deviation (i.e. the perturbation died out).
     pub fn decayed_below(&self, fraction: f64) -> bool {
-        match (self.nonlinear_deviation.first(), self.nonlinear_deviation.last()) {
+        match (
+            self.nonlinear_deviation.first(),
+            self.nonlinear_deviation.last(),
+        ) {
             (Some(first), Some(last)) if *first > 0.0 => last / first < fraction,
             _ => false,
         }
@@ -154,14 +165,23 @@ pub fn perturbation_decay(
         .states()
         .iter()
         .map(|s| {
-            norm(&s.iter().zip(equilibrium).map(|(a, b)| a - b).collect::<Vec<f64>>())
+            norm(
+                &s.iter()
+                    .zip(equilibrium)
+                    .map(|(a, b)| a - b)
+                    .collect::<Vec<f64>>(),
+            )
         })
         .collect();
     let linear_deviation: Vec<f64> = times
         .iter()
         .map(|t| linear.state_at(*t).map_or(f64::NAN, |s| norm(&s)))
         .collect();
-    Ok(PerturbationDecay { times, nonlinear_deviation, linear_deviation })
+    Ok(PerturbationDecay {
+        times,
+        nonlinear_deviation,
+        linear_deviation,
+    })
 }
 
 #[cfg(test)]
@@ -211,7 +231,10 @@ mod tests {
         let (u, v) = (0.05, 0.05);
         let w = -(eq[0] * u + eq[1] * v) / eq[2];
         let decay = perturbation_decay(&sys, &eq, &[u, v, w], 200.0, 0.05).unwrap();
-        assert!(decay.decayed_below(0.05), "perturbation should decay to <5%");
+        assert!(
+            decay.decayed_below(0.05),
+            "perturbation should decay to <5%"
+        );
         // The linear prediction also decays.
         let first = decay.linear_deviation[0];
         let last = *decay.linear_deviation.last().unwrap();
@@ -225,7 +248,11 @@ mod tests {
         let eq = endemic_equilibrium(beta, gamma, alpha);
         let decay = perturbation_decay(&sys, &eq, &[0.01, 0.01, -0.01], 20.0, 0.02).unwrap();
         // At every sampled time the two deviations stay within a factor ~2.
-        for (nl, l) in decay.nonlinear_deviation.iter().zip(&decay.linear_deviation) {
+        for (nl, l) in decay
+            .nonlinear_deviation
+            .iter()
+            .zip(&decay.linear_deviation)
+        {
             if *nl > 1e-9 && l.is_finite() {
                 let ratio = nl / l;
                 assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
@@ -253,8 +280,7 @@ mod tests {
             .term("y", -1.0, &[("y", 1)])
             .build()
             .unwrap();
-        let decay =
-            perturbation_decay(&sys, &[0.0, 0.0], &[0.0, 0.0], 1.0, 0.01).unwrap();
+        let decay = perturbation_decay(&sys, &[0.0, 0.0], &[0.0, 0.0], 1.0, 0.01).unwrap();
         // Zero perturbation of a zero equilibrium: nothing to decay.
         assert!(!decay.decayed_below(0.5));
         // Absolute perturbation along the unstable direction grows.

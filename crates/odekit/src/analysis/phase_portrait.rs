@@ -36,7 +36,11 @@ impl PhasePortrait {
 
     /// Adds a labelled trajectory.
     pub fn push(&mut self, label: impl Into<String>, initial: Vec<f64>, trajectory: Trajectory) {
-        self.trajectories.push(PortraitTrajectory { label: label.into(), initial, trajectory });
+        self.trajectories.push(PortraitTrajectory {
+            label: label.into(),
+            initial,
+            trajectory,
+        });
     }
 
     /// The contained trajectories.
@@ -103,12 +107,19 @@ where
     let mut portrait = PhasePortrait::new();
     for point in initial_points {
         if point.len() != sys.dim() {
-            return Err(OdeError::DimensionMismatch { expected: sys.dim(), actual: point.len() });
+            return Err(OdeError::DimensionMismatch {
+                expected: sys.dim(),
+                actual: point.len(),
+            });
         }
         let traj = integrator.integrate(sys, 0.0, point, t_end)?;
         let label = format!(
             "({})",
-            point.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(",")
+            point
+                .iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         portrait.push(label, point.clone(), traj);
     }

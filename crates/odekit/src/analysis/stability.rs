@@ -96,7 +96,9 @@ impl StabilityReport {
             .iter()
             .map(|e| e.re.abs())
             .filter(|r| *r > ZERO_TOL)
-            .fold(None, |acc: Option<f64>, r| Some(acc.map_or(r, |a| a.min(r))))
+            .fold(None, |acc: Option<f64>, r| {
+                Some(acc.map_or(r, |a| a.min(r)))
+            })
             .map(|r| 1.0 / r)
     }
 }
@@ -112,8 +114,7 @@ pub const ZERO_TOL: f64 = 1e-9;
 /// part, the classification is [`Stability::Marginal`] only when *no*
 /// eigenvalues remain; otherwise the non-zero eigenvalues decide.
 pub fn classify_eigenvalues(eigenvalues: &[Complex], zero_tol: f64) -> Stability {
-    let significant: Vec<&Complex> =
-        eigenvalues.iter().filter(|e| e.abs() > zero_tol).collect();
+    let significant: Vec<&Complex> = eigenvalues.iter().filter(|e| e.abs() > zero_tol).collect();
     if significant.is_empty() {
         return Stability::Marginal;
     }
@@ -205,8 +206,11 @@ pub fn analyze_equilibrium(sys: &EquationSystem, point: &[f64]) -> Result<Stabil
     let classification = classify_eigenvalues(&eigenvalues, ZERO_TOL);
     // For the reduced classification, drop the eigenvalues closest to zero
     // one at a time while they are numerically zero.
-    let reduced: Vec<Complex> =
-        eigenvalues.iter().copied().filter(|e| e.abs() > 1e-7).collect();
+    let reduced: Vec<Complex> = eigenvalues
+        .iter()
+        .copied()
+        .filter(|e| e.abs() > 1e-7)
+        .collect();
     let classification_reduced = classify_eigenvalues(&reduced, ZERO_TOL);
     Ok(StabilityReport {
         equilibrium: point.to_vec(),
@@ -238,13 +242,25 @@ mod tests {
     #[test]
     fn classify_eigenvalue_spectra() {
         let re = Complex::real;
-        assert_eq!(classify_eigenvalues(&[re(-1.0), re(-2.0)], ZERO_TOL), Stability::StableNode);
         assert_eq!(
-            classify_eigenvalues(&[Complex::new(-1.0, 2.0), Complex::new(-1.0, -2.0)], ZERO_TOL),
+            classify_eigenvalues(&[re(-1.0), re(-2.0)], ZERO_TOL),
+            Stability::StableNode
+        );
+        assert_eq!(
+            classify_eigenvalues(
+                &[Complex::new(-1.0, 2.0), Complex::new(-1.0, -2.0)],
+                ZERO_TOL
+            ),
             Stability::StableSpiral
         );
-        assert_eq!(classify_eigenvalues(&[re(1.0), re(-2.0)], ZERO_TOL), Stability::Saddle);
-        assert_eq!(classify_eigenvalues(&[re(1.0), re(2.0)], ZERO_TOL), Stability::UnstableNode);
+        assert_eq!(
+            classify_eigenvalues(&[re(1.0), re(-2.0)], ZERO_TOL),
+            Stability::Saddle
+        );
+        assert_eq!(
+            classify_eigenvalues(&[re(1.0), re(2.0)], ZERO_TOL),
+            Stability::UnstableNode
+        );
         assert_eq!(
             classify_eigenvalues(&[Complex::new(1.0, 1.0), Complex::new(1.0, -1.0)], ZERO_TOL),
             Stability::UnstableSpiral
@@ -253,7 +269,10 @@ mod tests {
             classify_eigenvalues(&[Complex::new(0.0, 1.0), Complex::new(0.0, -1.0)], ZERO_TOL),
             Stability::Center
         );
-        assert_eq!(classify_eigenvalues(&[re(0.0), re(0.0)], ZERO_TOL), Stability::Marginal);
+        assert_eq!(
+            classify_eigenvalues(&[re(0.0), re(0.0)], ZERO_TOL),
+            Stability::Marginal
+        );
         // A zero mode (|λ| ≈ 0) is filtered out; the remaining stable
         // direction decides the classification.
         assert_eq!(

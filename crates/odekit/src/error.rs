@@ -68,7 +68,10 @@ impl fmt::Display for OdeError {
             OdeError::DuplicateVariable(name) => write!(f, "variable `{name}` declared twice"),
             OdeError::EmptySystem => write!(f, "equation system has no variables"),
             OdeError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: expected {expected} entries, got {actual}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} entries, got {actual}"
+                )
             }
             OdeError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
@@ -79,8 +82,14 @@ impl fmt::Display for OdeError {
             OdeError::NonFiniteState { time } => {
                 write!(f, "integration produced a non-finite state at t = {time}")
             }
-            OdeError::NoConvergence { context, iterations } => {
-                write!(f, "{context} did not converge after {iterations} iterations")
+            OdeError::NoConvergence {
+                context,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{context} did not converge after {iterations} iterations"
+                )
             }
             OdeError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
             OdeError::Parse { position, message } => {
@@ -103,7 +112,10 @@ mod tests {
     fn display_is_lowercase_and_informative() {
         let e = OdeError::UnknownVariable("foo".into());
         assert_eq!(e.to_string(), "unknown variable `foo`");
-        let e = OdeError::DimensionMismatch { expected: 3, actual: 2 };
+        let e = OdeError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         let e = OdeError::NotInClass {
             required: "completely partitionable",

@@ -83,33 +83,48 @@ mod tests {
     #[test]
     fn exponential_decay_is_first_order_accurate() {
         let exact = (-1.0_f64).exp();
-        let coarse = Euler::new(1e-2).integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
-        let fine = Euler::new(1e-3).integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
+        let coarse = Euler::new(1e-2)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .unwrap();
+        let fine = Euler::new(1e-3)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .unwrap();
         let e_coarse = (coarse.last_state()[0] - exact).abs();
         let e_fine = (fine.last_state()[0] - exact).abs();
         // Halving... reducing h by 10x should reduce error by ~10x (order 1).
         let ratio = e_coarse / e_fine;
-        assert!(ratio > 5.0 && ratio < 20.0, "error ratio {ratio} not consistent with order 1");
+        assert!(
+            ratio > 5.0 && ratio < 20.0,
+            "error ratio {ratio} not consistent with order 1"
+        );
     }
 
     #[test]
     fn trajectory_endpoints_match_request() {
-        let traj = Euler::new(0.3).integrate(&decay(), 1.0, &[2.0], 2.0).unwrap();
+        let traj = Euler::new(0.3)
+            .integrate(&decay(), 1.0, &[2.0], 2.0)
+            .unwrap();
         assert_eq!(traj.times()[0], 1.0);
         assert!((traj.last_time() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn zero_length_interval_returns_initial_point() {
-        let traj = Euler::new(0.1).integrate(&decay(), 0.0, &[5.0], 0.0).unwrap();
+        let traj = Euler::new(0.1)
+            .integrate(&decay(), 0.0, &[5.0], 0.0)
+            .unwrap();
         assert_eq!(traj.len(), 1);
         assert_eq!(traj.last_state(), &[5.0]);
     }
 
     #[test]
     fn invalid_step_rejected() {
-        assert!(Euler::new(-0.1).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
-        assert!(Euler::new(f64::NAN).integrate(&decay(), 0.0, &[1.0], 1.0).is_err());
+        assert!(Euler::new(-0.1)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .is_err());
+        assert!(Euler::new(f64::NAN)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .is_err());
     }
 
     #[test]

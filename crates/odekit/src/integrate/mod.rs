@@ -131,7 +131,10 @@ pub trait Integrator {
 /// Validates initial conditions shared by all integrators.
 pub(crate) fn check_initial<S: OdeSystem>(sys: &S, y0: &[f64], t0: f64, t_end: f64) -> Result<()> {
     if y0.len() != sys.dim() {
-        return Err(OdeError::DimensionMismatch { expected: sys.dim(), actual: y0.len() });
+        return Err(OdeError::DimensionMismatch {
+            expected: sys.dim(),
+            actual: y0.len(),
+        });
     }
     if !y0.iter().all(|v| v.is_finite()) {
         return Err(OdeError::NonFiniteState { time: t0 });

@@ -42,17 +42,14 @@ impl Rk4 {
     }
 
     /// Performs a single RK4 step in place, using the provided scratch buffers.
-    fn step_once<S: OdeSystem>(
-        sys: &S,
-        t: f64,
-        h: f64,
-        y: &mut [f64],
-        k1: &mut [f64],
-        k2: &mut [f64],
-        k3: &mut [f64],
-        k4: &mut [f64],
-        tmp: &mut [f64],
-    ) {
+    fn step_once<S: OdeSystem>(sys: &S, t: f64, h: f64, y: &mut [f64], scratch: &mut Scratch) {
+        let Scratch {
+            k1,
+            k2,
+            k3,
+            k4,
+            tmp,
+        } = scratch;
         sys.rhs(t, y, k1);
         for i in 0..y.len() {
             tmp[i] = y[i] + 0.5 * h * k1[i];
@@ -72,6 +69,27 @@ impl Rk4 {
     }
 }
 
+/// Scratch buffers for one RK4 step, allocated once per integration.
+struct Scratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(dim: usize) -> Self {
+        Scratch {
+            k1: vec![0.0; dim],
+            k2: vec![0.0; dim],
+            k3: vec![0.0; dim],
+            k4: vec![0.0; dim],
+            tmp: vec![0.0; dim],
+        }
+    }
+}
+
 impl Integrator for Rk4 {
     fn integrate<S: OdeSystem>(
         &self,
@@ -87,13 +105,12 @@ impl Integrator for Rk4 {
         let mut traj = Trajectory::with_capacity(((t_end - t0) / self.step) as usize + 2);
         let mut y = y0.to_vec();
         let mut t = t0;
-        let (mut k1, mut k2, mut k3, mut k4, mut tmp) =
-            (vec![0.0; dim], vec![0.0; dim], vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]);
+        let mut scratch = Scratch::new(dim);
         traj.push(t, y.clone());
 
         while t < t_end {
             let h = self.step.min(t_end - t);
-            Self::step_once(sys, t, h, &mut y, &mut k1, &mut k2, &mut k3, &mut k4, &mut tmp);
+            Self::step_once(sys, t, h, &mut y, &mut scratch);
             t += h;
             if !y.iter().all(|v| v.is_finite()) {
                 return Err(OdeError::NonFiniteState { time: t });
@@ -118,12 +135,17 @@ mod tests {
     fn fourth_order_accuracy() {
         let exact = (-1.0_f64).exp();
         let coarse = Rk4::new(0.1).integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
-        let fine = Rk4::new(0.05).integrate(&decay(), 0.0, &[1.0], 1.0).unwrap();
+        let fine = Rk4::new(0.05)
+            .integrate(&decay(), 0.0, &[1.0], 1.0)
+            .unwrap();
         let e_coarse = (coarse.last_state()[0] - exact).abs();
         let e_fine = (fine.last_state()[0] - exact).abs();
         // Halving h should reduce the error by ~16x (order 4).
         let ratio = e_coarse / e_fine;
-        assert!(ratio > 10.0 && ratio < 25.0, "error ratio {ratio} not consistent with order 4");
+        assert!(
+            ratio > 10.0 && ratio < 25.0,
+            "error ratio {ratio} not consistent with order 4"
+        );
     }
 
     #[test]
@@ -142,7 +164,9 @@ mod tests {
             .term("y", 1.0, &[("x", 1), ("y", 1)])
             .build()
             .unwrap();
-        let traj = Rk4::new(0.01).integrate(&sys, 0.0, &[0.999, 0.001], 40.0).unwrap();
+        let traj = Rk4::new(0.01)
+            .integrate(&sys, 0.0, &[0.999, 0.001], 40.0)
+            .unwrap();
         let last = traj.last_state();
         assert!(last[1] > 0.99);
         // Conservation: x + y = 1 throughout.

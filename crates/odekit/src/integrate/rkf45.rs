@@ -32,7 +32,13 @@ pub struct Rkf45 {
 
 impl Default for Rkf45 {
     fn default() -> Self {
-        Rkf45 { abs_tol: 1e-9, rel_tol: 1e-9, initial_step: 1e-3, min_step: 1e-12, max_step: 1.0 }
+        Rkf45 {
+            abs_tol: 1e-9,
+            rel_tol: 1e-9,
+            initial_step: 1e-3,
+            min_step: 1e-12,
+            max_step: 1.0,
+        }
     }
 }
 
@@ -40,7 +46,11 @@ impl Rkf45 {
     /// Creates an adaptive integrator with the given absolute and relative
     /// error tolerances (per step, per component).
     pub fn new(abs_tol: f64, rel_tol: f64) -> Self {
-        Rkf45 { abs_tol, rel_tol, ..Self::default() }
+        Rkf45 {
+            abs_tol,
+            rel_tol,
+            ..Self::default()
+        }
     }
 
     /// Sets the initial trial step size.
@@ -81,12 +91,31 @@ const A: [[f64; 5]; 5] = [
     [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
     [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
     [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-    [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    [
+        -8.0 / 27.0,
+        2.0,
+        -3544.0 / 2565.0,
+        1859.0 / 4104.0,
+        -11.0 / 40.0,
+    ],
 ];
 const C: [f64; 6] = [0.0, 1.0 / 4.0, 3.0 / 8.0, 12.0 / 13.0, 1.0, 1.0 / 2.0];
-const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
-const B5: [f64; 6] =
-    [16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0];
+const B4: [f64; 6] = [
+    25.0 / 216.0,
+    0.0,
+    1408.0 / 2565.0,
+    2197.0 / 4104.0,
+    -1.0 / 5.0,
+    0.0,
+];
+const B5: [f64; 6] = [
+    16.0 / 135.0,
+    0.0,
+    6656.0 / 12825.0,
+    28561.0 / 56430.0,
+    -9.0 / 50.0,
+    2.0 / 55.0,
+];
 
 impl Integrator for Rkf45 {
     fn integrate<S: OdeSystem>(
@@ -99,10 +128,15 @@ impl Integrator for Rkf45 {
         check_step("initial_step", self.initial_step)?;
         check_step("max_step", self.max_step)?;
         check_initial(sys, y0, t0, t_end)?;
-        if !(self.abs_tol > 0.0) || !(self.rel_tol >= 0.0) {
+        // Written positively so NaN tolerances also fail the check.
+        let tolerances_valid = self.abs_tol > 0.0 && self.rel_tol >= 0.0;
+        if !tolerances_valid {
             return Err(OdeError::InvalidParameter {
                 name: "tolerance",
-                reason: format!("abs_tol {} / rel_tol {} invalid", self.abs_tol, self.rel_tol),
+                reason: format!(
+                    "abs_tol {} / rel_tol {} invalid",
+                    self.abs_tol, self.rel_tol
+                ),
             });
         }
 
@@ -110,7 +144,10 @@ impl Integrator for Rkf45 {
         let mut traj = Trajectory::new();
         let mut y = y0.to_vec();
         let mut t = t0;
-        let mut h = self.initial_step.min(self.max_step).min((t_end - t0).max(self.min_step));
+        let mut h = self
+            .initial_step
+            .min(self.max_step)
+            .min((t_end - t0).max(self.min_step));
         traj.push(t, y.clone());
 
         let mut k = vec![vec![0.0; dim]; 6];
@@ -187,7 +224,9 @@ mod tests {
 
     #[test]
     fn meets_tolerance_on_decay() {
-        let traj = Rkf45::new(1e-10, 1e-10).integrate(&decay(), 0.0, &[1.0], 3.0).unwrap();
+        let traj = Rkf45::new(1e-10, 1e-10)
+            .integrate(&decay(), 0.0, &[1.0], 3.0)
+            .unwrap();
         assert!((traj.last_state()[0] - (-3.0_f64).exp()).abs() < 1e-8);
     }
 
@@ -197,7 +236,9 @@ mod tests {
             .with_max_step(10.0)
             .integrate(&decay(), 0.0, &[1.0], 10.0)
             .unwrap();
-        let fixed = Rk4::new(1e-3).integrate(&decay(), 0.0, &[1.0], 10.0).unwrap();
+        let fixed = Rk4::new(1e-3)
+            .integrate(&decay(), 0.0, &[1.0], 10.0)
+            .unwrap();
         assert!(adaptive.len() < fixed.len() / 10);
     }
 
@@ -207,8 +248,9 @@ mod tests {
             out[0] = y[1];
             out[1] = -y[0];
         });
-        let traj =
-            Rkf45::new(1e-10, 1e-10).integrate(&sys, 0.0, &[1.0, 0.0], 20.0).unwrap();
+        let traj = Rkf45::new(1e-10, 1e-10)
+            .integrate(&sys, 0.0, &[1.0, 0.0], 20.0)
+            .unwrap();
         let s = traj.last_state();
         let energy = s[0] * s[0] + s[1] * s[1];
         assert!((energy - 1.0).abs() < 1e-6);

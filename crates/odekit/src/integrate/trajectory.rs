@@ -22,7 +22,10 @@ impl Trajectory {
 
     /// Creates an empty trajectory with room for `capacity` points.
     pub fn with_capacity(capacity: usize) -> Self {
-        Trajectory { times: Vec::with_capacity(capacity), states: Vec::with_capacity(capacity) }
+        Trajectory {
+            times: Vec::with_capacity(capacity),
+            states: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends a sample point.
@@ -32,7 +35,11 @@ impl Trajectory {
     /// Panics if `state` has a different length than previously pushed states.
     pub fn push(&mut self, time: f64, state: Vec<f64>) {
         if let Some(first) = self.states.first() {
-            assert_eq!(first.len(), state.len(), "state dimension changed mid-trajectory");
+            assert_eq!(
+                first.len(),
+                state.len(),
+                "state dimension changed mid-trajectory"
+            );
         }
         self.times.push(time);
         self.states.push(state);
@@ -83,7 +90,10 @@ impl Trajectory {
 
     /// Iterates over `(time, state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
-        self.times.iter().copied().zip(self.states.iter().map(Vec::as_slice))
+        self.times
+            .iter()
+            .copied()
+            .zip(self.states.iter().map(Vec::as_slice))
     }
 
     /// The time series of a single state component.
@@ -118,7 +128,10 @@ impl Trajectory {
             return None;
         }
         // Find the bracketing segment (times are non-decreasing).
-        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).unwrap())
+        {
             Ok(i) => return Some(self.states[i].clone()),
             Err(i) => i,
         };

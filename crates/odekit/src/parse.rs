@@ -64,10 +64,13 @@ pub fn parse_system(text: &str, params: &[(&str, f64)]) -> Result<EquationSystem
             message: format!("expected `var' = expression`, got `{line}`"),
         })?;
         let lhs = lhs.trim();
-        let var = lhs.strip_suffix('\'').map(str::trim).ok_or(OdeError::Parse {
-            position: 0,
-            message: format!("left-hand side `{lhs}` must end with ' (prime)"),
-        })?;
+        let var = lhs
+            .strip_suffix('\'')
+            .map(str::trim)
+            .ok_or(OdeError::Parse {
+                position: 0,
+                message: format!("left-hand side `{lhs}` must end with ' (prime)"),
+            })?;
         if var.is_empty() || !is_ident(var) {
             return Err(OdeError::Parse {
                 position: 0,
@@ -86,8 +89,11 @@ pub fn parse_system(text: &str, params: &[(&str, f64)]) -> Result<EquationSystem
 
     // Second pass: parse each right-hand side into a polynomial.
     let dim = names.len();
-    let var_index: HashMap<&str, usize> =
-        names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let var_index: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
     let mut equations = vec![Polynomial::zero(); dim];
     for (var, rhs) in &lines {
         let idx = var_index[var.as_str()];
@@ -187,7 +193,10 @@ fn parse_expression(
 ) -> Result<Polynomial> {
     let tokens = tokenize(src)?;
     if tokens.is_empty() {
-        return Err(OdeError::Parse { position: 0, message: "empty expression".to_string() });
+        return Err(OdeError::Parse {
+            position: 0,
+            message: "empty expression".to_string(),
+        });
     }
     let mut poly = Polynomial::zero();
     let mut pos = 0usize;
@@ -251,7 +260,9 @@ fn parse_expression(
                     } else {
                         return Err(OdeError::Parse {
                             position: *tpos,
-                            message: format!("unknown identifier `{name}` (not a variable or parameter)"),
+                            message: format!(
+                                "unknown identifier `{name}` (not a variable or parameter)"
+                            ),
                         });
                     }
                 }
@@ -311,11 +322,7 @@ mod tests {
 
     #[test]
     fn parses_powers_and_scientific_notation() {
-        let sys = parse_system(
-            "x' = -3*x^2 + 1.5e-2*y\ny' = 3*x^2 - 1.5e-2*y",
-            &[],
-        )
-        .unwrap();
+        let sys = parse_system("x' = -3*x^2 + 1.5e-2*y\ny' = 3*x^2 - 1.5e-2*y", &[]).unwrap();
         let rhs = sys.eval_rhs(&[2.0, 1.0]);
         assert!((rhs[0] - (-12.0 + 0.015)).abs() < 1e-12);
         assert!((rhs[0] + rhs[1]).abs() < 1e-12);
@@ -364,7 +371,10 @@ mod tests {
     #[test]
     fn empty_input_is_an_error() {
         assert!(matches!(parse_system("", &[]), Err(OdeError::EmptySystem)));
-        assert!(matches!(parse_system("# only a comment", &[]), Err(OdeError::EmptySystem)));
+        assert!(matches!(
+            parse_system("# only a comment", &[]),
+            Err(OdeError::EmptySystem)
+        ));
     }
 
     #[test]

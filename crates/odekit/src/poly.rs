@@ -41,7 +41,9 @@ impl Polynomial {
     /// Zero-coefficient terms are dropped; everything else is kept verbatim
     /// (no like-term combination).
     pub fn from_terms(terms: Vec<Term>) -> Self {
-        Polynomial { terms: terms.into_iter().filter(|t| !t.is_zero()).collect() }
+        Polynomial {
+            terms: terms.into_iter().filter(|t| !t.is_zero()).collect(),
+        }
     }
 
     /// The terms of the polynomial in insertion order.
@@ -96,7 +98,9 @@ impl Polynomial {
 
     /// Returns this polynomial with every term negated.
     pub fn negated(&self) -> Polynomial {
-        Polynomial { terms: self.terms.iter().map(Term::negated).collect() }
+        Polynomial {
+            terms: self.terms.iter().map(Term::negated).collect(),
+        }
     }
 
     /// Returns this polynomial with every coefficient multiplied by `factor`.
@@ -161,7 +165,9 @@ impl Polynomial {
 
     /// Terms with positive coefficients.
     pub fn positive_terms(&self) -> impl Iterator<Item = &Term> {
-        self.terms.iter().filter(|t| !t.is_negative() && !t.is_zero())
+        self.terms
+            .iter()
+            .filter(|t| !t.is_negative() && !t.is_zero())
     }
 
     /// Renders the polynomial using the given variable names.
@@ -249,7 +255,8 @@ mod tests {
     fn product_multiplies_out() {
         // (x)(x + y) = x^2 + xy
         let x = Polynomial::from_terms(vec![Term::new(1.0, vec![1, 0])]);
-        let xpy = Polynomial::from_terms(vec![Term::new(1.0, vec![1, 0]), Term::new(1.0, vec![0, 1])]);
+        let xpy =
+            Polynomial::from_terms(vec![Term::new(1.0, vec![1, 0]), Term::new(1.0, vec![0, 1])]);
         let prod = x.product(&xpy);
         assert_eq!(prod.len(), 2);
         assert_eq!(prod.eval(&[2.0, 3.0]), 4.0 + 6.0);

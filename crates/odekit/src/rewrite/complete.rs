@@ -145,7 +145,10 @@ mod tests {
     #[test]
     fn duplicate_new_var_rejected() {
         let sys = lv_original();
-        assert!(matches!(complete(&sys, "x"), Err(OdeError::DuplicateVariable(_))));
+        assert!(matches!(
+            complete(&sys, "x"),
+            Err(OdeError::DuplicateVariable(_))
+        ));
     }
 
     #[test]

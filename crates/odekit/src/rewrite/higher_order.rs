@@ -44,7 +44,10 @@ impl HigherOrderEquation {
         }
         for t in rhs.terms() {
             if t.dim() != order {
-                return Err(OdeError::DimensionMismatch { expected: order, actual: t.dim() });
+                return Err(OdeError::DimensionMismatch {
+                    expected: order,
+                    actual: t.dim(),
+                });
             }
         }
         Ok(HigherOrderEquation { order, rhs })
@@ -191,7 +194,9 @@ mod tests {
         let g = Polynomial::from_terms(vec![Term::new(-1.0, vec![1, 0])]);
         let eq = HigherOrderEquation::new(2, g).unwrap();
         let sys = reduce_order(&eq, "x").unwrap();
-        let traj = Rk4::new(1e-3).integrate(&sys, 0.0, &[1.0, 0.0], 3.0).unwrap();
+        let traj = Rk4::new(1e-3)
+            .integrate(&sys, 0.0, &[1.0, 0.0], 3.0)
+            .unwrap();
         let x_end = traj.last_state()[0];
         assert!((x_end - 3.0_f64.cos()).abs() < 1e-6, "got {x_end}");
     }

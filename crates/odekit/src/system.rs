@@ -142,7 +142,8 @@ impl EquationSystem {
     ///
     /// Returns [`OdeError::UnknownVariable`] if no variable has that name.
     pub fn require_var(&self, name: &str) -> Result<VarId> {
-        self.var(name).ok_or_else(|| OdeError::UnknownVariable(name.to_string()))
+        self.var(name)
+            .ok_or_else(|| OdeError::UnknownVariable(name.to_string()))
     }
 
     /// All variable ids in order.
@@ -234,7 +235,11 @@ impl EquationSystem {
 
     /// The maximum total degree over all terms in the system.
     pub fn degree(&self) -> u32 {
-        self.equations.iter().map(Polynomial::degree).max().unwrap_or(0)
+        self.equations
+            .iter()
+            .map(Polynomial::degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Renders the system as one `name' = rhs` line per variable.
@@ -276,9 +281,12 @@ impl fmt::Display for EquationSystem {
 #[derive(Debug, Clone, Default)]
 pub struct EquationSystemBuilder {
     names: Vec<String>,
-    // (target variable, coefficient, [(variable, exponent)])
-    pending: Vec<(String, f64, Vec<(String, u32)>)>,
+    pending: Vec<PendingTerm>,
 }
+
+/// A term queued in the builder: (target variable, coefficient,
+/// [(variable, exponent)]).
+type PendingTerm = (String, f64, Vec<(String, u32)>);
 
 impl EquationSystemBuilder {
     /// Creates an empty builder.
@@ -434,12 +442,18 @@ mod tests {
 
     #[test]
     fn empty_builder_is_error() {
-        assert_eq!(EquationSystemBuilder::new().build().unwrap_err(), OdeError::EmptySystem);
+        assert_eq!(
+            EquationSystemBuilder::new().build().unwrap_err(),
+            OdeError::EmptySystem
+        );
     }
 
     #[test]
     fn duplicate_variable_rejected() {
-        let err = EquationSystemBuilder::new().vars(["x", "x"]).build().unwrap_err();
+        let err = EquationSystemBuilder::new()
+            .vars(["x", "x"])
+            .build()
+            .unwrap_err();
         assert_eq!(err, OdeError::DuplicateVariable("x".to_string()));
     }
 
@@ -470,7 +484,10 @@ mod tests {
             .sorted_vars()
             .build()
             .unwrap();
-        assert_eq!(sys.var_names(), &["a".to_string(), "m".to_string(), "z".to_string()]);
+        assert_eq!(
+            sys.var_names(),
+            &["a".to_string(), "m".to_string(), "z".to_string()]
+        );
     }
 
     #[test]

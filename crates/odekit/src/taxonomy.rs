@@ -212,7 +212,10 @@ pub fn partition_with_tol(sys: &EquationSystem, tol: f64) -> Partition {
         match chosen {
             Some(i) => {
                 positives[i].1 = true;
-                pairs.push(TermPair { negative: neg_ref, positive: positives[i].0 });
+                pairs.push(TermPair {
+                    negative: neg_ref,
+                    positive: positives[i].0,
+                });
             }
             None => unpaired.push(neg_ref),
         }
@@ -350,7 +353,10 @@ mod tests {
         let part = partition(&sys);
         assert!(part.is_total());
         for pair in &part.pairs {
-            assert_ne!(pair.negative.var, pair.positive.var, "pairs should cross equations");
+            assert_ne!(
+                pair.negative.var, pair.positive.var,
+                "pairs should cross equations"
+            );
         }
         // destination lookup: -βxy in x' flows into y.
         let x = sys.var("x").unwrap();
@@ -363,7 +369,10 @@ mod tests {
     fn destination_of_unknown_term_is_none() {
         let sys = epidemic();
         let part = partition(&sys);
-        let bogus = TermRef { var: sys.var("y").unwrap(), index: 0 };
+        let bogus = TermRef {
+            var: sys.var("y").unwrap(),
+            index: 0,
+        };
         assert_eq!(part.destination_of(bogus), None);
     }
 
@@ -439,7 +448,10 @@ mod tests {
     #[test]
     fn term_ref_resolve() {
         let sys = epidemic();
-        let r = TermRef { var: sys.var("x").unwrap(), index: 0 };
+        let r = TermRef {
+            var: sys.var("x").unwrap(),
+            index: 0,
+        };
         assert_eq!(r.resolve(&sys).coeff(), -1.0);
     }
 }

@@ -42,14 +42,20 @@ impl Term {
 
     /// Creates a constant term (all exponents zero) over `dim` variables.
     pub fn constant(coeff: f64, dim: usize) -> Self {
-        Term { coeff, exponents: vec![0; dim] }
+        Term {
+            coeff,
+            exponents: vec![0; dim],
+        }
     }
 
     /// Creates the term `coeff * x_var` over `dim` variables.
     pub fn linear(coeff: f64, var: usize, dim: usize) -> Self {
         let mut exps = vec![0; dim];
         exps[var] = 1;
-        Term { coeff, exponents: exps }
+        Term {
+            coeff,
+            exponents: exps,
+        }
     }
 
     /// The signed coefficient of the term.
@@ -138,12 +144,18 @@ impl Term {
 
     /// Returns the term with its coefficient negated.
     pub fn negated(&self) -> Term {
-        Term { coeff: -self.coeff, exponents: self.exponents.clone() }
+        Term {
+            coeff: -self.coeff,
+            exponents: self.exponents.clone(),
+        }
     }
 
     /// Returns the term with its coefficient scaled by `factor`.
     pub fn scaled(&self, factor: f64) -> Term {
-        Term { coeff: self.coeff * factor, exponents: self.exponents.clone() }
+        Term {
+            coeff: self.coeff * factor,
+            exponents: self.exponents.clone(),
+        }
     }
 
     /// The partial derivative of this term with respect to variable `var`.
@@ -157,7 +169,10 @@ impl Term {
         }
         let mut exps = self.exponents.clone();
         exps[var] = e - 1;
-        Term { coeff: self.coeff * f64::from(e), exponents: exps }
+        Term {
+            coeff: self.coeff * f64::from(e),
+            exponents: exps,
+        }
     }
 
     /// Product of two terms over the same variable set.
@@ -166,14 +181,21 @@ impl Term {
     ///
     /// Panics if the terms have different dimensions.
     pub fn product(&self, other: &Term) -> Term {
-        assert_eq!(self.dim(), other.dim(), "terms over different variable sets");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "terms over different variable sets"
+        );
         let exps = self
             .exponents
             .iter()
             .zip(&other.exponents)
             .map(|(a, b)| a + b)
             .collect();
-        Term { coeff: self.coeff * other.coeff, exponents: exps }
+        Term {
+            coeff: self.coeff * other.coeff,
+            exponents: exps,
+        }
     }
 
     /// `true` if the two terms have the same monomial (identical exponent vectors).

@@ -25,7 +25,10 @@ impl EndemicParams {
         let rest = n - x;
         let y = rest / (1.0 + self.gamma / self.alpha);
         let z = rest / (1.0 + self.alpha / self.gamma);
-        EndemicEquilibria { trivial: [n, 0.0, 0.0], endemic: [x, y, z] }
+        EndemicEquilibria {
+            trivial: [n, 0.0, 0.0],
+            endemic: [x, y, z],
+        }
     }
 
     /// The expected number of stashers (replicas) at the endemic equilibrium.
@@ -38,7 +41,10 @@ impl EndemicParams {
     /// `A = [[−(σ+α), −σ(γ+α)], [1, 0]]`, with `N = 1` over fractions.
     pub fn perturbation_matrix(&self) -> [[f64; 2]; 2] {
         let sigma = (self.beta - self.gamma) / (1.0 + self.gamma / self.alpha);
-        [[-(sigma + self.alpha), -sigma * (self.gamma + self.alpha)], [1.0, 0.0]]
+        [
+            [-(sigma + self.alpha), -sigma * (self.gamma + self.alpha)],
+            [1.0, 0.0],
+        ]
     }
 
     /// Trace `τ` and determinant `∆` of the perturbation matrix (eq. 5).
@@ -252,9 +258,17 @@ mod tests {
 
     #[test]
     fn theorem3_stability_holds_for_valid_parameters() {
-        for (beta, gamma, alpha) in [(4.0, 1.0, 0.01), (4.0, 0.1, 0.001), (64.0, 0.1, 0.005), (2.0, 0.5, 1.0)] {
+        for (beta, gamma, alpha) in [
+            (4.0, 1.0, 0.01),
+            (4.0, 0.1, 0.001),
+            (64.0, 0.1, 0.005),
+            (2.0, 0.5, 1.0),
+        ] {
             let p = EndemicParams::new(beta, gamma, alpha).unwrap();
-            assert!(p.endemic_equilibrium_is_stable(), "β={beta}, γ={gamma}, α={alpha}");
+            assert!(
+                p.endemic_equilibrium_is_stable(),
+                "β={beta}, γ={gamma}, α={alpha}"
+            );
             let (tau, delta) = p.trace_det();
             assert!(tau < 0.0 && delta > 0.0);
         }
@@ -273,8 +287,7 @@ mod tests {
         assert_eq!(early, 1.0);
         assert!(late < 0.05);
         // The trivial equilibrium is a saddle (paper's corollary).
-        let report =
-            analyze_equilibrium(&p.equations(), &[1.0, 0.0, 0.0]).unwrap();
+        let report = analyze_equilibrium(&p.equations(), &[1.0, 0.0, 0.0]).unwrap();
         assert_eq!(report.classification_reduced, Stability::Saddle);
     }
 
@@ -292,7 +305,11 @@ mod tests {
     fn longevity_matches_paper_examples() {
         // N = 1024, 50 replicas, 6-minute period → ≈ 1.28e10 years.
         let l = longevity(50.0, 360.0);
-        assert!((l.expected_years / 1.28e10 - 1.0).abs() < 0.05, "{}", l.expected_years);
+        assert!(
+            (l.expected_years / 1.28e10 - 1.0).abs() < 0.05,
+            "{}",
+            l.expected_years
+        );
         assert!((l.extinction_probability - 0.5_f64.powi(50)).abs() < 1e-30);
         // The paper's rule y∞ = c·log2(N) gives extinction probability N^-c.
         assert!((replicas_for_extinction_exponent(5.0, 1024.0) - 50.0).abs() < 1e-9);

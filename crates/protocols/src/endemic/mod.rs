@@ -80,7 +80,12 @@ impl EndemicParams {
                 reason: format!("β must be finite and exceed γ, got β={beta}, γ={gamma}"),
             });
         }
-        Ok(EndemicParams { beta, gamma, alpha, push_enabled: true })
+        Ok(EndemicParams {
+            beta,
+            gamma,
+            alpha,
+            push_enabled: true,
+        })
     }
 
     /// Convenience constructor from the contact parameter `b` (number of
@@ -105,7 +110,11 @@ impl EndemicParams {
     /// The contact parameter `b` used by the Figure 1 construction:
     /// `β/2` with the push optimization, `β` without.
     pub fn contact_count(&self) -> u32 {
-        let b = if self.push_enabled { self.beta / 2.0 } else { self.beta };
+        let b = if self.push_enabled {
+            self.beta / 2.0
+        } else {
+            self.beta
+        };
         b.round().max(1.0) as u32
     }
 
@@ -155,22 +164,44 @@ impl EndemicParams {
 
         // (i) γy: a stasher periodically turns averse with probability γ,
         // deleting its replica.
-        protocol.add_action(stash, Action::Flip { prob: self.gamma, to: averse })?;
+        protocol.add_action(
+            stash,
+            Action::Flip {
+                prob: self.gamma,
+                to: averse,
+            },
+        )?;
         // (ii) αz: an averse process periodically turns receptive with
         // probability α.
-        protocol.add_action(averse, Action::Flip { prob: self.alpha, to: receptive })?;
+        protocol.add_action(
+            averse,
+            Action::Flip {
+                prob: self.alpha,
+                to: receptive,
+            },
+        )?;
         // (iii) βxy: a receptive process contacts b targets; if any is a
         // stasher it fetches the object and turns stash.
         protocol.add_action(
             receptive,
-            Action::SampleAny { target_state: stash, samples: b, prob: 1.0, to: stash },
+            Action::SampleAny {
+                target_state: stash,
+                samples: b,
+                prob: 1.0,
+                to: stash,
+            },
         )?;
         // (iv) βxy, optimized: a stasher pushes the object onto receptive
         // targets (does not change the modelled equations; allows b = β/2).
         if self.push_enabled {
             protocol.add_action(
                 stash,
-                Action::PushSample { target_state: receptive, samples: b, prob: 1.0, to: stash },
+                Action::PushSample {
+                    target_state: receptive,
+                    samples: b,
+                    prob: 1.0,
+                    to: stash,
+                },
             )?;
         }
         Ok(protocol)
@@ -188,13 +219,21 @@ mod tests {
         assert!(EndemicParams::new(4.0, 1.0, 0.01).is_ok());
         assert!(EndemicParams::new(4.0, 0.0, 0.01).is_err());
         assert!(EndemicParams::new(4.0, 1.0, 1.5).is_err());
-        assert!(EndemicParams::new(0.5, 1.0, 0.1).is_err(), "β must exceed γ");
+        assert!(
+            EndemicParams::new(0.5, 1.0, 0.1).is_err(),
+            "β must exceed γ"
+        );
         assert!(EndemicParams::new(f64::NAN, 0.5, 0.1).is_err());
         let p = EndemicParams::from_contact_count(2, 0.1, 0.001).unwrap();
         assert_eq!(p.beta, 4.0);
         assert_eq!(p.contact_count(), 2);
         assert_eq!(p.without_push().contact_count(), 4);
-        assert_eq!(EndemicParams::from_contact_count(0, 0.1, 0.001).unwrap().beta, 2.0);
+        assert_eq!(
+            EndemicParams::from_contact_count(0, 0.1, 0.001)
+                .unwrap()
+                .beta,
+            2.0
+        );
     }
 
     #[test]

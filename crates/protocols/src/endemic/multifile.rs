@@ -80,7 +80,9 @@ pub fn run_multi_file(
     for file in 0..config.files {
         // Each file runs under the same failure/churn environment but with an
         // independent protocol-level random stream.
-        let file_scenario = scenario.clone().with_seed(scenario.seed().wrapping_add(file as u64 * 7919));
+        let file_scenario = scenario
+            .clone()
+            .with_seed(scenario.seed().wrapping_add(file as u64 * 7919));
         let run_config = RunConfig {
             rejoin_state: Some(receptive),
             track_members_of: Some(stash),
@@ -108,11 +110,13 @@ pub fn run_multi_file(
     }
 
     let files_per_host = SummaryStats::of(
-        &final_stash_per_host.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+        &final_stash_per_host
+            .iter()
+            .map(|&c| c as f64)
+            .collect::<Vec<_>>(),
     )
     .expect("group is non-empty");
-    let mean_replicas_per_file =
-        replica_means.iter().sum::<f64>() / replica_means.len() as f64;
+    let mean_replicas_per_file = replica_means.iter().sum::<f64>() / replica_means.len() as f64;
     let per_file = reality_check(
         n as f64,
         mean_replicas_per_file,

@@ -52,7 +52,11 @@ impl MigratoryStore {
     /// Propagates protocol-construction errors.
     pub fn new(params: EndemicParams) -> Result<Self, CoreError> {
         let protocol = params.figure1_protocol()?;
-        Ok(MigratoryStore { params, protocol, track_stashers: false })
+        Ok(MigratoryStore {
+            params,
+            protocol,
+            track_stashers: false,
+        })
     }
 
     /// Enables per-period tracking of the stasher set (needed for the
@@ -100,7 +104,10 @@ impl MigratoryStore {
     /// # Errors
     ///
     /// Propagates runtime errors.
-    pub fn run_from_equilibrium(&self, scenario: &Scenario) -> Result<ReplicationReport, CoreError> {
+    pub fn run_from_equilibrium(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<ReplicationReport, CoreError> {
         let n = scenario.group_size() as f64;
         let eq = self.params.equilibria(n).endemic;
         let mut counts = [eq[0].round() as u64, eq[1].round() as u64, 0u64];
@@ -123,10 +130,16 @@ impl MigratoryStore {
         let stash = self.protocol.require_state(STASH)?;
         let config = RunConfig {
             rejoin_state: Some(receptive),
-            track_members_of: if self.track_stashers { Some(stash) } else { None },
+            track_members_of: if self.track_stashers {
+                Some(stash)
+            } else {
+                None
+            },
             count_alive_only: true,
         };
-        let run = AgentRuntime::new(self.protocol.clone()).with_config(config).run(scenario, initial)?;
+        let run = AgentRuntime::new(self.protocol.clone())
+            .with_config(config)
+            .run(scenario, initial)?;
         Ok(self.report(run, scenario.group_size()))
     }
 
@@ -275,14 +288,22 @@ mod tests {
 
     #[test]
     fn replicas_migrate_and_load_is_balanced() {
-        let store = MigratoryStore::new(params()).unwrap().with_stasher_tracking();
+        let store = MigratoryStore::new(params())
+            .unwrap()
+            .with_stasher_tracking();
         let scenario = Scenario::new(500, 600).unwrap().with_seed(9);
         let report = store.run_from_equilibrium(&scenario).unwrap();
         let jaccard = report.mean_consecutive_jaccard.unwrap();
         // With γ = 0.1 roughly 10 % of stashers turn over per period, so the
         // consecutive overlap sits well below 1 but above ~0.5.
-        assert!(jaccard < 0.98, "stasher set must migrate, jaccard {jaccard}");
-        assert!(jaccard > 0.3, "stasher set should not vanish every period, jaccard {jaccard}");
+        assert!(
+            jaccard < 0.98,
+            "stasher set must migrate, jaccard {jaccard}"
+        );
+        assert!(
+            jaccard > 0.3,
+            "stasher set should not vanish every period, jaccard {jaccard}"
+        );
         // Over 600 periods most hosts bear responsibility at least once.
         let cov = coverage(&report.run.tracked_members, 500);
         assert!(cov > 0.8, "coverage {cov}");
@@ -302,7 +323,10 @@ mod tests {
         let store = MigratoryStore::new(p).unwrap();
         let scenario = Scenario::new(1000, 300).unwrap().with_seed(10);
         let report = store.run(&scenario, 1).unwrap();
-        assert!(report.object_survived, "a single seed replica multiplies before it can vanish");
+        assert!(
+            report.object_survived,
+            "a single seed replica multiplies before it can vanish"
+        );
         assert!(report.mean_stashers > 10.0);
     }
 

@@ -35,7 +35,10 @@ pub struct Epidemic {
 
 impl Default for Epidemic {
     fn default() -> Self {
-        Epidemic { style: EpidemicStyle::Pull, fanout: 1 }
+        Epidemic {
+            style: EpidemicStyle::Pull,
+            fanout: 1,
+        }
     }
 }
 
@@ -178,7 +181,10 @@ mod tests {
 
     #[test]
     fn push_pull_protocol_has_two_actions() {
-        let p = Epidemic::new().with_style(EpidemicStyle::PushPull).with_fanout(2).protocol();
+        let p = Epidemic::new()
+            .with_style(EpidemicStyle::PushPull)
+            .with_fanout(2)
+            .protocol();
         assert_eq!(p.num_actions(), 2);
         let push_only = Epidemic::new().with_style(EpidemicStyle::Push).protocol();
         assert_eq!(push_only.num_actions(), 1);
@@ -213,7 +219,10 @@ mod tests {
             .unwrap();
         let pull_rounds = Epidemic::rounds_to_reach(&pull, 5.0).unwrap();
         let pp_rounds = Epidemic::rounds_to_reach(&pp, 5.0).unwrap();
-        assert!(pp_rounds <= pull_rounds, "push-pull {pp_rounds} vs pull {pull_rounds}");
+        assert!(
+            pp_rounds <= pull_rounds,
+            "push-pull {pp_rounds} vs pull {pull_rounds}"
+        );
     }
 
     #[test]

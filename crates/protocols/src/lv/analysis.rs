@@ -125,7 +125,9 @@ mod tests {
         let expected = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0 / 3.0, 1.0 / 3.0)];
         for (ex, ey) in expected {
             assert!(
-                found.iter().any(|p| (p[0] - ex).abs() < 1e-6 && (p[1] - ey).abs() < 1e-6),
+                found
+                    .iter()
+                    .any(|p| (p[0] - ex).abs() < 1e-6 && (p[1] - ey).abs() < 1e-6),
                 "missing ({ex}, {ey})"
             );
         }
@@ -139,11 +141,19 @@ mod tests {
         let sys = params.completed_equations();
         let rk = Rk4::new(0.01);
         let right = rk.integrate(&sys, 0.0, &[0.4, 0.3, 0.3], 20.0).unwrap();
-        assert!(right.last_state()[0] > 0.99, "x should win: {:?}", right.last_state());
+        assert!(
+            right.last_state()[0] > 0.99,
+            "x should win: {:?}",
+            right.last_state()
+        );
         assert_eq!(params.predicted_winner(0.4, 0.3), PredictedOutcome::XWins);
 
         let left = rk.integrate(&sys, 0.0, &[0.2, 0.5, 0.3], 20.0).unwrap();
-        assert!(left.last_state()[1] > 0.99, "y should win: {:?}", left.last_state());
+        assert!(
+            left.last_state()[1] > 0.99,
+            "y should win: {:?}",
+            left.last_state()
+        );
         assert_eq!(params.predicted_winner(0.2, 0.5), PredictedOutcome::YWins);
 
         // On the diagonal the system heads to (1/3, 1/3).

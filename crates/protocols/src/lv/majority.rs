@@ -51,7 +51,10 @@ impl MajoritySelection {
     /// Creates a driver with the paper's LV parameters and a 99 % quorum
     /// threshold for declaring convergence.
     pub fn new(params: LvParams) -> Self {
-        MajoritySelection { params, quorum: 0.99 }
+        MajoritySelection {
+            params,
+            quorum: 0.99,
+        }
     }
 
     /// Sets the fraction of (alive) processes that must back a value before
@@ -98,9 +101,13 @@ impl MajoritySelection {
         let initial = InitialStates::counts(&[zeros, ones, 0]);
         // Decisions are evaluated over the non-crashed processes only, so the
         // quorum refers to the surviving population (the paper's Figure 12).
-        let config =
-            dpde_core::runtime::RunConfig { count_alive_only: true, ..Default::default() };
-        let run = AgentRuntime::new(protocol).with_config(config).run(scenario, &initial)?;
+        let config = dpde_core::runtime::RunConfig {
+            count_alive_only: true,
+            ..Default::default()
+        };
+        let run = AgentRuntime::new(protocol)
+            .with_config(config)
+            .run(scenario, &initial)?;
 
         let initial_majority = if zeros > ones {
             Decision::Zero

@@ -47,7 +47,10 @@ pub struct LvParams {
 
 impl Default for LvParams {
     fn default() -> Self {
-        LvParams { rate: 3.0, normalizing_constant: 0.01 }
+        LvParams {
+            rate: 3.0,
+            normalizing_constant: 0.01,
+        }
     }
 }
 
@@ -179,7 +182,10 @@ mod tests {
     #[test]
     fn normalizing_constant_validation() {
         assert!(LvParams::new().with_normalizing_constant(0.2).is_ok());
-        assert!(LvParams::new().with_normalizing_constant(0.5).is_err(), "3·0.5 > 1");
+        assert!(
+            LvParams::new().with_normalizing_constant(0.5).is_err(),
+            "3·0.5 > 1"
+        );
         assert!(LvParams::new().with_normalizing_constant(0.0).is_err());
         assert!(LvParams::new().with_normalizing_constant(f64::NAN).is_err());
     }

@@ -48,12 +48,19 @@ impl MultiLvParams {
                 reason: format!("plurality selection needs at least 2 proposals, got {choices}"),
             });
         }
-        Ok(MultiLvParams { choices, rate: 3.0, normalizing_constant: 0.01 })
+        Ok(MultiLvParams {
+            choices,
+            rate: 3.0,
+            normalizing_constant: 0.01,
+        })
     }
 
     /// Derives the two-choice parameters this generalizes.
     pub fn as_pairwise(&self) -> LvParams {
-        LvParams { rate: self.rate, normalizing_constant: self.normalizing_constant }
+        LvParams {
+            rate: self.rate,
+            normalizing_constant: self.normalizing_constant,
+        }
     }
 
     /// The name of the state backing proposal `i` (0-based).
@@ -71,8 +78,10 @@ impl MultiLvParams {
     pub fn equations(&self) -> EquationSystem {
         let k = self.choices;
         let r = self.rate;
-        let names: Vec<String> =
-            (0..k).map(|i| self.choice_state(i)).chain([UNDECIDED.to_string()]).collect();
+        let names: Vec<String> = (0..k)
+            .map(|i| self.choice_state(i))
+            .chain([UNDECIDED.to_string()])
+            .collect();
         let mut builder = EquationSystemBuilder::new().vars(names.clone());
         for i in 0..k {
             let xi = names[i].as_str();
@@ -80,16 +89,18 @@ impl MultiLvParams {
             builder = builder.term(xi, r, &[(xi, 1), (UNDECIDED, 1)]);
             builder = builder.term(UNDECIDED, -r, &[(xi, 1), (UNDECIDED, 1)]);
             // Competition with every other proposal.
-            for j in 0..k {
+            for (j, xj) in names.iter().take(k).enumerate() {
                 if j == i {
                     continue;
                 }
-                let xj = names[j].as_str();
+                let xj = xj.as_str();
                 builder = builder.term(xi, -r, &[(xi, 1), (xj, 1)]);
                 builder = builder.term(UNDECIDED, r, &[(xi, 1), (xj, 1)]);
             }
         }
-        builder.build().expect("generalized LV equations are well-formed")
+        builder
+            .build()
+            .expect("generalized LV equations are well-formed")
     }
 
     /// The compiled protocol (one state per proposal plus undecided).
@@ -130,7 +141,10 @@ pub struct PluralitySelection {
 impl PluralitySelection {
     /// Creates a driver with a 95 % quorum.
     pub fn new(params: MultiLvParams) -> Self {
-        PluralitySelection { params, quorum: 0.95 }
+        PluralitySelection {
+            params,
+            quorum: 0.95,
+        }
     }
 
     /// The parameters in use.
@@ -159,7 +173,10 @@ impl PluralitySelection {
         let protocol = self.params.protocol()?;
         let mut counts = votes.to_vec();
         counts.push(0); // undecided
-        let config = RunConfig { count_alive_only: true, ..Default::default() };
+        let config = RunConfig {
+            count_alive_only: true,
+            ..Default::default()
+        };
         let run = AgentRuntime::new(protocol)
             .with_config(config)
             .run(scenario, &InitialStates::counts(&counts))?;
@@ -180,7 +197,12 @@ impl PluralitySelection {
             (Some(w), Some(p)) => w == p,
             _ => false,
         };
-        Ok(PluralityOutcome { run, winner, initial_plurality, correct })
+        Ok(PluralityOutcome {
+            run,
+            winner,
+            initial_plurality,
+            correct,
+        })
     }
 }
 

@@ -56,9 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Run the protocol over the lossy network and compare against the ODE.
     let n = 20_000u64;
-    let result = AggregateRuntime::new(protocol)
-        .with_loss(lossy)
-        .run(n, 2_000, &InitialStates::fractions(&[0.05, 0.0, 0.95]), 7)?;
+    let result = AggregateRuntime::new(protocol).with_loss(lossy).run(
+        n,
+        2_000,
+        &InitialStates::fractions(&[0.05, 0.0, 0.95]),
+        7,
+    )?;
     let report = compare_to_system(&result.as_ode_trajectory(n as f64), &completed, 0.05)?;
     println!(
         "\nprotocol vs ODE over 2000 periods: max deviation {:.4}, mean {:.4}",

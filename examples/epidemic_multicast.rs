@@ -9,13 +9,22 @@ use dpde::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("group size sweep: periods until fewer than 5 susceptibles remain\n");
-    println!("{:>8}  {:>10}  {:>10}  {:>10}  {:>12}", "N", "pull", "push", "push-pull", "O(log N) est");
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>10}  {:>12}",
+        "N", "pull", "push", "push-pull", "O(log N) est"
+    );
 
     for &n in &[1_000usize, 4_000, 16_000, 64_000] {
         let mut row = Vec::new();
-        for style in [EpidemicStyle::Pull, EpidemicStyle::Push, EpidemicStyle::PushPull] {
+        for style in [
+            EpidemicStyle::Pull,
+            EpidemicStyle::Push,
+            EpidemicStyle::PushPull,
+        ] {
             let scenario = Scenario::new(n, 80)?.with_seed(17);
-            let result = Epidemic::new().with_style(style).disseminate(&scenario, 1)?;
+            let result = Epidemic::new()
+                .with_style(style)
+                .disseminate(&scenario, 1)?;
             let rounds = Epidemic::rounds_to_reach(&result, 5.0)
                 .map(|r| r.to_string())
                 .unwrap_or_else(|| "-".to_string());

@@ -16,8 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem 4, verified numerically.
     let classes = params.classify_equilibria()?;
     println!("equilibrium classifications:");
-    for (point, class) in [("(0,0)", classes[0]), ("(1,0)", classes[1]), ("(0,1)", classes[2]), ("(1/3,1/3)", classes[3])]
-    {
+    for (point, class) in [
+        ("(0,0)", classes[0]),
+        ("(1,0)", classes[1]),
+        ("(0,1)", classes[2]),
+        ("(1/3,1/3)", classes[3]),
+    ] {
         println!("  {point:>9} : {class}");
     }
     println!(
@@ -36,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_outcome("failure-free run", &outcome);
 
     // Run 2: half of the processes crash at period 100 (Figure 12).
-    let scenario = Scenario::new(n, 1_200)?.with_massive_failure(100, 0.5)?.with_seed(2);
+    let scenario = Scenario::new(n, 1_200)?
+        .with_massive_failure(100, 0.5)?
+        .with_seed(2);
     let outcome = selector.run(&scenario, zeros, ones)?;
     print_outcome("run with 50 % massive failure at t = 100", &outcome);
     Ok(())

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 2_000usize;
     let periods = 800u64;
 
-    println!("endemic parameters: β = {}, γ = {}, α = {}", params.beta, params.gamma, params.alpha);
+    println!(
+        "endemic parameters: β = {}, γ = {}, α = {}",
+        params.beta, params.gamma, params.alpha
+    );
     let eq = params.equilibria(n as f64);
     println!(
         "analysis: equilibrium (receptive, stash, averse) = ({:.1}, {:.1}, {:.1})",
@@ -66,9 +69,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{t:>6}  {alive:>5}  {:>8}  {flux:>6}", stashers[t as usize]);
     }
 
-    println!("\nobject survived the whole run: {}", report.object_survived);
+    println!(
+        "\nobject survived the whole run: {}",
+        report.object_survived
+    );
     println!("mean stashers (second half): {:.1}", report.mean_stashers);
-    println!("mean file flux per period (second half): {:.2}", report.mean_flux);
+    println!(
+        "mean file flux per period (second half): {:.2}",
+        report.mean_flux
+    );
     println!(
         "replica untraceability: mean consecutive Jaccard similarity {:.3} (1 = static placement)",
         report.mean_consecutive_jaccard.unwrap_or(1.0)

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Message complexity: susceptible processes send one sampling message per
     // protocol period; infected processes send none.
     let mc = MessageComplexity::of(&protocol);
-    println!("worst-case messages per process per period: {}", mc.worst_case());
+    println!(
+        "worst-case messages per process per period: {}",
+        mc.worst_case()
+    );
 
     // 3. Run the protocol on 10 000 simulated processes, one initial infective.
     let n = 10_000usize;

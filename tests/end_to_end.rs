@@ -31,7 +31,11 @@ fn epidemic_pipeline_from_text_to_verified_run() {
     // unit per period) discretization of the ODE, so the transient carries an
     // O(p) bias; the qualitative shape and the endpoint still agree.
     let eq_report = compare_to_system(&run.as_ode_trajectory(n as f64), &sys, 0.01).unwrap();
-    assert!(eq_report.max_abs_error < 0.3, "error {}", eq_report.max_abs_error);
+    assert!(
+        eq_report.max_abs_error < 0.3,
+        "error {}",
+        eq_report.max_abs_error
+    );
     let final_fraction = run.final_counts()[1] / n as f64;
     assert!(final_fraction > 0.99);
 }
@@ -87,14 +91,23 @@ fn endemic_replication_survives_massive_failure_and_matches_analysis() {
     let stashers = report.run.state_series("stash").unwrap();
     let expected = params.expected_stashers(n as f64);
     let pre: f64 = stashers[150..250].iter().sum::<f64>() / 100.0;
-    assert!((pre - expected).abs() < 0.3 * expected, "pre {pre} vs analysis {expected}");
+    assert!(
+        (pre - expected).abs() < 0.3 * expected,
+        "pre {pre} vs analysis {expected}"
+    );
 
     // After the failure, half the contacts are fruitless: the receptive count
     // stays roughly the same while stashers drop by about half (the paper's
     // explanation of Figure 5).
     let post: f64 = stashers[450..].iter().sum::<f64>() / (stashers.len() - 450) as f64;
-    assert!(post < 0.75 * pre, "post {post} should be well below pre {pre}");
-    assert!(post > 0.2 * pre, "object population should not collapse, post {post}");
+    assert!(
+        post < 0.75 * pre,
+        "post {post} should be well below pre {pre}"
+    );
+    assert!(
+        post > 0.2 * pre,
+        "object population should not collapse, post {post}"
+    );
 }
 
 /// Churn from a synthetic Overnet-like trace (Figures 9 & 10 in miniature):
@@ -223,7 +236,11 @@ fn tokenizing_protocol_tracks_equations() {
     assert!(last[0] > 0.45 * n as f64, "x should grow, got {}", last[0]);
     assert!((last[1] - 0.3 * n as f64).abs() < 0.01 * n as f64);
     let eq_report = compare_to_system(&run.as_ode_trajectory(n as f64), &sys, 0.01).unwrap();
-    assert!(eq_report.max_abs_error < 0.05, "error {}", eq_report.max_abs_error);
+    assert!(
+        eq_report.max_abs_error < 0.05,
+        "error {}",
+        eq_report.max_abs_error
+    );
 }
 
 /// The generic analysis machinery reproduces the paper's Theorem 3 and

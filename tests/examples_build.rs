@@ -1,0 +1,69 @@
+//! Smoke test: every example under `examples/` must compile.
+//!
+//! `cargo test` already builds examples for the test profile, but this
+//! test makes the guarantee explicit (and covers `cargo build --examples`
+//! in the release workflow) by compiling each example source as a module.
+//! A new example added to `examples/` must also be listed here.
+
+#![allow(dead_code)]
+
+#[path = "../examples/custom_equations.rs"]
+mod custom_equations;
+#[path = "../examples/epidemic_multicast.rs"]
+mod epidemic_multicast;
+#[path = "../examples/majority_selection.rs"]
+mod majority_selection;
+#[path = "../examples/migratory_replication.rs"]
+mod migratory_replication;
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+/// The examples listed above must stay in sync with the files on disk.
+#[test]
+fn all_examples_are_covered() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    on_disk.sort();
+    let covered = [
+        "custom_equations",
+        "epidemic_multicast",
+        "majority_selection",
+        "migratory_replication",
+        "quickstart",
+    ];
+    assert_eq!(
+        on_disk, covered,
+        "examples/*.rs and tests/examples_build.rs are out of sync: \
+         add any new example as a #[path] module in this test"
+    );
+}
+
+/// The cheapest example must also *run* successfully, exercising the whole
+/// parse -> compile -> simulate pipeline end to end. The example binary was
+/// already built by `cargo test`, so the nested cargo call only runs it.
+#[test]
+fn quickstart_example_runs() {
+    let output = std::process::Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("cargo run --example quickstart starts");
+    assert!(
+        output.status.success(),
+        "quickstart example failed:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("protocol vs ODE"),
+        "unexpected quickstart output:\n{stdout}"
+    );
+}

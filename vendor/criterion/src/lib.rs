@@ -1,0 +1,346 @@
+//! Offline stand-in for the Criterion.rs benchmark harness.
+//!
+//! Implements the subset of the criterion API that the `dpde-bench`
+//! benches use, backed by a simple wall-clock measurement loop:
+//!
+//! * [`Criterion`] with [`Criterion::sample_size`], [`Criterion::bench_function`]
+//!   and [`Criterion::benchmark_group`];
+//! * [`BenchmarkGroup`] with `bench_function`, `bench_with_input`,
+//!   `throughput` and `finish`;
+//! * [`Bencher::iter`] and [`Bencher::iter_batched`];
+//! * [`BenchmarkId`], [`Throughput`], [`BatchSize`];
+//! * [`criterion_group!`] (both the list and the `name =` / `config =` /
+//!   `targets =` forms) and [`criterion_main!`].
+//!
+//! Each benchmark runs one warm-up iteration and then up to `sample_size`
+//! timed iterations, capped by a per-benchmark time budget, and prints a
+//! `name  mean <t>  (<n> iters)` line. Results are also appended as JSON
+//! lines to the file named by `DPDE_BENCH_JSON` when that variable is set,
+//! so driver scripts can collect `BENCH_*.json` baselines.
+//!
+//! The harness honours the first free (non-flag) CLI argument as a
+//! substring filter on benchmark names, and ignores the flags cargo and
+//! criterion conventionally pass (`--bench`, `--verbose`, ...), so
+//! `cargo bench <filter>` behaves as expected.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget for the measurement loop.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        Criterion {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().full_name;
+        run_one(&name, self.sample_size, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the amount of work per iteration (accepted, not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into().full_name);
+        let (samples, filter) = (self.criterion.sample_size, self.criterion.filter.as_deref());
+        run_one(&name, samples, filter, f);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized by an input label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full_name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full_name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter label.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full_name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            full_name: name.to_owned(),
+        }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(name: &String) -> Self {
+        BenchmarkId {
+            full_name: name.clone(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { full_name: name }
+    }
+}
+
+/// The per-iteration work metric of a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing strategy for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also acts as the compile/correctness check).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+            self.iters += 1;
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let loop_start = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if loop_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, filter: Option<&str>, mut f: F) {
+    if let Some(filter) = filter {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iters > 0 {
+        bencher.elapsed / bencher.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("{name:<60} mean {mean:>12.3?}  ({} iters)", bencher.iters);
+    if let Ok(path) = std::env::var("DPDE_BENCH_JSON") {
+        let line = format!(
+            "{{\"name\":\"{}\",\"mean_ns\":{},\"iters\":{}}}\n",
+            name.replace('"', "'"),
+            mean.as_nanos(),
+            bencher.iters
+        );
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            use std::io::Write as _;
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Defines a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines the benchmark `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iters() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        c.bench_function("shim_smoke", |b| b.iter(|| calls += 1));
+        // One warm-up plus up to three timed iterations.
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("match".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut hit = false;
+        group.bench_with_input(BenchmarkId::new("match", 7), &7, |b, &x| {
+            b.iter(|| x + 1);
+            hit = true;
+        });
+        let mut missed = false;
+        group.bench_function("other", |b| {
+            b.iter(|| 1);
+            missed = true;
+        });
+        group.finish();
+        assert!(hit);
+        assert!(!missed, "filter should skip non-matching benchmarks");
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut b = Bencher {
+            samples: 2,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter_batched(|| 21, |x| x * 2, BatchSize::SmallInput);
+        assert!(b.iters >= 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline stand-in for the proptest property-testing framework.
+//!
+//! Implements the subset of the proptest API that the workspace's
+//! property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map), implemented for numeric
+//!   [`Range`](std::ops::Range)s and for tuples of strategies;
+//! * [`any`]`::<bool>()`;
+//! * [`collection::vec`] with `Range` / `RangeInclusive` size bounds;
+//! * [`ProptestConfig`] with [`ProptestConfig::with_cases`];
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Inputs are drawn from a deterministic splitmix64 stream seeded from the
+//! test name, so failures reproduce across runs. Unlike the real
+//! proptest there is **no shrinking** and no persisted failure regression
+//! file: a failing case panics with the case number via the standard
+//! assert machinery. Swap the `vendor/proptest` path dependency for the
+//! real crates.io proptest to get shrinking back; the test sources are
+//! source-compatible.
+
+pub mod test_runner {
+    //! The deterministic random stream driving input generation.
+
+    /// A splitmix64 generator: tiny, seedable and statistically fine for
+    /// drawing test inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from an arbitrary label (the test name).
+        pub fn from_label(label: &str) -> Self {
+            // FNV-1a, so the seed is stable across runs and platforms.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in label.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from the deterministic stream.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty integer range strategy");
+                    let span = (end - start) as u64;
+                    start + rng.below(span.saturating_add(1).max(1)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            self.start + rng.next_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    /// The strategy returned by [`crate::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: core::marker::PhantomData<T>,
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+
+        fn new_value(&self, rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// A fixed value, generated as-is every time (proptest's `Just`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Generates arbitrary values of `T` (only the instantiations the
+/// workspace's tests need are implemented).
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob import, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Map, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Asserts a property within a generated case (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion within a generated case (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that draws `cases` random inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_label(stringify!($name));
+                // Bind each strategy once, under its argument's name; the
+                // per-case draws below shadow these bindings in order.
+                $(let $arg = $strategy;)+
+                for __case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&$arg, &mut __rng);
+                    )+
+                    let () = $body;
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_label("bounds");
+        for _ in 0..1000 {
+            let x = Strategy::new_value(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let f = Strategy::new_value(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let n = Strategy::new_value(&(1u64..=4), &mut rng);
+            assert!((1..=4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = TestRng::from_label("compose");
+        let strat = crate::collection::vec((0.5f64..1.0, 0usize..3, any::<bool>()), 1..6)
+            .prop_map(|v| v.len());
+        for _ in 0..200 {
+            let len = Strategy::new_value(&strat, &mut rng);
+            assert!((1..=5).contains(&len));
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = TestRng::from_label("x");
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = TestRng::from_label("x");
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_draws_each_argument(x in 0u64..100, y in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert_eq!(x, x);
+        }
+    }
+}
