@@ -35,7 +35,7 @@ fn bench_push_ablation(c: &mut Criterion) {
             b.iter(|| {
                 let scenario = Scenario::new(5_000, 300).unwrap().with_seed(3);
                 let run = dpde_bench::run_endemic(black_box(params), &scenario, false);
-                run.run.final_counts().to_vec()
+                run.run.final_counts().expect("counts recorded").to_vec()
             })
         });
     }
@@ -66,7 +66,7 @@ fn bench_failure_compensation_ablation(c: &mut Criterion) {
                     .unwrap();
                 // Domain metric: receptive count error vs. the lossless target.
                 let target = 0.125 * 50_000.0;
-                (run.final_counts()[0] - target).abs()
+                (run.final_counts().expect("counts recorded")[0] - target).abs()
             })
         });
     }

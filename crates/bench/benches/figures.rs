@@ -20,7 +20,7 @@ fn bench_figure5_scaled(c: &mut Criterion) {
                 .unwrap()
                 .with_seed(5);
             let run = run_endemic(black_box(params), &scenario, false);
-            run.run.final_counts().to_vec()
+            run.run.final_counts().expect("counts recorded").to_vec()
         })
     });
 }

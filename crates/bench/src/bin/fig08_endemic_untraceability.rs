@@ -9,7 +9,9 @@
 //! spread evenly across hosts.
 
 use dpde_bench::{banner, compare_line, scale_from_args, scaled};
-use dpde_core::runtime::{AgentRuntime, InitialStates, RunConfig};
+use dpde_core::runtime::{
+    AgentRuntime, CountsRecorder, InitialStates, MembershipTracker, Simulation,
+};
 use dpde_protocols::endemic::replication::{coverage, load_balance_cv, mean_consecutive_jaccard};
 use dpde_protocols::endemic::{EndemicParams, RECEPTIVE, STASH};
 use netsim::Scenario;
@@ -30,21 +32,19 @@ fn main() {
     let protocol = params.figure1_protocol().expect("protocol builds");
     let receptive = protocol.require_state(RECEPTIVE).unwrap();
     let stash = protocol.require_state(STASH).unwrap();
-    let config = RunConfig {
-        rejoin_state: Some(receptive),
-        track_members_of: Some(stash),
-        count_alive_only: true,
-    };
     let eq = params.equilibria(n as f64).endemic;
     let counts = [
         eq[0].round() as u64,
         eq[1].round() as u64,
         n as u64 - eq[0].round() as u64 - eq[1].round() as u64,
     ];
-    let scenario = Scenario::new(n, window_end).unwrap().with_seed(88);
-    let run = AgentRuntime::new(protocol)
-        .with_config(config)
-        .run(&scenario, &InitialStates::counts(&counts))
+    let run = Simulation::of(protocol)
+        .scenario(Scenario::new(n, window_end).unwrap().with_seed(88))
+        .initial(InitialStates::counts(&counts))
+        .rejoin_state(receptive)
+        .observe(CountsRecorder::alive_only())
+        .observe(MembershipTracker::of(stash))
+        .run::<AgentRuntime>()
         .expect("run succeeds");
 
     // The scatter: one line per (period, stasher id) in the window.

@@ -6,9 +6,10 @@
 //! little later (the paper observes t = 862).
 
 use dpde_bench::{
-    banner, compare_line, downsampled_rows, lv_convergence_period, run_lv, scale_from_args, scaled,
+    banner, compare_line, downsampled_rows, lv_convergence_period, scale_from_args, scaled,
     LV_SERIES,
 };
+use dpde_core::runtime::{AgentRuntime, CountsRecorder, InitialStates, Simulation};
 use dpde_protocols::lv::LvParams;
 use netsim::Scenario;
 
@@ -31,7 +32,14 @@ fn main() {
         .with_massive_failure(100, 0.5)
         .unwrap()
         .with_seed(12);
-    let result = run_lv(params, &scenario, &[zeros, ones, 0]);
+    // Alive-only counts: after the failure the plot shows the surviving
+    // population converging.
+    let result = Simulation::of(params.protocol().expect("valid LV parameters"))
+        .scenario(scenario)
+        .initial(InitialStates::counts(&[zeros, ones, 0]))
+        .observe(CountsRecorder::alive_only())
+        .run::<AgentRuntime>()
+        .expect("LV run");
 
     println!("period,State X,State Y,State Z");
     for row in downsampled_rows(&result, &LV_SERIES, (horizon / 100) as usize) {

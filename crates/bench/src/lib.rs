@@ -8,37 +8,84 @@
 //! components and scaled-down figure regenerations.
 //!
 //! All binaries accept `--scale <f>` (or the `DPDE_SCALE` environment
-//! variable) to shrink the group sizes and horizons by a factor, so the full
-//! suite can be smoke-tested quickly; the default `--scale 1` reproduces the
-//! paper's dimensions.
+//! variable) to rescale the group sizes and horizons by a factor: `< 1`
+//! shrinks everything so the full suite can be smoke-tested quickly, `> 1`
+//! upscales beyond the paper's dimensions for stress runs, and the default
+//! `--scale 1` reproduces the paper's dimensions. Malformed values abort the
+//! run with an error instead of being silently ignored.
 
-use dpde_core::runtime::{AgentRuntime, InitialStates, RunConfig, RunResult};
+use dpde_core::runtime::{
+    AgentRuntime, AliveTracker, CountsRecorder, InitialStates, MembershipTracker, MessageCounter,
+    RunResult, Simulation, TransitionRecorder,
+};
 use dpde_core::Protocol;
 use dpde_protocols::endemic::{EndemicParams, AVERSE, RECEPTIVE, STASH};
 use dpde_protocols::lv::{LvParams, STATE_X, STATE_Y, STATE_Z};
 use netsim::{Rng, Scenario, SyntheticChurnConfig};
 
-/// Parses the `--scale` argument / `DPDE_SCALE` environment variable.
+/// Parses a scale factor from command-line arguments and an optional
+/// `DPDE_SCALE` environment value (the `--scale` flag wins when both are
+/// given).
 ///
-/// The scale multiplies group sizes and horizons (clamped to sensible minima
-/// by the callers). `1.0` reproduces the paper's dimensions.
-pub fn scale_from_args() -> f64 {
-    let mut scale = std::env::var("DPDE_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok());
-    let args: Vec<String> = std::env::args().collect();
-    for i in 0..args.len() {
+/// # Errors
+///
+/// Returns a human-readable message when a value is missing, unparseable,
+/// non-finite or not strictly positive — the harness treats a typoed scale
+/// as fatal rather than silently running at the paper's full dimensions.
+pub fn parse_scale<I>(args: I, env: Option<&str>) -> Result<f64, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut scale: Option<f64> = None;
+    let args: Vec<String> = args.into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
         if args[i] == "--scale" {
-            if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
-                scale = Some(v);
-            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| "--scale expects a value".to_string())?;
+            scale = Some(
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid --scale value `{value}`"))?,
+            );
+            i += 1;
+        }
+        i += 1;
+    }
+    // The flag wins outright: the environment is only consulted (and hence
+    // only validated) when no --scale flag was given.
+    if scale.is_none() {
+        if let Some(v) = env {
+            scale = Some(
+                v.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid DPDE_SCALE value `{v}`"))?,
+            );
         }
     }
     let s = scale.unwrap_or(1.0);
     if s.is_finite() && s > 0.0 {
-        s.min(1.0)
+        Ok(s)
     } else {
-        1.0
+        Err(format!("scale must be positive and finite, got {s}"))
+    }
+}
+
+/// Parses the `--scale` argument / `DPDE_SCALE` environment variable of the
+/// current process, exiting with a diagnostic on malformed input.
+///
+/// The scale multiplies group sizes and horizons (clamped to sensible minima
+/// by the callers). `1.0` reproduces the paper's dimensions; values above 1
+/// upscale for stress runs.
+pub fn scale_from_args() -> f64 {
+    let env = std::env::var("DPDE_SCALE").ok();
+    match parse_scale(std::env::args().skip(1), env.as_deref()) {
+        Ok(scale) => scale,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -80,6 +127,25 @@ pub struct EndemicRun {
     pub run: RunResult,
 }
 
+/// The observer set the endemic figures need: alive-only populations,
+/// transition series, alive counts and message counts, plus (optionally)
+/// stasher-set snapshots.
+fn endemic_simulation(protocol: Protocol, scenario: &Scenario, track_stashers: bool) -> Simulation {
+    let receptive = protocol.require_state(RECEPTIVE).expect("state exists");
+    let stash = protocol.require_state(STASH).expect("state exists");
+    let mut sim = Simulation::of(protocol)
+        .scenario(scenario.clone())
+        .rejoin_state(receptive)
+        .observe(CountsRecorder::alive_only())
+        .observe(TransitionRecorder::new())
+        .observe(AliveTracker::new())
+        .observe(MessageCounter::new());
+    if track_stashers {
+        sim = sim.observe(MembershipTracker::of(stash));
+    }
+    sim
+}
+
 /// Runs the Figure 1 endemic protocol from its analytical equilibrium under
 /// the given scenario.
 pub fn run_endemic(params: EndemicParams, scenario: &Scenario, track_stashers: bool) -> EndemicRun {
@@ -88,16 +154,9 @@ pub fn run_endemic(params: EndemicParams, scenario: &Scenario, track_stashers: b
     let eq = params.equilibria(n as f64).endemic;
     let mut counts = [eq[0].round() as u64, eq[1].round().max(1.0) as u64, 0];
     counts[2] = n as u64 - counts[0] - counts[1];
-    let receptive = protocol.require_state(RECEPTIVE).expect("state exists");
-    let stash = protocol.require_state(STASH).expect("state exists");
-    let config = RunConfig {
-        rejoin_state: Some(receptive),
-        track_members_of: if track_stashers { Some(stash) } else { None },
-        count_alive_only: true,
-    };
-    let run = AgentRuntime::new(protocol)
-        .with_config(config)
-        .run(scenario, &InitialStates::counts(&counts))
+    let run = endemic_simulation(protocol, scenario, track_stashers)
+        .initial(InitialStates::counts(&counts))
+        .run::<AgentRuntime>()
         .expect("endemic run");
     EndemicRun { params, n, run }
 }
@@ -110,15 +169,9 @@ pub fn run_endemic_from(
     counts: &[u64; 3],
 ) -> EndemicRun {
     let protocol = params.figure1_protocol().expect("valid endemic parameters");
-    let receptive = protocol.require_state(RECEPTIVE).expect("state exists");
-    let config = RunConfig {
-        rejoin_state: Some(receptive),
-        track_members_of: None,
-        count_alive_only: true,
-    };
-    let run = AgentRuntime::new(protocol)
-        .with_config(config)
-        .run(scenario, &InitialStates::counts(counts))
+    let run = endemic_simulation(protocol, scenario, false)
+        .initial(InitialStates::counts(counts))
+        .run::<AgentRuntime>()
         .expect("endemic run");
     EndemicRun {
         params,
@@ -132,13 +185,13 @@ pub fn run_endemic_from(
 /// surviving population converging.
 pub fn run_lv(params: LvParams, scenario: &Scenario, counts: &[u64; 3]) -> RunResult {
     let protocol: Protocol = params.protocol().expect("valid LV parameters");
-    let config = RunConfig {
-        count_alive_only: true,
-        ..Default::default()
-    };
-    AgentRuntime::new(protocol)
-        .with_config(config)
-        .run(scenario, &InitialStates::counts(counts))
+    Simulation::of(protocol)
+        .scenario(scenario.clone())
+        .initial(InitialStates::counts(counts))
+        .observe(CountsRecorder::alive_only())
+        .observe(TransitionRecorder::new())
+        .observe(AliveTracker::new())
+        .run::<AgentRuntime>()
         .expect("LV run")
 }
 
@@ -175,9 +228,15 @@ pub fn churn_scenario(n: usize, hours: usize, seed: u64) -> Scenario {
 pub fn lv_convergence_period(result: &RunResult, threshold: f64) -> Option<u64> {
     let xs = result.state_series(STATE_X).ok()?;
     let ys = result.state_series(STATE_Y).ok()?;
+    first_below(&xs, &ys, threshold)
+}
+
+/// [`lv_convergence_period`] over two raw series (also usable on ensemble
+/// mean envelopes).
+pub fn first_below(xs: &[f64], ys: &[f64], threshold: f64) -> Option<u64> {
     xs.iter()
         .zip(ys)
-        .position(|(x, y)| x.min(y) <= threshold)
+        .position(|(x, y)| x.min(*y) <= threshold)
         .map(|p| p as u64)
 }
 
@@ -188,11 +247,16 @@ pub fn downsampled_rows(result: &RunResult, series: &[&str], stride: usize) -> V
         .iter()
         .map(|name| result.state_series(name).unwrap_or_default())
         .collect();
+    downsampled_columns(&columns, stride)
+}
+
+/// Downsamples raw per-period columns into printable rows.
+pub fn downsampled_columns(columns: &[Vec<f64>], stride: usize) -> Vec<Vec<String>> {
     let len = columns.first().map_or(0, Vec::len);
     let mut rows = Vec::new();
     for i in (0..len).step_by(stride.max(1)) {
         let mut row = vec![i.to_string()];
-        for col in &columns {
+        for col in columns {
             row.push(format!("{}", col[i]));
         }
         rows.push(row);
@@ -204,11 +268,59 @@ pub fn downsampled_rows(result: &RunResult, series: &[&str], stride: usize) -> V
 mod tests {
     use super::*;
 
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_scale_accepts_defaults_flags_and_env() {
+        assert_eq!(parse_scale(strings(&[]), None), Ok(1.0));
+        assert_eq!(parse_scale(strings(&["--scale", "0.25"]), None), Ok(0.25));
+        // The flag overrides the environment, and later flags win.
+        assert_eq!(
+            parse_scale(strings(&["--scale", "0.5"]), Some("0.1")),
+            Ok(0.5)
+        );
+        // A valid flag even shadows a malformed environment value.
+        assert_eq!(
+            parse_scale(strings(&["--scale", "0.5"]), Some("banana")),
+            Ok(0.5)
+        );
+        assert_eq!(
+            parse_scale(strings(&["--scale", "0.5", "--scale", "2"]), None),
+            Ok(2.0)
+        );
+        assert_eq!(parse_scale(strings(&[]), Some(" 0.01 ")), Ok(0.01));
+    }
+
+    #[test]
+    fn parse_scale_allows_upscaling() {
+        assert_eq!(parse_scale(strings(&["--scale", "4"]), None), Ok(4.0));
+        assert_eq!(parse_scale(strings(&[]), Some("2.5")), Ok(2.5));
+    }
+
+    #[test]
+    fn parse_scale_rejects_malformed_input_loudly() {
+        assert!(parse_scale(strings(&["--scale"]), None)
+            .unwrap_err()
+            .contains("expects a value"));
+        assert!(parse_scale(strings(&["--scale", "huge"]), None)
+            .unwrap_err()
+            .contains("huge"));
+        assert!(parse_scale(strings(&[]), Some("banana"))
+            .unwrap_err()
+            .contains("banana"));
+        assert!(parse_scale(strings(&["--scale", "0"]), None).is_err());
+        assert!(parse_scale(strings(&["--scale", "-1"]), None).is_err());
+        assert!(parse_scale(strings(&["--scale", "inf"]), None).is_err());
+        assert!(parse_scale(strings(&["--scale", "NaN"]), None).is_err());
+    }
+
     #[test]
     fn scale_helpers() {
         assert_eq!(scaled(100_000, 0.01, 500), 1_000);
         assert_eq!(scaled(100, 0.001, 50), 50);
-        assert!(scale_from_args() > 0.0);
+        assert_eq!(scaled(1_000, 2.0, 50), 2_000);
     }
 
     #[test]
@@ -218,6 +330,7 @@ mod tests {
         let run = run_endemic(params, &scenario, true);
         assert_eq!(run.n, 400);
         assert_eq!(run.run.counts.len(), 51);
+        assert!(!run.run.tracked_members.is_empty());
         let rows = downsampled_rows(&run.run, &ENDEMIC_SERIES, 10);
         assert_eq!(rows.len(), 6);
 
@@ -226,6 +339,7 @@ mod tests {
         assert_eq!(lv.counts.len(), 101);
         // Convergence threshold of N is trivially met at period 0.
         assert_eq!(lv_convergence_period(&lv, 400.0), Some(0));
+        assert_eq!(first_below(&[3.0, 1.0], &[2.0, 2.0], 1.5), Some(1));
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //!   constant selection and failure compensation.
 //! * [`Protocol`] / [`Action`] ([`state_machine`], [`action`]) — the compiled
 //!   probabilistic state machine, as pure data.
-//! * [`runtime`] — the per-process [`AgentRuntime`](runtime::AgentRuntime)
-//!   (failures, churn, message loss, per-host metrics) and the count-based
-//!   [`AggregateRuntime`](runtime::AggregateRuntime) for large sweeps.
+//! * [`runtime`] — the [`Runtime`] trait with two fidelities (the
+//!   per-process [`AgentRuntime`](runtime::AgentRuntime) and the count-based
+//!   [`AggregateRuntime`](runtime::AggregateRuntime)), composable
+//!   [`Observer`]s for opt-in recording, the [`Simulation`] builder and the
+//!   parallel [`Ensemble`] driver.
 //! * [`equivalence`] — quantitative comparison of protocol trajectories
 //!   against integrations of the source equations (Theorem 1, measured).
 //! * [`complexity`] — the paper's message-complexity accounting.
@@ -38,6 +40,8 @@
 //!     .compile(&sys)?;
 //! let result = AggregateRuntime::new(protocol)
 //!     .run(10_000, 125, &InitialStates::counts(&[9_990, 10]), 1)?;
+//! // (`Simulation::of(protocol)…run::<AggregateRuntime>()` is the composable
+//! // form of the same run — see the `runtime` module.)
 //!
 //! // The run tracks the differential equations (Theorem 1).
 //! let report = compare_to_system(&result.as_ode_trajectory(10_000.0), &sys, 0.01)?;
@@ -65,6 +69,7 @@ pub use equivalence::{compare_to_system, compare_trajectories, EquivalenceReport
 pub use error::CoreError;
 pub use mapping::{compensation_factor, ProtocolCompiler};
 pub use mean_field::mean_field_equations;
+pub use runtime::{Ensemble, EnsembleResult, Observer, Runtime, Simulation};
 pub use state_machine::{Protocol, StateId};
 
 /// Result alias used throughout the crate.

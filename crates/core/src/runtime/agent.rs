@@ -1,10 +1,12 @@
 //! The per-process (agent-based) protocol runtime.
 
-use super::{edge_name, InitialStates, RunConfig, RunResult};
+use super::observer::default_observers;
+use super::simulation::drive;
+use super::{InitialStates, PeriodEvents, RunConfig, RunResult, Runtime};
 use crate::action::Action;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
-use netsim::{Group, ProcessId, Rng, Scenario};
+use netsim::{Group, LossConfig, ProcessId, Rng, Scenario};
 
 /// Executes a protocol with one explicit state per process.
 ///
@@ -16,7 +18,8 @@ use netsim::{Group, ProcessId, Rng, Scenario};
 ///    transition), sampling contacts uniformly from the **maximal**
 ///    membership — a contact aimed at a crashed process is fruitless, exactly
 ///    as in the paper, and
-/// 3. records per-state counts, transition counts and auxiliary metrics.
+/// 3. exposes per-state counts, transition counts and membership through
+///    [`PeriodEvents`] for the attached observers.
 ///
 /// Processes are visited in id order within a period; the protocols are
 /// symmetric and memoryless across periods, so the visiting order has no
@@ -38,7 +41,7 @@ use netsim::{Group, ProcessId, Rng, Scenario};
 /// let protocol = ProtocolCompiler::new("epidemic").compile(&sys)?;
 /// let scenario = Scenario::new(1000, 30)?.with_seed(7);
 /// let result = AgentRuntime::new(protocol).run(&scenario, &InitialStates::counts(&[999, 1]))?;
-/// let infected = result.final_counts()[1];
+/// let infected = result.final_counts().expect("run recorded periods")[1];
 /// assert!(infected > 990.0, "epidemic should saturate, got {infected}");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -46,6 +49,30 @@ use netsim::{Group, ProcessId, Rng, Scenario};
 pub struct AgentRuntime {
     protocol: Protocol,
     config: RunConfig,
+}
+
+/// The mutable execution state of an [`AgentRuntime`] run: the scenario
+/// clock, the process group, per-process states and the current period's
+/// event buffers.
+#[derive(Debug, Clone)]
+pub struct AgentState {
+    scenario: Scenario,
+    rng: Rng,
+    group: Group,
+    members: Membership,
+    period: u64,
+    /// Dense `from * num_states + to` transition counts for the period that
+    /// just executed, plus the sparse rendering handed to observers.
+    transitions_dense: Vec<u64>,
+    transitions: Vec<(StateId, StateId, u64)>,
+    messages: u64,
+}
+
+impl AgentState {
+    /// The next period to execute (also the number of periods executed).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
 }
 
 impl AgentRuntime {
@@ -71,84 +98,49 @@ impl AgentRuntime {
     }
 
     /// Runs the protocol under the given scenario and initial state
-    /// distribution.
+    /// distribution with the standard recording set (counts, transitions,
+    /// alive counts, messages).
+    ///
+    /// For opt-in recording or custom observers use
+    /// [`Simulation`](super::Simulation).
     ///
     /// # Errors
     ///
     /// Returns configuration errors (mismatched initial distribution, invalid
     /// protocol) and propagates scenario errors.
     pub fn run(&self, scenario: &Scenario, initial: &InitialStates) -> Result<RunResult> {
-        self.protocol.validate()?;
-        let n = scenario.group_size();
-        let num_states = self.protocol.num_states();
-        let counts_spec = initial.resolve(num_states, n as u64)?;
+        drive(self, scenario, initial, &mut default_observers())
+    }
 
-        let mut rng = scenario.build_rng();
-        let mut group = scenario.build_group();
+    /// Convenience wrapper: run and return only the final per-state counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_final_counts(
+        &self,
+        scenario: &Scenario,
+        initial: &InitialStates,
+    ) -> Result<Vec<f64>> {
+        Ok(self
+            .run(scenario, initial)?
+            .final_counts()
+            .expect("run records the initial configuration")
+            .to_vec())
+    }
 
-        // Assign initial states: counts_spec[i] processes in state i, shuffled
-        // so state assignment is independent of process id.
-        let mut assignment: Vec<usize> = Vec::with_capacity(n);
-        for (state, count) in counts_spec.iter().enumerate() {
-            assignment.extend(std::iter::repeat(state).take(*count as usize));
+    fn events<'s>(&self, state: &'s AgentState) -> PeriodEvents<'s> {
+        PeriodEvents {
+            period: state.period,
+            counts: state.members.counts(),
+            transitions: &state.transitions,
+            messages: state.messages,
+            alive: state.group.alive_count() as u64,
+            membership: Some(MembershipView {
+                members: &state.members,
+                group: &state.group,
+            }),
         }
-        rng.shuffle(&mut assignment);
-
-        let mut members = Membership::new(num_states, &assignment);
-        let mut result = RunResult::new(&self.protocol);
-
-        // Record the initial configuration at period 0.
-        self.record(&mut result, 0, &members, &group);
-
-        let loss = *scenario.loss();
-        for period in 0..scenario.periods() {
-            // 1. Environment events.
-            let (_down, up) = scenario.apply_period_events(period, &mut group, &mut rng)?;
-            if let Some(rejoin) = self.config.rejoin_state {
-                for id in up {
-                    members.force_state(id.index(), rejoin.index());
-                }
-            }
-
-            // 2. Protocol actions.
-            let mut messages: u64 = 0;
-            for p in 0..n {
-                if !group.is_alive(ProcessId(p))? {
-                    continue;
-                }
-                let state = members.state_of(p);
-                // Copy the action list length to avoid borrowing issues; the
-                // protocol is immutable during the run.
-                let num_actions = self.protocol.actions(StateId::new(state)).len();
-                for action_idx in 0..num_actions {
-                    // Re-read the current state: a previous action may have
-                    // moved us (moves_self actions break out, but push/token
-                    // transitions performed by *other* processes only happen
-                    // outside this inner loop, so `state` is still valid).
-                    let action = &self.protocol.actions(StateId::new(state))[action_idx];
-                    messages += u64::from(action.messages_per_period());
-                    let moved = self.execute_action(
-                        p,
-                        state,
-                        action,
-                        &mut members,
-                        &group,
-                        &loss,
-                        &mut rng,
-                        &mut result,
-                        period,
-                    )?;
-                    if moved {
-                        break;
-                    }
-                }
-            }
-
-            // 3. Metrics.
-            result.metrics.record("messages", period, messages as f64);
-            self.record(&mut result, period + 1, &members, &group);
-        }
-        Ok(result)
     }
 
     /// Executes one action for process `p` (currently in `state`). Returns
@@ -161,16 +153,16 @@ impl AgentRuntime {
         action: &Action,
         members: &mut Membership,
         group: &Group,
-        loss: &netsim::LossConfig,
+        loss: &LossConfig,
         rng: &mut Rng,
-        result: &mut RunResult,
-        period: u64,
+        transitions: &mut [u64],
     ) -> Result<bool> {
         let n = group.size();
+        let num_states = self.protocol.num_states();
         match action {
             Action::Flip { prob, to } => {
                 if rng.chance(*prob) {
-                    self.transition(p, state, to.index(), members, result, period);
+                    transition(p, state, to.index(), members, transitions, num_states);
                     return Ok(true);
                 }
             }
@@ -189,7 +181,7 @@ impl AgentRuntime {
                     }
                 }
                 if all_match && rng.chance(*prob) {
-                    self.transition(p, state, to.index(), members, result, period);
+                    transition(p, state, to.index(), members, transitions, num_states);
                     return Ok(true);
                 }
             }
@@ -210,7 +202,7 @@ impl AgentRuntime {
                     }
                 }
                 if found && rng.chance(*prob) {
-                    self.transition(p, state, to.index(), members, result, period);
+                    transition(p, state, to.index(), members, transitions, num_states);
                     return Ok(true);
                 }
             }
@@ -228,13 +220,13 @@ impl AgentRuntime {
                         && members.state_of(target) == target_state.index()
                         && rng.chance(*prob)
                     {
-                        self.transition(
+                        transition(
                             target,
                             target_state.index(),
                             to.index(),
                             members,
-                            result,
-                            period,
+                            transitions,
+                            num_states,
                         );
                     }
                 }
@@ -263,13 +255,13 @@ impl AgentRuntime {
                         members.random_alive_in_state(token_state.index(), group, rng)
                     {
                         if loss.contact_succeeds(rng, 1) {
-                            self.transition(
+                            transition(
                                 consumer,
                                 token_state.index(),
                                 to.index(),
                                 members,
-                                result,
-                                period,
+                                transitions,
+                                num_states,
                             );
                         }
                     }
@@ -278,58 +270,158 @@ impl AgentRuntime {
         }
         Ok(false)
     }
+}
 
-    fn transition(
-        &self,
-        p: usize,
-        from: usize,
-        to: usize,
-        members: &mut Membership,
-        result: &mut RunResult,
-        period: u64,
-    ) {
-        if from == to {
-            return;
-        }
-        members.force_state(p, to);
-        let name = edge_name(&self.protocol, StateId::new(from), StateId::new(to));
-        result.transitions.add(&name, period, 1.0);
+/// Applies the transition `p: from -> to` and counts it in the dense buffer.
+fn transition(
+    p: usize,
+    from: usize,
+    to: usize,
+    members: &mut Membership,
+    transitions: &mut [u64],
+    num_states: usize,
+) {
+    if from == to {
+        return;
+    }
+    members.force_state(p, to);
+    transitions[from * num_states + to] += 1;
+}
+
+impl Runtime for AgentRuntime {
+    type State = AgentState;
+
+    fn build(protocol: Protocol, config: &RunConfig) -> Self {
+        AgentRuntime::new(protocol).with_config(config.clone())
     }
 
-    fn record(&self, result: &mut RunResult, period: u64, members: &Membership, group: &Group) {
-        let counts = if self.config.count_alive_only {
-            members.counts_alive(group)
-        } else {
-            members.counts().to_vec()
-        };
-        result
-            .counts
-            .push(period as f64, counts.iter().map(|&c| c as f64).collect());
-        result
-            .metrics
-            .record("alive", period, group.alive_count() as f64);
-        if let Some(track) = self.config.track_members_of {
-            let ids: Vec<ProcessId> = members
-                .members_of(track.index())
-                .iter()
-                .map(|&p| ProcessId(p as usize))
-                .filter(|id| group.is_alive(*id).unwrap_or(false))
-                .collect();
-            result.tracked_members.push((period, ids));
-        }
+    fn protocol(&self) -> &Protocol {
+        &self.protocol
     }
 
-    /// Convenience wrapper: run and return only the final per-state counts.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`run`](Self::run).
-    pub fn run_final_counts(
-        &self,
-        scenario: &Scenario,
-        initial: &InitialStates,
-    ) -> Result<Vec<f64>> {
-        Ok(self.run(scenario, initial)?.final_counts().to_vec())
+    fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<AgentState> {
+        self.protocol.validate()?;
+        let n = scenario.group_size();
+        let num_states = self.protocol.num_states();
+        let counts_spec = initial.resolve(num_states, n as u64)?;
+
+        let mut rng = scenario.build_rng();
+        let group = scenario.build_group();
+
+        // Assign initial states: counts_spec[i] processes in state i, shuffled
+        // so state assignment is independent of process id.
+        let mut assignment: Vec<usize> = Vec::with_capacity(n);
+        for (state, count) in counts_spec.iter().enumerate() {
+            assignment.extend(std::iter::repeat(state).take(*count as usize));
+        }
+        rng.shuffle(&mut assignment);
+
+        Ok(AgentState {
+            scenario: scenario.clone(),
+            rng,
+            group,
+            members: Membership::new(num_states, &assignment),
+            period: 0,
+            transitions_dense: vec![0; num_states * num_states],
+            transitions: Vec::new(),
+            messages: 0,
+        })
+    }
+
+    fn step<'s>(&self, state: &'s mut AgentState) -> Result<PeriodEvents<'s>> {
+        let period = state.period;
+        let n = state.scenario.group_size();
+        let loss = *state.scenario.loss();
+        state.transitions_dense.fill(0);
+        state.transitions.clear();
+        state.messages = 0;
+
+        // 1. Environment events.
+        let (_down, up) =
+            state
+                .scenario
+                .apply_period_events(period, &mut state.group, &mut state.rng)?;
+        if let Some(rejoin) = self.config.rejoin_state {
+            for id in up {
+                state.members.force_state(id.index(), rejoin.index());
+            }
+        }
+
+        // 2. Protocol actions.
+        for p in 0..n {
+            if !state.group.is_alive(ProcessId(p))? {
+                continue;
+            }
+            let process_state = state.members.state_of(p);
+            // Copy the action list length to avoid borrowing issues; the
+            // protocol is immutable during the run.
+            let num_actions = self.protocol.actions(StateId::new(process_state)).len();
+            for action_idx in 0..num_actions {
+                // Re-read the current state: a previous action may have moved
+                // us (moves_self actions break out, but push/token transitions
+                // performed by *other* processes only happen outside this
+                // inner loop, so `process_state` is still valid).
+                let action = &self.protocol.actions(StateId::new(process_state))[action_idx];
+                state.messages += u64::from(action.messages_per_period());
+                let moved = self.execute_action(
+                    p,
+                    process_state,
+                    action,
+                    &mut state.members,
+                    &state.group,
+                    &loss,
+                    &mut state.rng,
+                    &mut state.transitions_dense,
+                )?;
+                if moved {
+                    break;
+                }
+            }
+        }
+
+        // 3. Render the dense transition counts sparsely for observers.
+        super::render_sparse_transitions(
+            &state.transitions_dense,
+            self.protocol.num_states(),
+            &mut state.transitions,
+        );
+
+        state.period = period + 1;
+        Ok(self.events(state))
+    }
+
+    fn snapshot<'s>(&self, state: &'s AgentState) -> PeriodEvents<'s> {
+        self.events(state)
+    }
+}
+
+/// Read access to the per-process membership at a period boundary, handed to
+/// observers through [`PeriodEvents::membership`].
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipView<'a> {
+    members: &'a Membership,
+    group: &'a Group,
+}
+
+impl MembershipView<'_> {
+    /// Ids of the alive processes currently in `state`.
+    pub fn alive_members_of(&self, state: StateId) -> Vec<ProcessId> {
+        self.members
+            .members_of(state.index())
+            .iter()
+            .map(|&p| ProcessId(p as usize))
+            .filter(|id| self.group.is_alive(*id).unwrap_or(false))
+            .collect()
+    }
+
+    /// Per-state counts restricted to alive processes.
+    pub fn alive_counts(&self) -> Vec<u64> {
+        self.members.counts_alive(self.group)
+    }
+
+    /// The state of one process.
+    pub fn state_of(&self, id: ProcessId) -> StateId {
+        StateId::new(self.members.state_of(id.index()))
     }
 }
 
@@ -428,6 +520,7 @@ impl Membership {
 
 #[cfg(test)]
 mod tests {
+    use super::super::{CountsRecorder, MembershipTracker, Simulation};
     use super::*;
     use crate::error::CoreError;
     use crate::mapping::ProtocolCompiler;
@@ -455,7 +548,8 @@ mod tests {
             assert_eq!(s[0] + s[1], 4096.0);
         }
         // Saturation.
-        assert!(result.final_counts()[1] > 4000.0);
+        let final_counts = result.final_counts().unwrap();
+        assert!(final_counts[1] > 4000.0);
         // O(log N) spread: find the first period with > half infected; for
         // N = 4096 the pull epidemic needs roughly log2(N) ≈ 12 periods to
         // take off, comfortably under 30.
@@ -463,10 +557,7 @@ mod tests {
         let first_half = y.iter().position(|&v| v > 2048.0).unwrap();
         assert!(first_half < 30, "took {first_half} periods to infect half");
         // Transition counter adds up to the total number of infections.
-        assert_eq!(
-            result.total_transitions("x", "y"),
-            result.final_counts()[1] - 1.0
-        );
+        assert_eq!(result.total_transitions("x", "y"), final_counts[1] - 1.0);
         // Messages were counted.
         assert!(result
             .metrics
@@ -474,6 +565,28 @@ mod tests {
             .unwrap()
             .iter()
             .any(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn incremental_stepping_matches_the_one_shot_run() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(512, 12).unwrap().with_seed(4);
+        let initial = InitialStates::counts(&[511, 1]);
+        let runtime = AgentRuntime::new(protocol);
+        let batch = runtime.run(&scenario, &initial).unwrap();
+
+        let mut state = runtime.init(&scenario, &initial).unwrap();
+        assert_eq!(runtime.snapshot(&state).period, 0);
+        let mut counts_by_period = vec![runtime.snapshot(&state).counts.to_vec()];
+        for _ in 0..scenario.periods() {
+            let ev = runtime.step(&mut state).unwrap();
+            counts_by_period.push(ev.counts.to_vec());
+        }
+        assert_eq!(state.period(), scenario.periods());
+        for (recorded, stepped) in batch.counts.states().iter().zip(&counts_by_period) {
+            let stepped: Vec<f64> = stepped.iter().map(|&c| c as f64).collect();
+            assert_eq!(recorded, &stepped);
+        }
     }
 
     #[test]
@@ -495,36 +608,30 @@ mod tests {
             .with_massive_failure(0, 1.0)
             .unwrap()
             .with_seed(3);
-        let runtime = AgentRuntime::new(protocol).with_config(RunConfig {
-            count_alive_only: false,
-            ..Default::default()
-        });
-        let result = runtime
+        let result = AgentRuntime::new(protocol)
             .run(&scenario, &InitialStates::counts(&[49, 1]))
             .unwrap();
-        assert_eq!(result.final_counts(), &[49.0, 1.0]);
+        assert_eq!(result.final_counts(), Some(&[49.0, 1.0][..]));
         assert_eq!(result.total_transitions("x", "y"), 0.0);
     }
 
     #[test]
-    fn count_alive_only_excludes_crashed_processes() {
+    fn alive_only_counts_exclude_crashed_processes() {
         let protocol = epidemic_protocol();
         let scenario = Scenario::new(100, 3)
             .unwrap()
             .with_massive_failure(1, 0.5)
             .unwrap()
             .with_seed(5);
-        let runtime = AgentRuntime::new(protocol).with_config(RunConfig {
-            count_alive_only: true,
-            ..Default::default()
-        });
-        let result = runtime
-            .run(&scenario, &InitialStates::counts(&[100, 0]))
+        let result = Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&[100, 0]))
+            .observe(CountsRecorder::alive_only())
+            .run::<AgentRuntime>()
             .unwrap();
         // After the massive failure the alive-only counts sum to 50.
-        let last = result.final_counts();
+        let last = result.final_counts().unwrap();
         assert_eq!(last.iter().sum::<f64>(), 50.0);
-        assert_eq!(result.metrics.last("alive"), Some(50.0));
     }
 
     #[test]
@@ -541,16 +648,12 @@ mod tests {
             .unwrap()
             .with_failure_schedule(schedule)
             .with_seed(1);
-        let runtime = AgentRuntime::new(protocol).with_config(RunConfig {
-            rejoin_state: Some(y),
-            count_alive_only: false,
-            ..Default::default()
-        });
+        let runtime = AgentRuntime::new(protocol).with_config(RunConfig::rejoining_to(y));
         // The only way a y can appear is via the rejoin rule.
         let result = runtime
             .run(&scenario, &InitialStates::counts(&[10, 0]))
             .unwrap();
-        assert_eq!(result.final_counts()[1], 1.0);
+        assert_eq!(result.final_counts().unwrap()[1], 1.0);
     }
 
     #[test]
@@ -558,12 +661,12 @@ mod tests {
         let protocol = epidemic_protocol();
         let y = protocol.require_state("y").unwrap();
         let scenario = Scenario::new(64, 15).unwrap().with_seed(2);
-        let runtime = AgentRuntime::new(protocol).with_config(RunConfig {
-            track_members_of: Some(y),
-            ..Default::default()
-        });
-        let result = runtime
-            .run(&scenario, &InitialStates::counts(&[63, 1]))
+        let result = Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&[63, 1]))
+            .observe(CountsRecorder::new())
+            .observe(MembershipTracker::of(y))
+            .run::<AgentRuntime>()
             .unwrap();
         // One snapshot per recorded period (periods + 1 including period 0).
         assert_eq!(result.tracked_members.len(), 16);
@@ -607,11 +710,11 @@ mod tests {
         let b = runtime
             .run(&lossy, &InitialStates::counts(&[1999, 1]))
             .unwrap();
+        let a_final = a.final_counts().unwrap()[1];
+        let b_final = b.final_counts().unwrap()[1];
         assert!(
-            a.final_counts()[1] > b.final_counts()[1],
-            "losses should slow dissemination: {} vs {}",
-            a.final_counts()[1],
-            b.final_counts()[1]
+            a_final > b_final,
+            "losses should slow dissemination: {a_final} vs {b_final}"
         );
     }
 }

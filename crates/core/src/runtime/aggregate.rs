@@ -1,12 +1,14 @@
 //! The count-based (aggregate) protocol runtime.
 
-use super::{edge_name, InitialStates, RunResult};
+use super::observer::default_observers;
+use super::simulation::drive_periods;
+use super::{InitialStates, PeriodEvents, RunConfig, RunResult, Runtime};
 use crate::action::Action;
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
 use netsim::stochastic::{binomial, multinomial};
-use netsim::{LossConfig, Rng};
+use netsim::{LossConfig, Rng, Scenario};
 
 /// Executes a protocol tracking only the number of processes in each state.
 ///
@@ -27,30 +29,55 @@ use netsim::{LossConfig, Rng};
 ///
 /// Failure and churn events are not modelled here (they need host identity);
 /// use [`AgentRuntime`](super::AgentRuntime) for those scenarios. A constant
-/// message-loss configuration *is* supported, as is an alive fraction below
-/// 1.0 (contacts aimed at the dead fraction are fruitless).
+/// message-loss configuration *is* supported — when driven through the
+/// [`Runtime`](super::Runtime) trait the scenario's loss configuration is
+/// used unless [`with_loss`](Self::with_loss) overrides it — as is an alive
+/// fraction below 1.0 (contacts aimed at the dead fraction are fruitless).
 #[derive(Debug, Clone)]
 pub struct AggregateRuntime {
     protocol: Protocol,
-    loss: LossConfig,
+    loss: Option<LossConfig>,
     alive_fraction: f64,
 }
 
+/// The mutable execution state of an [`AggregateRuntime`] run: per-state
+/// counts, the PRNG and the current period's event buffers.
+#[derive(Debug, Clone)]
+pub struct AggregateState {
+    n_f: f64,
+    alive_n: u64,
+    counts: Vec<u64>,
+    rng: Rng,
+    loss: LossConfig,
+    period: u64,
+    transitions_dense: Vec<u64>,
+    transitions: Vec<(StateId, StateId, u64)>,
+    messages: u64,
+}
+
+impl AggregateState {
+    /// The next period to execute (also the number of periods executed).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
 impl AggregateRuntime {
-    /// Creates an aggregate runtime with a reliable network and a fully alive
-    /// group.
+    /// Creates an aggregate runtime with a fully alive group. The network is
+    /// reliable unless a scenario drives the run and specifies losses.
     pub fn new(protocol: Protocol) -> Self {
         AggregateRuntime {
             protocol,
-            loss: LossConfig::reliable(),
+            loss: None,
             alive_fraction: 1.0,
         }
     }
 
-    /// Sets the message/connection loss configuration.
+    /// Sets the message/connection loss configuration (overriding the
+    /// scenario's, if any).
     #[must_use]
     pub fn with_loss(mut self, loss: LossConfig) -> Self {
-        self.loss = loss;
+        self.loss = Some(loss);
         self
     }
 
@@ -77,7 +104,11 @@ impl AggregateRuntime {
     }
 
     /// Runs the protocol for `periods` periods on a maximal group of `n`
-    /// processes with the given initial distribution and PRNG seed.
+    /// processes with the given initial distribution and PRNG seed, recording
+    /// the standard set (counts, transitions, alive counts, messages).
+    ///
+    /// For opt-in recording or scenario-driven runs use
+    /// [`Simulation`](super::Simulation).
     ///
     /// # Errors
     ///
@@ -90,128 +121,51 @@ impl AggregateRuntime {
         initial: &InitialStates,
         seed: u64,
     ) -> Result<RunResult> {
+        let loss = self.loss.unwrap_or_else(LossConfig::reliable);
+        let mut state = self.init_raw(n, initial, seed, loss)?;
+        drive_periods(self, &mut state, periods, &mut default_observers())
+    }
+
+    /// Builds the start-of-run state without a scenario.
+    fn init_raw(
+        &self,
+        n: u64,
+        initial: &InitialStates,
+        seed: u64,
+        loss: LossConfig,
+    ) -> Result<AggregateState> {
         self.protocol.validate()?;
         let num_states = self.protocol.num_states();
         let alive_n = (n as f64 * self.alive_fraction).round() as u64;
-        let mut counts = initial.resolve(num_states, alive_n)?;
-        let mut rng = Rng::seed_from(seed);
-        let mut result = RunResult::new(&self.protocol);
-        let n_f = n as f64;
+        let counts = initial.resolve(num_states, alive_n)?;
+        Ok(AggregateState {
+            n_f: n as f64,
+            alive_n,
+            counts,
+            rng: Rng::seed_from(seed),
+            loss,
+            period: 0,
+            transitions_dense: vec![0; num_states * num_states],
+            transitions: Vec::new(),
+            messages: 0,
+        })
+    }
 
-        result
-            .counts
-            .push(0.0, counts.iter().map(|&c| c as f64).collect());
-        result.metrics.record("alive", 0, alive_n as f64);
-
-        for period in 0..periods {
-            let start: Vec<u64> = counts.clone();
-            let mut delta = vec![0i64; num_states];
-
-            for (s, &k_s) in start.iter().enumerate() {
-                if k_s == 0 {
-                    continue;
-                }
-                let actions = self.protocol.actions(StateId::new(s));
-                if actions.is_empty() {
-                    continue;
-                }
-                // Per-process probabilities of each *self-moving* outcome, in
-                // action order; push/token actions affect other states and are
-                // handled separately below.
-                let mut outcome_probs: Vec<(usize, f64)> = Vec::new(); // (dest, prob)
-                let mut survive = 1.0; // probability of not having moved yet
-                for action in actions {
-                    let fire = self.fire_probability(action, &start, n_f);
-                    match action {
-                        Action::Flip { to, .. }
-                        | Action::Sample { to, .. }
-                        | Action::SampleAny { to, .. } => {
-                            outcome_probs.push((to.index(), survive * fire));
-                            survive *= 1.0 - fire;
-                        }
-                        Action::PushSample {
-                            target_state,
-                            samples,
-                            prob,
-                            to,
-                        } => {
-                            // Executors do not move; each of their samples
-                            // converts an alive member of target_state with the
-                            // per-draw probability.
-                            let per_draw = (start[target_state.index()] as f64 / n_f)
-                                * prob
-                                * (1.0 - self.loss.effective_contact_failure(1));
-                            let draws = k_s.saturating_mul(u64::from(*samples));
-                            let converted = binomial(&mut rng, draws, per_draw)
-                                .min(start[target_state.index()]);
-                            if converted > 0 {
-                                delta[target_state.index()] -= converted as i64;
-                                delta[to.index()] += converted as i64;
-                                result.transitions.add(
-                                    &edge_name(&self.protocol, *target_state, *to),
-                                    period,
-                                    converted as f64,
-                                );
-                            }
-                        }
-                        Action::Tokenize {
-                            token_state, to, ..
-                        } => {
-                            let fired = binomial(&mut rng, k_s, fire);
-                            let consumed = fired.min(start[token_state.index()]);
-                            if consumed > 0 {
-                                delta[token_state.index()] -= consumed as i64;
-                                delta[to.index()] += consumed as i64;
-                                result.transitions.add(
-                                    &edge_name(&self.protocol, *token_state, *to),
-                                    period,
-                                    consumed as f64,
-                                );
-                            }
-                        }
-                    }
-                }
-
-                if !outcome_probs.is_empty() {
-                    // Multinomial draw over (outcome_1, ..., outcome_m, stay).
-                    let mut weights: Vec<f64> = outcome_probs.iter().map(|(_, p)| *p).collect();
-                    let stay = (1.0 - weights.iter().sum::<f64>()).max(0.0);
-                    weights.push(stay);
-                    let draws = multinomial(&mut rng, k_s, &weights);
-                    for ((dest, _), &moved) in outcome_probs.iter().zip(&draws) {
-                        if moved > 0 {
-                            delta[s] -= moved as i64;
-                            delta[*dest] += moved as i64;
-                            result.transitions.add(
-                                &edge_name(&self.protocol, StateId::new(s), StateId::new(*dest)),
-                                period,
-                                moved as f64,
-                            );
-                        }
-                    }
-                }
-            }
-
-            // Apply the deltas with saturation (clamping can only be triggered
-            // by the push/token approximations racing each other in the same
-            // period, which is statistically negligible).
-            for (c, d) in counts.iter_mut().zip(&delta) {
-                let new = *c as i64 + d;
-                *c = new.max(0) as u64;
-            }
-            result.counts.push(
-                (period + 1) as f64,
-                counts.iter().map(|&c| c as f64).collect(),
-            );
-            result.metrics.record("alive", period + 1, alive_n as f64);
+    fn events<'s>(&self, state: &'s AggregateState) -> PeriodEvents<'s> {
+        PeriodEvents {
+            period: state.period,
+            counts: &state.counts,
+            transitions: &state.transitions,
+            messages: state.messages,
+            alive: state.alive_n,
+            membership: None,
         }
-        Ok(result)
     }
 
     /// Per-process probability that an action's firing condition holds this
     /// period (excluding who it moves), given start-of-period counts.
-    fn fire_probability(&self, action: &Action, counts: &[u64], n: f64) -> f64 {
-        let contact_ok = 1.0 - self.loss.effective_contact_failure(1);
+    fn fire_probability(&self, action: &Action, counts: &[u64], n: f64, loss: &LossConfig) -> f64 {
+        let contact_ok = 1.0 - loss.effective_contact_failure(1);
         match action {
             Action::Flip { prob, .. } => *prob,
             Action::Sample { required, prob, .. } => {
@@ -239,6 +193,154 @@ impl AggregateRuntime {
                 p
             }
         }
+    }
+}
+
+impl Runtime for AggregateRuntime {
+    type State = AggregateState;
+
+    fn build(protocol: Protocol, _config: &RunConfig) -> Self {
+        // The rejoin rule needs host identity and is a no-op here: the
+        // aggregate runtime does not model failure events.
+        AggregateRuntime::new(protocol)
+    }
+
+    fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<AggregateState> {
+        // Failure and churn need host identity; silently dropping them would
+        // make a fidelity swap produce wrong results, so reject loudly.
+        if !scenario.failure_schedule().is_empty()
+            || !scenario.churn_events().is_empty()
+            || scenario.failure_model().crash_prob() > 0.0
+            || scenario.failure_model().recover_prob() > 0.0
+        {
+            return Err(CoreError::InvalidConfig {
+                name: "scenario",
+                reason: "the aggregate runtime does not model failures or churn; \
+                         use AgentRuntime for this scenario (or with_alive_fraction \
+                         for a constant dead fraction)"
+                    .into(),
+            });
+        }
+        let loss = self.loss.unwrap_or(*scenario.loss());
+        self.init_raw(scenario.group_size() as u64, initial, scenario.seed(), loss)
+    }
+
+    fn step<'s>(&self, state: &'s mut AggregateState) -> Result<PeriodEvents<'s>> {
+        let num_states = self.protocol.num_states();
+        let period = state.period;
+        let n_f = state.n_f;
+        state.transitions_dense.fill(0);
+        state.transitions.clear();
+        state.messages = 0;
+
+        let start: Vec<u64> = state.counts.clone();
+        let mut delta = vec![0i64; num_states];
+        // Expected messages, matching the agent runtime's accounting: a
+        // process pays for an action only if it has not already moved on an
+        // earlier action this period (including the action that moves it).
+        let mut messages_f = 0.0f64;
+
+        for (s, &k_s) in start.iter().enumerate() {
+            if k_s == 0 {
+                continue;
+            }
+            let actions = self.protocol.actions(StateId::new(s));
+            if actions.is_empty() {
+                continue;
+            }
+            // Per-process probabilities of each *self-moving* outcome, in
+            // action order; push/token actions affect other states and are
+            // handled separately below.
+            let mut outcome_probs: Vec<(usize, f64)> = Vec::new(); // (dest, prob)
+            let mut survive = 1.0; // probability of not having moved yet
+            for action in actions {
+                messages_f += k_s as f64 * survive * f64::from(action.messages_per_period());
+                let fire = self.fire_probability(action, &start, n_f, &state.loss);
+                match action {
+                    Action::Flip { to, .. }
+                    | Action::Sample { to, .. }
+                    | Action::SampleAny { to, .. } => {
+                        outcome_probs.push((to.index(), survive * fire));
+                        survive *= 1.0 - fire;
+                    }
+                    Action::PushSample {
+                        target_state,
+                        samples,
+                        prob,
+                        to,
+                    } => {
+                        // Executors do not move; each of their samples
+                        // converts an alive member of target_state with the
+                        // per-draw probability.
+                        let per_draw = (start[target_state.index()] as f64 / n_f)
+                            * prob
+                            * (1.0 - state.loss.effective_contact_failure(1));
+                        let draws = k_s.saturating_mul(u64::from(*samples));
+                        let converted = binomial(&mut state.rng, draws, per_draw)
+                            .min(start[target_state.index()]);
+                        if converted > 0 {
+                            delta[target_state.index()] -= converted as i64;
+                            delta[to.index()] += converted as i64;
+                            state.transitions_dense
+                                [target_state.index() * num_states + to.index()] += converted;
+                        }
+                    }
+                    Action::Tokenize {
+                        token_state, to, ..
+                    } => {
+                        let fired = binomial(&mut state.rng, k_s, fire);
+                        let consumed = fired.min(start[token_state.index()]);
+                        if consumed > 0 {
+                            delta[token_state.index()] -= consumed as i64;
+                            delta[to.index()] += consumed as i64;
+                            state.transitions_dense
+                                [token_state.index() * num_states + to.index()] += consumed;
+                        }
+                    }
+                }
+            }
+
+            if !outcome_probs.is_empty() {
+                // Multinomial draw over (outcome_1, ..., outcome_m, stay).
+                let mut weights: Vec<f64> = outcome_probs.iter().map(|(_, p)| *p).collect();
+                let stay = (1.0 - weights.iter().sum::<f64>()).max(0.0);
+                weights.push(stay);
+                let draws = multinomial(&mut state.rng, k_s, &weights);
+                for ((dest, _), &moved) in outcome_probs.iter().zip(&draws) {
+                    if moved > 0 {
+                        delta[s] -= moved as i64;
+                        delta[*dest] += moved as i64;
+                        state.transitions_dense[s * num_states + dest] += moved;
+                    }
+                }
+            }
+        }
+
+        // Apply the deltas with saturation (clamping can only be triggered
+        // by the push/token approximations racing each other in the same
+        // period, which is statistically negligible).
+        for (c, d) in state.counts.iter_mut().zip(&delta) {
+            let new = *c as i64 + d;
+            *c = new.max(0) as u64;
+        }
+
+        super::render_sparse_transitions(
+            &state.transitions_dense,
+            num_states,
+            &mut state.transitions,
+        );
+
+        state.messages = messages_f.round() as u64;
+        state.period = period + 1;
+        Ok(self.events(state))
+    }
+
+    fn snapshot<'s>(&self, state: &'s AggregateState) -> PeriodEvents<'s> {
+        self.events(state)
     }
 }
 
@@ -300,7 +402,18 @@ mod tests {
         for (_, s) in result.counts.iter() {
             assert_eq!(s.iter().sum::<f64>(), 10_000.0);
         }
-        assert!(result.final_counts()[1] > 9_900.0, "epidemic saturates");
+        assert!(
+            result.final_counts().unwrap()[1] > 9_900.0,
+            "epidemic saturates"
+        );
+        // The aggregate runtime now reports message counts too: one sampling
+        // message per susceptible process per period.
+        assert!(result
+            .metrics
+            .series("messages")
+            .unwrap()
+            .iter()
+            .any(|(_, v)| *v > 0.0));
     }
 
     #[test]
@@ -396,7 +509,7 @@ mod tests {
         let result = AggregateRuntime::new(protocol)
             .run(1_000, 30, &InitialStates::counts(&[500, 500, 0]), 3)
             .unwrap();
-        let last = result.final_counts();
+        let last = result.final_counts().unwrap();
         assert_eq!(last.iter().sum::<f64>(), 1_000.0);
         assert_eq!(last[0], 500.0, "pushers never move");
         assert!(
@@ -421,8 +534,9 @@ mod tests {
             .run(10_000, 200, &InitialStates::counts(&[5_000, 5_000]), 11)
             .unwrap();
         // All x processes eventually get tokenized into y.
-        assert!(result.final_counts()[0] < 100.0);
-        assert_eq!(result.final_counts().iter().sum::<f64>(), 10_000.0);
+        let last = result.final_counts().unwrap();
+        assert!(last[0] < 100.0);
+        assert_eq!(last.iter().sum::<f64>(), 10_000.0);
     }
 
     #[test]
@@ -446,6 +560,55 @@ mod tests {
             .with_loss(LossConfig::new(0.5, 0.2).unwrap())
             .run(100_000, 12, &InitialStates::counts(&[99_999, 1]), 5)
             .unwrap();
-        assert!(reliable.final_counts()[1] > lossy.final_counts()[1]);
+        assert!(reliable.final_counts().unwrap()[1] > lossy.final_counts().unwrap()[1]);
+    }
+
+    #[test]
+    fn failure_and_churn_scenarios_are_rejected() {
+        // Silently ignoring failure events would make a fidelity swap
+        // produce wrong results, so init refuses such scenarios.
+        let runtime = AggregateRuntime::new(epidemic_protocol());
+        let initial = InitialStates::counts(&[99, 1]);
+        let with_failure = Scenario::new(100, 10)
+            .unwrap()
+            .with_massive_failure(5, 0.5)
+            .unwrap();
+        assert!(matches!(
+            runtime.init(&with_failure, &initial),
+            Err(CoreError::InvalidConfig {
+                name: "scenario",
+                ..
+            })
+        ));
+        let with_model = Scenario::new(100, 10)
+            .unwrap()
+            .with_failure_model(netsim::FailureModel::new(0.01, 0.0).unwrap());
+        assert!(runtime.init(&with_model, &initial).is_err());
+        assert!(runtime
+            .init(&Scenario::new(100, 10).unwrap(), &initial)
+            .is_ok());
+    }
+
+    #[test]
+    fn scenario_driven_runs_take_loss_from_the_scenario() {
+        // Driving the aggregate runtime through the Runtime trait picks up
+        // group size, seed and losses from the scenario.
+        let protocol = epidemic_protocol();
+        let runtime = AggregateRuntime::new(protocol);
+        let initial = InitialStates::counts(&[99_999, 1]);
+        let reliable = Scenario::new(100_000, 12).unwrap().with_seed(5);
+        let lossy = Scenario::new(100_000, 12)
+            .unwrap()
+            .with_seed(5)
+            .with_loss(LossConfig::new(0.5, 0.2).unwrap());
+
+        let run = |scenario: &Scenario| {
+            let mut state = runtime.init(scenario, &initial).unwrap();
+            for _ in 0..scenario.periods() {
+                runtime.step(&mut state).unwrap();
+            }
+            state.counts[1]
+        };
+        assert!(run(&reliable) > run(&lossy));
     }
 }

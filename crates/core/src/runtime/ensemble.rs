@@ -1,0 +1,480 @@
+//! Parallel multi-seed / multi-scenario ensembles.
+//!
+//! The paper (and the mean-field literature it builds on) compares protocol
+//! dynamics against the ODE limit through *ensembles*: many independent runs
+//! of the same protocol under varied seeds or environments, summarized by
+//! per-period mean/standard-deviation envelopes. [`Ensemble`] makes that a
+//! one-liner — it fans the runs across `std::thread` workers and folds the
+//! trajectories into an [`EnsembleResult`] with Welford accumulators, so
+//! memory stays O(periods × states) regardless of the number of seeds.
+//!
+//! # A Figure-11-style convergence sweep in a few lines
+//!
+//! ```
+//! use dpde_core::runtime::{AggregateRuntime, Ensemble, InitialStates};
+//! use dpde_core::ProtocolCompiler;
+//! use netsim::Scenario;
+//! use odekit::parse::parse_system;
+//!
+//! let sys = parse_system("x' = -x*y\ny' = x*y", &[])?;
+//! let protocol = ProtocolCompiler::new("epidemic").compile(&sys)?;
+//! let ensemble = Ensemble::of(protocol)
+//!     .scenario(Scenario::new(10_000, 40)?)
+//!     .initial(InitialStates::counts(&[9_990, 10]))
+//!     .seed_range(0..16)
+//!     .run::<AggregateRuntime>()?;
+//! let infected = ensemble.mean_series("y")?;
+//! assert!(infected.last().unwrap() > &9_900.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use super::observer::CountsRecorder;
+use super::simulation::drive;
+use super::{InitialStates, Observer, RunConfig, Runtime};
+use crate::error::CoreError;
+use crate::state_machine::{Protocol, StateId};
+use crate::Result;
+use netsim::{OnlineStats, Scenario};
+use odekit::integrate::Trajectory;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Driver for ensembles: the same protocol and initial distribution executed
+/// under many seeds (and optionally many scenarios), in parallel.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    protocol: Protocol,
+    scenario: Option<Scenario>,
+    initial: Option<InitialStates>,
+    config: RunConfig,
+    seeds: Vec<u64>,
+    threads: Option<usize>,
+    alive_only: bool,
+}
+
+impl Ensemble {
+    /// Starts an ensemble of the given protocol. By default it runs seeds
+    /// `0..8` on all available cores.
+    pub fn of(protocol: Protocol) -> Self {
+        Ensemble {
+            protocol,
+            scenario: None,
+            initial: None,
+            config: RunConfig::default(),
+            seeds: (0..8).collect(),
+            threads: None,
+            alive_only: false,
+        }
+    }
+
+    /// Sets the scenario template; each run clones it and overrides the seed.
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the initial state distribution shared by every run.
+    #[must_use]
+    pub fn initial(mut self, initial: InitialStates) -> Self {
+        self.initial = Some(initial);
+        self
+    }
+
+    /// Sets the state recovering processes rejoin into (see
+    /// [`RunConfig::rejoin_state`]).
+    #[must_use]
+    pub fn rejoin_state(mut self, state: StateId) -> Self {
+        self.config.rejoin_state = Some(state);
+        self
+    }
+
+    /// Replaces the whole run configuration.
+    #[must_use]
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets an explicit seed list (one run per seed).
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Convenience: one run per seed in `range`.
+    #[must_use]
+    pub fn seed_range(self, range: std::ops::Range<u64>) -> Self {
+        self.seeds(range)
+    }
+
+    /// Caps the number of worker threads (default: all available cores).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Aggregates alive-only counts (the paper's churn and massive-failure
+    /// figures plot alive populations).
+    #[must_use]
+    pub fn count_alive_only(mut self) -> Self {
+        self.alive_only = true;
+        self
+    }
+
+    /// Runs the ensemble over the configured seeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the scenario, initial
+    /// distribution or seed list is missing/empty, and propagates the first
+    /// error any run reports.
+    pub fn run<R: Runtime>(&self) -> Result<EnsembleResult> {
+        let scenario = self.scenario.as_ref().ok_or(CoreError::InvalidConfig {
+            name: "scenario",
+            reason: "Ensemble::scenario was not set".into(),
+        })?;
+        let mut results = self.run_sweep::<R>(std::slice::from_ref(scenario))?;
+        Ok(results.pop().expect("one result per scenario"))
+    }
+
+    /// Runs the full sweep — every scenario × every seed — sharing one worker
+    /// pool, and returns one [`EnsembleResult`] per scenario (in input
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run), plus an error for an empty scenario list.
+    pub fn run_sweep<R: Runtime>(&self, scenarios: &[Scenario]) -> Result<Vec<EnsembleResult>> {
+        if scenarios.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                name: "scenarios",
+                reason: "sweep needs at least one scenario".into(),
+            });
+        }
+        if self.seeds.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                name: "seeds",
+                reason: "ensemble needs at least one seed".into(),
+            });
+        }
+        let initial = self.initial.as_ref().ok_or(CoreError::InvalidConfig {
+            name: "initial",
+            reason: "Ensemble::initial was not set".into(),
+        })?;
+
+        // One job per (scenario, seed) pair, pulled off a shared counter by
+        // the workers; trajectories land in per-job slots so aggregation is
+        // deterministic regardless of scheduling.
+        let jobs: Vec<(usize, u64)> = (0..scenarios.len())
+            .flat_map(|sc| self.seeds.iter().map(move |&seed| (sc, seed)))
+            .collect();
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .min(jobs.len())
+            .max(1);
+
+        let next_job = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Trajectory>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let job = next_job.fetch_add(1, Ordering::Relaxed);
+                    if job >= jobs.len() || first_error.lock().unwrap().is_some() {
+                        return;
+                    }
+                    let (sc, seed) = jobs[job];
+                    let scenario = scenarios[sc].clone().with_seed(seed);
+                    let runtime = R::build(self.protocol.clone(), &self.config);
+                    let mut observers: Vec<Box<dyn Observer>> =
+                        vec![Box::new(if self.alive_only {
+                            CountsRecorder::alive_only()
+                        } else {
+                            CountsRecorder::new()
+                        })];
+                    match drive(&runtime, &scenario, initial, &mut observers) {
+                        Ok(result) => {
+                            *slots[job].lock().unwrap() = Some(result.counts);
+                        }
+                        Err(err) => {
+                            let mut guard = first_error.lock().unwrap();
+                            if guard.is_none() {
+                                *guard = Some(err);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(err) = first_error.into_inner().unwrap() {
+            return Err(err);
+        }
+
+        let trajectories: Vec<Trajectory> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("job completed"))
+            .collect();
+        let per_scenario = self.seeds.len();
+        Ok(trajectories
+            .chunks(per_scenario)
+            .map(|chunk| self.aggregate(chunk, threads))
+            .collect())
+    }
+
+    /// Folds the per-seed trajectories of one scenario into mean/std
+    /// envelopes.
+    fn aggregate(&self, trajectories: &[Trajectory], threads_used: usize) -> EnsembleResult {
+        let reference = &trajectories[0];
+        let periods = reference.len();
+        let dim = reference.dim();
+        let mut accumulators = vec![OnlineStats::new(); periods * dim];
+        for trajectory in trajectories {
+            for (p, (_, counts)) in trajectory.iter().enumerate() {
+                for (v, acc) in counts.iter().zip(&mut accumulators[p * dim..(p + 1) * dim]) {
+                    acc.push(*v);
+                }
+            }
+        }
+        let mut mean = Trajectory::with_capacity(periods);
+        let mut std_dev = Trajectory::with_capacity(periods);
+        for (p, &t) in reference.times().iter().enumerate() {
+            let accs = &accumulators[p * dim..(p + 1) * dim];
+            mean.push(t, accs.iter().map(OnlineStats::mean).collect());
+            std_dev.push(t, accs.iter().map(OnlineStats::std_dev).collect());
+        }
+        EnsembleResult {
+            state_names: self.protocol.state_names().to_vec(),
+            time_scale: self.protocol.time_scale(),
+            seeds: self.seeds.clone(),
+            mean,
+            std_dev,
+            final_counts: trajectories
+                .iter()
+                .map(|t| t.last_state().to_vec())
+                .collect(),
+            threads_used,
+        }
+    }
+}
+
+/// Per-period mean/std envelopes over an ensemble of runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleResult {
+    state_names: Vec<String>,
+    time_scale: f64,
+    /// The seeds that were run, in order; `final_counts[i]` belongs to
+    /// `seeds[i]`.
+    pub seeds: Vec<u64>,
+    /// Per-period mean counts across the ensemble (time is the period index).
+    pub mean: Trajectory,
+    /// Per-period sample standard deviation across the ensemble.
+    pub std_dev: Trajectory,
+    /// Final per-state counts of every run.
+    pub final_counts: Vec<Vec<f64>>,
+    /// Number of worker threads the ensemble actually spawned.
+    pub threads_used: usize,
+}
+
+impl EnsembleResult {
+    /// The state names, in the order used by the envelope components.
+    pub fn state_names(&self) -> &[String] {
+        &self.state_names
+    }
+
+    /// Number of runs aggregated.
+    pub fn runs(&self) -> usize {
+        self.final_counts.len()
+    }
+
+    fn state_index(&self, name: &str) -> Result<usize> {
+        self.state_names
+            .iter()
+            .position(|s| s == name)
+            .ok_or_else(|| CoreError::UnknownState(name.to_string()))
+    }
+
+    /// The ensemble-mean count series of one state (by name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownState`] if the name is not a protocol
+    /// state.
+    pub fn mean_series(&self, name: &str) -> Result<Vec<f64>> {
+        Ok(self.mean.component(self.state_index(name)?))
+    }
+
+    /// The ensemble standard-deviation series of one state (by name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownState`] if the name is not a protocol
+    /// state.
+    pub fn std_series(&self, name: &str) -> Result<Vec<f64>> {
+        Ok(self.std_dev.component(self.state_index(name)?))
+    }
+
+    /// `(mean, std)` per period for one state — the envelope the paper-style
+    /// convergence plots draw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownState`] if the name is not a protocol
+    /// state.
+    pub fn envelope(&self, name: &str) -> Result<Vec<(f64, f64)>> {
+        let idx = self.state_index(name)?;
+        Ok(self
+            .mean
+            .component(idx)
+            .into_iter()
+            .zip(self.std_dev.component(idx))
+            .collect())
+    }
+
+    /// The mean counts re-timed to ODE time and normalized by `n` — directly
+    /// comparable to an integration of the source equations over fractions.
+    pub fn mean_as_ode_trajectory(&self, n: f64) -> Trajectory {
+        let mut out = Trajectory::with_capacity(self.mean.len());
+        for (t, s) in self.mean.iter() {
+            out.push(t * self.time_scale, s.iter().map(|c| c / n).collect());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AgentRuntime, AggregateRuntime};
+    use super::*;
+    use crate::mapping::ProtocolCompiler;
+    use odekit::system::EquationSystemBuilder;
+
+    fn epidemic_protocol() -> Protocol {
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        ProtocolCompiler::new("epidemic").compile(&sys).unwrap()
+    }
+
+    #[test]
+    fn ensemble_aggregates_mean_and_std_over_seeds() {
+        let ensemble = Ensemble::of(epidemic_protocol())
+            .scenario(Scenario::new(2_000, 25).unwrap())
+            .initial(InitialStates::counts(&[1_999, 1]))
+            .seed_range(0..8)
+            .threads(4)
+            .run::<AgentRuntime>()
+            .unwrap();
+        assert_eq!(ensemble.runs(), 8);
+        assert_eq!(ensemble.seeds, (0..8).collect::<Vec<_>>());
+        assert!(ensemble.threads_used > 1, "8 seeds should use > 1 worker");
+        assert_eq!(ensemble.mean.len(), 26);
+        // Every run saturates, so the mean does too and the final std is
+        // small relative to N.
+        let infected = ensemble.mean_series("y").unwrap();
+        assert!(infected.last().unwrap() > &1_950.0);
+        let std = ensemble.std_series("x").unwrap();
+        assert!(std[0] == 0.0, "identical initial configurations");
+        assert!(
+            std.iter().cloned().fold(0.0, f64::max) > 0.0,
+            "seeds differ"
+        );
+        // Envelope pairs match the two series.
+        let envelope = ensemble.envelope("y").unwrap();
+        assert_eq!(envelope.len(), infected.len());
+        assert_eq!(envelope.last().unwrap().0, *infected.last().unwrap());
+        assert!(ensemble.mean_series("nope").is_err());
+        // Mean counts stay conserved (every run conserves them).
+        for (_, s) in ensemble.mean.iter() {
+            assert!((s.iter().sum::<f64>() - 2_000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_returns_one_result_per_scenario() {
+        let scenarios = vec![
+            Scenario::new(1_000, 20).unwrap(),
+            Scenario::new(4_000, 20).unwrap(),
+        ];
+        let results = Ensemble::of(epidemic_protocol())
+            .initial(InitialStates::fractions(&[0.999, 0.001]))
+            .seed_range(0..4)
+            .threads(4)
+            .run_sweep::<AggregateRuntime>(&scenarios)
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        // Larger groups end with more infected processes.
+        let last_mean = |r: &EnsembleResult| *r.mean_series("y").unwrap().last().unwrap();
+        assert!(last_mean(&results[1]) > last_mean(&results[0]));
+    }
+
+    #[test]
+    fn ensemble_validation_errors() {
+        let base = Ensemble::of(epidemic_protocol());
+        assert!(matches!(
+            base.clone().run::<AgentRuntime>(),
+            Err(CoreError::InvalidConfig {
+                name: "scenario",
+                ..
+            })
+        ));
+        let with_scenario = base.scenario(Scenario::new(100, 5).unwrap());
+        assert!(matches!(
+            with_scenario.clone().run::<AgentRuntime>(),
+            Err(CoreError::InvalidConfig {
+                name: "initial",
+                ..
+            })
+        ));
+        let with_initial = with_scenario.initial(InitialStates::counts(&[99, 1]));
+        assert!(matches!(
+            with_initial.clone().seeds([]).run::<AgentRuntime>(),
+            Err(CoreError::InvalidConfig { name: "seeds", .. })
+        ));
+        assert!(matches!(
+            with_initial.run_sweep::<AgentRuntime>(&[]),
+            Err(CoreError::InvalidConfig {
+                name: "scenarios",
+                ..
+            })
+        ));
+        // A failing run propagates its error (mismatched initial distribution).
+        let err = Ensemble::of(epidemic_protocol())
+            .scenario(Scenario::new(100, 5).unwrap())
+            .initial(InitialStates::counts(&[50, 49]))
+            .seed_range(0..4)
+            .run::<AgentRuntime>()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn both_fidelities_produce_compatible_envelopes() {
+        let build = || {
+            Ensemble::of(epidemic_protocol())
+                .scenario(Scenario::new(5_000, 30).unwrap())
+                .initial(InitialStates::counts(&[4_995, 5]))
+                .seed_range(10..18)
+        };
+        let agent = build().run::<AgentRuntime>().unwrap();
+        let aggregate = build().run::<AggregateRuntime>().unwrap();
+        let a = agent.mean_series("y").unwrap();
+        let b = aggregate.mean_series("y").unwrap();
+        // Both saturate to (almost) everyone infected.
+        assert!(a.last().unwrap() > &4_900.0);
+        assert!(b.last().unwrap() > &4_900.0);
+    }
+}

@@ -1,31 +1,91 @@
-//! Protocol runtimes: execute a compiled [`Protocol`](crate::Protocol) in
-//! simulation.
+//! Protocol runtimes: execute a compiled [`Protocol`] in simulation.
 //!
-//! Two runtimes are provided:
+//! # Architecture
 //!
-//! * [`AgentRuntime`] — keeps one state per process and executes every
-//!   process's actions each protocol period against a
-//!   [`Scenario`](netsim::Scenario) (failures, churn, message loss). This is
-//!   the faithful, per-host simulation used for the paper's figures that need
-//!   host identity (untraceability, churn).
-//! * [`AggregateRuntime`] — keeps only the per-state *counts* and samples how
-//!   many processes take each transition per period (binomial/multinomial
-//!   draws from the same per-process probabilities). Statistically equivalent
-//!   under the synchronous-round approximation and orders of magnitude
-//!   faster, it is used for large parameter sweeps and property tests against
-//!   the ODE.
+//! Execution is split into three orthogonal pieces:
+//!
+//! * **Runtimes** — the [`Runtime`] trait exposes an incremental step
+//!   interface (`init` → repeated `step`) over a
+//!   [`Scenario`]. Two fidelities are provided:
+//!   [`AgentRuntime`] keeps one state per process (failures, churn, host
+//!   identity) while [`AggregateRuntime`] keeps only per-state counts and is
+//!   orders of magnitude faster for large sweeps. Drivers and tests are
+//!   generic over the trait, so the same experiment can be replayed at either
+//!   fidelity.
+//! * **Observers** — recording is opt-in: an [`Observer`] receives
+//!   [`PeriodEvents`] after every protocol period and folds whatever it
+//!   recorded into the final [`RunResult`]. Built-ins cover the standard
+//!   bookkeeping ([`CountsRecorder`], [`TransitionRecorder`],
+//!   [`MembershipTracker`], [`AliveTracker`], [`MessageCounter`]); the hot
+//!   loop does no work for observers that are not attached.
+//! * **Drivers** — [`Simulation`] is the one-run builder
+//!   (`Simulation::of(protocol).scenario(s).initial(i).run::<AgentRuntime>()`)
+//!   and [`Ensemble`] fans a seed range or scenario sweep across threads and
+//!   aggregates per-period mean/std envelopes into an [`EnsembleResult`].
 
 mod agent;
 mod aggregate;
+mod ensemble;
+mod observer;
+mod simulation;
 
-pub use agent::AgentRuntime;
-pub use aggregate::AggregateRuntime;
+pub use agent::{AgentRuntime, AgentState, MembershipView};
+pub use aggregate::{AggregateRuntime, AggregateState};
+pub use ensemble::{Ensemble, EnsembleResult};
+pub use observer::{
+    AliveTracker, CountsRecorder, MembershipTracker, MessageCounter, Observer, PeriodEvents,
+    TransitionRecorder,
+};
+pub use simulation::Simulation;
 
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
-use netsim::{MetricsRecorder, ProcessId};
+use netsim::{MetricsRecorder, ProcessId, Scenario};
 use odekit::integrate::Trajectory;
+
+/// A protocol execution engine with an incremental step interface.
+///
+/// A runtime is a pure state-transition function over its
+/// [`State`](Runtime::State): `init`
+/// builds the start-of-run state from a scenario and an initial distribution,
+/// and every `step` executes one protocol period, returning the
+/// [`PeriodEvents`] observers consume. Drivers ([`Simulation`], [`Ensemble`])
+/// and tests are generic over this trait, so the same experiment runs at
+/// per-process fidelity ([`AgentRuntime`]) or count-level fidelity
+/// ([`AggregateRuntime`]) without changing driver code.
+pub trait Runtime: Sized + Send + Sync {
+    /// The mutable per-run execution state.
+    type State: Send;
+
+    /// Constructs a runtime for `protocol` from the shared [`RunConfig`]
+    /// (used by the generic drivers; runtime-specific knobs keep their
+    /// dedicated builder methods).
+    fn build(protocol: Protocol, config: &RunConfig) -> Self;
+
+    /// The protocol being executed.
+    fn protocol(&self) -> &Protocol;
+
+    /// Builds the start-of-run state for `scenario` with the given initial
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors (invalid protocol, mismatched initial
+    /// distribution).
+    fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<Self::State>;
+
+    /// Executes one protocol period and returns the events it produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario errors (invalid failure schedules etc.).
+    fn step<'s>(&self, state: &'s mut Self::State) -> Result<PeriodEvents<'s>>;
+
+    /// The events view of the current state without stepping — used by
+    /// drivers to show observers the initial configuration (period 0).
+    fn snapshot<'s>(&self, state: &'s Self::State) -> PeriodEvents<'s>;
+}
 
 /// How the initial protocol states are assigned to processes.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,34 +178,43 @@ impl InitialStates {
 }
 
 /// Configuration knobs shared by the runtimes.
+///
+/// Recording used to be configured here (`track_members_of`,
+/// `count_alive_only`); it is now expressed by attaching [`Observer`]s to a
+/// [`Simulation`] ([`MembershipTracker`], [`CountsRecorder::alive_only`]), so
+/// the only remaining knob is protocol semantics: what happens on rejoin.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunConfig {
     /// State a process is placed in when it recovers / rejoins (`None` keeps
     /// its previous state). The endemic replication protocol sets this to the
     /// receptive state: a host that lost its disk rejoins without replicas.
     pub rejoin_state: Option<StateId>,
-    /// If set, the agent runtime records the ids of the (alive) processes in
-    /// this state at the end of every period — used for the paper's
-    /// untraceability / load-balancing plot (Figure 8).
-    pub track_members_of: Option<StateId>,
-    /// Count only alive processes in the per-period state counts (default
-    /// `false` counts every process regardless of liveness).
-    pub count_alive_only: bool,
 }
 
-/// The output of one simulation run.
+impl RunConfig {
+    /// A configuration that moves recovering processes into `state`.
+    pub fn rejoining_to(state: StateId) -> Self {
+        RunConfig {
+            rejoin_state: Some(state),
+        }
+    }
+}
+
+/// The output of one simulation run, assembled by the attached observers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     protocol_states: Vec<String>,
     /// Per-period state counts; time is the period index, one component per
-    /// protocol state.
+    /// protocol state. Filled by [`CountsRecorder`].
     pub counts: Trajectory,
-    /// Per-period transition counts, one series per `from->to` edge.
+    /// Per-period transition counts, one series per `from->to` edge. Filled
+    /// by [`TransitionRecorder`].
     pub transitions: MetricsRecorder,
-    /// Auxiliary series: `alive` (alive process count), `messages` (sampling
-    /// messages sent), and anything a caller adds.
+    /// Auxiliary series: `alive` ([`AliveTracker`]), `messages`
+    /// ([`MessageCounter`]), and anything a custom observer adds.
     pub metrics: MetricsRecorder,
-    /// `(period, members)` snapshots of the tracked state, if configured.
+    /// `(period, members)` snapshots of a tracked state, filled by
+    /// [`MembershipTracker`].
     pub tracked_members: Vec<(u64, Vec<ProcessId>)>,
     /// ODE time advanced per protocol period (the protocol's normalizing
     /// constant), recorded so trajectories can be compared against
@@ -184,13 +253,10 @@ impl RunResult {
         Ok(self.counts.component(idx))
     }
 
-    /// The final per-state counts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the run recorded no periods.
-    pub fn final_counts(&self) -> &[f64] {
-        self.counts.last_state()
+    /// The final per-state counts, or `None` if the run recorded no periods
+    /// (for instance when no [`CountsRecorder`] was attached).
+    pub fn final_counts(&self) -> Option<&[f64]> {
+        self.counts.states().last().map(Vec::as_slice)
     }
 
     /// The per-period counts normalized to fractions of `n`.
@@ -225,6 +291,25 @@ impl RunResult {
 /// Name used for transition series: `from->to`.
 pub(crate) fn edge_name(protocol: &Protocol, from: StateId, to: StateId) -> String {
     format!("{}->{}", protocol.state_name(from), protocol.state_name(to))
+}
+
+/// Renders a dense `from * num_states + to` transition-count buffer into the
+/// sparse `(from, to, count)` list handed to observers (shared by both
+/// runtimes' `step` implementations).
+pub(crate) fn render_sparse_transitions(
+    dense: &[u64],
+    num_states: usize,
+    out: &mut Vec<(StateId, StateId, u64)>,
+) {
+    for (idx, &count) in dense.iter().enumerate() {
+        if count > 0 {
+            out.push((
+                StateId::new(idx / num_states),
+                StateId::new(idx % num_states),
+                count,
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -278,18 +363,28 @@ mod tests {
     fn run_result_accessors() {
         let p = protocol();
         let mut r = RunResult::new(&p);
+        // Empty run: no final counts, no panic.
+        assert_eq!(r.final_counts(), None);
         r.counts.push(0.0, vec![90.0, 10.0]);
         r.counts.push(1.0, vec![50.0, 50.0]);
         r.transitions.record("x->y", 1, 40.0);
         assert_eq!(r.state_names(), &["x".to_string(), "y".to_string()]);
         assert_eq!(r.state_series("y").unwrap(), vec![10.0, 50.0]);
         assert!(r.state_series("q").is_err());
-        assert_eq!(r.final_counts(), &[50.0, 50.0]);
+        assert_eq!(r.final_counts(), Some(&[50.0, 50.0][..]));
         assert_eq!(r.fractions(100.0).last_state(), &[0.5, 0.5]);
         assert_eq!(r.total_transitions("x", "y"), 40.0);
         assert_eq!(r.total_transitions("y", "x"), 0.0);
         let ode = r.as_ode_trajectory(100.0);
         assert_eq!(ode.times()[1], p.time_scale());
+    }
+
+    #[test]
+    fn run_config_constructor() {
+        let p = protocol();
+        let y = p.require_state("y").unwrap();
+        assert_eq!(RunConfig::rejoining_to(y).rejoin_state, Some(y));
+        assert_eq!(RunConfig::default().rejoin_state, None);
     }
 
     #[test]

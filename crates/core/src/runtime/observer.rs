@@ -1,0 +1,344 @@
+//! Composable run observers: opt-in recording of simulation output.
+//!
+//! A [`Runtime`](super::Runtime) produces a stream of [`PeriodEvents`]; an
+//! [`Observer`] consumes that stream and folds whatever it recorded into the
+//! final [`RunResult`]. Recording is therefore pay-for-what-you-use: a run
+//! with no [`MembershipTracker`] never materializes membership snapshots, and
+//! a run with no [`CountsRecorder`] never allocates a trajectory.
+//!
+//! The built-in observers reproduce everything the runtimes used to record
+//! unconditionally:
+//!
+//! | Observer | Fills | Replaces |
+//! |---|---|---|
+//! | [`CountsRecorder`] | `RunResult::counts` | always-on counts (`count_alive_only` knob) |
+//! | [`TransitionRecorder`] | `RunResult::transitions` | always-on transition series |
+//! | [`MembershipTracker`] | `RunResult::tracked_members` | `RunConfig::track_members_of` |
+//! | [`AliveTracker`] | `metrics["alive"]` | always-on alive series |
+//! | [`MessageCounter`] | `metrics["messages"]` | always-on message counting |
+
+use super::{edge_name, MembershipView, RunResult};
+use crate::state_machine::{Protocol, StateId};
+use netsim::MetricsRecorder;
+use odekit::integrate::Trajectory;
+
+/// Everything that happened in (or up to) one protocol period, borrowed from
+/// the runtime's execution state.
+///
+/// `period` is the *snapshot index*: `0` is the initial configuration, and
+/// the events returned by the `p`-th `step` carry `period == p + 1` — the
+/// `counts` are the end-of-period populations, while `transitions` and
+/// `messages` describe what happened *during* the period that just executed
+/// (i.e. between snapshots `period - 1` and `period`).
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodEvents<'a> {
+    /// Snapshot index (0 = initial configuration, before any period ran).
+    pub period: u64,
+    /// Per-state process counts at this snapshot (every process, regardless
+    /// of liveness; use [`membership`](Self::membership) for alive-only
+    /// counts where host identity exists).
+    pub counts: &'a [u64],
+    /// `(from, to, count)` for every transition edge that fired during the
+    /// period leading up to this snapshot (empty at period 0).
+    pub transitions: &'a [(StateId, StateId, u64)],
+    /// Sampling messages sent during the period leading up to this snapshot.
+    pub messages: u64,
+    /// Number of alive processes at this snapshot.
+    pub alive: u64,
+    /// Per-process membership access (agent runtime only; `None` for
+    /// count-level runtimes, whose `counts` contain alive processes only).
+    pub membership: Option<MembershipView<'a>>,
+}
+
+impl PeriodEvents<'_> {
+    /// Per-state counts restricted to alive processes: delegates to the
+    /// membership view when host identity exists, otherwise returns
+    /// [`counts`](Self::counts) unchanged (count-level runtimes only track
+    /// alive processes).
+    pub fn alive_counts(&self) -> Vec<u64> {
+        match &self.membership {
+            Some(view) => view.alive_counts(),
+            None => self.counts.to_vec(),
+        }
+    }
+}
+
+/// An on-period callback attached to a [`Simulation`](super::Simulation).
+///
+/// Observers receive every [`PeriodEvents`] of a run (including the period-0
+/// snapshot) and are asked to fold their recordings into the [`RunResult`]
+/// once the run completes. Custom observers can stash arbitrary series in
+/// [`RunResult::metrics`].
+pub trait Observer: Send {
+    /// Called after every period (and once for the initial configuration).
+    fn on_period(&mut self, protocol: &Protocol, events: &PeriodEvents<'_>);
+
+    /// Folds the recorded data into the run's result. Called exactly once,
+    /// after the last period.
+    fn finish(&mut self, result: &mut RunResult);
+}
+
+/// Records the per-period state counts into [`RunResult::counts`].
+#[derive(Debug, Default)]
+pub struct CountsRecorder {
+    alive_only: bool,
+    trajectory: Trajectory,
+}
+
+impl CountsRecorder {
+    /// Records every process regardless of liveness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records only alive processes (the paper's churn and massive-failure
+    /// figures plot alive populations).
+    pub fn alive_only() -> Self {
+        CountsRecorder {
+            alive_only: true,
+            trajectory: Trajectory::new(),
+        }
+    }
+}
+
+impl Observer for CountsRecorder {
+    fn on_period(&mut self, _protocol: &Protocol, events: &PeriodEvents<'_>) {
+        let counts = if self.alive_only {
+            events.alive_counts()
+        } else {
+            events.counts.to_vec()
+        };
+        self.trajectory.push(
+            events.period as f64,
+            counts.iter().map(|&c| c as f64).collect(),
+        );
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        result.counts = std::mem::take(&mut self.trajectory);
+    }
+}
+
+/// Records one `from->to` series per transition edge into
+/// [`RunResult::transitions`].
+#[derive(Debug, Default)]
+pub struct TransitionRecorder {
+    recorder: MetricsRecorder,
+}
+
+impl TransitionRecorder {
+    /// Creates the recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for TransitionRecorder {
+    fn on_period(&mut self, protocol: &Protocol, events: &PeriodEvents<'_>) {
+        // Transitions in the events of snapshot `p` fired during period
+        // `p - 1` (the period that produced the snapshot).
+        for &(from, to, count) in events.transitions {
+            self.recorder.add(
+                &edge_name(protocol, from, to),
+                events.period.saturating_sub(1),
+                count as f64,
+            );
+        }
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        result.transitions.merge(&self.recorder);
+    }
+}
+
+/// Records `(period, alive members of a state)` snapshots into
+/// [`RunResult::tracked_members`] — the paper's untraceability /
+/// load-balancing data (Figure 8). Requires a runtime with host identity
+/// (silently records nothing under the aggregate runtime).
+#[derive(Debug)]
+pub struct MembershipTracker {
+    state: StateId,
+    snapshots: Vec<(u64, Vec<netsim::ProcessId>)>,
+}
+
+impl MembershipTracker {
+    /// Tracks the members of `state`.
+    pub fn of(state: StateId) -> Self {
+        MembershipTracker {
+            state,
+            snapshots: Vec::new(),
+        }
+    }
+}
+
+impl Observer for MembershipTracker {
+    fn on_period(&mut self, _protocol: &Protocol, events: &PeriodEvents<'_>) {
+        if let Some(view) = &events.membership {
+            self.snapshots
+                .push((events.period, view.alive_members_of(self.state)));
+        }
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        result.tracked_members = std::mem::take(&mut self.snapshots);
+    }
+}
+
+/// Records the alive process count per period into `metrics["alive"]`.
+#[derive(Debug, Default)]
+pub struct AliveTracker {
+    recorder: MetricsRecorder,
+}
+
+impl AliveTracker {
+    /// Creates the tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for AliveTracker {
+    fn on_period(&mut self, _protocol: &Protocol, events: &PeriodEvents<'_>) {
+        self.recorder
+            .record("alive", events.period, events.alive as f64);
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        result.metrics.merge(&self.recorder);
+    }
+}
+
+/// Records the number of sampling messages sent per period into
+/// `metrics["messages"]`.
+#[derive(Debug, Default)]
+pub struct MessageCounter {
+    recorder: MetricsRecorder,
+}
+
+impl MessageCounter {
+    /// Creates the counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for MessageCounter {
+    fn on_period(&mut self, _protocol: &Protocol, events: &PeriodEvents<'_>) {
+        if events.period > 0 {
+            self.recorder
+                .record("messages", events.period - 1, events.messages as f64);
+        }
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        result.metrics.merge(&self.recorder);
+    }
+}
+
+/// The observer set that reproduces the legacy always-on recording: counts
+/// (all processes), transitions, alive counts and message counts.
+pub(crate) fn default_observers() -> Vec<Box<dyn Observer>> {
+    vec![
+        Box::new(CountsRecorder::new()),
+        Box::new(TransitionRecorder::new()),
+        Box::new(AliveTracker::new()),
+        Box::new(MessageCounter::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ProtocolCompiler;
+    use odekit::system::EquationSystemBuilder;
+
+    fn protocol() -> Protocol {
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        ProtocolCompiler::new("epidemic").compile(&sys).unwrap()
+    }
+
+    fn events<'a>(
+        period: u64,
+        counts: &'a [u64],
+        transitions: &'a [(StateId, StateId, u64)],
+    ) -> PeriodEvents<'a> {
+        PeriodEvents {
+            period,
+            counts,
+            transitions,
+            messages: 7,
+            alive: counts.iter().sum(),
+            membership: None,
+        }
+    }
+
+    #[test]
+    fn counts_recorder_fills_trajectory() {
+        let p = protocol();
+        let mut obs = CountsRecorder::new();
+        obs.on_period(&p, &events(0, &[90, 10], &[]));
+        obs.on_period(&p, &events(1, &[50, 50], &[]));
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert_eq!(result.counts.len(), 2);
+        assert_eq!(result.final_counts(), Some(&[50.0, 50.0][..]));
+        // Without a membership view, alive-only falls back to raw counts.
+        let mut alive = CountsRecorder::alive_only();
+        alive.on_period(&p, &events(0, &[90, 10], &[]));
+        let mut result = RunResult::new(&p);
+        alive.finish(&mut result);
+        assert_eq!(result.final_counts(), Some(&[90.0, 10.0][..]));
+    }
+
+    #[test]
+    fn transition_recorder_names_edges_and_shifts_periods() {
+        let p = protocol();
+        let x = p.require_state("x").unwrap();
+        let y = p.require_state("y").unwrap();
+        let mut obs = TransitionRecorder::new();
+        obs.on_period(&p, &events(0, &[90, 10], &[]));
+        obs.on_period(&p, &events(1, &[50, 50], &[(x, y, 40)]));
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        // The transition fired during period 0 (between snapshots 0 and 1).
+        assert_eq!(result.transitions.series("x->y").unwrap(), &[(0, 40.0)]);
+        assert_eq!(result.total_transitions("x", "y"), 40.0);
+    }
+
+    #[test]
+    fn alive_and_message_observers_record_series() {
+        let p = protocol();
+        let mut alive = AliveTracker::new();
+        let mut msgs = MessageCounter::new();
+        for period in 0..3 {
+            let ev = events(period, &[90, 10], &[]);
+            alive.on_period(&p, &ev);
+            msgs.on_period(&p, &ev);
+        }
+        let mut result = RunResult::new(&p);
+        alive.finish(&mut result);
+        msgs.finish(&mut result);
+        assert_eq!(result.metrics.series("alive").unwrap().len(), 3);
+        // No messages at the period-0 snapshot.
+        assert_eq!(
+            result.metrics.series("messages").unwrap(),
+            &[(0, 7.0), (1, 7.0)]
+        );
+    }
+
+    #[test]
+    fn membership_tracker_is_inert_without_host_identity() {
+        let p = protocol();
+        let y = p.require_state("y").unwrap();
+        let mut obs = MembershipTracker::of(y);
+        obs.on_period(&p, &events(0, &[90, 10], &[]));
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert!(result.tracked_members.is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! The one-run simulation driver: protocol + scenario + initial distribution
+//! + observers, generic over the [`Runtime`] fidelity.
+
+use super::observer::default_observers;
+use super::{InitialStates, Observer, RunConfig, RunResult, Runtime};
+use crate::error::CoreError;
+use crate::state_machine::{Protocol, StateId};
+use crate::Result;
+use netsim::Scenario;
+
+/// Builder for a single simulation run.
+///
+/// A `Simulation` bundles everything one run needs — the compiled protocol,
+/// the [`Scenario`] (environment), the initial state distribution, the shared
+/// [`RunConfig`] and the set of [`Observer`]s — and then executes it on any
+/// [`Runtime`] implementation. Recording is opt-in: only the attached
+/// observers do work, and a run with no observers attaches the standard set
+/// (counts, transitions, alive counts, messages) so `run` always returns a
+/// usable [`RunResult`].
+///
+/// # Examples
+///
+/// ```
+/// use dpde_core::runtime::{AgentRuntime, CountsRecorder, InitialStates, Simulation};
+/// use dpde_core::ProtocolCompiler;
+/// use netsim::Scenario;
+/// use odekit::parse::parse_system;
+///
+/// let sys = parse_system("x' = -x*y\ny' = x*y", &[])?;
+/// let protocol = ProtocolCompiler::new("epidemic").compile(&sys)?;
+/// let result = Simulation::of(protocol)
+///     .scenario(Scenario::new(1_000, 30)?.with_seed(7))
+///     .initial(InitialStates::counts(&[999, 1]))
+///     .observe(CountsRecorder::new())
+///     .run::<AgentRuntime>()?;
+/// assert!(result.final_counts().expect("counts recorded")[1] > 990.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulation {
+    protocol: Protocol,
+    scenario: Option<Scenario>,
+    initial: Option<InitialStates>,
+    config: RunConfig,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("protocol", &self.protocol.name())
+            .field("scenario", &self.scenario)
+            .field("initial", &self.initial)
+            .field("config", &self.config)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Starts a simulation of the given protocol.
+    pub fn of(protocol: Protocol) -> Self {
+        Simulation {
+            protocol,
+            scenario: None,
+            initial: None,
+            config: RunConfig::default(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Sets the environment (group size, horizon, failures, churn, losses,
+    /// seed).
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the initial state distribution.
+    #[must_use]
+    pub fn initial(mut self, initial: InitialStates) -> Self {
+        self.initial = Some(initial);
+        self
+    }
+
+    /// Sets the state recovering processes rejoin into (see
+    /// [`RunConfig::rejoin_state`]).
+    #[must_use]
+    pub fn rejoin_state(mut self, state: StateId) -> Self {
+        self.config.rejoin_state = Some(state);
+        self
+    }
+
+    /// Replaces the whole run configuration.
+    #[must_use]
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches an observer. Observers run in attachment order on every
+    /// period.
+    #[must_use]
+    pub fn observe(mut self, observer: impl Observer + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Attaches the standard recording set (counts of every process,
+    /// transitions, alive counts, messages) in addition to whatever is
+    /// already attached.
+    #[must_use]
+    pub fn record_defaults(mut self) -> Self {
+        self.observers.extend(default_observers());
+        self
+    }
+
+    /// Builds a runtime of type `R` from the protocol and configuration, and
+    /// executes the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the scenario or initial
+    /// distribution is missing, plus anything the runtime reports.
+    pub fn run<R: Runtime>(self) -> Result<RunResult> {
+        let runtime = R::build(self.protocol.clone(), &self.config);
+        self.execute(&runtime)
+    }
+
+    /// Executes the run on a pre-built runtime (for runtime-specific knobs
+    /// such as [`AggregateRuntime::with_alive_fraction`]).
+    ///
+    /// The runtime's protocol and configuration are used for execution: the
+    /// runtime's protocol should match the one the simulation was built
+    /// with, and a [`RunConfig`] set through this builder would be silently
+    /// ignored — so combining builder-level configuration (e.g.
+    /// [`rejoin_state`](Self::rejoin_state)) with `run_on` is rejected;
+    /// configure the runtime directly instead.
+    ///
+    /// [`AggregateRuntime::with_alive_fraction`]:
+    /// super::AggregateRuntime::with_alive_fraction
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run), plus [`CoreError::InvalidConfig`] if a
+    /// non-default [`RunConfig`] was set on the builder.
+    pub fn run_on<R: Runtime>(self, runtime: &R) -> Result<RunResult> {
+        if self.config != RunConfig::default() {
+            return Err(CoreError::InvalidConfig {
+                name: "config",
+                reason: "run_on uses the pre-built runtime's configuration; \
+                         set RunConfig on the runtime itself (or use run::<R>())"
+                    .into(),
+            });
+        }
+        self.execute(runtime)
+    }
+
+    fn execute<R: Runtime>(mut self, runtime: &R) -> Result<RunResult> {
+        let scenario = self.scenario.take().ok_or(CoreError::InvalidConfig {
+            name: "scenario",
+            reason: "Simulation::scenario was not set".into(),
+        })?;
+        let initial = self.initial.take().ok_or(CoreError::InvalidConfig {
+            name: "initial",
+            reason: "Simulation::initial was not set".into(),
+        })?;
+        if self.observers.is_empty() {
+            self.observers = default_observers();
+        }
+        drive(runtime, &scenario, &initial, &mut self.observers)
+    }
+}
+
+/// Drives a full run: init, one `step` per scenario period, observer
+/// callbacks after each period, and result assembly.
+pub(crate) fn drive<R: Runtime>(
+    runtime: &R,
+    scenario: &Scenario,
+    initial: &InitialStates,
+    observers: &mut [Box<dyn Observer>],
+) -> Result<RunResult> {
+    let mut state = runtime.init(scenario, initial)?;
+    drive_periods(runtime, &mut state, scenario.periods(), observers)
+}
+
+/// Drives `periods` steps of an already initialized state (also used by the
+/// aggregate runtime's scenario-free legacy entry point).
+pub(crate) fn drive_periods<R: Runtime>(
+    runtime: &R,
+    state: &mut R::State,
+    periods: u64,
+    observers: &mut [Box<dyn Observer>],
+) -> Result<RunResult> {
+    let protocol = runtime.protocol();
+    {
+        let events = runtime.snapshot(state);
+        for obs in observers.iter_mut() {
+            obs.on_period(protocol, &events);
+        }
+    }
+    for _ in 0..periods {
+        let events = runtime.step(state)?;
+        for obs in observers.iter_mut() {
+            obs.on_period(protocol, &events);
+        }
+    }
+    let mut result = RunResult::new(protocol);
+    for obs in observers.iter_mut() {
+        obs.finish(&mut result);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{
+        AgentRuntime, AggregateRuntime, CountsRecorder, PeriodEvents, TransitionRecorder,
+    };
+    use super::*;
+    use crate::mapping::ProtocolCompiler;
+    use odekit::system::EquationSystemBuilder;
+
+    fn epidemic_protocol() -> Protocol {
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        ProtocolCompiler::new("epidemic").compile(&sys).unwrap()
+    }
+
+    #[test]
+    fn missing_scenario_or_initial_is_an_error() {
+        let err = Simulation::of(epidemic_protocol())
+            .initial(InitialStates::counts(&[99, 1]))
+            .run::<AgentRuntime>()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                name: "scenario",
+                ..
+            }
+        ));
+        let err = Simulation::of(epidemic_protocol())
+            .scenario(Scenario::new(100, 5).unwrap())
+            .run::<AgentRuntime>()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                name: "initial",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn run_on_rejects_builder_config_and_honors_runtime_knobs() {
+        let protocol = epidemic_protocol();
+        let y = protocol.require_state("y").unwrap();
+        // A builder-level RunConfig would be silently ignored by run_on, so
+        // the combination is rejected.
+        let err = Simulation::of(protocol.clone())
+            .scenario(Scenario::new(100, 5).unwrap())
+            .initial(InitialStates::counts(&[99, 1]))
+            .rejoin_state(y)
+            .run_on(&AgentRuntime::new(protocol.clone()))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig { name: "config", .. }
+        ));
+        // Without builder config, run_on drives the pre-built runtime.
+        let runtime = AggregateRuntime::new(protocol.clone())
+            .with_alive_fraction(0.5)
+            .unwrap();
+        let result = Simulation::of(protocol)
+            .scenario(Scenario::new(1_000, 5).unwrap())
+            .initial(InitialStates::counts(&[499, 1]))
+            .observe(CountsRecorder::new())
+            .run_on(&runtime)
+            .unwrap();
+        assert_eq!(
+            result.final_counts().unwrap().iter().sum::<f64>(),
+            500.0,
+            "alive fraction applied"
+        );
+    }
+
+    #[test]
+    fn default_observers_reproduce_the_legacy_recording() {
+        let scenario = Scenario::new(256, 10).unwrap().with_seed(3);
+        let initial = InitialStates::counts(&[255, 1]);
+        let via_runtime = AgentRuntime::new(epidemic_protocol())
+            .run(&scenario, &initial)
+            .unwrap();
+        let via_simulation = Simulation::of(epidemic_protocol())
+            .scenario(scenario)
+            .initial(initial)
+            .run::<AgentRuntime>()
+            .unwrap();
+        assert_eq!(via_runtime, via_simulation);
+    }
+
+    #[test]
+    fn opt_in_recording_skips_everything_else() {
+        let result = Simulation::of(epidemic_protocol())
+            .scenario(Scenario::new(128, 8).unwrap().with_seed(1))
+            .initial(InitialStates::counts(&[127, 1]))
+            .observe(TransitionRecorder::new())
+            .run::<AgentRuntime>()
+            .unwrap();
+        // Only transitions were recorded: no counts, no metrics.
+        assert!(result.counts.is_empty());
+        assert_eq!(result.final_counts(), None);
+        assert!(result.metrics.series_names().is_empty());
+        assert!(result.total_transitions("x", "y") > 0.0);
+    }
+
+    #[test]
+    fn the_same_simulation_runs_on_both_fidelities() {
+        let build = || {
+            Simulation::of(epidemic_protocol())
+                .scenario(Scenario::new(20_000, 30).unwrap().with_seed(9))
+                .initial(InitialStates::counts(&[19_990, 10]))
+                .observe(CountsRecorder::new())
+        };
+        let agent = build().run::<AgentRuntime>().unwrap();
+        let aggregate = build().run::<AggregateRuntime>().unwrap();
+        let a = agent.final_counts().unwrap()[1];
+        let b = aggregate.final_counts().unwrap()[1];
+        assert!(a > 19_000.0 && b > 19_000.0, "both saturate: {a} vs {b}");
+    }
+
+    #[test]
+    fn custom_observers_can_record_into_metrics() {
+        struct PeakInfected(f64);
+        impl Observer for PeakInfected {
+            fn on_period(&mut self, _protocol: &Protocol, events: &PeriodEvents<'_>) {
+                self.0 = self.0.max(events.counts[1] as f64);
+            }
+            fn finish(&mut self, result: &mut RunResult) {
+                result.metrics.record("peak_infected", 0, self.0);
+            }
+        }
+        let result = Simulation::of(epidemic_protocol())
+            .scenario(Scenario::new(512, 20).unwrap().with_seed(2))
+            .initial(InitialStates::counts(&[511, 1]))
+            .observe(PeakInfected(0.0))
+            .run::<AgentRuntime>()
+            .unwrap();
+        assert!(result.metrics.last("peak_infected").unwrap() > 500.0);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let sim = Simulation::of(epidemic_protocol()).record_defaults();
+        let dbg = format!("{sim:?}");
+        assert!(dbg.contains("Simulation") && dbg.contains("observers"));
+    }
+}

@@ -45,7 +45,7 @@ pub use clock::PeriodClock;
 pub use error::SimError;
 pub use failure::{FailureEvent, FailureModel, FailureSchedule};
 pub use group::{Group, ProcessId};
-pub use metrics::{MetricsRecorder, SummaryStats};
+pub use metrics::{MetricsRecorder, OnlineStats, SummaryStats};
 pub use network::LossConfig;
 pub use rng::Rng;
 pub use scenario::Scenario;

@@ -58,6 +58,69 @@ impl SummaryStats {
     }
 }
 
+/// Streaming mean/variance accumulator (Welford's algorithm), used to
+/// aggregate per-period envelopes over simulation ensembles without keeping
+/// every sample in memory.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::OnlineStats;
+///
+/// let mut acc = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.count(), 4);
+/// assert_eq!(acc.mean(), 2.5);
+/// assert!((acc.std_dev() - (5.0 / 3.0_f64).sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one sample into the accumulator.
+    pub fn push(&mut self, sample: f64) {
+        self.count += 1;
+        let delta = sample - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (sample - self.mean);
+    }
+
+    /// Number of samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (0 for fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count > 1 {
+            self.m2 / (self.count - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
 /// Records named time series of `(period, value)` samples during a run.
 ///
 /// # Examples

@@ -83,6 +83,23 @@ impl Scenario {
         self
     }
 
+    /// Replaces the horizon, keeping everything else — useful when sweeping
+    /// run lengths or deriving ensemble variants from a template scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `periods` is zero.
+    pub fn with_periods(mut self, periods: u64) -> Result<Self> {
+        if periods == 0 {
+            return Err(SimError::InvalidConfig {
+                name: "periods",
+                reason: "scenario must run for at least one period".into(),
+            });
+        }
+        self.periods = periods;
+        Ok(self)
+    }
+
     /// Sets the network loss configuration.
     #[must_use]
     pub fn with_loss(mut self, loss: LossConfig) -> Self {
@@ -336,5 +353,8 @@ mod tests {
         assert_eq!(s.clock().period_secs(), 1.0);
         assert_eq!(s.failure_schedule().len(), 1);
         assert_eq!(s.failure_model().crash_prob(), 0.0);
+        let s = s.with_periods(25).unwrap();
+        assert_eq!(s.periods(), 25);
+        assert!(s.with_periods(0).is_err());
     }
 }

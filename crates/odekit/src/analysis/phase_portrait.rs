@@ -3,7 +3,7 @@
 //! The paper's Figures 2 and 4 are phase portraits of the endemic and LV
 //! systems; the same structure is reused by the experiment harness to plot
 //! the *protocol* runs, so [`PhasePortrait`] only depends on
-//! [`Trajectory`](crate::integrate::Trajectory), not on where the points came
+//! [`Trajectory`], not on where the points came
 //! from.
 
 use crate::error::OdeError;

@@ -11,7 +11,7 @@
 //!   `α = 10⁻⁶`).
 //!
 //! All integrators consume anything implementing [`OdeSystem`] — in
-//! particular [`EquationSystem`](crate::EquationSystem) and ad-hoc closures
+//! particular [`EquationSystem`] and ad-hoc closures
 //! wrapped in [`FnSystem`] — and produce a [`Trajectory`].
 
 mod euler;

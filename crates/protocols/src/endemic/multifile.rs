@@ -10,7 +10,9 @@
 
 use super::analysis::reality_check;
 use super::{EndemicParams, STASH};
-use dpde_core::runtime::{AgentRuntime, InitialStates, RunConfig};
+use dpde_core::runtime::{
+    AgentRuntime, CountsRecorder, InitialStates, MembershipTracker, Simulation,
+};
 use dpde_core::CoreError;
 use netsim::{Scenario, SummaryStats};
 
@@ -83,14 +85,16 @@ pub fn run_multi_file(
         let file_scenario = scenario
             .clone()
             .with_seed(scenario.seed().wrapping_add(file as u64 * 7919));
-        let run_config = RunConfig {
-            rejoin_state: Some(receptive),
-            track_members_of: Some(stash),
-            count_alive_only: true,
-        };
-        let run = AgentRuntime::new(protocol.clone())
-            .with_config(run_config)
-            .run(&file_scenario, &InitialStates::counts(&counts))?;
+        // Per-file loads come from the stasher-set snapshots, so only counts
+        // (alive-only) and membership are recorded — transitions and message
+        // counts would be dead weight across `files` runs.
+        let run = Simulation::of(protocol.clone())
+            .scenario(file_scenario)
+            .initial(InitialStates::counts(&counts))
+            .rejoin_state(receptive)
+            .observe(CountsRecorder::alive_only())
+            .observe(MembershipTracker::of(stash))
+            .run::<AgentRuntime>()?;
 
         let stashers = run.state_series(STASH)?;
         if stashers.iter().all(|&c| c > 0.0) {

@@ -9,7 +9,10 @@
 //! time (untraceability, Figure 8), and load-balancing / fairness statistics.
 
 use super::{EndemicParams, RECEPTIVE, STASH};
-use dpde_core::runtime::{AgentRuntime, InitialStates, RunConfig, RunResult};
+use dpde_core::runtime::{
+    AgentRuntime, AliveTracker, CountsRecorder, InitialStates, MembershipTracker, MessageCounter,
+    RunResult, Simulation, TransitionRecorder,
+};
 use dpde_core::{CoreError, Protocol};
 use netsim::{ProcessId, Scenario};
 
@@ -128,18 +131,21 @@ impl MigratoryStore {
     ) -> Result<ReplicationReport, CoreError> {
         let receptive = self.protocol.require_state(RECEPTIVE)?;
         let stash = self.protocol.require_state(STASH)?;
-        let config = RunConfig {
-            rejoin_state: Some(receptive),
-            track_members_of: if self.track_stashers {
-                Some(stash)
-            } else {
-                None
-            },
-            count_alive_only: true,
-        };
-        let run = AgentRuntime::new(self.protocol.clone())
-            .with_config(config)
-            .run(scenario, initial)?;
+        // The paper's figures plot alive populations, so counts are recorded
+        // alive-only; stasher-set snapshots are only paid for when tracking
+        // was requested.
+        let mut sim = Simulation::of(self.protocol.clone())
+            .scenario(scenario.clone())
+            .initial(initial.clone())
+            .rejoin_state(receptive)
+            .observe(CountsRecorder::alive_only())
+            .observe(TransitionRecorder::new())
+            .observe(AliveTracker::new())
+            .observe(MessageCounter::new());
+        if self.track_stashers {
+            sim = sim.observe(MembershipTracker::of(stash));
+        }
+        let run = sim.run::<AgentRuntime>()?;
         Ok(self.report(run, scenario.group_size()))
     }
 

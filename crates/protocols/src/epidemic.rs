@@ -8,7 +8,7 @@
 //! variant (infected processes push to random members) and a *push–pull*
 //! combination are also provided for comparison experiments.
 
-use dpde_core::runtime::{AgentRuntime, InitialStates, RunResult};
+use dpde_core::runtime::{AgentRuntime, InitialStates, RunResult, Simulation};
 use dpde_core::{Action, Protocol, ProtocolCompiler};
 use netsim::Scenario;
 use odekit::{EquationSystem, EquationSystemBuilder};
@@ -138,7 +138,11 @@ impl Epidemic {
     ) -> dpde_core::Result<RunResult> {
         let n = scenario.group_size() as u64;
         let initial = InitialStates::counts(&[n - initial_infected, initial_infected]);
-        AgentRuntime::new(self.protocol()).run(scenario, &initial)
+        Simulation::of(self.protocol())
+            .scenario(scenario.clone())
+            .initial(initial)
+            .record_defaults()
+            .run::<AgentRuntime>()
     }
 
     /// The number of periods after which the number of susceptibles first
@@ -198,7 +202,7 @@ mod tests {
         let n = 2048usize;
         let scenario = Scenario::new(n, 60).unwrap().with_seed(3);
         let result = Epidemic::new().disseminate(&scenario, 1).unwrap();
-        assert!(result.final_counts()[1] as usize > n - 5);
+        assert!(result.final_counts().unwrap()[1] as usize > n - 5);
         let rounds = Epidemic::rounds_to_reach(&result, 5.0).expect("should saturate");
         assert!(
             (rounds as f64) < 2.5 * Epidemic::expected_rounds(n as u64),

@@ -8,7 +8,9 @@
 //! Section 4.2.2).
 
 use super::{LvParams, STATE_X, STATE_Y, STATE_Z};
-use dpde_core::runtime::{AgentRuntime, InitialStates, RunResult};
+use dpde_core::runtime::{
+    AgentRuntime, CountsRecorder, InitialStates, RunResult, Simulation, TransitionRecorder,
+};
 use dpde_core::CoreError;
 use netsim::Scenario;
 
@@ -101,13 +103,12 @@ impl MajoritySelection {
         let initial = InitialStates::counts(&[zeros, ones, 0]);
         // Decisions are evaluated over the non-crashed processes only, so the
         // quorum refers to the surviving population (the paper's Figure 12).
-        let config = dpde_core::runtime::RunConfig {
-            count_alive_only: true,
-            ..Default::default()
-        };
-        let run = AgentRuntime::new(protocol)
-            .with_config(config)
-            .run(scenario, &initial)?;
+        let run = Simulation::of(protocol)
+            .scenario(scenario.clone())
+            .initial(initial)
+            .observe(CountsRecorder::alive_only())
+            .observe(TransitionRecorder::new())
+            .run::<AgentRuntime>()?;
 
         let initial_majority = if zeros > ones {
             Decision::Zero

@@ -15,7 +15,7 @@
 //! applies unchanged.
 
 use super::LvParams;
-use dpde_core::runtime::{AgentRuntime, InitialStates, RunConfig, RunResult};
+use dpde_core::runtime::{AgentRuntime, CountsRecorder, InitialStates, RunResult, Simulation};
 use dpde_core::{CoreError, Protocol, ProtocolCompiler};
 use netsim::Scenario;
 use odekit::{EquationSystem, EquationSystemBuilder};
@@ -173,13 +173,11 @@ impl PluralitySelection {
         let protocol = self.params.protocol()?;
         let mut counts = votes.to_vec();
         counts.push(0); // undecided
-        let config = RunConfig {
-            count_alive_only: true,
-            ..Default::default()
-        };
-        let run = AgentRuntime::new(protocol)
-            .with_config(config)
-            .run(scenario, &InitialStates::counts(&counts))?;
+        let run = Simulation::of(protocol)
+            .scenario(scenario.clone())
+            .initial(InitialStates::counts(&counts))
+            .observe(CountsRecorder::alive_only())
+            .run::<AgentRuntime>()?;
 
         let initial_plurality = unique_argmax(votes);
         let finals: Vec<f64> = (0..self.params.choices)
@@ -189,7 +187,10 @@ impl PluralitySelection {
                     .unwrap_or(0.0)
             })
             .collect();
-        let alive: f64 = run.final_counts().iter().sum();
+        let alive: f64 = run
+            .final_counts()
+            .map(|last| last.iter().sum())
+            .unwrap_or(0.0);
         let winner = finals
             .iter()
             .position(|&c| alive > 0.0 && c / alive >= self.quorum);

@@ -54,20 +54,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 5. Run the protocol over the lossy network and compare against the ODE.
+    // 5. Run the protocol over the lossy network and compare against the
+    //    ODE. The aggregate runtime picks the loss model up from the
+    //    scenario; the count-level fidelity makes the 2000-period run cheap.
     let n = 20_000u64;
-    let result = AggregateRuntime::new(protocol).with_loss(lossy).run(
-        n,
-        2_000,
-        &InitialStates::fractions(&[0.05, 0.0, 0.95]),
-        7,
-    )?;
+    let result = Simulation::of(protocol)
+        .scenario(
+            Scenario::new(n as usize, 2_000)?
+                .with_seed(7)
+                .with_loss(lossy),
+        )
+        .initial(InitialStates::fractions(&[0.05, 0.0, 0.95]))
+        .observe(CountsRecorder::new())
+        .run::<AggregateRuntime>()?;
     let report = compare_to_system(&result.as_ode_trajectory(n as f64), &completed, 0.05)?;
     println!(
         "\nprotocol vs ODE over 2000 periods: max deviation {:.4}, mean {:.4}",
         report.max_abs_error, report.mean_abs_error
     );
-    let last = result.final_counts();
+    let last = result.final_counts().expect("counts recorded");
     println!(
         "final populations: busy = {}, resting = {}, idle = {}",
         last[0], last[1], last[2]

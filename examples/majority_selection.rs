@@ -45,6 +45,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(2);
     let outcome = selector.run(&scenario, zeros, ones)?;
     print_outcome("run with 50 % massive failure at t = 100", &outcome);
+
+    // Run 3: the Figure 11 view as a multi-seed ensemble — 8 seeds fanned
+    // across the cores, summarized as a mean ± std envelope.
+    let ensemble = Ensemble::of(params.protocol()?)
+        .scenario(Scenario::new(n, 800)?)
+        .initial(InitialStates::counts(&[zeros, ones, 0]))
+        .seed_range(0..8)
+        .run::<AgentRuntime>()?;
+    let (mean_x, std_x) = *ensemble.envelope("x")?.last().unwrap();
+    println!(
+        "== 8-seed ensemble ({} worker threads) ==",
+        ensemble.threads_used
+    );
+    println!("final x population: {mean_x:.0} ± {std_x:.0} of {n}");
+    let wins = ensemble
+        .final_counts
+        .iter()
+        .filter(|last| last[0] > 0.99 * n as f64)
+        .count();
+    println!(
+        "seeds deciding the initial majority: {wins}/{}",
+        ensemble.runs()
+    );
     Ok(())
 }
 

@@ -86,5 +86,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "load balancing: coefficient of variation of per-host stash time {:.3}",
         report.load_balance_cv.unwrap_or(0.0)
     );
+
+    // The same protocol replayed at count-level fidelity through the generic
+    // Simulation driver: no host identity (so no failure modelling), but
+    // orders of magnitude faster — handy for parameter sweeps before paying
+    // for the agent-level run.
+    let mut counts = [
+        eq.endemic[0].round() as u64,
+        eq.endemic[1].round().max(1.0) as u64,
+        0,
+    ];
+    counts[2] = n as u64 - counts[0] - counts[1];
+    let fast = Simulation::of(params.figure1_protocol()?)
+        .scenario(Scenario::new(n, periods)?.with_seed(7))
+        .initial(InitialStates::counts(&counts))
+        .observe(CountsRecorder::new())
+        .run::<AggregateRuntime>()?;
+    println!(
+        "\naggregate-fidelity cross-check (no failures): final stasher count {:.0}",
+        fast.state_series(STASH)?.last().unwrap()
+    );
     Ok(())
 }

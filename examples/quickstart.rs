@@ -34,11 +34,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mc.worst_case()
     );
 
-    // 3. Run the protocol on 10 000 simulated processes, one initial infective.
+    // 3. Run the protocol on 10 000 simulated processes, one initial
+    //    infective. The Simulation builder records only what we observe;
+    //    swapping `AgentRuntime` for `AggregateRuntime` replays the same
+    //    experiment at count-level fidelity.
     let n = 10_000usize;
-    let scenario = Scenario::new(n, 40)?.with_seed(42);
-    let result = AgentRuntime::new(protocol.clone())
-        .run(&scenario, &InitialStates::counts(&[n as u64 - 1, 1]))?;
+    let result = Simulation::of(protocol.clone())
+        .scenario(Scenario::new(n, 40)?.with_seed(42))
+        .initial(InitialStates::counts(&[n as u64 - 1, 1]))
+        .observe(CountsRecorder::new())
+        .run::<AgentRuntime>()?;
 
     println!("\nperiod  susceptible  infected");
     for (t, state) in result.counts.iter().step_by(4) {

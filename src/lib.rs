@@ -10,16 +10,22 @@
 //!   and non-linear dynamics analysis;
 //! * [`netsim`] — the round-based process-group simulator (membership,
 //!   failures, churn, message loss, metrics);
-//! * [`core`](dpde_core) — the ODE→protocol compiler (Flipping,
-//!   One-Time-Sampling, Tokenizing), the compiled state machines and the
-//!   agent / aggregate runtimes;
-//! * [`protocols`](dpde_protocols) — the paper's case studies: epidemic
+//! * [`core`] — the ODE→protocol compiler (Flipping, One-Time-Sampling,
+//!   Tokenizing), the compiled state machines, the
+//!   [`Runtime`](dpde_core::Runtime) trait with its agent / aggregate
+//!   implementations, composable observers, and the
+//!   [`Simulation`](dpde_core::Simulation) / [`dpde_core::Ensemble`]
+//!   drivers;
+//! * [`protocols`] — the paper's case studies: epidemic
 //!   dissemination, endemic migratory replication, and Lotka–Volterra
 //!   majority selection.
 //!
 //! The [`prelude`] pulls in the types most programs need.
 //!
 //! # Quickstart
+//!
+//! Write equations, compile them, describe the environment, run — recording
+//! only what you ask for:
 //!
 //! ```
 //! use dpde::prelude::*;
@@ -31,11 +37,38 @@
 //! // 2. Compile them into a distributed protocol.
 //! let protocol = ProtocolCompiler::new("epidemic").compile(&sys)?;
 //!
-//! // 3. Run the protocol on a simulated group of processes.
-//! let scenario = Scenario::new(1_000, 30)?.with_seed(7);
-//! let result = AgentRuntime::new(protocol)
-//!     .run(&scenario, &InitialStates::counts(&[999, 1]))?;
-//! assert!(result.final_counts()[1] > 990.0);
+//! // 3. Run the protocol on a simulated group of processes. The same
+//! //    Simulation runs on AgentRuntime (per-host fidelity) or
+//! //    AggregateRuntime (counts only, much faster).
+//! let result = Simulation::of(protocol)
+//!     .scenario(Scenario::new(1_000, 30)?.with_seed(7))
+//!     .initial(InitialStates::counts(&[999, 1]))
+//!     .observe(CountsRecorder::new())
+//!     .run::<AgentRuntime>()?;
+//! assert!(result.final_counts().expect("counts recorded")[1] > 990.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Multi-seed ensembles
+//!
+//! The paper's evaluation compares protocol dynamics against the ODE limit
+//! over many independent runs. [`Ensemble`](dpde_core::Ensemble) fans a seed
+//! range across all cores and returns per-period mean/std envelopes — a
+//! Figure-11-style convergence sweep in a few lines:
+//!
+//! ```
+//! use dpde::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let protocol = LvParams::new().protocol()?; // Lotka–Volterra majority selection
+//! let ensemble = Ensemble::of(protocol)
+//!     .scenario(Scenario::new(2_000, 700)?)
+//!     .initial(InitialStates::counts(&[1_200, 800, 0])) // 60/40 split
+//!     .seed_range(0..8)
+//!     .run::<AgentRuntime>()?;
+//! let (mean_x, std_x) = *ensemble.envelope("x")?.last().unwrap();
+//! assert!(mean_x > 1_900.0, "majority wins on average: {mean_x} ± {std_x}");
 //! # Ok(())
 //! # }
 //! ```
@@ -52,7 +85,9 @@ pub use odekit;
 pub mod prelude {
     pub use dpde_core::equivalence::{compare_to_system, compare_trajectories};
     pub use dpde_core::runtime::{
-        AgentRuntime, AggregateRuntime, InitialStates, RunConfig, RunResult,
+        AgentRuntime, AggregateRuntime, AliveTracker, CountsRecorder, Ensemble, EnsembleResult,
+        InitialStates, MembershipTracker, MessageCounter, Observer, PeriodEvents, RunConfig,
+        RunResult, Runtime, Simulation, TransitionRecorder,
     };
     pub use dpde_core::{Action, MessageComplexity, Protocol, ProtocolCompiler, StateId};
     pub use dpde_protocols::endemic::replication::MigratoryStore;
@@ -61,8 +96,8 @@ pub mod prelude {
     pub use dpde_protocols::lv::majority::{Decision, MajoritySelection};
     pub use dpde_protocols::lv::LvParams;
     pub use netsim::{
-        ChurnTrace, FailureSchedule, Group, LossConfig, MetricsRecorder, PeriodClock, Rng,
-        Scenario, SyntheticChurnConfig,
+        ChurnTrace, FailureSchedule, Group, LossConfig, MetricsRecorder, OnlineStats, PeriodClock,
+        Rng, Scenario, SyntheticChurnConfig,
     };
     pub use odekit::analysis::{
         analyze_equilibrium, phase_portrait, EquilibriumFinder, PhasePortrait, Stability,
@@ -88,5 +123,8 @@ mod tests {
         assert!(taxonomy::is_complete(&sys));
         let protocol = ProtocolCompiler::new("epidemic").compile(&sys).unwrap();
         assert_eq!(protocol.num_states(), 2);
+        // The new driver types are reachable through the prelude.
+        let _ = Simulation::of(protocol.clone());
+        let _ = Ensemble::of(protocol);
     }
 }

@@ -36,8 +36,47 @@ fn epidemic_pipeline_from_text_to_verified_run() {
         "error {}",
         eq_report.max_abs_error
     );
-    let final_fraction = run.final_counts()[1] / n as f64;
+    let final_fraction = run.final_counts().expect("counts recorded")[1] / n as f64;
     assert!(final_fraction > 0.99);
+}
+
+/// The generic driver stack end to end: one `Simulation` spec executed on
+/// both runtime fidelities, and an `Ensemble` fanning 8 seeds across worker
+/// threads whose mean trajectory tracks the ODE.
+#[test]
+fn simulation_and_ensemble_drivers_work_across_fidelities() {
+    let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
+    let protocol = ProtocolCompiler::new("epidemic").compile(&sys).unwrap();
+    let n = 4_000usize;
+
+    // The same builder spec, replayed at both fidelities.
+    let spec = |protocol: Protocol| {
+        Simulation::of(protocol)
+            .scenario(Scenario::new(n, 40).unwrap().with_seed(6))
+            .initial(InitialStates::counts(&[n as u64 - 4, 4]))
+            .observe(CountsRecorder::new())
+    };
+    let agent = spec(protocol.clone()).run::<AgentRuntime>().unwrap();
+    let aggregate = spec(protocol.clone()).run::<AggregateRuntime>().unwrap();
+    for run in [&agent, &aggregate] {
+        assert!(run.final_counts().unwrap()[1] > 0.99 * n as f64);
+        // Opt-in recording: only counts were requested.
+        assert!(run.metrics.series_names().is_empty());
+        assert!(run.tracked_members.is_empty());
+    }
+
+    // Ensemble of 8 seeds across threads: the mean trajectory tracks the ODE.
+    let ensemble = Ensemble::of(protocol)
+        .scenario(Scenario::new(n, 40).unwrap())
+        .initial(InitialStates::counts(&[n as u64 - 4, 4]))
+        .seed_range(0..8)
+        .threads(4)
+        .run::<AgentRuntime>()
+        .unwrap();
+    assert_eq!(ensemble.runs(), 8);
+    assert!(ensemble.threads_used > 1);
+    let report = compare_to_system(&ensemble.mean_as_ode_trajectory(n as f64), &sys, 0.01).unwrap();
+    assert!(report.max_abs_error < 0.3, "error {}", report.max_abs_error);
 }
 
 /// The LV rewrite chain of Section 4.2.1: original → completed → rewritten →
@@ -231,7 +270,7 @@ fn tokenizing_protocol_tracks_equations() {
         .run(n, 80, &InitialStates::fractions(&[0.3, 0.3, 0.4]), 13)
         .unwrap();
     // z drains into x while y stays put.
-    let last = run.final_counts();
+    let last = run.final_counts().expect("counts recorded");
     assert!(last[2] < 0.22 * n as f64, "z should drain, got {}", last[2]);
     assert!(last[0] > 0.45 * n as f64, "x should grow, got {}", last[0]);
     assert!((last[1] - 0.3 * n as f64).abs() < 0.01 * n as f64);

@@ -170,3 +170,60 @@ proptest! {
         }
     }
 }
+
+/// Ensemble-mean epidemic trajectory of one runtime fidelity, through the
+/// generic `Runtime` trait (the drivers never see the concrete type).
+fn epidemic_ensemble_mean<R: Runtime>(
+    protocol: &Protocol,
+    n: usize,
+    periods: u64,
+    seed_base: u64,
+    infected: u64,
+) -> Trajectory {
+    Ensemble::of(protocol.clone())
+        .scenario(Scenario::new(n, periods).unwrap())
+        .initial(InitialStates::counts(&[n as u64 - infected, infected]))
+        .seeds(seed_base..seed_base + 8)
+        .threads(4)
+        .run::<R>()
+        .expect("ensemble runs")
+        .mean_as_ode_trajectory(n as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The agent and aggregate runtimes are statistically equivalent through
+    /// the `Runtime` trait: over an 8-seed ensemble, the mean epidemic
+    /// trajectory of each fidelity stays within tolerance of an RK4
+    /// integration of the source equations — and hence of the other fidelity.
+    #[test]
+    fn runtimes_are_statistically_equivalent_through_the_trait(
+        seed_base in 0u64..1_000,
+        infected in 4u64..32,
+    ) {
+        // p = 0.2 keeps the synchronous-update discretization bias of the
+        // aggregate runtime well below the comparison tolerance.
+        let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .with_normalizing_constant(0.2)
+            .compile(&sys)
+            .unwrap();
+        let n = 2_000;
+        let periods = 150;
+
+        let agent = epidemic_ensemble_mean::<AgentRuntime>(&protocol, n, periods, seed_base, infected);
+        let aggregate =
+            epidemic_ensemble_mean::<AggregateRuntime>(&protocol, n, periods, seed_base, infected);
+
+        // Each fidelity tracks the ODE…
+        let agent_vs_ode = compare_to_system(&agent, &sys, 0.01).unwrap();
+        let aggregate_vs_ode = compare_to_system(&aggregate, &sys, 0.01).unwrap();
+        prop_assert!(agent_vs_ode.max_abs_error < 0.15, "agent vs ODE: {}", agent_vs_ode.max_abs_error);
+        prop_assert!(aggregate_vs_ode.max_abs_error < 0.15, "aggregate vs ODE: {}", aggregate_vs_ode.max_abs_error);
+
+        // …and therefore each other, sampled on the same period grid.
+        let pairwise = compare_trajectories(&agent, &aggregate).unwrap();
+        prop_assert!(pairwise.max_abs_error < 0.2, "agent vs aggregate: {}", pairwise.max_abs_error);
+    }
+}
