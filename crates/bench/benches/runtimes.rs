@@ -1,11 +1,70 @@
-//! Criterion benchmarks of the agent and aggregate runtimes: cost per
-//! protocol period as a function of group size.
+//! Criterion benchmarks of the runtime fidelities: cost per protocol period
+//! as a function of group size, plus an agent/batched/aggregate head-to-head
+//! on the epidemic and LV-majority protocols.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpde_core::runtime::{AgentRuntime, AggregateRuntime, InitialStates};
+use dpde_core::runtime::{AgentRuntime, AggregateRuntime, BatchedRuntime, InitialStates, Runtime};
+use dpde_core::{Protocol, ProtocolCompiler};
 use dpde_protocols::endemic::EndemicParams;
+use dpde_protocols::lv::LvParams;
 use netsim::Scenario;
+use odekit::EquationSystemBuilder;
 use std::hint::black_box;
+
+fn epidemic_protocol() -> Protocol {
+    let sys = EquationSystemBuilder::new()
+        .vars(["x", "y"])
+        .term("x", -1.0, &[("x", 1), ("y", 1)])
+        .term("y", 1.0, &[("x", 1), ("y", 1)])
+        .build()
+        .unwrap();
+    ProtocolCompiler::new("epidemic").compile(&sys).unwrap()
+}
+
+/// Init + 30 steps through the `Runtime` trait (no observer overhead).
+fn run_steps<R: Runtime>(runtime: &R, scenario: &Scenario, initial: &InitialStates) {
+    let mut state = runtime.init(scenario, initial).unwrap();
+    for _ in 0..scenario.periods() {
+        runtime.step(&mut state).unwrap();
+    }
+}
+
+/// Head-to-head: the same 30-period workload on every fidelity, N ∈
+/// {10³, 10⁴, 10⁵}, for the epidemic and LV-majority protocols.
+type InitialOf = fn(u64) -> InitialStates;
+
+fn bench_head_to_head(c: &mut Criterion) {
+    let workloads: [(&str, Protocol, InitialOf); 2] = [
+        ("epidemic", epidemic_protocol(), |n| {
+            InitialStates::counts(&[n - 1, 1])
+        }),
+        ("lv_majority", LvParams::new().protocol().unwrap(), |n| {
+            InitialStates::counts(&[n * 6 / 10, n - n * 6 / 10, 0])
+        }),
+    ];
+    let periods = 30u64;
+    for (name, protocol, initial_of) in workloads {
+        let mut group = c.benchmark_group(format!("head_to_head_{name}"));
+        for &n in &[1_000u64, 10_000, 100_000] {
+            group.throughput(Throughput::Elements(n * periods));
+            let scenario = Scenario::new(n as usize, periods).unwrap().with_seed(3);
+            let initial = initial_of(n);
+            let agent = AgentRuntime::new(protocol.clone());
+            group.bench_with_input(BenchmarkId::new("agent", n), &n, |b, _| {
+                b.iter(|| run_steps(black_box(&agent), &scenario, &initial))
+            });
+            let batched = BatchedRuntime::new(protocol.clone());
+            group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+                b.iter(|| run_steps(black_box(&batched), &scenario, &initial))
+            });
+            let aggregate = AggregateRuntime::new(protocol.clone());
+            group.bench_with_input(BenchmarkId::new("aggregate", n), &n, |b, _| {
+                b.iter(|| run_steps(black_box(&aggregate), &scenario, &initial))
+            });
+        }
+        group.finish();
+    }
+}
 
 fn bench_agent_runtime(c: &mut Criterion) {
     let params = EndemicParams::from_contact_count(2, 0.1, 0.01).unwrap();
@@ -59,6 +118,6 @@ fn bench_aggregate_runtime(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_agent_runtime, bench_aggregate_runtime
+    targets = bench_agent_runtime, bench_aggregate_runtime, bench_head_to_head
 }
 criterion_main!(benches);

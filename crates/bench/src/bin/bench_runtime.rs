@@ -1,0 +1,202 @@
+//! Runtime performance baseline: periods/sec and process-periods/sec for the
+//! three runtime fidelities over a group-size sweep, written to
+//! `BENCH_runtime.json` so every PR has a perf trajectory to compare against.
+//!
+//! The workload is the paper's motivating epidemic protocol (30 periods, one
+//! initial infective). `--scale` / `DPDE_SCALE` shrink the sweep for CI smoke
+//! runs; the default reproduces the full N = 10³…10⁶ sweep (plus 10⁷ for the
+//! count-level runtimes, whose period cost is independent of N).
+//!
+//! Exits non-zero if the batched runtime is not faster than the agent runtime
+//! at the largest common N — CI uses this as a perf regression gate.
+
+use dpde_bench::{banner, scale_from_args, scaled};
+use dpde_core::runtime::{AgentRuntime, AggregateRuntime, BatchedRuntime, InitialStates, Runtime};
+use dpde_core::{Protocol, ProtocolCompiler};
+use netsim::Scenario;
+use odekit::EquationSystemBuilder;
+use std::time::Instant;
+
+const PERIODS: u64 = 30;
+
+fn epidemic() -> Protocol {
+    let sys = EquationSystemBuilder::new()
+        .vars(["x", "y"])
+        .term("x", -1.0, &[("x", 1), ("y", 1)])
+        .term("y", 1.0, &[("x", 1), ("y", 1)])
+        .build()
+        .expect("epidemic equations are well-formed");
+    ProtocolCompiler::new("epidemic")
+        .compile(&sys)
+        .expect("epidemic compiles")
+}
+
+/// One timed measurement: median wall-clock seconds over `reps` runs.
+fn time_runs(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Drives a scenario-driven runtime through the `Runtime` trait without
+/// observer overhead (init + steps only — what the fidelity itself costs).
+fn run_steps<R: Runtime>(runtime: &R, scenario: &Scenario, initial: &InitialStates) {
+    let mut state = runtime.init(scenario, initial).expect("init");
+    for _ in 0..scenario.periods() {
+        runtime.step(&mut state).expect("step");
+    }
+}
+
+struct Row {
+    runtime: &'static str,
+    n: u64,
+    seconds: f64,
+}
+
+impl Row {
+    fn periods_per_sec(&self) -> f64 {
+        PERIODS as f64 / self.seconds
+    }
+
+    fn process_periods_per_sec(&self) -> f64 {
+        (self.n * PERIODS) as f64 / self.seconds
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"runtime\": \"{}\", \"n\": {}, \"seconds\": {:.6}, \
+             \"periods_per_sec\": {:.1}, \"process_periods_per_sec\": {:.1}}}",
+            self.runtime,
+            self.n,
+            self.seconds,
+            self.periods_per_sec(),
+            self.process_periods_per_sec()
+        )
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "BENCH_runtime",
+        "periods/sec per runtime fidelity (epidemic, 30 periods)",
+        scale,
+    );
+
+    let protocol = epidemic();
+    // Sweep sizes; the count-level runtimes get one extra decade (agent time
+    // there is better spent elsewhere — its scaling is already visible).
+    let mut common: Vec<u64> = [1_000u64, 10_000, 100_000, 1_000_000]
+        .iter()
+        .map(|&n| scaled(n, scale, 100))
+        .collect();
+    common.dedup(); // small scales can collapse adjacent decades onto the floor
+    let count_level_extra = scaled(10_000_000, scale, 100);
+    let largest_common = *common.last().expect("non-empty sweep");
+
+    let mut rows: Vec<Row> = Vec::new();
+    println!("runtime,n,seconds,periods_per_sec,process_periods_per_sec");
+    let mut measure = |runtime: &'static str, n: u64, reps: usize, f: &mut dyn FnMut()| {
+        let seconds = time_runs(reps, f);
+        let row = Row {
+            runtime,
+            n,
+            seconds,
+        };
+        println!(
+            "{},{},{:.6},{:.1},{:.1}",
+            runtime,
+            n,
+            seconds,
+            row.periods_per_sec(),
+            row.process_periods_per_sec()
+        );
+        rows.push(row);
+    };
+
+    for &n in &common {
+        let scenario = Scenario::new(n as usize, PERIODS)
+            .expect("scenario")
+            .with_seed(7);
+        let initial = InitialStates::counts(&[n - 1, 1]);
+        let reps = if n >= 1_000_000 { 3 } else { 5 };
+
+        let agent = AgentRuntime::new(protocol.clone());
+        measure("agent", n, reps, &mut || {
+            run_steps(&agent, &scenario, &initial)
+        });
+
+        let batched = BatchedRuntime::new(protocol.clone());
+        measure("batched", n, reps, &mut || {
+            run_steps(&batched, &scenario, &initial)
+        });
+
+        let aggregate = AggregateRuntime::new(protocol.clone());
+        measure("aggregate", n, reps, &mut || {
+            run_steps(&aggregate, &scenario, &initial)
+        });
+    }
+    // Count-level runtimes only: period cost independent of N.
+    {
+        let n = count_level_extra;
+        let scenario = Scenario::new(n as usize, PERIODS)
+            .expect("scenario")
+            .with_seed(7);
+        let initial = InitialStates::counts(&[n - 1, 1]);
+        let batched = BatchedRuntime::new(protocol.clone());
+        measure("batched", n, 3, &mut || {
+            run_steps(&batched, &scenario, &initial)
+        });
+        let aggregate = AggregateRuntime::new(protocol.clone());
+        measure("aggregate", n, 3, &mut || {
+            run_steps(&aggregate, &scenario, &initial)
+        });
+    }
+
+    let seconds_of = |runtime: &str, n: u64| {
+        rows.iter()
+            .find(|r| r.runtime == runtime && r.n == n)
+            .map(|r| r.seconds)
+            .expect("measured")
+    };
+    let agent_largest = seconds_of("agent", largest_common);
+    let batched_largest = seconds_of("batched", largest_common);
+    let speedup = agent_largest / batched_largest;
+
+    println!("\n== summary ==");
+    println!(
+        "largest common N = {largest_common}: agent {agent_largest:.4}s, \
+         batched {batched_largest:.4}s, speedup {speedup:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_sweep\",\n  \"protocol\": \"epidemic\",\n  \
+         \"periods\": {PERIODS},\n  \"scale\": {scale},\n  \"results\": [\n{}\n  ],\n  \
+         \"largest_common_n\": {largest_common},\n  \
+         \"batched_speedup_at_largest\": {speedup:.2}\n}}\n",
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n")
+    );
+    let out = std::env::var("DPDE_BENCH_OUT").unwrap_or_else(|_| "BENCH_runtime.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("error: could not write {out}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    // Perf gate: count-batching must beat per-process simulation at scale.
+    if speedup <= 1.0 {
+        eprintln!(
+            "error: batched runtime is not faster than the agent runtime at \
+             N = {largest_common} ({batched_largest:.4}s vs {agent_largest:.4}s)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,7 @@ use super::{InitialStates, PeriodEvents, RunConfig, RunResult, Runtime};
 use crate::action::Action;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
-use netsim::{Group, LossConfig, ProcessId, Rng, Scenario};
+use netsim::{Group, ProcessId, Rng, Scenario};
 
 /// Executes a protocol with one explicit state per process.
 ///
@@ -24,6 +24,12 @@ use netsim::{Group, LossConfig, ProcessId, Rng, Scenario};
 /// Processes are visited in id order within a period; the protocols are
 /// symmetric and memoryless across periods, so the visiting order has no
 /// statistically visible effect at the group sizes used in the experiments.
+///
+/// The per-period loop is allocation-free: the action lists are flattened
+/// into a dispatch table when the runtime is built, alive-only counts are
+/// maintained incrementally as transitions and failures happen (no O(N)
+/// rescans), and while nobody has crashed the liveness probes are skipped
+/// entirely.
 ///
 /// # Examples
 ///
@@ -49,6 +55,193 @@ use netsim::{Group, LossConfig, ProcessId, Rng, Scenario};
 pub struct AgentRuntime {
     protocol: Protocol,
     config: RunConfig,
+    compiled: CompiledProtocol,
+}
+
+/// The protocol's action lists flattened into a dense dispatch table, built
+/// once when the runtime is constructed so the per-period loop touches only
+/// flat arrays (no nested `Vec<Vec<Action>>` walks, no per-action
+/// recomputation of message counts).
+#[derive(Debug, Clone)]
+struct CompiledProtocol {
+    /// All actions of all states, flattened; `meta[s]` delimits state `s`.
+    actions: Vec<CompiledAction>,
+    /// Per-state action range and full per-period message bill.
+    meta: Vec<StateMeta>,
+    /// `messages_tail[idx]` is the message bill of the actions *after* `idx`
+    /// within its state — subtracted when a process moves on action `idx`
+    /// (it never reaches the rest), so the hot loop pays one add per process
+    /// instead of one per action.
+    messages_tail: Vec<u64>,
+    /// Flattened `required` state lists referenced by Sample/Tokenize.
+    required: Vec<u32>,
+    /// `true` if any action consults the per-state member lists at runtime
+    /// (tokenize consumers pick a concrete member); drives the lazy list
+    /// maintenance in [`Membership`].
+    needs_member_lists: bool,
+}
+
+/// Per-state slice of the dispatch table.
+#[derive(Debug, Clone, Copy)]
+struct StateMeta {
+    start: u32,
+    end: u32,
+    /// Σ messages_per_period over the state's actions.
+    messages: u64,
+}
+
+/// One action with its fields unpacked to dense indices.
+#[derive(Debug, Clone, Copy)]
+enum CompiledAction {
+    Flip {
+        /// `1 / ln(1 − prob)`, precomputed for geometric-run sampling: a
+        /// `Flip`'s heads probability is a compile-time constant (it never
+        /// depends on counts), so its iid coin stream factorizes exactly into
+        /// geometric runs of tails — the runtime keeps one "tails left"
+        /// counter per flip action and pays one log-draw per (rare) heads
+        /// instead of one RNG draw per encounter. `-0.0` encodes "always
+        /// heads" (prob ≥ 1), `NEG_INFINITY` encodes "never" (prob ≤ 0).
+        geo_scale: f64,
+        to: u32,
+    },
+    Sample {
+        req_start: u32,
+        req_end: u32,
+        prob: f64,
+        to: u32,
+    },
+    SampleAny {
+        target: u32,
+        samples: u32,
+        prob: f64,
+        to: u32,
+    },
+    PushSample {
+        target: u32,
+        samples: u32,
+        prob: f64,
+        to: u32,
+    },
+    Tokenize {
+        req_start: u32,
+        req_end: u32,
+        prob: f64,
+        token_state: u32,
+        to: u32,
+    },
+}
+
+impl CompiledProtocol {
+    fn compile(protocol: &Protocol) -> Self {
+        let mut actions = Vec::new();
+        let mut per_action_messages: Vec<u64> = Vec::new();
+        let mut meta = Vec::with_capacity(protocol.num_states());
+        let mut required = Vec::new();
+        let flatten_required = |required: &mut Vec<u32>, list: &[StateId]| {
+            let start = required.len() as u32;
+            required.extend(list.iter().map(|s| s.index() as u32));
+            (start, required.len() as u32)
+        };
+        for state in 0..protocol.num_states() {
+            let start = actions.len() as u32;
+            for action in protocol.actions(StateId::new(state)) {
+                per_action_messages.push(u64::from(action.messages_per_period()));
+                actions.push(match action {
+                    Action::Flip { prob, to } => CompiledAction::Flip {
+                        geo_scale: if *prob <= 0.0 {
+                            // ln(u)·(−∞) = +∞ → the counter never reaches 0.
+                            f64::NEG_INFINITY
+                        } else {
+                            // prob ≥ 1 gives 1/ln(0) = −0.0: every run of
+                            // tails has length 0, i.e. always heads.
+                            1.0 / (1.0 - prob).ln()
+                        },
+                        to: to.index() as u32,
+                    },
+                    Action::Sample {
+                        required: req,
+                        prob,
+                        to,
+                    } => {
+                        let (req_start, req_end) = flatten_required(&mut required, req);
+                        CompiledAction::Sample {
+                            req_start,
+                            req_end,
+                            prob: *prob,
+                            to: to.index() as u32,
+                        }
+                    }
+                    Action::SampleAny {
+                        target_state,
+                        samples,
+                        prob,
+                        to,
+                    } => CompiledAction::SampleAny {
+                        target: target_state.index() as u32,
+                        samples: *samples,
+                        prob: *prob,
+                        to: to.index() as u32,
+                    },
+                    Action::PushSample {
+                        target_state,
+                        samples,
+                        prob,
+                        to,
+                    } => CompiledAction::PushSample {
+                        target: target_state.index() as u32,
+                        samples: *samples,
+                        prob: *prob,
+                        to: to.index() as u32,
+                    },
+                    Action::Tokenize {
+                        required: req,
+                        prob,
+                        token_state,
+                        to,
+                    } => {
+                        let (req_start, req_end) = flatten_required(&mut required, req);
+                        CompiledAction::Tokenize {
+                            req_start,
+                            req_end,
+                            prob: *prob,
+                            token_state: token_state.index() as u32,
+                            to: to.index() as u32,
+                        }
+                    }
+                });
+            }
+            meta.push(StateMeta {
+                start,
+                end: actions.len() as u32,
+                messages: per_action_messages[start as usize..].iter().sum(),
+            });
+        }
+        // Suffix message bills within each state's range.
+        let mut messages_tail = vec![0u64; actions.len()];
+        for m in &meta {
+            let mut tail = 0u64;
+            for idx in (m.start as usize..m.end as usize).rev() {
+                messages_tail[idx] = tail;
+                tail += per_action_messages[idx];
+            }
+        }
+        // Tokenize consumers and push victims pick concrete members through
+        // the lists; protocols without those actions (epidemic, LV) skip the
+        // whole positional bookkeeping.
+        let needs_member_lists = actions.iter().any(|a| {
+            matches!(
+                a,
+                CompiledAction::Tokenize { .. } | CompiledAction::PushSample { .. }
+            )
+        });
+        CompiledProtocol {
+            actions,
+            meta,
+            messages_tail,
+            required,
+            needs_member_lists,
+        }
+    }
 }
 
 /// The mutable execution state of an [`AgentRuntime`] run: the scenario
@@ -60,7 +253,15 @@ pub struct AgentState {
     rng: Rng,
     group: Group,
     members: Membership,
+    /// Per-flip-action "tails left before the next heads" counters (indexed
+    /// like the compiled action table; non-flip slots stay 0 and unused).
+    /// See [`CompiledAction::Flip`]: decrementing a counter per encounter is
+    /// distribution-identical to drawing the coin per encounter.
+    flip_skips: Vec<u64>,
     period: u64,
+    /// Whether the scenario can ever change liveness; when `false` the
+    /// per-period environment step and all liveness probes are skipped.
+    has_liveness_events: bool,
     /// Dense `from * num_states + to` transition counts for the period that
     /// just executed, plus the sparse rendering handed to observers.
     transitions_dense: Vec<u64>,
@@ -77,11 +278,13 @@ impl AgentState {
 
 impl AgentRuntime {
     /// Creates a runtime for the given protocol with the default
-    /// [`RunConfig`].
+    /// [`RunConfig`], pre-compiling the action dispatch table.
     pub fn new(protocol: Protocol) -> Self {
+        let compiled = CompiledProtocol::compile(&protocol);
         AgentRuntime {
             protocol,
             config: RunConfig::default(),
+            compiled,
         }
     }
 
@@ -136,143 +339,28 @@ impl AgentRuntime {
             transitions: &state.transitions,
             messages: state.messages,
             alive: state.group.alive_count() as u64,
+            counts_alive: Some(state.members.counts_alive()),
             membership: Some(MembershipView {
                 members: &state.members,
                 group: &state.group,
             }),
         }
     }
+}
 
-    /// Executes one action for process `p` (currently in `state`). Returns
-    /// `true` if the process itself transitioned.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_action(
-        &self,
-        p: usize,
-        state: usize,
-        action: &Action,
-        members: &mut Membership,
-        group: &Group,
-        loss: &LossConfig,
-        rng: &mut Rng,
-        transitions: &mut [u64],
-    ) -> Result<bool> {
-        let n = group.size();
-        let num_states = self.protocol.num_states();
-        match action {
-            Action::Flip { prob, to } => {
-                if rng.chance(*prob) {
-                    transition(p, state, to.index(), members, transitions, num_states);
-                    return Ok(true);
-                }
-            }
-            Action::Sample { required, prob, to } => {
-                let mut all_match = true;
-                for req in required {
-                    let target = rng.index(n);
-                    let ok = group.is_alive(ProcessId(target))?
-                        && loss.contact_succeeds(rng, 1)
-                        && members.state_of(target) == req.index();
-                    if !ok {
-                        all_match = false;
-                        // Keep sampling the remaining targets so the message
-                        // count (already added) stays faithful, but the
-                        // outcome is decided.
-                    }
-                }
-                if all_match && rng.chance(*prob) {
-                    transition(p, state, to.index(), members, transitions, num_states);
-                    return Ok(true);
-                }
-            }
-            Action::SampleAny {
-                target_state,
-                samples,
-                prob,
-                to,
-            } => {
-                let mut found = false;
-                for _ in 0..*samples {
-                    let target = rng.index(n);
-                    if group.is_alive(ProcessId(target))?
-                        && loss.contact_succeeds(rng, 1)
-                        && members.state_of(target) == target_state.index()
-                    {
-                        found = true;
-                    }
-                }
-                if found && rng.chance(*prob) {
-                    transition(p, state, to.index(), members, transitions, num_states);
-                    return Ok(true);
-                }
-            }
-            Action::PushSample {
-                target_state,
-                samples,
-                prob,
-                to,
-            } => {
-                for _ in 0..*samples {
-                    let target = rng.index(n);
-                    if target != p
-                        && group.is_alive(ProcessId(target))?
-                        && loss.contact_succeeds(rng, 1)
-                        && members.state_of(target) == target_state.index()
-                        && rng.chance(*prob)
-                    {
-                        transition(
-                            target,
-                            target_state.index(),
-                            to.index(),
-                            members,
-                            transitions,
-                            num_states,
-                        );
-                    }
-                }
-            }
-            Action::Tokenize {
-                required,
-                prob,
-                token_state,
-                to,
-            } => {
-                let mut all_match = true;
-                for req in required {
-                    let target = rng.index(n);
-                    let ok = group.is_alive(ProcessId(target))?
-                        && loss.contact_succeeds(rng, 1)
-                        && members.state_of(target) == req.index();
-                    if !ok {
-                        all_match = false;
-                    }
-                }
-                if all_match && rng.chance(*prob) {
-                    // Forward the token to an alive process currently in
-                    // `token_state`; if none can be found the token is dropped
-                    // (Section 6's "if no processes are in state x").
-                    if let Some(consumer) =
-                        members.random_alive_in_state(token_state.index(), group, rng)
-                    {
-                        if loss.contact_succeeds(rng, 1) {
-                            transition(
-                                consumer,
-                                token_state.index(),
-                                to.index(),
-                                members,
-                                transitions,
-                                num_states,
-                            );
-                        }
-                    }
-                }
-            }
-        }
-        Ok(false)
-    }
+/// Draws the length of the next run of tails for a flip with precomputed
+/// `geo_scale = 1 / ln(1 − prob)`: `⌊ln(1 − u) · geo_scale⌋`, the geometric
+/// inverse-CDF (one uniform, one log).
+#[inline]
+fn draw_geometric(rng: &mut Rng, geo_scale: f64) -> u64 {
+    let ln1mu = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE).ln();
+    (ln1mu * geo_scale) as u64
 }
 
 /// Applies the transition `p: from -> to` and counts it in the dense buffer.
+/// Every transitioning process is alive (executors, push targets and token
+/// consumers are all liveness-checked), so the alive counts move too.
+#[inline]
 fn transition(
     p: usize,
     from: usize,
@@ -284,7 +372,7 @@ fn transition(
     if from == to {
         return;
     }
-    members.force_state(p, to);
+    members.force_state_alive(p, to);
     transitions[from * num_states + to] += 1;
 }
 
@@ -316,11 +404,29 @@ impl Runtime for AgentRuntime {
         }
         rng.shuffle(&mut assignment);
 
+        // Seed every flip action's geometric tails counter.
+        let flip_skips: Vec<u64> = self
+            .compiled
+            .actions
+            .iter()
+            .map(|a| match a {
+                CompiledAction::Flip { geo_scale, .. } => draw_geometric(&mut rng, *geo_scale),
+                _ => 0,
+            })
+            .collect();
+
         Ok(AgentState {
-            scenario: scenario.clone(),
             rng,
+            flip_skips,
+            members: Membership::new(
+                num_states,
+                &assignment,
+                &group,
+                self.compiled.needs_member_lists,
+            ),
             group,
-            members: Membership::new(num_states, &assignment),
+            has_liveness_events: scenario.has_liveness_events(),
+            scenario: scenario.clone(),
             period: 0,
             transitions_dense: vec![0; num_states * num_states],
             transitions: Vec::new(),
@@ -331,49 +437,102 @@ impl Runtime for AgentRuntime {
     fn step<'s>(&self, state: &'s mut AgentState) -> Result<PeriodEvents<'s>> {
         let period = state.period;
         let n = state.scenario.group_size();
-        let loss = *state.scenario.loss();
+        let inv_n = 1.0 / n as f64;
+        let num_states = self.protocol.num_states();
+        // Per-contact failure probability; `Rng::chance` consumes no
+        // randomness when it is zero, so the reliable path stays draw-free.
+        let contact_fail = state.scenario.loss().effective_contact_failure(1);
+        let contact_ok = 1.0 - contact_fail;
         state.transitions_dense.fill(0);
         state.transitions.clear();
         state.messages = 0;
 
-        // 1. Environment events.
-        let (_down, up) =
-            state
-                .scenario
-                .apply_period_events(period, &mut state.group, &mut state.rng)?;
-        if let Some(rejoin) = self.config.rejoin_state {
-            for id in up {
-                state.members.force_state(id.index(), rejoin.index());
+        // 1. Environment events (skipped outright for failure-free
+        //    scenarios). `down`/`up` contain only genuine liveness changes,
+        //    which keeps the incremental alive counts exact.
+        if state.has_liveness_events {
+            let (down, up) =
+                state
+                    .scenario
+                    .apply_period_events(period, &mut state.group, &mut state.rng)?;
+            for id in &down {
+                state.members.on_crash(id.index());
+            }
+            for id in &up {
+                state.members.on_recover(id.index());
+            }
+            if let Some(rejoin) = self.config.rejoin_state {
+                for id in up {
+                    state.members.force_state_alive(id.index(), rejoin.index());
+                }
             }
         }
 
-        // 2. Protocol actions.
+        // 2. Protocol actions. Liveness is invariant during the action loop
+        //    (environment events only happen at period boundaries), so one
+        //    flag decides whether any probes are needed at all.
+        let check_alive = !state.group.all_alive();
+        let AgentState {
+            ref mut rng,
+            ref group,
+            ref mut members,
+            ref mut transitions_dense,
+            ref mut messages,
+            ref mut flip_skips,
+            ..
+        } = *state;
         for p in 0..n {
-            if !state.group.is_alive(ProcessId(p))? {
+            let process_state = members.state_of(p);
+            let meta = self.compiled.meta[process_state];
+            if meta.start == meta.end || (check_alive && !group.is_alive_unchecked(p)) {
                 continue;
             }
-            let process_state = state.members.state_of(p);
-            // Copy the action list length to avoid borrowing issues; the
-            // protocol is immutable during the run.
-            let num_actions = self.protocol.actions(StateId::new(process_state)).len();
-            for action_idx in 0..num_actions {
-                // Re-read the current state: a previous action may have moved
-                // us (moves_self actions break out, but push/token transitions
-                // performed by *other* processes only happen outside this
-                // inner loop, so `process_state` is still valid).
-                let action = &self.protocol.actions(StateId::new(process_state))[action_idx];
-                state.messages += u64::from(action.messages_per_period());
-                let moved = self.execute_action(
-                    p,
-                    process_state,
-                    action,
-                    &mut state.members,
-                    &state.group,
-                    &loss,
-                    &mut state.rng,
-                    &mut state.transitions_dense,
-                )?;
+            // Bill the whole action list up front; a process that moves early
+            // refunds the unreached tail below.
+            *messages += meta.messages;
+            // `idx` indexes three parallel tables (actions, flip_skips,
+            // messages_tail), so a range loop is the clearest form.
+            #[allow(clippy::needless_range_loop)]
+            for idx in meta.start as usize..meta.end as usize {
+                // Flip — the dominant action in the paper's protocols — is
+                // handled inline so the sweep loop stays a handful of
+                // instructions; everything else goes through the out-of-line
+                // slow path, keeping the hot loop's code footprint tiny.
+                let moved =
+                    if let CompiledAction::Flip { geo_scale, to } = self.compiled.actions[idx] {
+                        let skip = &mut flip_skips[idx];
+                        if *skip == 0 {
+                            *skip = draw_geometric(rng, geo_scale);
+                            transition(
+                                p,
+                                process_state,
+                                to as usize,
+                                members,
+                                transitions_dense,
+                                num_states,
+                            );
+                            true
+                        } else {
+                            *skip -= 1;
+                            false
+                        }
+                    } else {
+                        self.execute_compiled(
+                            idx,
+                            p,
+                            process_state,
+                            inv_n,
+                            num_states,
+                            contact_ok,
+                            contact_fail,
+                            members,
+                            group,
+                            rng,
+                            transitions_dense,
+                        )
+                    };
                 if moved {
+                    *messages -= self.compiled.messages_tail[idx];
                     break;
                 }
             }
@@ -395,6 +554,161 @@ impl Runtime for AgentRuntime {
     }
 }
 
+impl AgentRuntime {
+    /// Executes one compiled action for process `p` (currently in `state`).
+    /// Returns `true` if the process itself transitioned.
+    ///
+    /// Contacts use **count-assisted sampling**: drawing a uniform member of
+    /// the maximal group and testing "alive, reachable and in state `w`" is a
+    /// Bernoulli trial with success probability
+    /// `counts_alive[w] / N · (1 − contact_fail)` — and since the sampled
+    /// target's identity is never used by `Flip`/`Sample`/`SampleAny` (only
+    /// its current state is), the whole firing condition collapses into a
+    /// single coin against the incrementally-maintained alive counts. This is
+    /// distribution-identical to per-contact simulation — the counts are read
+    /// *at the process's turn*, so the within-period cascade of the
+    /// sequential sweep is preserved exactly — while touching no per-process
+    /// memory and burning one RNG draw per (process, action) instead of one
+    /// per contact. Actions that do act on the sampled target (`PushSample`,
+    /// `Tokenize` consumers) still pick a concrete uniform victim, but only
+    /// on the rare successful draws.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(never)]
+    fn execute_compiled(
+        &self,
+        idx: usize,
+        p: usize,
+        state: usize,
+        inv_n: f64,
+        num_states: usize,
+        contact_ok: f64,
+        contact_fail: f64,
+        members: &mut Membership,
+        group: &Group,
+        rng: &mut Rng,
+        transitions: &mut [u64],
+    ) -> bool {
+        match self.compiled.actions[idx] {
+            CompiledAction::Flip { .. } => {
+                // The sweep loop in `step` handles Flip inline (its only
+                // call site filters it out); one canonical implementation
+                // lives there.
+                unreachable!("Flip is handled inline in the sweep loop")
+            }
+            CompiledAction::Sample {
+                req_start,
+                req_end,
+                prob,
+                to,
+            } => {
+                let mut fire = prob;
+                for &wanted in &self.compiled.required[req_start as usize..req_end as usize] {
+                    fire *= members.counts_alive[wanted as usize] as f64 * inv_n * contact_ok;
+                }
+                if rng.chance(fire) {
+                    transition(p, state, to as usize, members, transitions, num_states);
+                    return true;
+                }
+            }
+            CompiledAction::SampleAny {
+                target,
+                samples,
+                prob,
+                to,
+            } => {
+                let hit = members.counts_alive[target as usize] as f64 * inv_n * contact_ok;
+                let fire = if samples == 1 {
+                    prob * hit
+                } else {
+                    prob * (1.0 - (1.0 - hit).powi(samples as i32))
+                };
+                if rng.chance(fire) {
+                    transition(p, state, to as usize, members, transitions, num_states);
+                    return true;
+                }
+            }
+            CompiledAction::PushSample {
+                target,
+                samples,
+                prob,
+                to,
+            } => {
+                let t = target as usize;
+                let mut remaining = samples;
+                while remaining > 0 {
+                    // Valid victims: alive members of `t` other than the
+                    // executor (recomputed after each hit — a push may have
+                    // just converted someone).
+                    let avail = members.counts_alive[t] - u64::from(state == t);
+                    let per_draw = avail as f64 * inv_n * contact_ok * prob;
+                    if per_draw <= 0.0 {
+                        break;
+                    }
+                    // One uniform resolves all remaining samples at once:
+                    // either none of them hits (the common case), or the
+                    // first hit is at sample `j` — P(first hit at j) =
+                    // (1-q)^(j-1)·q, recovered from the same draw. The
+                    // leftover samples after a hit re-enter the loop with the
+                    // updated victim pool, so the sequential per-sample
+                    // semantics are reproduced exactly.
+                    // "First j samples all missed" ⇔ u < miss^j, so "no hit
+                    // at all" ⇔ u < miss^remaining, and "first hit at j" ⇔
+                    // miss^j ≤ u < miss^(j−1) (probability miss^(j−1)·q).
+                    let u = rng.next_f64();
+                    let miss = 1.0 - per_draw;
+                    if u < miss.powi(remaining as i32) {
+                        break; // every remaining sample missed
+                    }
+                    let mut j = 1u32;
+                    while u < miss.powi(j as i32) {
+                        j += 1;
+                    }
+                    // Uniform among the valid victims via rejection on p.
+                    while let Some(victim) = members.random_alive_in_state(t, group, rng) {
+                        if victim != p {
+                            transition(victim, t, to as usize, members, transitions, num_states);
+                            break;
+                        }
+                    }
+                    remaining -= j;
+                }
+            }
+            CompiledAction::Tokenize {
+                req_start,
+                req_end,
+                prob,
+                token_state,
+                to,
+            } => {
+                let mut fire = prob;
+                for &wanted in &self.compiled.required[req_start as usize..req_end as usize] {
+                    fire *= members.counts_alive[wanted as usize] as f64 * inv_n * contact_ok;
+                }
+                if rng.chance(fire) {
+                    // Forward the token to an alive process currently in
+                    // `token_state`; if none can be found the token is dropped
+                    // (Section 6's "if no processes are in state x").
+                    if let Some(consumer) =
+                        members.random_alive_in_state(token_state as usize, group, rng)
+                    {
+                        if !rng.chance(contact_fail) {
+                            transition(
+                                consumer,
+                                token_state as usize,
+                                to as usize,
+                                members,
+                                transitions,
+                                num_states,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
 /// Read access to the per-process membership at a period boundary, handed to
 /// observers through [`PeriodEvents::membership`].
 #[derive(Debug, Clone, Copy)]
@@ -406,17 +720,29 @@ pub struct MembershipView<'a> {
 impl MembershipView<'_> {
     /// Ids of the alive processes currently in `state`.
     pub fn alive_members_of(&self, state: StateId) -> Vec<ProcessId> {
-        self.members
-            .members_of(state.index())
-            .iter()
-            .map(|&p| ProcessId(p as usize))
-            .filter(|id| self.group.is_alive(*id).unwrap_or(false))
-            .collect()
+        match &self.members.lists {
+            Some(lists) => lists.members[state.index()]
+                .iter()
+                .map(|&p| ProcessId(p as usize))
+                .filter(|id| self.group.is_alive_unchecked(id.index()))
+                .collect(),
+            // Without maintained lists, one flat scan (only membership
+            // observers pay it, once per period).
+            None => self
+                .members
+                .state
+                .iter()
+                .enumerate()
+                .filter(|&(p, &s)| s as usize == state.index() && self.group.is_alive_unchecked(p))
+                .map(|(p, _)| ProcessId(p))
+                .collect(),
+        }
     }
 
-    /// Per-state counts restricted to alive processes.
+    /// Per-state counts restricted to alive processes (maintained
+    /// incrementally — O(states), not O(N)).
     pub fn alive_counts(&self) -> Vec<u64> {
-        self.members.counts_alive(self.group)
+        self.members.counts_alive().to_vec()
     }
 
     /// The state of one process.
@@ -425,32 +751,55 @@ impl MembershipView<'_> {
     }
 }
 
-/// Per-process state bookkeeping with O(1) transitions and per-state member
-/// lists (needed for token consumers and member tracking).
+/// Per-process state bookkeeping with O(1) transitions and incrementally
+/// maintained total and alive-only per-state counts.
+///
+/// Per-state member lists carry real bookkeeping weight on every transition
+/// (positional swap-remove surgery), but only two consumers ever read them:
+/// tokenize consumers and [`MembershipTracker`](super::MembershipTracker)
+/// snapshots. They are therefore maintained only when the protocol contains
+/// tokenize actions; everything else falls back to the flat state vector.
 #[derive(Debug, Clone)]
 struct Membership {
     state: Vec<u32>,
+    counts: Vec<u64>,
+    counts_alive: Vec<u64>,
+    lists: Option<MemberLists>,
+}
+
+/// Per-state member lists with positional backpointers for O(1) moves.
+#[derive(Debug, Clone)]
+struct MemberLists {
     position: Vec<u32>,
     members: Vec<Vec<u32>>,
-    counts: Vec<u64>,
 }
 
 impl Membership {
-    fn new(num_states: usize, assignment: &[usize]) -> Self {
-        let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_states];
+    fn new(num_states: usize, assignment: &[usize], group: &Group, with_lists: bool) -> Self {
         let mut state = Vec::with_capacity(assignment.len());
-        let mut position = Vec::with_capacity(assignment.len());
+        let mut counts = vec![0u64; num_states];
+        let mut counts_alive = vec![0u64; num_states];
         for (p, &s) in assignment.iter().enumerate() {
             state.push(s as u32);
-            position.push(members[s].len() as u32);
-            members[s].push(p as u32);
+            counts[s] += 1;
+            if group.is_alive_unchecked(p) {
+                counts_alive[s] += 1;
+            }
         }
-        let counts = members.iter().map(|m| m.len() as u64).collect();
+        let lists = with_lists.then(|| {
+            let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_states];
+            let mut position = Vec::with_capacity(assignment.len());
+            for (p, &s) in assignment.iter().enumerate() {
+                position.push(members[s].len() as u32);
+                members[s].push(p as u32);
+            }
+            MemberLists { position, members }
+        });
         Membership {
             state,
-            position,
-            members,
             counts,
+            counts_alive,
+            lists,
         }
     }
 
@@ -462,59 +811,99 @@ impl Membership {
         &self.counts
     }
 
-    fn counts_alive(&self, group: &Group) -> Vec<u64> {
-        let mut counts = vec![0u64; self.members.len()];
-        for (p, &s) in self.state.iter().enumerate() {
-            if group.is_alive(ProcessId(p)).unwrap_or(false) {
-                counts[s as usize] += 1;
-            }
-        }
-        counts
+    /// Per-state counts over alive processes only, maintained incrementally.
+    fn counts_alive(&self) -> &[u64] {
+        &self.counts_alive
     }
 
-    fn members_of(&self, state: usize) -> &[u32] {
-        &self.members[state]
+    /// Records that the (alive) process `p` crashed.
+    fn on_crash(&mut self, p: usize) {
+        self.counts_alive[self.state[p] as usize] -= 1;
     }
 
-    fn force_state(&mut self, p: usize, to: usize) {
+    /// Records that the (crashed) process `p` recovered.
+    fn on_recover(&mut self, p: usize) {
+        self.counts_alive[self.state[p] as usize] += 1;
+    }
+
+    /// Moves the **alive** process `p` to state `to` (the caller guarantees
+    /// liveness; every runtime transition path does).
+    fn force_state_alive(&mut self, p: usize, to: usize) {
         let from = self.state[p] as usize;
         if from == to {
             return;
         }
-        // Remove from the old member list via swap_remove, fixing the swapped
-        // element's position.
-        let pos = self.position[p] as usize;
-        let list = &mut self.members[from];
-        let last = *list.last().expect("member list cannot be empty");
-        list.swap_remove(pos);
-        if (last as usize) != p {
-            self.position[last as usize] = pos as u32;
-        }
         self.counts[from] -= 1;
-        // Insert into the new list.
-        self.position[p] = self.members[to].len() as u32;
-        self.members[to].push(p as u32);
+        self.counts_alive[from] -= 1;
         self.counts[to] += 1;
+        self.counts_alive[to] += 1;
         self.state[p] = to as u32;
+        if let Some(lists) = &mut self.lists {
+            // Remove from the old member list via swap_remove, fixing the
+            // swapped element's position.
+            let pos = lists.position[p] as usize;
+            let list = &mut lists.members[from];
+            let last = *list.last().expect("member list cannot be empty");
+            list.swap_remove(pos);
+            if (last as usize) != p {
+                lists.position[last as usize] = pos as u32;
+            }
+            // Insert into the new list.
+            lists.position[p] = lists.members[to].len() as u32;
+            lists.members[to].push(p as u32);
+        }
     }
 
     /// Picks a uniformly random *alive* member of `state`, or `None` if the
-    /// state is empty or only contains crashed processes (checked by a bounded
-    /// number of retries followed by a linear scan).
+    /// state is empty or only contains crashed processes.
+    ///
+    /// Rejection sampling handles the common case in O(1) expected time; the
+    /// fallback counts the alive members and picks the k-th so the choice
+    /// stays uniform even when almost everyone in the state has crashed
+    /// (a first-alive scan would bias towards low process ids).
     fn random_alive_in_state(&self, state: usize, group: &Group, rng: &mut Rng) -> Option<usize> {
-        let list = &self.members[state];
+        let Some(lists) = &self.lists else {
+            // Defensive fallback (init builds lists whenever the protocol can
+            // reach this): pick the k-th alive member by scanning.
+            let alive = self.counts_alive[state];
+            if alive == 0 {
+                return None;
+            }
+            let k = rng.index(alive as usize);
+            return self
+                .state
+                .iter()
+                .enumerate()
+                .filter(|&(p, &s)| s as usize == state && group.is_alive_unchecked(p))
+                .map(|(p, _)| p)
+                .nth(k);
+        };
+        let list = &lists.members[state];
         if list.is_empty() {
             return None;
         }
+        if group.all_alive() {
+            return Some(list[rng.index(list.len())] as usize);
+        }
         for _ in 0..16 {
             let candidate = list[rng.index(list.len())] as usize;
-            if group.is_alive(ProcessId(candidate)).unwrap_or(false) {
+            if group.is_alive_unchecked(candidate) {
                 return Some(candidate);
             }
         }
+        // Uniform fallback: count, then index.
+        let alive = list
+            .iter()
+            .filter(|&&p| group.is_alive_unchecked(p as usize))
+            .count();
+        if alive == 0 {
+            return None;
+        }
+        let k = rng.index(alive);
         list.iter()
             .map(|&p| p as usize)
-            .find(|&p| group.is_alive(ProcessId(p)).unwrap_or(false))
+            .filter(|&p| group.is_alive_unchecked(p))
+            .nth(k)
     }
 }
 
@@ -635,6 +1024,34 @@ mod tests {
     }
 
     #[test]
+    fn incremental_alive_counts_track_failures_and_transitions() {
+        // Crash 60% at period 2 and keep the epidemic running: the
+        // incrementally maintained alive counts must match a from-scratch
+        // recount at every period.
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(300, 12)
+            .unwrap()
+            .with_massive_failure(2, 0.6)
+            .unwrap()
+            .with_failure_model(netsim::FailureModel::new(0.02, 0.1).unwrap())
+            .with_seed(17);
+        let runtime = AgentRuntime::new(epidemic_protocol());
+        let initial = InitialStates::counts(&[299, 1]);
+        let mut state = runtime.init(&scenario, &initial).unwrap();
+        for _ in 0..scenario.periods() {
+            runtime.step(&mut state).unwrap();
+            let incremental = state.members.counts_alive().to_vec();
+            let mut recount = vec![0u64; protocol.num_states()];
+            for p in 0..scenario.group_size() {
+                if state.group.is_alive_unchecked(p) {
+                    recount[state.members.state_of(p)] += 1;
+                }
+            }
+            assert_eq!(incremental, recount, "period {}", state.period());
+        }
+    }
+
+    #[test]
     fn rejoin_state_is_applied_on_recovery() {
         // Crash a specific process and recover it later; with rejoin_state =
         // y it must come back in state y even though it started in x. An
@@ -679,20 +1096,70 @@ mod tests {
 
     #[test]
     fn membership_bookkeeping_is_consistent() {
-        let mut m = Membership::new(3, &[0, 0, 1, 2, 1]);
+        let group = Group::new(5);
+        let mut m = Membership::new(3, &[0, 0, 1, 2, 1], &group, true);
         assert_eq!(m.counts(), &[2, 2, 1]);
+        assert_eq!(m.counts_alive(), &[2, 2, 1]);
         assert_eq!(m.state_of(3), 2);
-        m.force_state(0, 2);
-        m.force_state(0, 2); // no-op
+        m.force_state_alive(0, 2);
+        m.force_state_alive(0, 2); // no-op
         assert_eq!(m.counts(), &[1, 2, 2]);
+        assert_eq!(m.counts_alive(), &[1, 2, 2]);
         assert_eq!(m.state_of(0), 2);
-        assert!(m.members_of(2).contains(&0));
-        m.force_state(4, 0);
+        let lists = m.lists.as_ref().unwrap();
+        assert!(lists.members[2].contains(&0));
+        m.force_state_alive(4, 0);
         assert_eq!(m.counts(), &[2, 1, 2]);
+        // Crash/recover hooks move only the alive counts.
+        m.on_crash(4);
+        assert_eq!(m.counts(), &[2, 1, 2]);
+        assert_eq!(m.counts_alive(), &[1, 1, 2]);
+        m.on_recover(4);
+        assert_eq!(m.counts_alive(), &[2, 1, 2]);
         // Every process appears exactly once across all member lists.
-        let mut all: Vec<u32> = m.members.iter().flatten().copied().collect();
+        let lists = m.lists.as_ref().unwrap();
+        let mut all: Vec<u32> = lists.members.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn token_consumers_are_uniform_under_heavy_failure() {
+        // Regression test for the biased fallback: with only a handful of
+        // alive members left in the token state, the rejection loop usually
+        // misses and the fallback decides — it must not favour low ids.
+        let mut group = Group::new(4_000);
+        let assignment = vec![0usize; 4_000];
+        // Alive members: a low-id one and three high-id ones. A first-alive
+        // scan would return id 10 almost always.
+        let alive = [10usize, 3_200, 3_600, 3_999];
+        for p in 0..4_000 {
+            if !alive.contains(&p) {
+                group.crash(ProcessId(p)).unwrap();
+            }
+        }
+        let m = Membership::new(1, &assignment, &group, true);
+        let mut rng = Rng::seed_from(99);
+        let mut hits = std::collections::HashMap::new();
+        let draws = 4_000;
+        for _ in 0..draws {
+            let picked = m.random_alive_in_state(0, &group, &mut rng).unwrap();
+            *hits.entry(picked).or_insert(0u32) += 1;
+        }
+        // Every alive member is reachable and roughly uniform (expected 1000
+        // each; 5 sigma ≈ 150).
+        for p in alive {
+            let h = *hits.get(&p).unwrap_or(&0);
+            assert!(
+                (h as f64 - draws as f64 / 4.0).abs() < 150.0,
+                "process {p} hit {h} times"
+            );
+        }
+        // All-crashed state yields None.
+        for p in alive {
+            group.crash(ProcessId(p)).unwrap();
+        }
+        assert_eq!(m.random_alive_in_state(0, &group, &mut rng), None);
     }
 
     #[test]

@@ -158,40 +158,8 @@ impl AggregateRuntime {
             transitions: &state.transitions,
             messages: state.messages,
             alive: state.alive_n,
+            counts_alive: None,
             membership: None,
-        }
-    }
-
-    /// Per-process probability that an action's firing condition holds this
-    /// period (excluding who it moves), given start-of-period counts.
-    fn fire_probability(&self, action: &Action, counts: &[u64], n: f64, loss: &LossConfig) -> f64 {
-        let contact_ok = 1.0 - loss.effective_contact_failure(1);
-        match action {
-            Action::Flip { prob, .. } => *prob,
-            Action::Sample { required, prob, .. } => {
-                let mut p = *prob;
-                for r in required {
-                    p *= (counts[r.index()] as f64 / n) * contact_ok;
-                }
-                p
-            }
-            Action::SampleAny {
-                target_state,
-                samples,
-                prob,
-                ..
-            } => {
-                let hit = (counts[target_state.index()] as f64 / n) * contact_ok;
-                prob * (1.0 - (1.0 - hit).powi(*samples as i32))
-            }
-            Action::PushSample { .. } => 0.0,
-            Action::Tokenize { required, prob, .. } => {
-                let mut p = *prob;
-                for r in required {
-                    p *= (counts[r.index()] as f64 / n) * contact_ok;
-                }
-                p
-            }
         }
     }
 }
@@ -259,7 +227,7 @@ impl Runtime for AggregateRuntime {
             let mut survive = 1.0; // probability of not having moved yet
             for action in actions {
                 messages_f += k_s as f64 * survive * f64::from(action.messages_per_period());
-                let fire = self.fire_probability(action, &start, n_f, &state.loss);
+                let fire = super::fire_probability(action, &start, n_f, &state.loss);
                 match action {
                     Action::Flip { to, .. }
                     | Action::Sample { to, .. }
@@ -273,12 +241,15 @@ impl Runtime for AggregateRuntime {
                         prob,
                         to,
                     } => {
-                        // Executors do not move; each of their samples
-                        // converts an alive member of target_state with the
-                        // per-draw probability.
+                        // Executors do not move themselves, but only those no
+                        // earlier self-moving action already moved reach this
+                        // action — fold `survive` into the per-draw
+                        // probability. Each surviving executor's samples
+                        // convert alive members of target_state.
                         let per_draw = (start[target_state.index()] as f64 / n_f)
                             * prob
-                            * (1.0 - state.loss.effective_contact_failure(1));
+                            * (1.0 - state.loss.effective_contact_failure(1))
+                            * survive;
                         let draws = k_s.saturating_mul(u64::from(*samples));
                         let converted = binomial(&mut state.rng, draws, per_draw)
                             .min(start[target_state.index()]);
@@ -292,7 +263,9 @@ impl Runtime for AggregateRuntime {
                     Action::Tokenize {
                         token_state, to, ..
                     } => {
-                        let fired = binomial(&mut state.rng, k_s, fire);
+                        // Only executors that have not moved on an earlier
+                        // action reach this one (probability `survive`).
+                        let fired = binomial(&mut state.rng, k_s, survive * fire);
                         let consumed = fired.min(start[token_state.index()]);
                         if consumed > 0 {
                             delta[token_state.index()] -= consumed as i64;

@@ -1,0 +1,745 @@
+//! The count-batched stochastic protocol runtime.
+
+use super::observer::default_observers;
+use super::simulation::drive;
+use super::{InitialStates, PeriodEvents, RunConfig, RunResult, Runtime};
+use crate::action::Action;
+use crate::error::CoreError;
+use crate::state_machine::{Protocol, StateId};
+use crate::Result;
+use netsim::{FailureEvent, Rng, Scenario};
+
+/// Executes a protocol by advancing whole state-count vectors, sampling the
+/// *number* of processes taking each transition per period instead of
+/// simulating every process — O(states² · actions) per period, independent of
+/// the group size `N`.
+///
+/// The paper's protocols are symmetric and memoryless: within a period every
+/// process in the same state performs exchangeable Bernoulli/sampling trials,
+/// so the per-state outcome tallies are binomially/multinomially distributed
+/// and can be drawn directly (the "batched" technique of population-protocol
+/// simulators). This is what makes N = 10⁶–10⁷ runs interactive.
+///
+/// # Semantics (and how they relate to [`AgentRuntime`](super::AgentRuntime))
+///
+/// * **Synchronous update.** All firing probabilities are evaluated against
+///   the **start-of-period** alive counts and all transitions are applied at
+///   the period boundary, whereas the agent runtime updates states in process
+///   order within a period. The discrepancy vanishes as per-period transition
+///   probabilities shrink (the compiler's normalizing constant keeps them
+///   small), and the ensemble-equivalence property tests pin both fidelities
+///   to the same mean trajectories.
+/// * **First-move-wins.** Within one state's action list the agent runtime
+///   stops at the first action that moves the process; the batched runtime
+///   reproduces this with survival accounting: action `j` fires for the
+///   `k_s · survive_j` processes that no earlier action moved, and the joint
+///   outcome is a single multinomial draw per state.
+/// * **`PushSample`/`Tokenize` ordering.** The executor pool of a push/token
+///   action is thinned by the same survival probability as the self-moving
+///   actions (an executor that already moved never reaches it, exactly as in
+///   the agent's first-move-wins loop). The conversions themselves are drawn
+///   as binomial tallies against start-of-period counts and capped by the
+///   target state's population; a process that is pushed and also moves
+///   itself in the same period is counted once for each (the agent runtime
+///   resolves such races in process order). These target-side race effects
+///   are O(per-period-probability²) and statistically invisible at the
+///   paper's parameters — the property tests in `tests/property.rs` validate
+///   the agreement through the `Runtime` trait.
+///
+/// # Environment support
+///
+/// Unlike [`AggregateRuntime`](super::AggregateRuntime) (which rejects every
+/// failure-carrying scenario), the batched runtime models all *exchangeable*
+/// environment events at count level:
+///
+/// * **massive failures** — crashing a uniform fraction of the alive
+///   processes splits across states as a multivariate hypergeometric draw;
+/// * **probabilistic failure models** — per-period crash/recovery become
+///   per-state binomial draws, with crashed processes remembering their state
+///   (or rejoining into [`RunConfig::rejoin_state`]);
+/// * **message/connection loss** — folded into the firing probabilities.
+///
+/// Only environments that name *specific* processes (per-id failure
+/// schedules, churn traces) still need host identity:
+/// [`init`](Runtime::init) rejects those loudly, and
+/// [`Simulation::run_auto`](super::Simulation::run_auto) falls back to the
+/// agent runtime for them automatically.
+///
+/// # Examples
+///
+/// ```
+/// use dpde_core::{ProtocolCompiler, runtime::{BatchedRuntime, InitialStates}};
+/// use netsim::Scenario;
+/// use odekit::parse::parse_system;
+///
+/// let sys = parse_system("x' = -x*y\ny' = x*y", &[])?;
+/// let protocol = ProtocolCompiler::new("epidemic").compile(&sys)?;
+/// // One million processes, half of them crashing at period 15 — still
+/// // milliseconds, because work is independent of N.
+/// let scenario = Scenario::new(1_000_000, 30)?
+///     .with_massive_failure(15, 0.5)?
+///     .with_seed(7);
+/// let result = BatchedRuntime::new(protocol)
+///     .run(&scenario, &InitialStates::counts(&[999_999, 1]))?;
+/// assert!(result.final_counts().expect("counts recorded")[1] > 400_000.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedRuntime {
+    protocol: Protocol,
+    config: RunConfig,
+}
+
+/// The mutable execution state of a [`BatchedRuntime`] run: per-state alive
+/// and crashed counts, the PRNG, and reusable scratch buffers so the
+/// per-period step allocates nothing.
+#[derive(Debug, Clone)]
+pub struct BatchedState {
+    scenario: Scenario,
+    rng: Rng,
+    n_f: f64,
+    alive_n: u64,
+    /// Total processes per state (alive + crashed; crashed processes remember
+    /// their state, mirroring the agent runtime's frozen membership).
+    counts: Vec<u64>,
+    /// Alive processes per state — what the protocol actions act on.
+    counts_alive: Vec<u64>,
+    /// Crashed processes per state — the pool recoveries draw from.
+    counts_crashed: Vec<u64>,
+    period: u64,
+    messages: u64,
+    transitions_dense: Vec<u64>,
+    transitions: Vec<(StateId, StateId, u64)>,
+    // Scratch buffers reused every period.
+    start: Vec<u64>,
+    delta: Vec<i64>,
+    weights: Vec<f64>,
+    dests: Vec<u32>,
+    draws: Vec<u64>,
+}
+
+impl BatchedState {
+    /// The next period to execute (also the number of periods executed).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+impl BatchedRuntime {
+    /// Creates a batched runtime with the default [`RunConfig`].
+    pub fn new(protocol: Protocol) -> Self {
+        BatchedRuntime {
+            protocol,
+            config: RunConfig::default(),
+        }
+    }
+
+    /// Replaces the run configuration ([`RunConfig::rejoin_state`] steers
+    /// where recovering processes land).
+    #[must_use]
+    pub fn with_config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// Runs the protocol under the given scenario and initial state
+    /// distribution with the standard recording set (counts, transitions,
+    /// alive counts, messages).
+    ///
+    /// For opt-in recording or custom observers use
+    /// [`Simulation`](super::Simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors (mismatched initial distribution, invalid
+    /// protocol, a scenario that needs host identity) and propagates scenario
+    /// errors.
+    pub fn run(&self, scenario: &Scenario, initial: &InitialStates) -> Result<RunResult> {
+        drive(self, scenario, initial, &mut default_observers())
+    }
+
+    fn events<'s>(&self, state: &'s BatchedState) -> PeriodEvents<'s> {
+        PeriodEvents {
+            period: state.period,
+            counts: &state.counts,
+            transitions: &state.transitions,
+            messages: state.messages,
+            alive: state.alive_n,
+            counts_alive: Some(&state.counts_alive),
+            membership: None,
+        }
+    }
+
+    /// Applies this period's exchangeable failure events at count level.
+    fn apply_failures(&self, state: &mut BatchedState) -> Result<()> {
+        let period = state.period;
+        // Scheduled massive failures: hypergeometric split across states.
+        for (p, event) in state.scenario.failure_schedule().events() {
+            if *p != period {
+                continue;
+            }
+            match event {
+                FailureEvent::MassiveFailure { fraction } => {
+                    if !(0.0..=1.0).contains(fraction) {
+                        return Err(CoreError::InvalidProbability {
+                            context: "massive failure fraction".into(),
+                            value: *fraction,
+                        });
+                    }
+                    let k = (fraction * state.alive_n as f64).floor() as u64;
+                    crash_hypergeometric(
+                        &mut state.rng,
+                        &mut state.counts_alive,
+                        &mut state.counts_crashed,
+                        state.alive_n,
+                        k,
+                    );
+                    state.alive_n -= k;
+                }
+                FailureEvent::Crash(_) | FailureEvent::Recover(_) => {
+                    unreachable!("init rejects per-id failure schedules")
+                }
+            }
+        }
+        // Probabilistic crash/recovery: per-state binomial draws.
+        let model = *state.scenario.failure_model();
+        if model.crash_prob() > 0.0 {
+            for s in 0..state.counts_alive.len() {
+                let crashed = state
+                    .rng
+                    .binomial(state.counts_alive[s], model.crash_prob());
+                state.counts_alive[s] -= crashed;
+                state.counts_crashed[s] += crashed;
+                state.alive_n -= crashed;
+            }
+        }
+        if model.recover_prob() > 0.0 {
+            for s in 0..state.counts_crashed.len() {
+                let recovered = state
+                    .rng
+                    .binomial(state.counts_crashed[s], model.recover_prob());
+                if recovered == 0 {
+                    continue;
+                }
+                state.counts_crashed[s] -= recovered;
+                state.alive_n += recovered;
+                match self.config.rejoin_state {
+                    // Rejoiners are reset: they change state, so the total
+                    // counts move too.
+                    Some(rejoin) => {
+                        let r = rejoin.index();
+                        state.counts_alive[r] += recovered;
+                        state.counts[s] -= recovered;
+                        state.counts[r] += recovered;
+                    }
+                    // Otherwise they come back in their remembered state.
+                    None => state.counts_alive[s] += recovered,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Crashes `k` uniformly random alive processes: the per-state hit counts
+/// follow a multivariate hypergeometric distribution, drawn sequentially.
+fn crash_hypergeometric(
+    rng: &mut Rng,
+    counts_alive: &mut [u64],
+    counts_crashed: &mut [u64],
+    alive_total: u64,
+    k: u64,
+) {
+    let mut population = alive_total;
+    let mut remaining = k;
+    for (alive, crashed) in counts_alive.iter_mut().zip(counts_crashed.iter_mut()) {
+        if remaining == 0 {
+            break;
+        }
+        let here = *alive;
+        let hit = if population == here {
+            remaining
+        } else {
+            rng.hypergeometric(population, here, remaining)
+        };
+        *alive -= hit;
+        *crashed += hit;
+        population -= here;
+        remaining -= hit;
+    }
+    debug_assert_eq!(remaining, 0, "all crash draws assigned");
+}
+
+impl Runtime for BatchedRuntime {
+    type State = BatchedState;
+
+    fn build(protocol: Protocol, config: &RunConfig) -> Self {
+        BatchedRuntime::new(protocol).with_config(config.clone())
+    }
+
+    fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<BatchedState> {
+        self.protocol.validate()?;
+        if !scenario.count_level_compatible() {
+            return Err(CoreError::InvalidConfig {
+                name: "scenario",
+                reason: "the batched runtime models only exchangeable environments \
+                         (massive failures, probabilistic failure models, losses); \
+                         per-id failure schedules and churn traces need host \
+                         identity — use AgentRuntime (or Simulation::run_auto, \
+                         which picks the right fidelity automatically)"
+                    .into(),
+            });
+        }
+        let num_states = self.protocol.num_states();
+        let n = scenario.group_size() as u64;
+        let counts = initial.resolve(num_states, n)?;
+        // Scratch sized once: at most one self-move outcome per action, plus
+        // the "stay" bucket.
+        let max_outcomes = (0..num_states)
+            .map(|s| {
+                self.protocol
+                    .actions(StateId::new(s))
+                    .iter()
+                    .filter(|a| a.moves_self())
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+            + 1;
+        Ok(BatchedState {
+            scenario: scenario.clone(),
+            rng: scenario.build_rng(),
+            n_f: n as f64,
+            alive_n: n,
+            counts_alive: counts.clone(),
+            counts_crashed: vec![0; num_states],
+            counts,
+            period: 0,
+            messages: 0,
+            transitions_dense: vec![0; num_states * num_states],
+            transitions: Vec::new(),
+            start: vec![0; num_states],
+            delta: vec![0; num_states],
+            weights: Vec::with_capacity(max_outcomes),
+            dests: Vec::with_capacity(max_outcomes),
+            draws: vec![0; max_outcomes],
+        })
+    }
+
+    fn step<'s>(&self, state: &'s mut BatchedState) -> Result<PeriodEvents<'s>> {
+        let num_states = self.protocol.num_states();
+        state.transitions_dense.fill(0);
+        state.transitions.clear();
+
+        // 1. Environment events at count level.
+        self.apply_failures(state)?;
+
+        // 2. Protocol actions over the start-of-period alive counts.
+        let n_f = state.n_f;
+        let loss = *state.scenario.loss();
+        let contact_ok = 1.0 - loss.effective_contact_failure(1);
+        state.start.copy_from_slice(&state.counts_alive);
+        state.delta.fill(0);
+        // Expected messages, matching the agent runtime's accounting: a
+        // process pays for an action only if it has not already moved on an
+        // earlier action this period (including the action that moves it).
+        let mut messages_f = 0.0f64;
+
+        for s in 0..num_states {
+            let k_s = state.start[s];
+            if k_s == 0 {
+                continue;
+            }
+            let actions = self.protocol.actions(StateId::new(s));
+            if actions.is_empty() {
+                continue;
+            }
+            // Per-process probabilities of each *self-moving* outcome, in
+            // action order; push/token actions affect other states and are
+            // drawn separately.
+            state.weights.clear();
+            state.dests.clear();
+            let mut survive = 1.0; // probability of not having moved yet
+            for action in actions {
+                messages_f += k_s as f64 * survive * f64::from(action.messages_per_period());
+                let fire = super::fire_probability(action, &state.start, n_f, &loss);
+                match action {
+                    Action::Flip { to, .. }
+                    | Action::Sample { to, .. }
+                    | Action::SampleAny { to, .. } => {
+                        state.weights.push(survive * fire);
+                        state.dests.push(to.index() as u32);
+                        survive *= 1.0 - fire;
+                    }
+                    Action::PushSample {
+                        target_state,
+                        samples,
+                        prob,
+                        to,
+                    } => {
+                        // Executors do not move themselves, but only those
+                        // that no earlier self-moving action already moved
+                        // reach this action (the agent runtime breaks out of
+                        // the list on a move) — fold `survive` into the
+                        // per-draw probability. Each surviving executor's
+                        // samples convert alive members of target_state.
+                        let per_draw = (state.start[target_state.index()] as f64 / n_f)
+                            * prob
+                            * contact_ok
+                            * survive;
+                        let draws = k_s.saturating_mul(u64::from(*samples));
+                        let converted = state
+                            .rng
+                            .binomial(draws, per_draw)
+                            .min(state.start[target_state.index()]);
+                        if converted > 0 {
+                            state.delta[target_state.index()] -= converted as i64;
+                            state.delta[to.index()] += converted as i64;
+                            state.transitions_dense
+                                [target_state.index() * num_states + to.index()] += converted;
+                        }
+                    }
+                    Action::Tokenize {
+                        token_state, to, ..
+                    } => {
+                        // Each executor reaches this action only if it has
+                        // not moved on an earlier action (probability
+                        // `survive`, independent of the token draw).
+                        let fired = state.rng.binomial(k_s, survive * fire);
+                        let consumed = fired.min(state.start[token_state.index()]);
+                        if consumed > 0 {
+                            state.delta[token_state.index()] -= consumed as i64;
+                            state.delta[to.index()] += consumed as i64;
+                            state.transitions_dense
+                                [token_state.index() * num_states + to.index()] += consumed;
+                        }
+                    }
+                }
+            }
+
+            if !state.weights.is_empty() {
+                // One multinomial draw over (outcome_1, ..., outcome_m, stay).
+                let stay = (1.0 - state.weights.iter().sum::<f64>()).max(0.0);
+                state.weights.push(stay);
+                let buckets = state.weights.len();
+                state
+                    .rng
+                    .multinomial_into(k_s, &state.weights, &mut state.draws[..buckets]);
+                for (&dest, &moved) in state.dests.iter().zip(&state.draws) {
+                    if moved > 0 {
+                        let dest = dest as usize;
+                        state.delta[s] -= moved as i64;
+                        state.delta[dest] += moved as i64;
+                        state.transitions_dense[s * num_states + dest] += moved;
+                    }
+                }
+            }
+        }
+
+        // 3. Apply the deltas with saturation (clamping can only be triggered
+        // by the push/token approximations racing each other in the same
+        // period, which is statistically negligible) and refresh the totals.
+        for ((alive, crashed), (count, d)) in state
+            .counts_alive
+            .iter_mut()
+            .zip(&state.counts_crashed)
+            .zip(state.counts.iter_mut().zip(&state.delta))
+        {
+            *alive = (*alive as i64 + d).max(0) as u64;
+            *count = *alive + crashed;
+        }
+
+        super::render_sparse_transitions(
+            &state.transitions_dense,
+            num_states,
+            &mut state.transitions,
+        );
+
+        state.messages = messages_f.round() as u64;
+        state.period += 1;
+        Ok(self.events(state))
+    }
+
+    fn snapshot<'s>(&self, state: &'s BatchedState) -> PeriodEvents<'s> {
+        self.events(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ProtocolCompiler;
+    use crate::runtime::{AgentRuntime, CountsRecorder, Ensemble, Simulation};
+    use netsim::FailureModel;
+    use odekit::system::EquationSystemBuilder;
+
+    fn epidemic_protocol() -> Protocol {
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        ProtocolCompiler::new("epidemic").compile(&sys).unwrap()
+    }
+
+    #[test]
+    fn epidemic_saturates_and_conserves_counts() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(1_000_000, 30).unwrap().with_seed(7);
+        let result = BatchedRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[999_999, 1]))
+            .unwrap();
+        for (_, s) in result.counts.iter() {
+            assert_eq!(s.iter().sum::<f64>(), 1_000_000.0);
+        }
+        assert!(result.final_counts().unwrap()[1] > 990_000.0);
+        // Transition and message series are populated like the agent's.
+        assert!(result.total_transitions("x", "y") > 990_000.0);
+        assert!(result
+            .metrics
+            .series("messages")
+            .unwrap()
+            .iter()
+            .any(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(100_000, 25).unwrap().with_seed(3);
+        let initial = InitialStates::counts(&[99_990, 10]);
+        let a = BatchedRuntime::new(protocol.clone())
+            .run(&scenario, &initial)
+            .unwrap();
+        let b = BatchedRuntime::new(protocol)
+            .run(&scenario, &initial)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn massive_failure_crashes_counts_hypergeometrically() {
+        let protocol = epidemic_protocol();
+        let n = 100_000u64;
+        let scenario = Scenario::new(n as usize, 10)
+            .unwrap()
+            .with_massive_failure(5, 0.5)
+            .unwrap()
+            .with_seed(2);
+        let runtime = BatchedRuntime::new(protocol);
+        let mut state = runtime
+            .init(&scenario, &InitialStates::counts(&[60_000, 40_000]))
+            .unwrap();
+        for _ in 0..5 {
+            runtime.step(&mut state).unwrap();
+        }
+        let before_alive = state.alive_n;
+        assert_eq!(before_alive, n);
+        runtime.step(&mut state).unwrap(); // period 5: the massive failure
+        assert_eq!(state.alive_n, n / 2);
+        // Total counts (alive + crashed) still cover everyone.
+        assert_eq!(state.counts.iter().sum::<u64>(), n);
+        assert_eq!(state.counts_alive.iter().sum::<u64>(), n / 2);
+        // The crash split tracks the state proportions (x was mostly eaten by
+        // the epidemic by period 5, so just check consistency per state).
+        for s in 0..state.counts.len() {
+            assert_eq!(
+                state.counts[s],
+                state.counts_alive[s] + state.counts_crashed[s]
+            );
+        }
+    }
+
+    #[test]
+    fn failure_model_reaches_steady_state_availability() {
+        // An inert protocol isolates the count-level crash/recovery model:
+        // availability converges to recover / (crash + recover) = 0.8.
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let scenario = Scenario::new(50_000, 400)
+            .unwrap()
+            .with_failure_model(FailureModel::new(0.01, 0.04).unwrap())
+            .with_seed(11);
+        let runtime = BatchedRuntime::new(protocol);
+        let mut state = runtime
+            .init(&scenario, &InitialStates::counts(&[25_000, 25_000]))
+            .unwrap();
+        for _ in 0..400 {
+            runtime.step(&mut state).unwrap();
+        }
+        let availability = state.alive_n as f64 / 50_000.0;
+        assert!(
+            (availability - 0.8).abs() < 0.02,
+            "availability {availability}"
+        );
+        // Without a rejoin state, recoveries return to their remembered
+        // state: the x/y split stays balanced.
+        let ratio = state.counts[0] as f64 / state.counts[1] as f64;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rejoin_state_moves_recovered_processes() {
+        // Crash-recovery with rejoin into y: every recovery converts an x.
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let y = protocol.require_state("y").unwrap();
+        let scenario = Scenario::new(10_000, 200)
+            .unwrap()
+            .with_failure_model(FailureModel::new(0.05, 0.2).unwrap())
+            .with_seed(4);
+        let runtime = BatchedRuntime::new(protocol).with_config(RunConfig::rejoining_to(y));
+        let mut state = runtime
+            .init(&scenario, &InitialStates::counts(&[10_000, 0]))
+            .unwrap();
+        for _ in 0..200 {
+            runtime.step(&mut state).unwrap();
+        }
+        // Conservation holds and almost everyone has cycled through a crash.
+        assert_eq!(state.counts.iter().sum::<u64>(), 10_000);
+        assert!(state.counts[1] > 9_000, "y = {}", state.counts[1]);
+    }
+
+    #[test]
+    fn per_id_scenarios_are_rejected() {
+        let runtime = BatchedRuntime::new(epidemic_protocol());
+        let initial = InitialStates::counts(&[99, 1]);
+        let mut schedule = netsim::FailureSchedule::new();
+        schedule.add(1, FailureEvent::Crash(netsim::ProcessId(3)));
+        let scenario = Scenario::new(100, 10)
+            .unwrap()
+            .with_failure_schedule(schedule);
+        assert!(matches!(
+            runtime.init(&scenario, &initial),
+            Err(CoreError::InvalidConfig {
+                name: "scenario",
+                ..
+            })
+        ));
+        // Massive failures are fine.
+        let massive = Scenario::new(100, 10)
+            .unwrap()
+            .with_massive_failure(5, 0.5)
+            .unwrap();
+        assert!(runtime.init(&massive, &initial).is_ok());
+    }
+
+    #[test]
+    fn agrees_with_agent_runtime_under_massive_failure() {
+        // Ensemble means of both fidelities under a 50% massive failure must
+        // track each other (alive-only counts). The synchronous-update bias
+        // of count batching scales with the per-period probabilities, so the
+        // protocol is compiled with a small normalizing constant (exactly as
+        // the ODE-equivalence property tests do) and the comparison uses a
+        // trajectory-wide tolerance.
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .with_normalizing_constant(0.2)
+            .compile(&sys)
+            .unwrap();
+        let n = 20_000usize;
+        let periods = 100;
+        let scenario = Scenario::new(n, periods)
+            .unwrap()
+            .with_massive_failure(60, 0.5)
+            .unwrap();
+        // A 1% infected seed keeps the exponential phase short enough that
+        // the agent's within-period cascade (a ~p/2-period head start per
+        // period of growth) stays within the comparison tolerance — the same
+        // regime the agent-vs-aggregate property test uses.
+        let ensemble = Ensemble::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&[n as u64 - 200, 200]))
+            .seed_range(100..108)
+            .count_alive_only();
+        let agent = ensemble.run::<AgentRuntime>().unwrap();
+        let batched = ensemble.run::<BatchedRuntime>().unwrap();
+        let a = agent.mean_series("y").unwrap();
+        let b = batched.mean_series("y").unwrap();
+        for (period, (ya, yb)) in a.iter().zip(&b).enumerate() {
+            let diff = (ya - yb).abs();
+            assert!(
+                diff < n as f64 * 0.15,
+                "period {period}: agent {ya} vs batched {yb}"
+            );
+        }
+        // Both saturate before the failure and halve right after it.
+        assert!(a[59] > n as f64 * 0.95 && b[59] > n as f64 * 0.95);
+        assert!(a[65] < n as f64 * 0.55 && b[65] < n as f64 * 0.55);
+        assert!(a[65] > n as f64 * 0.4 && b[65] > n as f64 * 0.4);
+    }
+
+    #[test]
+    fn push_and_token_actions_work_at_count_level() {
+        // Push: state a converts members of b into c.
+        let mut protocol = Protocol::new("push", vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let a = protocol.require_state("a").unwrap();
+        let b = protocol.require_state("b").unwrap();
+        let c = protocol.require_state("c").unwrap();
+        protocol
+            .add_action(
+                a,
+                Action::PushSample {
+                    target_state: b,
+                    samples: 2,
+                    prob: 1.0,
+                    to: c,
+                },
+            )
+            .unwrap();
+        let scenario = Scenario::new(1_000, 30).unwrap().with_seed(3);
+        let result = BatchedRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[500, 500, 0]))
+            .unwrap();
+        let last = result.final_counts().unwrap();
+        assert_eq!(last.iter().sum::<f64>(), 1_000.0);
+        assert_eq!(last[0], 500.0, "pushers never move");
+        assert!(last[1] < 50.0, "b gets converted, got {}", last[1]);
+
+        // Token: y' = 0.5y tokenizes x's into y.
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -0.5, &[("y", 1)])
+            .term("y", 0.5, &[("y", 1)])
+            .build()
+            .unwrap();
+        let token = ProtocolCompiler::new("token").compile(&sys).unwrap();
+        let scenario = Scenario::new(10_000, 200).unwrap().with_seed(11);
+        let result = BatchedRuntime::new(token)
+            .run(&scenario, &InitialStates::counts(&[5_000, 5_000]))
+            .unwrap();
+        let last = result.final_counts().unwrap();
+        assert!(last[0] < 100.0);
+        assert_eq!(last.iter().sum::<f64>(), 10_000.0);
+    }
+
+    #[test]
+    fn alive_only_recording_reports_survivors() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(10_000, 6)
+            .unwrap()
+            .with_massive_failure(3, 0.5)
+            .unwrap()
+            .with_seed(5);
+        let result = Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&[10_000, 0]))
+            .observe(CountsRecorder::alive_only())
+            .run::<BatchedRuntime>()
+            .unwrap();
+        assert_eq!(result.final_counts().unwrap().iter().sum::<f64>(), 5_000.0);
+    }
+}

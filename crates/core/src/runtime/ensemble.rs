@@ -140,6 +140,28 @@ impl Ensemble {
         Ok(results.pop().expect("one result per scenario"))
     }
 
+    /// Runs the ensemble on the fastest fidelity that can serve it: the
+    /// count-batched [`BatchedRuntime`](super::BatchedRuntime) when the
+    /// scenario's environment is exchangeable
+    /// ([`Scenario::count_level_compatible`]), the per-process
+    /// [`AgentRuntime`](super::AgentRuntime) otherwise. (Ensembles only
+    /// record counts, so no observer ever needs host identity here.)
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_auto(&self) -> Result<EnsembleResult> {
+        if self
+            .scenario
+            .as_ref()
+            .is_some_and(Scenario::count_level_compatible)
+        {
+            self.run::<super::BatchedRuntime>()
+        } else {
+            self.run::<super::AgentRuntime>()
+        }
+    }
+
     /// Runs the full sweep — every scenario × every seed — sharing one worker
     /// pool, and returns one [`EnsembleResult`] per scenario (in input
     /// order).
@@ -459,6 +481,48 @@ mod tests {
             .run::<AgentRuntime>()
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn run_auto_serves_exchangeable_and_id_based_scenarios() {
+        // Exchangeable scenario → batched fidelity; N = 200 000 over 8 seeds
+        // stays fast because the work is independent of N.
+        let auto = Ensemble::of(epidemic_protocol())
+            .scenario(Scenario::new(200_000, 30).unwrap())
+            .initial(InitialStates::counts(&[199_990, 10]))
+            .seed_range(0..8)
+            .run_auto()
+            .unwrap();
+        assert!(auto.mean_series("y").unwrap().last().unwrap() > &198_000.0);
+
+        // A churn trace needs identity; run_auto must still serve it (via the
+        // agent runtime).
+        let cfg = netsim::SyntheticChurnConfig {
+            hosts: 300,
+            hours: 2,
+            mean_availability: 0.8,
+            churn_min: 0.1,
+            churn_max: 0.2,
+        };
+        let mut rng = netsim::Rng::seed_from(5);
+        let trace = cfg.generate(&mut rng).unwrap();
+        let churny = Ensemble::of(epidemic_protocol())
+            .scenario(
+                Scenario::new(300, 20)
+                    .unwrap()
+                    .with_churn_trace(&trace, &mut rng)
+                    .unwrap(),
+            )
+            .initial(InitialStates::counts(&[299, 1]))
+            .seed_range(0..4)
+            .count_alive_only()
+            .run_auto()
+            .unwrap();
+        // Alive-only counts reflect the partial availability.
+        let total: f64 = auto.mean.last_state().iter().sum();
+        assert_eq!(total, 200_000.0);
+        let churny_total: f64 = churny.mean.last_state().iter().sum();
+        assert!(churny_total < 295.0, "churn left {churny_total} alive");
     }
 
     #[test]

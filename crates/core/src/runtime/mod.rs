@@ -6,12 +6,15 @@
 //!
 //! * **Runtimes** — the [`Runtime`] trait exposes an incremental step
 //!   interface (`init` → repeated `step`) over a
-//!   [`Scenario`]. Two fidelities are provided:
+//!   [`Scenario`]. Three fidelities are provided:
 //!   [`AgentRuntime`] keeps one state per process (failures, churn, host
-//!   identity) while [`AggregateRuntime`] keeps only per-state counts and is
-//!   orders of magnitude faster for large sweeps. Drivers and tests are
-//!   generic over the trait, so the same experiment can be replayed at either
-//!   fidelity.
+//!   identity), [`BatchedRuntime`] advances whole state-count vectors with
+//!   binomial/multinomial draws — O(states² · actions) per period,
+//!   independent of N, while still modelling exchangeable failures — and
+//!   [`AggregateRuntime`] is the scenario-free mean-field sampler for
+//!   failure-free sweeps. Drivers and tests are generic over the trait, so
+//!   the same experiment can be replayed at any fidelity (or let
+//!   [`Simulation::run_auto`] pick one).
 //! * **Observers** — recording is opt-in: an [`Observer`] receives
 //!   [`PeriodEvents`] after every protocol period and folds whatever it
 //!   recorded into the final [`RunResult`]. Built-ins cover the standard
@@ -25,12 +28,14 @@
 
 mod agent;
 mod aggregate;
+mod batched;
 mod ensemble;
 mod observer;
 mod simulation;
 
 pub use agent::{AgentRuntime, AgentState, MembershipView};
 pub use aggregate::{AggregateRuntime, AggregateState};
+pub use batched::{BatchedRuntime, BatchedState};
 pub use ensemble::{Ensemble, EnsembleResult};
 pub use observer::{
     AliveTracker, CountsRecorder, MembershipTracker, MessageCounter, Observer, PeriodEvents,
@@ -293,8 +298,51 @@ pub(crate) fn edge_name(protocol: &Protocol, from: StateId, to: StateId) -> Stri
     format!("{}->{}", protocol.state_name(from), protocol.state_name(to))
 }
 
+/// Per-process probability that an action's firing condition holds this
+/// period (excluding who it moves), given start-of-period target populations
+/// `counts` over a maximal group of `n` processes. Shared by the count-level
+/// runtimes ([`BatchedRuntime`], [`AggregateRuntime`]): a sampled contact
+/// hits a wanted target with probability `counts[target] / n`, degraded by
+/// the per-contact loss rate.
+pub(crate) fn fire_probability(
+    action: &crate::action::Action,
+    counts: &[u64],
+    n: f64,
+    loss: &netsim::LossConfig,
+) -> f64 {
+    use crate::action::Action;
+    let contact_ok = 1.0 - loss.effective_contact_failure(1);
+    match action {
+        Action::Flip { prob, .. } => *prob,
+        Action::Sample { required, prob, .. } => {
+            let mut p = *prob;
+            for r in required {
+                p *= (counts[r.index()] as f64 / n) * contact_ok;
+            }
+            p
+        }
+        Action::SampleAny {
+            target_state,
+            samples,
+            prob,
+            ..
+        } => {
+            let hit = (counts[target_state.index()] as f64 / n) * contact_ok;
+            prob * (1.0 - (1.0 - hit).powi(*samples as i32))
+        }
+        Action::PushSample { .. } => 0.0,
+        Action::Tokenize { required, prob, .. } => {
+            let mut p = *prob;
+            for r in required {
+                p *= (counts[r.index()] as f64 / n) * contact_ok;
+            }
+            p
+        }
+    }
+}
+
 /// Renders a dense `from * num_states + to` transition-count buffer into the
-/// sparse `(from, to, count)` list handed to observers (shared by both
+/// sparse `(from, to, count)` list handed to observers (shared by the
 /// runtimes' `step` implementations).
 pub(crate) fn render_sparse_transitions(
     dense: &[u64],

@@ -45,17 +45,27 @@ pub struct PeriodEvents<'a> {
     pub messages: u64,
     /// Number of alive processes at this snapshot.
     pub alive: u64,
+    /// Per-state counts restricted to alive processes, for runtimes that
+    /// track them incrementally (the batched runtime; the agent runtime
+    /// computes them through [`membership`](Self::membership) instead, and
+    /// the aggregate runtime's [`counts`](Self::counts) are alive-only
+    /// already).
+    pub counts_alive: Option<&'a [u64]>,
     /// Per-process membership access (agent runtime only; `None` for
     /// count-level runtimes, whose `counts` contain alive processes only).
     pub membership: Option<MembershipView<'a>>,
 }
 
 impl PeriodEvents<'_> {
-    /// Per-state counts restricted to alive processes: delegates to the
-    /// membership view when host identity exists, otherwise returns
-    /// [`counts`](Self::counts) unchanged (count-level runtimes only track
-    /// alive processes).
+    /// Per-state counts restricted to alive processes: uses the runtime's
+    /// incremental alive counts when present, falls back to the membership
+    /// view when host identity exists, and otherwise returns
+    /// [`counts`](Self::counts) unchanged (count-level runtimes without
+    /// failure modelling only track alive processes).
     pub fn alive_counts(&self) -> Vec<u64> {
+        if let Some(alive) = self.counts_alive {
+            return alive.to_vec();
+        }
         match &self.membership {
             Some(view) => view.alive_counts(),
             None => self.counts.to_vec(),
@@ -76,6 +86,14 @@ pub trait Observer: Send {
     /// Folds the recorded data into the run's result. Called exactly once,
     /// after the last period.
     fn finish(&mut self, result: &mut RunResult);
+
+    /// `true` if this observer needs per-process identity
+    /// ([`PeriodEvents::membership`]) to record anything — used by the
+    /// automatic fidelity selection to decide whether a count-level runtime
+    /// can serve the run. Defaults to `false`.
+    fn needs_membership(&self) -> bool {
+        false
+    }
 }
 
 /// Records the per-period state counts into [`RunResult::counts`].
@@ -182,6 +200,10 @@ impl Observer for MembershipTracker {
     fn finish(&mut self, result: &mut RunResult) {
         result.tracked_members = std::mem::take(&mut self.snapshots);
     }
+
+    fn needs_membership(&self) -> bool {
+        true
+    }
 }
 
 /// Records the alive process count per period into `metrics["alive"]`.
@@ -273,6 +295,7 @@ mod tests {
             transitions,
             messages: 7,
             alive: counts.iter().sum(),
+            counts_alive: None,
             membership: None,
         }
     }
@@ -329,6 +352,32 @@ mod tests {
             result.metrics.series("messages").unwrap(),
             &[(0, 7.0), (1, 7.0)]
         );
+    }
+
+    #[test]
+    fn incremental_alive_counts_take_precedence() {
+        let p = protocol();
+        let alive = [80u64, 5];
+        let mut ev = events(0, &[90, 10], &[]);
+        ev.counts_alive = Some(&alive);
+        assert_eq!(ev.alive_counts(), vec![80, 5]);
+        let mut obs = CountsRecorder::alive_only();
+        obs.on_period(&p, &ev);
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert_eq!(result.final_counts(), Some(&[80.0, 5.0][..]));
+    }
+
+    #[test]
+    fn only_membership_trackers_need_membership() {
+        let p = protocol();
+        let y = p.require_state("y").unwrap();
+        assert!(MembershipTracker::of(y).needs_membership());
+        assert!(!CountsRecorder::new().needs_membership());
+        assert!(!CountsRecorder::alive_only().needs_membership());
+        assert!(!TransitionRecorder::new().needs_membership());
+        assert!(!AliveTracker::new().needs_membership());
+        assert!(!MessageCounter::new().needs_membership());
     }
 
     #[test]

@@ -127,6 +127,30 @@ impl Simulation {
         self.execute(&runtime)
     }
 
+    /// Executes the run on the fastest fidelity that can serve it: the
+    /// count-batched [`BatchedRuntime`](super::BatchedRuntime) — whose cost
+    /// per period is independent of the group size — when no attached
+    /// observer needs per-process identity
+    /// ([`Observer::needs_membership`]) and the scenario's environment is
+    /// exchangeable ([`Scenario::count_level_compatible`]); the per-process
+    /// [`AgentRuntime`](super::AgentRuntime) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_auto(self) -> Result<RunResult> {
+        let batched_ok = self
+            .scenario
+            .as_ref()
+            .is_some_and(Scenario::count_level_compatible)
+            && !self.observers.iter().any(|o| o.needs_membership());
+        if batched_ok {
+            self.run::<super::BatchedRuntime>()
+        } else {
+            self.run::<super::AgentRuntime>()
+        }
+    }
+
     /// Executes the run on a pre-built runtime (for runtime-specific knobs
     /// such as [`AggregateRuntime::with_alive_fraction`]).
     ///
@@ -333,6 +357,53 @@ mod tests {
         let a = agent.final_counts().unwrap()[1];
         let b = aggregate.final_counts().unwrap()[1];
         assert!(a > 19_000.0 && b > 19_000.0, "both saturate: {a} vs {b}");
+    }
+
+    #[test]
+    fn run_auto_picks_a_fidelity_that_serves_the_observers() {
+        use super::super::MembershipTracker;
+        let protocol = epidemic_protocol();
+        let y = protocol.require_state("y").unwrap();
+        // Exchangeable scenario + counts only → batched (no membership view,
+        // so a MembershipTracker-free run records everything it asked for).
+        let counts_only = Simulation::of(protocol.clone())
+            .scenario(Scenario::new(50_000, 25).unwrap().with_seed(1))
+            .initial(InitialStates::counts(&[49_990, 10]))
+            .observe(CountsRecorder::new())
+            .run_auto()
+            .unwrap();
+        assert!(counts_only.final_counts().unwrap()[1] > 49_000.0);
+
+        // A membership-needing observer forces the agent fidelity: snapshots
+        // are recorded, which the batched runtime could never produce.
+        let tracked = Simulation::of(protocol.clone())
+            .scenario(Scenario::new(500, 10).unwrap().with_seed(2))
+            .initial(InitialStates::counts(&[499, 1]))
+            .observe(CountsRecorder::new())
+            .observe(MembershipTracker::of(y))
+            .run_auto()
+            .unwrap();
+        assert_eq!(tracked.tracked_members.len(), 11);
+
+        // A per-id failure schedule forces the agent fidelity too.
+        let mut schedule = netsim::FailureSchedule::new();
+        schedule.add(1, netsim::FailureEvent::Crash(netsim::ProcessId(0)));
+        let per_id = Simulation::of(protocol)
+            .scenario(
+                Scenario::new(500, 10)
+                    .unwrap()
+                    .with_failure_schedule(schedule)
+                    .with_seed(3),
+            )
+            .initial(InitialStates::counts(&[499, 1]))
+            .observe(CountsRecorder::alive_only())
+            .run_auto()
+            .unwrap();
+        assert_eq!(
+            per_id.final_counts().unwrap().iter().sum::<f64>(),
+            499.0,
+            "the scheduled per-id crash was applied"
+        );
     }
 
     #[test]

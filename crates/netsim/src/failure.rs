@@ -79,6 +79,15 @@ impl FailureSchedule {
         &self.events
     }
 
+    /// `true` if any scheduled event names a specific process id — such
+    /// events need per-host identity and cannot be applied by count-level
+    /// runtimes (massive failures can: they hit a uniformly random subset).
+    pub fn has_identity_events(&self) -> bool {
+        self.events
+            .iter()
+            .any(|(_, e)| matches!(e, FailureEvent::Crash(_) | FailureEvent::Recover(_)))
+    }
+
     /// Applies all events scheduled for exactly `period` to the group.
     /// Returns the ids that crashed and the ids that recovered during this
     /// call.
@@ -103,12 +112,14 @@ impl FailureSchedule {
                     crashed.extend(group.crash_random_fraction(rng, *fraction)?);
                 }
                 FailureEvent::Crash(id) => {
-                    group.crash(*id)?;
-                    crashed.push(*id);
+                    if group.crash(*id)? {
+                        crashed.push(*id);
+                    }
                 }
                 FailureEvent::Recover(id) => {
-                    group.recover(*id)?;
-                    recovered.push(*id);
+                    if group.recover(*id)? {
+                        recovered.push(*id);
+                    }
                 }
             }
         }

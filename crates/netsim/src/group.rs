@@ -33,6 +33,11 @@ impl fmt::Display for ProcessId {
 /// process knows the maximal membership (all `N − 1` peers), and processes
 /// may be crashed (not alive) at any time.
 ///
+/// Liveness is stored as a bitset (one bit per process) with the alive count
+/// maintained incrementally, so the protocol runtimes' hot loops can probe
+/// liveness with a single shift-and-mask ([`Group::is_alive_unchecked`]) and
+/// skip probing entirely while nobody has crashed ([`Group::all_alive`]).
+///
 /// Sampling a contact is done over the *maximal* membership — exactly as in
 /// the paper, where a contact aimed at a crashed host is simply fruitless —
 /// via [`Group::random_member`]; [`Group::random_alive`] is also provided for
@@ -40,22 +45,32 @@ impl fmt::Display for ProcessId {
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Group {
-    alive: Vec<bool>,
+    /// One bit per process, little-endian within each word; bits past `len`
+    /// are always zero.
+    words: Vec<u64>,
+    len: usize,
     alive_count: usize,
 }
 
 impl Group {
     /// Creates a group of `n` processes, all initially alive.
     pub fn new(n: usize) -> Self {
+        let full_words = n / 64;
+        let tail_bits = n % 64;
+        let mut words = vec![u64::MAX; full_words];
+        if tail_bits > 0 {
+            words.push((1u64 << tail_bits) - 1);
+        }
         Group {
-            alive: vec![true; n],
+            words,
+            len: n,
             alive_count: n,
         }
     }
 
     /// Total (maximal) group size `N`, including crashed processes.
     pub fn size(&self) -> usize {
-        self.alive.len()
+        self.len
     }
 
     /// Number of currently alive processes.
@@ -65,15 +80,21 @@ impl Group {
 
     /// Number of currently crashed / departed processes.
     pub fn crashed_count(&self) -> usize {
-        self.size() - self.alive_count
+        self.len - self.alive_count
+    }
+
+    /// `true` while every process is alive — the runtimes' fast path: one
+    /// comparison instead of a per-contact bit probe.
+    pub fn all_alive(&self) -> bool {
+        self.alive_count == self.len
     }
 
     /// Fraction of the maximal membership that is currently alive.
     pub fn alive_fraction(&self) -> f64 {
-        if self.alive.is_empty() {
+        if self.len == 0 {
             0.0
         } else {
-            self.alive_count as f64 / self.alive.len() as f64
+            self.alive_count as f64 / self.len as f64
         }
     }
 
@@ -83,85 +104,121 @@ impl Group {
     ///
     /// Returns [`SimError::UnknownProcess`] if `id` is out of range.
     pub fn is_alive(&self, id: ProcessId) -> Result<bool> {
-        self.alive
-            .get(id.index())
-            .copied()
-            .ok_or(SimError::UnknownProcess {
+        if id.index() >= self.len {
+            return Err(SimError::UnknownProcess {
                 id: id.index(),
-                group_size: self.size(),
-            })
+                group_size: self.len,
+            });
+        }
+        Ok(self.is_alive_unchecked(id.index()))
     }
 
-    /// Marks a process as crashed / departed. Idempotent.
+    /// Infallible liveness probe: a single shift-and-mask on the bitset.
+    ///
+    /// # Panics
+    ///
+    /// Panics (by slice indexing) if `index >= size()`.
+    #[inline]
+    pub fn is_alive_unchecked(&self, index: usize) -> bool {
+        (self.words[index >> 6] >> (index & 63)) & 1 != 0
+    }
+
+    /// Marks a process as crashed / departed. Idempotent: returns `true` if
+    /// the process was alive (i.e. the call changed its liveness).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownProcess`] if `id` is out of range.
-    pub fn crash(&mut self, id: ProcessId) -> Result<()> {
+    pub fn crash(&mut self, id: ProcessId) -> Result<bool> {
         let i = id.index();
-        if i >= self.alive.len() {
+        if i >= self.len {
             return Err(SimError::UnknownProcess {
                 id: i,
-                group_size: self.size(),
+                group_size: self.len,
             });
         }
-        if self.alive[i] {
-            self.alive[i] = false;
+        let mask = 1u64 << (i & 63);
+        let word = &mut self.words[i >> 6];
+        if *word & mask != 0 {
+            *word &= !mask;
             self.alive_count -= 1;
+            Ok(true)
+        } else {
+            Ok(false)
         }
-        Ok(())
     }
 
-    /// Marks a process as alive again (crash-recovery / rejoin). Idempotent.
+    /// Marks a process as alive again (crash-recovery / rejoin). Idempotent:
+    /// returns `true` if the process was crashed (i.e. the call changed its
+    /// liveness).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownProcess`] if `id` is out of range.
-    pub fn recover(&mut self, id: ProcessId) -> Result<()> {
+    pub fn recover(&mut self, id: ProcessId) -> Result<bool> {
         let i = id.index();
-        if i >= self.alive.len() {
+        if i >= self.len {
             return Err(SimError::UnknownProcess {
                 id: i,
-                group_size: self.size(),
+                group_size: self.len,
             });
         }
-        if !self.alive[i] {
-            self.alive[i] = true;
+        let mask = 1u64 << (i & 63);
+        let word = &mut self.words[i >> 6];
+        if *word & mask == 0 {
+            *word |= mask;
             self.alive_count += 1;
+            Ok(true)
+        } else {
+            Ok(false)
         }
-        Ok(())
     }
 
     /// Samples a process uniformly at random from the **maximal** membership
     /// (alive or not), as the paper's protocols do. Returns `None` for an
     /// empty group.
     pub fn random_member(&self, rng: &mut Rng) -> Option<ProcessId> {
-        if self.alive.is_empty() {
+        if self.len == 0 {
             None
         } else {
-            Some(ProcessId(rng.index(self.alive.len())))
+            Some(ProcessId(rng.index(self.len)))
         }
     }
 
     /// Samples an **alive** process uniformly at random, or `None` if none are
     /// alive. Costs O(1) expected time while a constant fraction is alive,
-    /// with a fallback scan for heavily depleted groups.
+    /// with a popcount-guided word scan for heavily depleted groups.
     pub fn random_alive(&self, rng: &mut Rng) -> Option<ProcessId> {
         if self.alive_count == 0 {
             return None;
         }
         // Rejection sampling is fast while at least ~1% of the group is alive.
-        if self.alive_count * 100 >= self.size() {
+        if self.alive_count * 100 >= self.len {
             loop {
-                let candidate = rng.index(self.alive.len());
-                if self.alive[candidate] {
+                let candidate = rng.index(self.len);
+                if self.is_alive_unchecked(candidate) {
                     return Some(ProcessId(candidate));
                 }
             }
         }
-        // Fallback: pick the k-th alive process.
-        let k = rng.index(self.alive_count);
-        self.alive_ids().nth(k)
+        // Fallback: pick the k-th alive process by walking word popcounts.
+        Some(ProcessId(self.select_alive(rng.index(self.alive_count))))
+    }
+
+    /// Index of the `k`-th (0-based) set bit. `k` must be `< alive_count`.
+    fn select_alive(&self, mut k: usize) -> usize {
+        for (w, &word) in self.words.iter().enumerate() {
+            let ones = word.count_ones() as usize;
+            if k < ones {
+                let mut bits = word;
+                for _ in 0..k {
+                    bits &= bits - 1; // clear lowest set bit
+                }
+                return (w << 6) + bits.trailing_zeros() as usize;
+            }
+            k -= ones;
+        }
+        unreachable!("select_alive called with k >= alive_count")
     }
 
     /// Crashes a uniformly random set of `⌊fraction·alive⌋` currently alive
@@ -191,16 +248,19 @@ impl Group {
 
     /// Iterator over the ids of currently alive processes.
     pub fn alive_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.alive
-            .iter()
-            .enumerate()
-            .filter(|(_, &alive)| alive)
-            .map(|(i, _)| ProcessId(i))
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let base = w << 6;
+            std::iter::successors((word != 0).then_some(word), |bits| {
+                let rest = bits & (bits - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |bits| ProcessId(base + bits.trailing_zeros() as usize))
+        })
     }
 
     /// Iterator over all process ids in the maximal membership.
     pub fn all_ids(&self) -> impl Iterator<Item = ProcessId> {
-        (0..self.size()).map(ProcessId)
+        (0..self.len).map(ProcessId)
     }
 }
 
@@ -215,6 +275,7 @@ mod tests {
         assert_eq!(g.alive_count(), 10);
         assert_eq!(g.crashed_count(), 0);
         assert_eq!(g.alive_fraction(), 1.0);
+        assert!(g.all_alive());
         assert_eq!(g.all_ids().count(), 10);
         assert_eq!(g.alive_ids().count(), 10);
     }
@@ -226,10 +287,12 @@ mod tests {
         g.crash(ProcessId(2)).unwrap();
         assert_eq!(g.alive_count(), 4);
         assert!(!g.is_alive(ProcessId(2)).unwrap());
+        assert!(!g.all_alive());
         g.recover(ProcessId(2)).unwrap();
         g.recover(ProcessId(2)).unwrap();
         assert_eq!(g.alive_count(), 5);
         assert!(g.is_alive(ProcessId(2)).unwrap());
+        assert!(g.all_alive());
     }
 
     #[test]
@@ -238,6 +301,26 @@ mod tests {
         assert!(g.is_alive(ProcessId(3)).is_err());
         assert!(g.crash(ProcessId(7)).is_err());
         assert!(g.recover(ProcessId(7)).is_err());
+    }
+
+    #[test]
+    fn bitset_covers_word_boundaries() {
+        // Sizes straddling the 64-bit word boundary behave identically.
+        for n in [63usize, 64, 65, 128, 130] {
+            let mut g = Group::new(n);
+            assert_eq!(g.alive_ids().count(), n);
+            for i in (0..n).step_by(2) {
+                g.crash(ProcessId(i)).unwrap();
+            }
+            let crashed = n.div_ceil(2);
+            assert_eq!(g.alive_count(), n - crashed, "n = {n}");
+            for i in 0..n {
+                assert_eq!(g.is_alive_unchecked(i), i % 2 == 1, "n = {n}, i = {i}");
+            }
+            let ids: Vec<usize> = g.alive_ids().map(ProcessId::index).collect();
+            let expected: Vec<usize> = (0..n).filter(|i| i % 2 == 1).collect();
+            assert_eq!(ids, expected, "n = {n}");
+        }
     }
 
     #[test]
@@ -300,6 +383,12 @@ mod tests {
             let id = g.random_alive(&mut rng).unwrap();
             assert!(id.index() >= 9_995);
         }
+        // The popcount selector hits every survivor.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(g.random_alive(&mut rng).unwrap().index());
+        }
+        assert_eq!(seen.len(), 5, "all survivors reachable");
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! * [`rng`] — a self-contained, seedable xoshiro256** PRNG so simulations
 //!   are bit-reproducible (the paper used a Mersenne Twister; only the
 //!   statistical quality of the uniform stream matters),
-//! * [`stochastic`] — Bernoulli/binomial/multinomial samplers used by the
-//!   aggregate (count-based) protocol runtime,
+//! * [`stochastic`] — binomial/multinomial/hypergeometric samplers (inherent
+//!   [`Rng`] methods) used by the count-level protocol runtimes,
 //! * [`group`] — group membership with per-process liveness,
 //! * [`network`] — message/connection loss model,
 //! * [`failure`] — scheduled failure events (massive failures, crashes,

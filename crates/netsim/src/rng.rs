@@ -48,6 +48,7 @@ impl Rng {
     }
 
     /// The next uniformly distributed 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
         let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -62,6 +63,7 @@ impl Rng {
     }
 
     /// A uniform `f64` in `[0, 1)`.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         // 53 high-quality bits.
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -72,6 +74,7 @@ impl Rng {
     /// # Panics
     ///
     /// Panics if `bound == 0`.
+    #[inline]
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
         // Lemire-style rejection-free enough for simulation purposes:
@@ -85,12 +88,14 @@ impl Rng {
     /// # Panics
     ///
     /// Panics if `low >= high`.
+    #[inline]
     pub fn range(&mut self, low: usize, high: usize) -> usize {
         assert!(low < high, "empty range");
         low + self.index(high - low)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             false
@@ -102,6 +107,7 @@ impl Rng {
     }
 
     /// A uniform `f64` in `[low, high)`.
+    #[inline]
     pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
         low + (high - low) * self.next_f64()
     }

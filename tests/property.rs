@@ -193,17 +193,19 @@ fn epidemic_ensemble_mean<R: Runtime>(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// The agent and aggregate runtimes are statistically equivalent through
-    /// the `Runtime` trait: over an 8-seed ensemble, the mean epidemic
-    /// trajectory of each fidelity stays within tolerance of an RK4
-    /// integration of the source equations — and hence of the other fidelity.
+    /// All three runtime fidelities — agent (per-process), batched
+    /// (count-batched stochastic) and aggregate (mean-field sampling) — are
+    /// statistically equivalent through the `Runtime` trait: over an 8-seed
+    /// ensemble, the mean epidemic trajectory of each fidelity stays within
+    /// tolerance of an RK4 integration of the source equations — and hence
+    /// of every other fidelity.
     #[test]
     fn runtimes_are_statistically_equivalent_through_the_trait(
         seed_base in 0u64..1_000,
         infected in 4u64..32,
     ) {
         // p = 0.2 keeps the synchronous-update discretization bias of the
-        // aggregate runtime well below the comparison tolerance.
+        // count-level runtimes well below the comparison tolerance.
         let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
         let protocol = ProtocolCompiler::new("epidemic")
             .with_normalizing_constant(0.2)
@@ -213,17 +215,47 @@ proptest! {
         let periods = 150;
 
         let agent = epidemic_ensemble_mean::<AgentRuntime>(&protocol, n, periods, seed_base, infected);
+        let batched =
+            epidemic_ensemble_mean::<BatchedRuntime>(&protocol, n, periods, seed_base, infected);
         let aggregate =
             epidemic_ensemble_mean::<AggregateRuntime>(&protocol, n, periods, seed_base, infected);
 
         // Each fidelity tracks the ODE…
         let agent_vs_ode = compare_to_system(&agent, &sys, 0.01).unwrap();
+        let batched_vs_ode = compare_to_system(&batched, &sys, 0.01).unwrap();
         let aggregate_vs_ode = compare_to_system(&aggregate, &sys, 0.01).unwrap();
         prop_assert!(agent_vs_ode.max_abs_error < 0.15, "agent vs ODE: {}", agent_vs_ode.max_abs_error);
+        prop_assert!(batched_vs_ode.max_abs_error < 0.15, "batched vs ODE: {}", batched_vs_ode.max_abs_error);
         prop_assert!(aggregate_vs_ode.max_abs_error < 0.15, "aggregate vs ODE: {}", aggregate_vs_ode.max_abs_error);
 
         // …and therefore each other, sampled on the same period grid.
-        let pairwise = compare_trajectories(&agent, &aggregate).unwrap();
-        prop_assert!(pairwise.max_abs_error < 0.2, "agent vs aggregate: {}", pairwise.max_abs_error);
+        let agent_vs_batched = compare_trajectories(&agent, &batched).unwrap();
+        prop_assert!(agent_vs_batched.max_abs_error < 0.2, "agent vs batched: {}", agent_vs_batched.max_abs_error);
+        let batched_vs_aggregate = compare_trajectories(&batched, &aggregate).unwrap();
+        prop_assert!(batched_vs_aggregate.max_abs_error < 0.2, "batched vs aggregate: {}", batched_vs_aggregate.max_abs_error);
+        let agent_vs_aggregate = compare_trajectories(&agent, &aggregate).unwrap();
+        prop_assert!(agent_vs_aggregate.max_abs_error < 0.2, "agent vs aggregate: {}", agent_vs_aggregate.max_abs_error);
+    }
+
+    /// The batched runtime conserves the process count on random compiled
+    /// protocols, like the other fidelities (scenario-driven, count level).
+    #[test]
+    fn batched_runtime_conserves_processes(
+        sys in partitionable_system(3, 4),
+        seed in 0u64..1000,
+    ) {
+        let protocol = ProtocolCompiler::new("random").compile(&sys).unwrap();
+        let n = 600u64;
+        let initial = InitialStates::counts(&[200, 200, 200]);
+        let scenario = Scenario::new(n as usize, 40).unwrap().with_seed(seed);
+        let run = Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(initial)
+            .observe(CountsRecorder::new())
+            .run::<BatchedRuntime>()
+            .unwrap();
+        for (_, s) in run.counts.iter() {
+            prop_assert_eq!(s.iter().sum::<f64>() as u64, n);
+        }
     }
 }
