@@ -3,7 +3,9 @@
 //! on the epidemic and LV-majority protocols.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpde_core::runtime::{AgentRuntime, AggregateRuntime, BatchedRuntime, InitialStates, Runtime};
+use dpde_core::runtime::{
+    AgentRuntime, AggregateRuntime, BatchedRuntime, HybridRuntime, InitialStates, Runtime,
+};
 use dpde_core::{Protocol, ProtocolCompiler};
 use dpde_protocols::endemic::EndemicParams;
 use dpde_protocols::lv::LvParams;
@@ -29,8 +31,11 @@ fn run_steps<R: Runtime>(runtime: &R, scenario: &Scenario, initial: &InitialStat
     }
 }
 
-/// Head-to-head: the same 30-period workload on every fidelity, N ∈
-/// {10³, 10⁴, 10⁵}, for the epidemic and LV-majority protocols.
+/// Head-to-head: the same 30-period workload on every fidelity (agent,
+/// batched, hybrid, aggregate), N ∈ {10³, 10⁴, 10⁵}, for the epidemic and
+/// LV-majority protocols. Both workloads start in the small-count regime
+/// (one infective / an empty undecided state), so the hybrid rows include
+/// genuine fidelity handoffs.
 type InitialOf = fn(u64) -> InitialStates;
 
 fn bench_head_to_head(c: &mut Criterion) {
@@ -56,6 +61,10 @@ fn bench_head_to_head(c: &mut Criterion) {
             let batched = BatchedRuntime::new(protocol.clone());
             group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
                 b.iter(|| run_steps(black_box(&batched), &scenario, &initial))
+            });
+            let hybrid = HybridRuntime::new(protocol.clone());
+            group.bench_with_input(BenchmarkId::new("hybrid", n), &n, |b, _| {
+                b.iter(|| run_steps(black_box(&hybrid), &scenario, &initial))
             });
             let aggregate = AggregateRuntime::new(protocol.clone());
             group.bench_with_input(BenchmarkId::new("aggregate", n), &n, |b, _| {

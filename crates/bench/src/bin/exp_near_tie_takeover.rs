@@ -1,0 +1,116 @@
+//! The "near-tie takeover" experiment: the small-count regime the hybrid
+//! runtime exists for, measured on both halves of the scenario family.
+//!
+//! * **LV majority from a 50.5/49.5 split** — the deterministic competition
+//!   equations sit near the saddle, so which proposal takes over is decided
+//!   by fluctuations of the ~1 % margin; the initial *minority* wins a
+//!   non-negligible fraction of runs. Count-level batching alone cannot be
+//!   trusted here (the margin is a small count even when N is huge);
+//!   `run_auto` serves the runs on the hybrid fidelity.
+//! * **Endemic near-extinction** — a group sized so the endemic equilibrium
+//!   sustains only a handful of stashers: stochastic fluctuations drive the
+//!   replica into the absorbing zero, the probabilistic-safety event of the
+//!   longevity analysis.
+//!
+//! Scaled by `--scale` / `DPDE_SCALE` like every experiment binary; the
+//! defaults exercise N = 10⁵ near-tie runs, which stay interactive because
+//! the hybrid runtime batches every large-count period.
+
+use dpde_bench::{banner, scale_from_args, scaled};
+use dpde_protocols::lv::majority::Decision;
+use dpde_protocols::small_count::{NearExtinction, NearTieTakeover};
+use netsim::Scenario;
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "exp_near_tie_takeover",
+        "small-count regime: LV near-tie takeover + endemic near-extinction (hybrid fidelity)",
+        scale,
+    );
+
+    // -- LV majority from a near-tie split ---------------------------------
+    let n = scaled(100_000, scale, 400) as usize;
+    // Near-tie escapes from the saddle take O(1/p) periods regardless of N,
+    // so the horizon floor stays high even at smoke scales.
+    let periods = scaled(3_000, scale, 1_800);
+    let reps = scaled(10, scale.max(0.4), 4) as u32;
+    let family = NearTieTakeover::new(); // 50.5 / 49.5
+    let (zeros, ones) = family.split(n as u64);
+    println!("lv: n={n}, split {zeros}/{ones}, {periods} periods, {reps} repetitions");
+    println!("rep,decision,correct,minority_takeover,convergence_period");
+    let mut decided = 0u32;
+    let mut takeovers = 0u32;
+    for rep in 0..reps {
+        let scenario = Scenario::new(n, periods)
+            .expect("scenario")
+            .with_seed(9_000 + u64::from(rep));
+        let run = family.run(&scenario).expect("near-tie run");
+        let decision = match run.outcome.decision {
+            Decision::Zero => "zero",
+            Decision::One => "one",
+            Decision::Undecided => "undecided",
+        };
+        println!(
+            "{rep},{decision},{},{},{}",
+            run.outcome.correct,
+            run.minority_takeover,
+            run.outcome
+                .convergence_period
+                .map_or_else(|| "-".into(), |p| p.to_string()),
+        );
+        if run.outcome.decision != Decision::Undecided {
+            decided += 1;
+            if run.minority_takeover {
+                takeovers += 1;
+            }
+        }
+    }
+
+    // -- Endemic near-extinction -------------------------------------------
+    let target_stashers = 6.0;
+    let extinction_family = NearExtinction::new(target_stashers).expect("family");
+    let ext_periods = scaled(10_000, scale, 500);
+    let ext_reps = scaled(8, scale.max(0.5), 4) as u32;
+    println!(
+        "\nendemic: n={}, expected stashers {:.1}, {ext_periods} periods, {ext_reps} repetitions",
+        extinction_family.group_size(),
+        extinction_family.expected_stashers()
+    );
+    println!("rep,extinct,extinction_period");
+    let mut extinct = 0u32;
+    for rep in 0..ext_reps {
+        let outcome = extinction_family
+            .run(ext_periods, 4_000 + u64::from(rep))
+            .expect("near-extinction run");
+        println!(
+            "{rep},{},{}",
+            outcome.extinction_period.is_some(),
+            outcome
+                .extinction_period
+                .map_or_else(|| "-".into(), |p| p.to_string()),
+        );
+        if outcome.extinction_period.is_some() {
+            extinct += 1;
+        }
+    }
+
+    println!("\n== summary ==");
+    println!(
+        "near-tie: {decided}/{reps} runs decided, {takeovers} minority takeovers \
+         ({:.0} % of decided runs)",
+        if decided > 0 {
+            100.0 * f64::from(takeovers) / f64::from(decided)
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "near-extinction: {extinct}/{ext_reps} runs lost every replica within \
+         {ext_periods} periods"
+    );
+    println!(
+        "both halves run on the hybrid fidelity via run_auto: count-batched while \
+         every population is large, per-process when the deciding count is small"
+    );
+}

@@ -13,8 +13,10 @@
 //!   constant selection and failure compensation.
 //! * [`Protocol`] / [`Action`] ([`state_machine`], [`action`]) — the compiled
 //!   probabilistic state machine, as pure data.
-//! * [`runtime`] — the [`Runtime`] trait with two fidelities (the
-//!   per-process [`AgentRuntime`](runtime::AgentRuntime) and the count-based
+//! * [`runtime`] — the [`Runtime`] trait with four fidelities (the
+//!   per-process [`AgentRuntime`](runtime::AgentRuntime), the count-batched
+//!   [`BatchedRuntime`](runtime::BatchedRuntime), the boundary-crossing
+//!   [`HybridRuntime`](runtime::HybridRuntime) and the mean-field
 //!   [`AggregateRuntime`](runtime::AggregateRuntime)), composable
 //!   [`Observer`]s for opt-in recording, the [`Simulation`] builder and the
 //!   parallel [`Ensemble`] driver.

@@ -274,6 +274,35 @@ impl AgentState {
     pub fn period(&self) -> u64 {
         self.period
     }
+
+    /// Per-state alive counts (incremental; used by the hybrid runtime's
+    /// handoff decisions and the membership→counts projection).
+    pub(super) fn alive_counts(&self) -> &[u64] {
+        self.members.counts_alive()
+    }
+
+    /// Per-state total counts (alive + crashed; crashed processes remember
+    /// their state).
+    pub(super) fn total_counts(&self) -> &[u64] {
+        self.members.counts()
+    }
+
+    /// Per-state crashed counts (total minus alive; crashed processes
+    /// remember their state).
+    pub(super) fn crashed_counts(&self) -> Vec<u64> {
+        self.members
+            .counts()
+            .iter()
+            .zip(self.members.counts_alive())
+            .map(|(total, alive)| total - alive)
+            .collect()
+    }
+
+    /// A copy of the PRNG at its current position, so a handoff continues
+    /// the same stream.
+    pub(super) fn rng_clone(&self) -> Rng {
+        self.rng.clone()
+    }
 }
 
 impl AgentRuntime {
@@ -330,6 +359,89 @@ impl AgentRuntime {
             .final_counts()
             .expect("run records the initial configuration")
             .to_vec())
+    }
+
+    /// Seeds every flip action's geometric "tails left" counter from `rng`
+    /// (shared by [`init`](Runtime::init) and the hybrid runtime's
+    /// counts→membership handoff).
+    fn seed_flip_skips(&self, rng: &mut Rng) -> Vec<u64> {
+        self.compiled
+            .actions
+            .iter()
+            .map(|a| match a {
+                CompiledAction::Flip { geo_scale, .. } => draw_geometric(rng, *geo_scale),
+                _ => 0,
+            })
+            .collect()
+    }
+
+    /// Builds a mid-run [`AgentState`] from per-state alive/crashed counts —
+    /// the counts→membership direction of the hybrid runtime's handoff.
+    ///
+    /// The paper's protocols and every count-level-compatible environment
+    /// treat processes exchangeably, so conditioned on the counts the joint
+    /// per-process `(state, liveness)` assignment is uniform over all
+    /// assignments realizing those counts: drawing one uniformly (shuffle
+    /// the `(state, crashed)` labels jointly over ids) is a *lossless*
+    /// refinement — the joint law of every count-level observable is
+    /// unchanged. The shuffle must be joint: deriving the crashed set from
+    /// id order after a state-only shuffle would bias it toward low ids,
+    /// which the agent runtime's id-order sweep could feel.
+    ///
+    /// The caller guarantees `counts_alive` and `counts_crashed` sum to the
+    /// scenario's group size and that the scenario is count-level compatible
+    /// (per-id schedules and churn traces are meaningless for a freshly
+    /// randomized id assignment).
+    pub(super) fn state_from_counts(
+        &self,
+        scenario: &Scenario,
+        counts_alive: &[u64],
+        counts_crashed: &[u64],
+        period: u64,
+        mut rng: Rng,
+    ) -> AgentState {
+        let n = scenario.group_size();
+        let num_states = self.protocol.num_states();
+        debug_assert_eq!(
+            counts_alive.iter().sum::<u64>() + counts_crashed.iter().sum::<u64>(),
+            n as u64,
+            "handoff counts must cover the whole group"
+        );
+        // Uniform random joint assignment of (state, liveness) labels to ids
+        // (exchangeability).
+        let mut labels: Vec<(usize, bool)> = Vec::with_capacity(n);
+        for (state, (&alive, &crashed)) in counts_alive.iter().zip(counts_crashed).enumerate() {
+            labels.extend(std::iter::repeat((state, false)).take(alive as usize));
+            labels.extend(std::iter::repeat((state, true)).take(crashed as usize));
+        }
+        rng.shuffle(&mut labels);
+        let mut group = Group::new(n);
+        let mut assignment: Vec<usize> = Vec::with_capacity(n);
+        for (p, &(state, crashed)) in labels.iter().enumerate() {
+            assignment.push(state);
+            if crashed {
+                let changed = group.crash(ProcessId(p)).expect("id in range");
+                debug_assert!(changed);
+            }
+        }
+        let flip_skips = self.seed_flip_skips(&mut rng);
+        AgentState {
+            members: Membership::new(
+                num_states,
+                &assignment,
+                &group,
+                self.compiled.needs_member_lists,
+            ),
+            group,
+            rng,
+            flip_skips,
+            has_liveness_events: scenario.has_liveness_events(),
+            scenario: scenario.clone(),
+            period,
+            transitions_dense: vec![0; num_states * num_states],
+            transitions: Vec::new(),
+            messages: 0,
+        }
     }
 
     fn events<'s>(&self, state: &'s AgentState) -> PeriodEvents<'s> {
@@ -405,15 +517,7 @@ impl Runtime for AgentRuntime {
         rng.shuffle(&mut assignment);
 
         // Seed every flip action's geometric tails counter.
-        let flip_skips: Vec<u64> = self
-            .compiled
-            .actions
-            .iter()
-            .map(|a| match a {
-                CompiledAction::Flip { geo_scale, .. } => draw_geometric(&mut rng, *geo_scale),
-                _ => 0,
-            })
-            .collect();
+        let flip_skips = self.seed_flip_skips(&mut rng);
 
         Ok(AgentState {
             rng,
@@ -1071,6 +1175,39 @@ mod tests {
             .run(&scenario, &InitialStates::counts(&[10, 0]))
             .unwrap();
         assert_eq!(result.final_counts().unwrap()[1], 1.0);
+    }
+
+    #[test]
+    fn handoff_assignment_is_jointly_uniform() {
+        // Regression: deriving the crashed set from id order after a
+        // state-only shuffle biased it toward low ids, skewing the alive
+        // processes' id-order sweep. With counts {x: 1 alive + 1 crashed,
+        // y: 1 alive}, the alive state sequence must be (x, y) and (y, x)
+        // equally often.
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let runtime = AgentRuntime::new(protocol);
+        let scenario = Scenario::new(3, 1).unwrap();
+        let mut rng = Rng::seed_from(42);
+        let draws = 4_000u32;
+        let mut x_first = 0u32;
+        for _ in 0..draws {
+            let state = runtime.state_from_counts(&scenario, &[1, 1], &[1, 0], 0, rng.fork(0));
+            let alive_states: Vec<usize> = (0..3)
+                .filter(|&p| state.group.is_alive_unchecked(p))
+                .map(|p| state.members.state_of(p))
+                .collect();
+            assert_eq!(alive_states.len(), 2);
+            assert_eq!(state.members.counts(), &[2, 1]);
+            if alive_states == [0, 1] {
+                x_first += 1;
+            }
+        }
+        // Expected 2000; 5σ ≈ 158. The biased construction put x first in
+        // only ~1/3 of draws.
+        assert!(
+            (f64::from(x_first) - 2_000.0).abs() < 160.0,
+            "x first in {x_first} of {draws} draws"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@
 
 use super::observer::CountsRecorder;
 use super::simulation::drive;
-use super::{InitialStates, Observer, RunConfig, Runtime};
+use super::{auto_tier, FidelityTier, InitialStates, Observer, RunConfig, Runtime};
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
@@ -140,25 +140,35 @@ impl Ensemble {
         Ok(results.pop().expect("one result per scenario"))
     }
 
-    /// Runs the ensemble on the fastest fidelity that can serve it: the
-    /// count-batched [`BatchedRuntime`](super::BatchedRuntime) when the
-    /// scenario's environment is exchangeable
-    /// ([`Scenario::count_level_compatible`]), the per-process
-    /// [`AgentRuntime`](super::AgentRuntime) otherwise. (Ensembles only
-    /// record counts, so no observer ever needs host identity here.)
+    /// The fidelity tier [`run_auto`](Self::run_auto) would execute this
+    /// ensemble on (see [`FidelityTier`] for the policy; ensembles only record
+    /// counts, so no observer ever needs host identity here).
+    pub fn selected_tier(&self) -> FidelityTier {
+        auto_tier(
+            &self.protocol,
+            self.scenario.as_ref(),
+            self.initial.as_ref(),
+            false,
+        )
+    }
+
+    /// Runs the ensemble on the fastest fidelity that can serve it
+    /// ([`selected_tier`](Self::selected_tier)): the count-batched
+    /// [`BatchedRuntime`](super::BatchedRuntime) when the scenario's
+    /// environment is exchangeable ([`Scenario::count_level_compatible`])
+    /// and every initial population is large, the
+    /// [`HybridRuntime`](super::HybridRuntime) when the environment is
+    /// exchangeable but the runs start in the small-count regime, and the
+    /// per-process [`AgentRuntime`](super::AgentRuntime) otherwise.
     ///
     /// # Errors
     ///
     /// Same as [`run`](Self::run).
     pub fn run_auto(&self) -> Result<EnsembleResult> {
-        if self
-            .scenario
-            .as_ref()
-            .is_some_and(Scenario::count_level_compatible)
-        {
-            self.run::<super::BatchedRuntime>()
-        } else {
-            self.run::<super::AgentRuntime>()
+        match self.selected_tier() {
+            FidelityTier::Batched => self.run::<super::BatchedRuntime>(),
+            FidelityTier::Hybrid => self.run::<super::HybridRuntime>(),
+            FidelityTier::Agent => self.run::<super::AgentRuntime>(),
         }
     }
 
@@ -481,6 +491,33 @@ mod tests {
             .run::<AgentRuntime>()
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn ensemble_tier_selection_policy() {
+        let protocol = epidemic_protocol();
+        // Regression: no scenario attached → trivially exchangeable →
+        // batched tier (used to fall back to the agent runtime).
+        let bare = Ensemble::of(protocol.clone()).initial(InitialStates::counts(&[500, 500]));
+        assert_eq!(bare.selected_tier(), FidelityTier::Batched);
+        // Large balanced populations → batched; a small one → hybrid.
+        let large = bare.clone().scenario(Scenario::new(1_000, 10).unwrap());
+        assert_eq!(large.selected_tier(), FidelityTier::Batched);
+        let small = Ensemble::of(protocol.clone())
+            .scenario(Scenario::new(1_000, 10).unwrap())
+            .initial(InitialStates::counts(&[999, 1]));
+        assert_eq!(small.selected_tier(), FidelityTier::Hybrid);
+        // Per-id events force the agent tier.
+        let mut schedule = netsim::FailureSchedule::new();
+        schedule.add(1, netsim::FailureEvent::Crash(netsim::ProcessId(0)));
+        let per_id = Ensemble::of(protocol)
+            .scenario(
+                Scenario::new(1_000, 10)
+                    .unwrap()
+                    .with_failure_schedule(schedule),
+            )
+            .initial(InitialStates::counts(&[500, 500]));
+        assert_eq!(per_id.selected_tier(), FidelityTier::Agent);
     }
 
     #[test]

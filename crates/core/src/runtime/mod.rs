@@ -6,15 +6,18 @@
 //!
 //! * **Runtimes** — the [`Runtime`] trait exposes an incremental step
 //!   interface (`init` → repeated `step`) over a
-//!   [`Scenario`]. Three fidelities are provided:
+//!   [`Scenario`]. Four fidelities are provided:
 //!   [`AgentRuntime`] keeps one state per process (failures, churn, host
 //!   identity), [`BatchedRuntime`] advances whole state-count vectors with
 //!   binomial/multinomial draws — O(states² · actions) per period,
-//!   independent of N, while still modelling exchangeable failures — and
+//!   independent of N, while still modelling exchangeable failures —
+//!   [`HybridRuntime`] batches while every per-state count is large and
+//!   hands off losslessly to per-process execution when any count runs
+//!   small (extinction, tie-breaking, post-failure recovery), and
 //!   [`AggregateRuntime`] is the scenario-free mean-field sampler for
 //!   failure-free sweeps. Drivers and tests are generic over the trait, so
 //!   the same experiment can be replayed at any fidelity (or let
-//!   [`Simulation::run_auto`] pick one).
+//!   [`Simulation::run_auto`] pick one — see [`FidelityTier`]).
 //! * **Observers** — recording is opt-in: an [`Observer`] receives
 //!   [`PeriodEvents`] after every protocol period and folds whatever it
 //!   recorded into the final [`RunResult`]. Built-ins cover the standard
@@ -30,6 +33,7 @@ mod agent;
 mod aggregate;
 mod batched;
 mod ensemble;
+mod hybrid;
 mod observer;
 mod simulation;
 
@@ -37,6 +41,7 @@ pub use agent::{AgentRuntime, AgentState, MembershipView};
 pub use aggregate::{AggregateRuntime, AggregateState};
 pub use batched::{BatchedRuntime, BatchedState};
 pub use ensemble::{Ensemble, EnsembleResult};
+pub use hybrid::{HybridFidelity, HybridRuntime, HybridState, SMALL_COUNT_THRESHOLD};
 pub use observer::{
     AliveTracker, CountsRecorder, MembershipTracker, MessageCounter, Observer, PeriodEvents,
     TransitionRecorder,
@@ -90,6 +95,66 @@ pub trait Runtime: Sized + Send + Sync {
     /// The events view of the current state without stepping — used by
     /// drivers to show observers the initial configuration (period 0).
     fn snapshot<'s>(&self, state: &'s Self::State) -> PeriodEvents<'s>;
+}
+
+/// The runtime fidelity the automatic selection
+/// ([`Simulation::run_auto`], [`Ensemble::run_auto`]) executes a run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FidelityTier {
+    /// Count-batched throughout ([`BatchedRuntime`]): exchangeable
+    /// environment, no membership observers, all populations large.
+    Batched,
+    /// Count-batched with a per-process fallback for small-count segments
+    /// ([`HybridRuntime`]).
+    Hybrid,
+    /// Per-process throughout ([`AgentRuntime`]): the environment or an
+    /// observer needs host identity.
+    Agent,
+}
+
+/// Picks the fastest fidelity that can serve a run (the policy behind
+/// [`Simulation::run_auto`] and [`Ensemble::run_auto`]):
+///
+/// * an observer that needs per-process identity, a per-id failure schedule
+///   or a churn trace forces [`FidelityTier::Agent`];
+/// * otherwise, if any resolved initial per-state count is below
+///   [`SMALL_COUNT_THRESHOLD`] the run starts in the small-count regime
+///   where mean-field batching is untrustworthy, so the
+///   [`FidelityTier::Hybrid`] tier serves it (count-batched whenever
+///   populations allow, per-process when they don't — and, once selected,
+///   the hybrid runtime also covers late-run small-count regimes);
+/// * otherwise [`FidelityTier::Batched`]. The selection is static: a run
+///   that starts with every population large is assumed to stay batchable,
+///   matching the batched tier's prior behaviour and cost. Callers that
+///   expect an initially-large run to decay into small-count dynamics
+///   (e.g. a long subcritical decay toward extinction) should run
+///   [`HybridRuntime`] explicitly via [`Simulation::run`].
+///
+/// A *missing* scenario is trivially exchangeable (no environment events at
+/// all), so it must select the batched tier — treating `None` as
+/// incompatible would silently fall back to the 10⁴×-slower agent runtime.
+/// Likewise a missing or unresolvable initial distribution simply skips the
+/// small-count refinement (the eventual `run` reports the real error).
+pub(crate) fn auto_tier(
+    protocol: &Protocol,
+    scenario: Option<&Scenario>,
+    initial: Option<&InitialStates>,
+    needs_membership: bool,
+) -> FidelityTier {
+    if needs_membership || !scenario.map_or(true, Scenario::count_level_compatible) {
+        return FidelityTier::Agent;
+    }
+    let small_start = match (scenario, initial) {
+        (Some(sc), Some(init)) => init
+            .resolve(protocol.num_states(), sc.group_size() as u64)
+            .is_ok_and(|counts| counts.iter().any(|&k| k < SMALL_COUNT_THRESHOLD)),
+        _ => false,
+    };
+    if small_start {
+        FidelityTier::Hybrid
+    } else {
+        FidelityTier::Batched
+    }
 }
 
 /// How the initial protocol states are assigned to processes.

@@ -2,7 +2,7 @@
 //! + observers, generic over the [`Runtime`] fidelity.
 
 use super::observer::default_observers;
-use super::{InitialStates, Observer, RunConfig, RunResult, Runtime};
+use super::{auto_tier, FidelityTier, InitialStates, Observer, RunConfig, RunResult, Runtime};
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
@@ -127,27 +127,38 @@ impl Simulation {
         self.execute(&runtime)
     }
 
-    /// Executes the run on the fastest fidelity that can serve it: the
-    /// count-batched [`BatchedRuntime`](super::BatchedRuntime) — whose cost
-    /// per period is independent of the group size — when no attached
-    /// observer needs per-process identity
-    /// ([`Observer::needs_membership`]) and the scenario's environment is
-    /// exchangeable ([`Scenario::count_level_compatible`]); the per-process
+    /// The fidelity tier [`run_auto`](Self::run_auto) would execute this
+    /// simulation on, given the current scenario, initial distribution and
+    /// observers (see [`FidelityTier`] for the policy).
+    pub fn selected_tier(&self) -> FidelityTier {
+        auto_tier(
+            &self.protocol,
+            self.scenario.as_ref(),
+            self.initial.as_ref(),
+            self.observers.iter().any(|o| o.needs_membership()),
+        )
+    }
+
+    /// Executes the run on the fastest fidelity that can serve it
+    /// ([`selected_tier`](Self::selected_tier)): the count-batched
+    /// [`BatchedRuntime`](super::BatchedRuntime) — whose cost per period is
+    /// independent of the group size — when no attached observer needs
+    /// per-process identity ([`Observer::needs_membership`]) and the
+    /// scenario's environment is exchangeable
+    /// ([`Scenario::count_level_compatible`]); the
+    /// [`HybridRuntime`](super::HybridRuntime) when the environment is
+    /// exchangeable but the run starts (and may end) in the small-count
+    /// regime where mean-field batching is untrustworthy; the per-process
     /// [`AgentRuntime`](super::AgentRuntime) otherwise.
     ///
     /// # Errors
     ///
     /// Same as [`run`](Self::run).
     pub fn run_auto(self) -> Result<RunResult> {
-        let batched_ok = self
-            .scenario
-            .as_ref()
-            .is_some_and(Scenario::count_level_compatible)
-            && !self.observers.iter().any(|o| o.needs_membership());
-        if batched_ok {
-            self.run::<super::BatchedRuntime>()
-        } else {
-            self.run::<super::AgentRuntime>()
+        match self.selected_tier() {
+            FidelityTier::Batched => self.run::<super::BatchedRuntime>(),
+            FidelityTier::Hybrid => self.run::<super::HybridRuntime>(),
+            FidelityTier::Agent => self.run::<super::AgentRuntime>(),
         }
     }
 
@@ -357,6 +368,78 @@ mod tests {
         let a = agent.final_counts().unwrap()[1];
         let b = aggregate.final_counts().unwrap()[1];
         assert!(a > 19_000.0 && b > 19_000.0, "both saturate: {a} vs {b}");
+    }
+
+    #[test]
+    fn auto_tier_selection_policy() {
+        use super::super::MembershipTracker;
+        let protocol = epidemic_protocol();
+        let y = protocol.require_state("y").unwrap();
+        let scenario = || Scenario::new(10_000, 10).unwrap();
+
+        // Regression: a *missing* scenario is trivially exchangeable (a
+        // failure-free run) and must select the batched tier — it used to be
+        // treated as incompatible and silently fell back to the slow agent
+        // runtime.
+        let no_scenario =
+            Simulation::of(protocol.clone()).initial(InitialStates::counts(&[5_000, 5_000]));
+        assert_eq!(no_scenario.selected_tier(), FidelityTier::Batched);
+
+        // Exchangeable scenario, large balanced populations → batched.
+        let large = Simulation::of(protocol.clone())
+            .scenario(scenario())
+            .initial(InitialStates::counts(&[5_000, 5_000]));
+        assert_eq!(large.selected_tier(), FidelityTier::Batched);
+
+        // A small initial population → the hybrid tier serves the
+        // small-count regime without paying per-process cost throughout.
+        let small = Simulation::of(protocol.clone())
+            .scenario(scenario())
+            .initial(InitialStates::counts(&[9_999, 1]));
+        assert_eq!(small.selected_tier(), FidelityTier::Hybrid);
+
+        // Fractions resolve against the group size: 0.1 % of 10 000 is 10,
+        // below the threshold → hybrid.
+        let fractions = Simulation::of(protocol.clone())
+            .scenario(scenario())
+            .initial(InitialStates::fractions(&[0.999, 0.001]));
+        assert_eq!(fractions.selected_tier(), FidelityTier::Hybrid);
+
+        // A missing initial distribution skips the small-count refinement.
+        let no_initial = Simulation::of(protocol.clone()).scenario(scenario());
+        assert_eq!(no_initial.selected_tier(), FidelityTier::Batched);
+
+        // Membership-needing observers force the agent tier regardless.
+        let tracked = Simulation::of(protocol.clone())
+            .scenario(scenario())
+            .initial(InitialStates::counts(&[9_999, 1]))
+            .observe(MembershipTracker::of(y));
+        assert_eq!(tracked.selected_tier(), FidelityTier::Agent);
+
+        // Per-id failure schedules need host identity → agent.
+        let mut schedule = netsim::FailureSchedule::new();
+        schedule.add(1, netsim::FailureEvent::Crash(netsim::ProcessId(0)));
+        let per_id = Simulation::of(protocol)
+            .scenario(scenario().with_failure_schedule(schedule))
+            .initial(InitialStates::counts(&[5_000, 5_000]));
+        assert_eq!(per_id.selected_tier(), FidelityTier::Agent);
+    }
+
+    #[test]
+    fn run_auto_without_scenario_reports_the_missing_scenario() {
+        // The batched tier is selected (see above), and the run itself still
+        // fails loudly on the absent scenario rather than panicking.
+        let err = Simulation::of(epidemic_protocol())
+            .initial(InitialStates::counts(&[99, 1]))
+            .run_auto()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                name: "scenario",
+                ..
+            }
+        ));
     }
 
     #[test]

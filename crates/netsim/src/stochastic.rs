@@ -21,9 +21,18 @@
 
 use crate::rng::Rng;
 
-/// Expected-count threshold below which the exact inverse-CDF walk is used;
-/// above it the normal approximation's error is far below sampling noise.
-const NORMAL_APPROX_MEAN: f64 = 30.0;
+/// Expected-count threshold below which the samplers use exact inverse-CDF
+/// walks; above it the normal approximation's error is far below the
+/// stochastic noise of the experiments.
+///
+/// This constant is part of the crate's contract with the count-level
+/// runtimes in `dpde-core`: a binomial draw with `min(n·p, n·(1−p))` below
+/// this cutoff is **exact** (the clamped-normal tail is never taken), so
+/// absorbing boundaries stay reachable — `P[X = 0]` is preserved bit-for-bit
+/// against the analytic `(1−p)^n`, which is what makes extinction phenomena
+/// trustworthy at count level. The hybrid runtime uses the same cutoff as its
+/// default membership-fidelity threshold.
+pub const NORMAL_APPROX_CUTOFF: f64 = 30.0;
 
 impl Rng {
     /// Draws from `Binomial(n, p)`: the number of successes in `n`
@@ -49,7 +58,11 @@ impl Rng {
         if p >= 1.0 {
             return n;
         }
-        // Work with the smaller tail for numerical stability.
+        // Work with the smaller tail for numerical stability. After the
+        // mirror p ≤ 1/2, so the mean below *is* min(n·p, n·(1−p)) — the
+        // exactness condition of [`NORMAL_APPROX_CUTOFF`]: the clamped-normal
+        // path is only ever taken when both tails carry expected counts of at
+        // least the cutoff.
         if p > 0.5 {
             return n - self.binomial(n, 1.0 - p);
         }
@@ -63,7 +76,7 @@ impl Rng {
                 }
             }
             count
-        } else if mean < NORMAL_APPROX_MEAN {
+        } else if mean < NORMAL_APPROX_CUTOFF {
             self.binomial_inverse(n, p)
         } else {
             self.binomial_normal_approx(n, p)
@@ -163,9 +176,16 @@ impl Rng {
     /// protocol states: crashing `k` of `N` alive processes hits each state's
     /// population hypergeometrically.
     ///
-    /// Uses the exact inverse-CDF walk (exploiting the `successes` ↔ `draws`
-    /// symmetry so the walk is over the smaller parameter) while the expected
-    /// count is small, and a clamped normal approximation otherwise.
+    /// Uses the exact inverse-CDF walk while the expected count is small, and
+    /// a clamped normal approximation otherwise. Complement mirrors fold both
+    /// parameters to at most half the population first, which guarantees the
+    /// exact walk (starting at `k = 0`) is valid for **every** small-mean
+    /// case: the support's lower bound `max(0, draws + successes − N)` is
+    /// zero after mirroring, so the clamped-normal path is never taken below
+    /// [`NORMAL_APPROX_CUTOFF`] and boundary outcomes near absorbing states
+    /// keep their exact probabilities. (Before the mirrors, a draw covering
+    /// most of the population — e.g. a 90 % massive failure hitting a small
+    /// state — skipped the exact walk even at tiny means.)
     pub fn hypergeometric(&mut self, population: u64, successes: u64, draws: u64) -> u64 {
         let successes = successes.min(population);
         let draws = draws.min(population);
@@ -178,11 +198,20 @@ impl Rng {
         if successes == population {
             return draws;
         }
+        // Complement mirrors: the overlap of the drawn set with the marked
+        // set determines (and is determined by) the overlap with either
+        // complement, so fold both parameters below N/2.
+        if draws > population - draws {
+            return successes - self.hypergeometric(population, successes, population - draws);
+        }
+        if successes > population - successes {
+            return draws - self.hypergeometric(population, population - successes, draws);
+        }
+        // From here draws + successes ≤ N: the support starts at 0.
         let n = population as f64;
         let mean = draws as f64 * successes as f64 / n;
-        let lo = (draws + successes).saturating_sub(population);
         let hi = successes.min(draws);
-        if mean < NORMAL_APPROX_MEAN && n - (draws as f64) - (successes as f64) > 0.0 {
+        if mean < NORMAL_APPROX_CUTOFF {
             // X is symmetric in (successes, draws): it counts the overlap of
             // two uniformly random subsets of those sizes. Walk over the
             // smaller so P(X = 0) is a short product.
@@ -208,14 +237,15 @@ impl Rng {
                     f *= num / den;
                     cdf += f;
                 }
-                return k.clamp(lo, hi);
+                return k;
             }
-            // Underflow: fall through to the normal approximation.
+            // Underflow (not reachable for means under the cutoff with the
+            // mirrored parameters; kept as a defensive fallback).
         }
         let var = mean * (n - successes as f64) / n * (n - draws as f64) / (n - 1.0).max(1.0);
         let z = self.standard_normal();
         let value = (mean + var.sqrt() * z + 0.5).floor().max(0.0) as u64;
-        value.clamp(lo, hi)
+        value.min(hi)
     }
 }
 
@@ -423,6 +453,57 @@ mod tests {
         // Negative weights are treated as zero.
         let counts = multinomial(&mut r, 50, &[-1.0, 1.0]);
         assert_eq!(counts, vec![0, 50]);
+    }
+
+    #[test]
+    fn binomial_small_mean_preserves_extinction_probability() {
+        // Regression for the absorbing-state audit: with a small expected
+        // count the sampler must use the exact inverse-CDF walk, so P[X = 0]
+        // matches the analytic (1 − p)^n. The clamped normal would put
+        // ~2.2 % of its mass at zero here instead of the true ~0.67 %.
+        let mut r = rng();
+        let (n, p) = (10_000u64, 0.0005f64);
+        let p_zero = (1.0 - p).powi(n as i32); // ≈ e^−5 ≈ 0.0067
+        let draws = 30_000;
+        let zeros = (0..draws).filter(|_| r.binomial(n, p) == 0).count();
+        let expected = p_zero * draws as f64; // ≈ 202
+        let sd = (draws as f64 * p_zero * (1.0 - p_zero)).sqrt(); // ≈ 14
+        assert!(
+            (zeros as f64 - expected).abs() < 5.0 * sd,
+            "zeros {zeros}, expected {expected:.0} ± {sd:.0}"
+        );
+        // The mirrored tail is exact too: P[X = n] for p near 1.
+        let full = (0..draws).filter(|_| r.binomial(n, 1.0 - p) == n).count();
+        assert!(
+            (full as f64 - expected).abs() < 5.0 * sd,
+            "full {full}, expected {expected:.0} ± {sd:.0}"
+        );
+    }
+
+    #[test]
+    fn hypergeometric_small_mean_with_large_draws_is_exact() {
+        // draws + successes > population used to skip the exact walk and
+        // take the clamped normal even at tiny means; the complement mirrors
+        // make it exact. Here a 90 %-of-population draw hits 10 marked items:
+        // support is [0, 10], mean 9, and P[X = 10] = Π (90−i)/(100−i) ≈ 0.33.
+        let mut r = rng();
+        let (pop, succ, draws) = (100u64, 10u64, 90u64);
+        let reps = 40_000;
+        let samples: Vec<u64> = (0..reps)
+            .map(|_| r.hypergeometric(pop, succ, draws))
+            .collect();
+        assert!(samples.iter().all(|&x| x <= 10));
+        let mean = samples.iter().sum::<u64>() as f64 / reps as f64;
+        assert!((mean - 9.0).abs() < 0.05, "mean {mean}");
+        let p_all: f64 = (0..succ)
+            .map(|i| (draws - i) as f64 / (pop - i) as f64)
+            .product();
+        let all = samples.iter().filter(|&&x| x == succ).count() as f64 / reps as f64;
+        let sd = (p_all * (1.0 - p_all) / reps as f64).sqrt();
+        assert!(
+            (all - p_all).abs() < 5.0 * sd + 0.005,
+            "P[X = 10] measured {all:.4}, exact {p_all:.4}"
+        );
     }
 
     #[test]

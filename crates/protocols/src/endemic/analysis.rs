@@ -36,6 +36,18 @@ impl EndemicParams {
         self.equilibria(n).endemic[1]
     }
 
+    /// The endemic equilibrium as integer initial counts for a group of `n`
+    /// processes: receptive truncated, stash rounded with a floor of one
+    /// process (so the replica exists), and the remainder assigned to
+    /// averse. The canonical way to start a simulation *at* the equilibrium
+    /// (benchmarks, the near-extinction scenario family).
+    pub fn equilibrium_counts(&self, n: u64) -> [u64; 3] {
+        let eq = self.equilibria(n as f64).endemic;
+        let receptive = (eq[0] as u64).min(n);
+        let stash = (eq[1].round().max(1.0) as u64).min(n - receptive);
+        [receptive, stash, n - receptive - stash]
+    }
+
     /// The paper's reduced 2×2 perturbation matrix `A` (eq. 4):
     /// `σ = (βN − γ)/(1 + γ/α)` and
     /// `A = [[−(σ+α), −σ(γ+α)], [1, 0]]`, with `N = 1` over fractions.
@@ -227,6 +239,14 @@ mod tests {
         let sum: f64 = eq.endemic.iter().sum();
         assert!((sum - 1000.0).abs() < 1e-9);
         assert!((p.expected_stashers(1000.0) - eq.endemic[1]).abs() < 1e-12);
+        // Integer equilibrium counts cover the whole group, track the real
+        // equilibrium, and always include at least one stasher.
+        let counts = p.equilibrium_counts(1000);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+        assert!(counts[1] >= 1);
+        for (c, e) in counts.iter().zip(&eq.endemic) {
+            assert!((*c as f64 - e).abs() <= 1.0, "{c} vs {e}");
+        }
         // It really is an equilibrium of the equations (fractions).
         let frac_eq = p.equilibria(1.0).endemic;
         let rhs = p.equations().eval_rhs(&frac_eq);

@@ -13,7 +13,10 @@
 //!   metrics;
 //! * [`lv`] — Case study II: the Lotka–Volterra protocol for probabilistic
 //!   majority selection, its analysis (Theorem 4) and the majority-selection
-//!   application.
+//!   application;
+//! * [`small_count`] — the "near-tie takeover" scenario family: LV majority
+//!   from 50.5/49.5 splits and endemic runs driven to near-extinction, the
+//!   small-count regime served by the hybrid runtime fidelity.
 //!
 //! # Example
 //!
@@ -37,7 +40,9 @@
 pub mod endemic;
 pub mod epidemic;
 pub mod lv;
+pub mod small_count;
 
 pub use endemic::EndemicParams;
 pub use epidemic::{Epidemic, EpidemicStyle};
 pub use lv::LvParams;
+pub use small_count::{NearExtinction, NearTieTakeover};

@@ -1,0 +1,404 @@
+//! The "near-tie takeover" scenario family: runs engineered to live in the
+//! small-count regime that mean-field batching cannot serve.
+//!
+//! The paper's most interesting finite-N phenomena happen exactly where some
+//! state's population is *small*:
+//!
+//! * **LV majority tie-breaking** (Figure 11): started from a near-tie
+//!   (e.g. a 50.5 / 49.5 split), the deterministic competition equations sit
+//!   close to the saddle and stochastic fluctuations of a few hundred
+//!   processes decide which proposal takes over — occasionally the initial
+//!   *minority*.
+//! * **Endemic extinction**: at the endemic equilibrium only a handful of
+//!   processes stash the replica (≈ 7 at N = 1000 for the Figure 2
+//!   parameters), so a random fluctuation can drive the stash count into the
+//!   absorbing zero — the probabilistic-safety event the longevity analysis
+//!   bounds.
+//!
+//! Both families resolve through
+//! [`Simulation::run_auto`](dpde_core::runtime::Simulation::run_auto) to the
+//! [`HybridRuntime`](dpde_core::runtime::HybridRuntime) tier: count-batched
+//! while every population is large, per-process when the deciding counts run
+//! small.
+
+use crate::endemic::{EndemicParams, STASH};
+use crate::lv::majority::{Decision, MajorityOutcome, MajoritySelection};
+use crate::lv::LvParams;
+use dpde_core::CoreError;
+use netsim::Scenario;
+
+/// LV majority selection started from a near-tie split — the takeover
+/// scenario family.
+///
+/// With `imbalance` ε, a group of `n` processes starts with `⌈(0.5 + ε)·n⌉`
+/// proposers of 0 and the rest proposing 1. For small ε the margin is only
+/// `2εn` processes, so the race between the two proposals is decided by
+/// small-count fluctuations around the saddle of the competition equations —
+/// the initial minority takes over in a non-negligible fraction of runs.
+///
+/// # Examples
+///
+/// ```
+/// use dpde_protocols::small_count::NearTieTakeover;
+///
+/// // 50.5 / 49.5 split of 2000 processes.
+/// let family = NearTieTakeover::new().with_imbalance(0.005)?;
+/// assert_eq!(family.split(2_000), (1_010, 990));
+/// # Ok::<(), dpde_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NearTieTakeover {
+    selection: MajoritySelection,
+    imbalance: f64,
+}
+
+/// Outcome of one near-tie run.
+#[derive(Debug, Clone)]
+pub struct TakeoverOutcome {
+    /// The underlying majority-selection outcome.
+    pub outcome: MajorityOutcome,
+    /// `true` if the group converged on the initial *minority* value — the
+    /// takeover event this family exists to measure.
+    pub minority_takeover: bool,
+}
+
+impl Default for NearTieTakeover {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NearTieTakeover {
+    /// Creates the family with the paper's LV parameters and a 0.5 %
+    /// imbalance (a 50.5 / 49.5 split).
+    pub fn new() -> Self {
+        NearTieTakeover {
+            selection: MajoritySelection::new(LvParams::new()),
+            imbalance: 0.005,
+        }
+    }
+
+    /// Replaces the majority-selection driver (LV parameters, quorum).
+    #[must_use]
+    pub fn with_selection(mut self, selection: MajoritySelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Sets the imbalance ε: proposal 0 starts with a `0.5 + ε` fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `ε ∈ [0, 0.5)`.
+    pub fn with_imbalance(mut self, imbalance: f64) -> Result<Self, CoreError> {
+        if !(imbalance.is_finite() && (0.0..0.5).contains(&imbalance)) {
+            return Err(CoreError::InvalidConfig {
+                name: "imbalance",
+                reason: format!("imbalance must lie in [0, 0.5), got {imbalance}"),
+            });
+        }
+        self.imbalance = imbalance;
+        Ok(self)
+    }
+
+    /// The configured imbalance ε.
+    pub fn imbalance(&self) -> f64 {
+        self.imbalance
+    }
+
+    /// The `(zeros, ones)` split for a group of `n` processes.
+    pub fn split(&self, n: u64) -> (u64, u64) {
+        let zeros = ((0.5 + self.imbalance) * n as f64).ceil().min(n as f64) as u64;
+        (zeros, n - zeros)
+    }
+
+    /// Runs one near-tie selection under the given scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and runtime errors.
+    pub fn run(&self, scenario: &Scenario) -> Result<TakeoverOutcome, CoreError> {
+        let (zeros, ones) = self.split(scenario.group_size() as u64);
+        let outcome = self.selection.run(scenario, zeros, ones)?;
+        let minority_takeover = match outcome.initial_majority {
+            Decision::Zero => outcome.decision == Decision::One,
+            Decision::One => outcome.decision == Decision::Zero,
+            // An exact tie has no minority to take over.
+            Decision::Undecided => false,
+        };
+        Ok(TakeoverOutcome {
+            outcome,
+            minority_takeover,
+        })
+    }
+
+    /// Runs `repetitions` independent near-tie selections (varying the seed)
+    /// and returns `(decided, takeovers)`: how many runs reached a quorum
+    /// decision at all, and how many of those were won by the initial
+    /// minority.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and runtime errors.
+    pub fn takeover_count(
+        &self,
+        n: usize,
+        periods: u64,
+        repetitions: u32,
+        seed_base: u64,
+    ) -> Result<(u32, u32), CoreError> {
+        let mut decided = 0;
+        let mut takeovers = 0;
+        for rep in 0..repetitions {
+            let scenario = Scenario::new(n, periods)?.with_seed(seed_base + u64::from(rep));
+            let run = self.run(&scenario)?;
+            if run.outcome.decision != Decision::Undecided {
+                decided += 1;
+                if run.minority_takeover {
+                    takeovers += 1;
+                }
+            }
+        }
+        Ok((decided, takeovers))
+    }
+}
+
+/// Endemic runs driven to near-extinction — the absorbing-boundary half of
+/// the scenario family.
+///
+/// The group size is chosen so the endemic equilibrium sustains only
+/// `target_stashers` replica holders; from there, stochastic fluctuations of
+/// the handful of stashers can hit the absorbing zero (every replica lost),
+/// the probabilistic-safety event of the paper's longevity analysis. Runs
+/// start *at* the equilibrium so every period probes the small-count regime.
+///
+/// # Examples
+///
+/// ```
+/// use dpde_protocols::small_count::NearExtinction;
+///
+/// let family = NearExtinction::new(8.0)?;
+/// assert!((family.expected_stashers() - 8.0).abs() < 0.5);
+/// # Ok::<(), dpde_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NearExtinction {
+    params: EndemicParams,
+    n: u64,
+}
+
+/// Outcome of one near-extinction run.
+#[derive(Debug, Clone)]
+pub struct ExtinctionOutcome {
+    /// The full simulation output (counts per period).
+    pub run: dpde_core::runtime::RunResult,
+    /// First period at which the stash count hit zero, if it did. Extinction
+    /// is absorbing: no receptive process can ever stash again.
+    pub extinction_period: Option<u64>,
+}
+
+impl NearExtinction {
+    /// Creates the family with replication-style parameters (β = 4 via
+    /// b = 2 contacts, γ = 0.1 and a small α = 6.25·10⁻⁴, so the endemic
+    /// stash fraction is ≈ 0.6 %), sized so the equilibrium sustains about
+    /// `target_stashers` replica holders.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `target_stashers` is positive and finite.
+    pub fn new(target_stashers: f64) -> Result<Self, CoreError> {
+        let params = EndemicParams::from_contact_count(2, 0.1, 6.25e-4)?;
+        Self::with_params(params, target_stashers)
+    }
+
+    /// Creates the family with explicit endemic parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `target_stashers` is positive and finite.
+    pub fn with_params(params: EndemicParams, target_stashers: f64) -> Result<Self, CoreError> {
+        if !(target_stashers.is_finite() && target_stashers > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "target_stashers",
+                reason: format!("target must be positive and finite, got {target_stashers}"),
+            });
+        }
+        // expected_stashers is linear in n, so invert it at n = 1. A
+        // non-positive fraction means the parameters admit no endemic
+        // equilibrium (γ ≥ β — constructible by mutating the public fields),
+        // and the family would be degenerate: reject loudly.
+        let per_process = params.expected_stashers(1.0);
+        if !(per_process.is_finite() && per_process > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                name: "params",
+                reason: format!(
+                    "parameters admit no endemic equilibrium \
+                     (stash fraction {per_process}); need β > γ > 0"
+                ),
+            });
+        }
+        let n = (target_stashers / per_process).round().max(4.0) as u64;
+        Ok(NearExtinction { params, n })
+    }
+
+    /// The endemic parameters in use.
+    pub fn params(&self) -> &EndemicParams {
+        &self.params
+    }
+
+    /// The derived group size.
+    pub fn group_size(&self) -> u64 {
+        self.n
+    }
+
+    /// The expected stash population at the endemic equilibrium for the
+    /// derived group size.
+    pub fn expected_stashers(&self) -> f64 {
+        self.params.expected_stashers(self.n as f64)
+    }
+
+    /// The equilibrium initial counts (receptive truncated, stash rounded
+    /// with a floor of one process, remainder to averse — see
+    /// [`EndemicParams::equilibrium_counts`]).
+    pub fn initial_counts(&self) -> [u64; 3] {
+        self.params.equilibrium_counts(self.n)
+    }
+
+    /// Runs one near-extinction trajectory for `periods` periods under the
+    /// given seed and reports when (if ever) the stash population hit the
+    /// absorbing zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and runtime errors.
+    pub fn run(&self, periods: u64, seed: u64) -> Result<ExtinctionOutcome, CoreError> {
+        use dpde_core::runtime::{CountsRecorder, InitialStates, Simulation};
+        let protocol = self.params.figure1_protocol()?;
+        let scenario = Scenario::new(self.n as usize, periods)?.with_seed(seed);
+        let counts = self.initial_counts();
+        let run = Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&counts))
+            .observe(CountsRecorder::new())
+            .run_auto()?;
+        let stash = run.state_series(STASH)?;
+        let extinction_period = stash.iter().position(|&y| y == 0.0).map(|p| p as u64);
+        Ok(ExtinctionOutcome {
+            run,
+            extinction_period,
+        })
+    }
+
+    /// Runs `repetitions` independent trajectories and returns the fraction
+    /// in which the replica went extinct within `periods` periods.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and runtime errors.
+    pub fn extinction_rate(
+        &self,
+        periods: u64,
+        repetitions: u32,
+        seed_base: u64,
+    ) -> Result<f64, CoreError> {
+        let mut extinct = 0u32;
+        for rep in 0..repetitions {
+            if self
+                .run(periods, seed_base + u64::from(rep))?
+                .extinction_period
+                .is_some()
+            {
+                extinct += 1;
+            }
+        }
+        Ok(f64::from(extinct) / f64::from(repetitions.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_validation() {
+        let family = NearTieTakeover::new();
+        assert_eq!(family.imbalance(), 0.005);
+        assert_eq!(family.split(2_000), (1_010, 990));
+        assert_eq!(family.split(100_000), (50_500, 49_500));
+        // ε = 0 is an exact tie; ε ≥ 0.5 is rejected.
+        assert_eq!(
+            NearTieTakeover::new()
+                .with_imbalance(0.0)
+                .unwrap()
+                .split(100),
+            (50, 50)
+        );
+        assert!(NearTieTakeover::new().with_imbalance(0.5).is_err());
+        assert!(NearTieTakeover::new().with_imbalance(-0.1).is_err());
+    }
+
+    #[test]
+    fn near_tie_runs_resolve_to_a_takeover_or_a_majority_win() {
+        // A 51/49 split of 1000 processes: the saddle is close, so the run
+        // decides for one of the proposals (which one varies by seed); the
+        // outcome bookkeeping must be consistent either way.
+        let family = NearTieTakeover::new().with_imbalance(0.01).unwrap();
+        let scenario = Scenario::new(1_000, 1_500).unwrap().with_seed(31);
+        let run = family.run(&scenario).unwrap();
+        assert!(matches!(
+            run.outcome.decision,
+            Decision::Zero | Decision::One
+        ));
+        assert_eq!(
+            run.minority_takeover,
+            run.outcome.decision == Decision::One,
+            "zeros start as the majority"
+        );
+        // Counting over seeds: every decided run is either a majority win or
+        // a takeover.
+        let (decided, takeovers) = family.takeover_count(600, 1_200, 4, 500).unwrap();
+        assert!(decided >= 3, "near-tie runs should mostly decide");
+        assert!(takeovers <= decided);
+    }
+
+    #[test]
+    fn near_extinction_family_is_sized_from_the_target() {
+        let family = NearExtinction::new(8.0).unwrap();
+        assert!((family.expected_stashers() - 8.0).abs() < 0.5);
+        let counts = family.initial_counts();
+        assert_eq!(counts.iter().sum::<u64>(), family.group_size());
+        // The stash population starts small — the whole point of the family.
+        assert!(counts[1] < dpde_core::runtime::SMALL_COUNT_THRESHOLD);
+        assert!(NearExtinction::new(0.0).is_err());
+        assert!(NearExtinction::new(f64::NAN).is_err());
+        // Parameters without an endemic equilibrium (γ ≥ β via direct field
+        // mutation) are rejected instead of producing a degenerate family.
+        let mut subcritical = EndemicParams::from_contact_count(2, 0.1, 6.25e-4).unwrap();
+        subcritical.gamma = 1.0;
+        subcritical.beta = 0.5;
+        assert!(NearExtinction::with_params(subcritical, 6.0).is_err());
+    }
+
+    #[test]
+    fn near_extinction_runs_report_the_absorbing_event() {
+        // With only ~5 stashers, extinction within 4000 periods is common;
+        // across a few seeds at least one run must hit the absorbing zero,
+        // and the report must match the recorded series.
+        let family = NearExtinction::new(5.0).unwrap();
+        let mut saw_extinction = false;
+        for seed in 0..6 {
+            let outcome = family.run(4_000, seed).unwrap();
+            let stash = outcome.run.state_series(STASH).unwrap();
+            match outcome.extinction_period {
+                Some(p) => {
+                    saw_extinction = true;
+                    assert_eq!(stash[p as usize], 0.0);
+                    // Absorbing: once extinct, extinct forever.
+                    assert!(stash[p as usize..].iter().all(|&y| y == 0.0));
+                }
+                None => assert!(stash.iter().all(|&y| y > 0.0)),
+            }
+        }
+        assert!(saw_extinction, "no extinction in 6 seeds × 4000 periods");
+    }
+}

@@ -57,10 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.max_abs_error, report.mean_abs_error
     );
 
-    // 4b. The same experiment at one million processes: the count-batched
-    //     runtime advances whole state-count vectors per period (its cost is
-    //     independent of N), so this takes milliseconds. `run_auto` picks it
-    //     whenever no observer needs per-process identity.
+    // 4b. The same experiment at one million processes. `run_auto` picks the
+    //     fastest trustworthy fidelity: here the single initial infective is
+    //     a small count, so it selects the hybrid runtime — per-process
+    //     while the infected population is tiny, count-batched (cost
+    //     independent of N) once every population is large — and the run
+    //     still takes milliseconds.
     let big_n = 1_000_000usize;
     let big = Simulation::of(protocol.clone())
         .scenario(Scenario::new(big_n, 40)?.with_seed(42))

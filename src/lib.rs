@@ -13,7 +13,7 @@
 //! * [`core`] — the ODE→protocol compiler (Flipping, One-Time-Sampling,
 //!   Tokenizing), the compiled state machines, the
 //!   [`Runtime`](dpde_core::Runtime) trait with its agent / batched /
-//!   aggregate implementations, composable observers, and the
+//!   hybrid / aggregate implementations, composable observers, and the
 //!   [`Simulation`](dpde_core::Simulation) / [`dpde_core::Ensemble`]
 //!   drivers;
 //! * [`protocols`] — the paper's case studies: epidemic
@@ -86,8 +86,9 @@ pub mod prelude {
     pub use dpde_core::equivalence::{compare_to_system, compare_trajectories};
     pub use dpde_core::runtime::{
         AgentRuntime, AggregateRuntime, AliveTracker, BatchedRuntime, CountsRecorder, Ensemble,
-        EnsembleResult, InitialStates, MembershipTracker, MessageCounter, Observer, PeriodEvents,
-        RunConfig, RunResult, Runtime, Simulation, TransitionRecorder,
+        EnsembleResult, FidelityTier, HybridRuntime, InitialStates, MembershipTracker,
+        MessageCounter, Observer, PeriodEvents, RunConfig, RunResult, Runtime, Simulation,
+        TransitionRecorder,
     };
     pub use dpde_core::{Action, MessageComplexity, Protocol, ProtocolCompiler, StateId};
     pub use dpde_protocols::endemic::replication::MigratoryStore;
@@ -95,6 +96,7 @@ pub mod prelude {
     pub use dpde_protocols::epidemic::{Epidemic, EpidemicStyle};
     pub use dpde_protocols::lv::majority::{Decision, MajoritySelection};
     pub use dpde_protocols::lv::LvParams;
+    pub use dpde_protocols::small_count::{NearExtinction, NearTieTakeover};
     pub use netsim::{
         ChurnTrace, FailureSchedule, Group, LossConfig, MetricsRecorder, OnlineStats, PeriodClock,
         Rng, Scenario, SyntheticChurnConfig,

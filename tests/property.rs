@@ -193,12 +193,15 @@ fn epidemic_ensemble_mean<R: Runtime>(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// All three runtime fidelities — agent (per-process), batched
-    /// (count-batched stochastic) and aggregate (mean-field sampling) — are
+    /// All four runtime fidelities — agent (per-process), batched
+    /// (count-batched stochastic), hybrid (batched with per-process
+    /// small-count segments) and aggregate (mean-field sampling) — are
     /// statistically equivalent through the `Runtime` trait: over an 8-seed
     /// ensemble, the mean epidemic trajectory of each fidelity stays within
     /// tolerance of an RK4 integration of the source equations — and hence
-    /// of every other fidelity.
+    /// of every other fidelity. The hybrid runs start with a handful of
+    /// infectives and end with the susceptibles near extinction, so they
+    /// cross the fidelity handoff in both directions.
     #[test]
     fn runtimes_are_statistically_equivalent_through_the_trait(
         seed_base in 0u64..1_000,
@@ -217,24 +220,86 @@ proptest! {
         let agent = epidemic_ensemble_mean::<AgentRuntime>(&protocol, n, periods, seed_base, infected);
         let batched =
             epidemic_ensemble_mean::<BatchedRuntime>(&protocol, n, periods, seed_base, infected);
+        let hybrid =
+            epidemic_ensemble_mean::<HybridRuntime>(&protocol, n, periods, seed_base, infected);
         let aggregate =
             epidemic_ensemble_mean::<AggregateRuntime>(&protocol, n, periods, seed_base, infected);
 
         // Each fidelity tracks the ODE…
         let agent_vs_ode = compare_to_system(&agent, &sys, 0.01).unwrap();
         let batched_vs_ode = compare_to_system(&batched, &sys, 0.01).unwrap();
+        let hybrid_vs_ode = compare_to_system(&hybrid, &sys, 0.01).unwrap();
         let aggregate_vs_ode = compare_to_system(&aggregate, &sys, 0.01).unwrap();
         prop_assert!(agent_vs_ode.max_abs_error < 0.15, "agent vs ODE: {}", agent_vs_ode.max_abs_error);
         prop_assert!(batched_vs_ode.max_abs_error < 0.15, "batched vs ODE: {}", batched_vs_ode.max_abs_error);
+        prop_assert!(hybrid_vs_ode.max_abs_error < 0.15, "hybrid vs ODE: {}", hybrid_vs_ode.max_abs_error);
         prop_assert!(aggregate_vs_ode.max_abs_error < 0.15, "aggregate vs ODE: {}", aggregate_vs_ode.max_abs_error);
 
         // …and therefore each other, sampled on the same period grid.
         let agent_vs_batched = compare_trajectories(&agent, &batched).unwrap();
         prop_assert!(agent_vs_batched.max_abs_error < 0.2, "agent vs batched: {}", agent_vs_batched.max_abs_error);
+        let agent_vs_hybrid = compare_trajectories(&agent, &hybrid).unwrap();
+        prop_assert!(agent_vs_hybrid.max_abs_error < 0.2, "agent vs hybrid: {}", agent_vs_hybrid.max_abs_error);
+        let hybrid_vs_batched = compare_trajectories(&hybrid, &batched).unwrap();
+        prop_assert!(hybrid_vs_batched.max_abs_error < 0.2, "hybrid vs batched: {}", hybrid_vs_batched.max_abs_error);
         let batched_vs_aggregate = compare_trajectories(&batched, &aggregate).unwrap();
         prop_assert!(batched_vs_aggregate.max_abs_error < 0.2, "batched vs aggregate: {}", batched_vs_aggregate.max_abs_error);
         let agent_vs_aggregate = compare_trajectories(&agent, &aggregate).unwrap();
         prop_assert!(agent_vs_aggregate.max_abs_error < 0.2, "agent vs aggregate: {}", agent_vs_aggregate.max_abs_error);
+    }
+
+    /// LV-majority equivalence: the hybrid, agent and batched fidelities
+    /// produce matching ensemble-mean trajectories on a clear-majority LV
+    /// run. The workload starts with the undecided state empty and ends with
+    /// the losing proposal near extinction, so the hybrid runs spend their
+    /// head and tail at membership fidelity with a long batched middle.
+    #[test]
+    fn lv_majority_fidelities_are_statistically_equivalent(seed_base in 0u64..1_000) {
+        let protocol = LvParams::new().protocol().unwrap();
+        let n = 2_000usize;
+        let split = 1_200u64; // 60/40
+        let mean_of = |runtime: &str, seed_base: u64| -> Trajectory {
+            let ensemble = Ensemble::of(protocol.clone())
+                .scenario(Scenario::new(n, 700).unwrap())
+                .initial(InitialStates::counts(&[split, n as u64 - split, 0]))
+                .seeds(seed_base..seed_base + 8)
+                .threads(4);
+            let result = match runtime {
+                "agent" => ensemble.run::<AgentRuntime>(),
+                "batched" => ensemble.run::<BatchedRuntime>(),
+                _ => ensemble.run::<HybridRuntime>(),
+            }
+            .expect("ensemble runs");
+            result.mean
+        };
+        let agent = mean_of("agent", seed_base);
+        let batched = mean_of("batched", seed_base);
+        let hybrid = mean_of("hybrid", seed_base);
+        let tolerance = n as f64 * 0.15;
+        for (period, ((a, b), h)) in agent
+            .states()
+            .iter()
+            .zip(batched.states())
+            .zip(hybrid.states())
+            .enumerate()
+        {
+            for state in 0..3 {
+                prop_assert!(
+                    (a[state] - h[state]).abs() < tolerance,
+                    "period {period} state {state}: agent {} vs hybrid {}",
+                    a[state], h[state]
+                );
+                prop_assert!(
+                    (b[state] - h[state]).abs() < tolerance,
+                    "period {period} state {state}: batched {} vs hybrid {}",
+                    b[state], h[state]
+                );
+            }
+        }
+        // All three select the initial majority on average.
+        prop_assert!(agent.last_state()[0] > n as f64 * 0.9);
+        prop_assert!(hybrid.last_state()[0] > n as f64 * 0.9);
+        prop_assert!(batched.last_state()[0] > n as f64 * 0.9);
     }
 
     /// The batched runtime conserves the process count on random compiled
