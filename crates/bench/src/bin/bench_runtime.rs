@@ -13,6 +13,18 @@
 //!   equilibrium at N = 10⁵ (all populations large): the hybrid runtime must
 //!   stay at count level and beat the agent runtime by ≥ 10× wall-clock.
 //!
+//! Both workloads also run on the sharded runtime (S ∈ {1, 8, 64} at
+//! N = 10⁶–10⁷) so the per-shard overhead has a tracked trajectory. A note
+//! on the sharded gates: a count-batched period costs O(states²·actions)
+//! *independent of N* — microseconds at N = 10⁷ — so S shards cost roughly
+//! S × that, and no sharded configuration can beat single-group batched
+//! wall-clock (let alone on this repo's single-core CI runner, where worker
+//! threads cannot overlap). The enforceable form of "sharding must not cost
+//! the count-level win" is what we gate: the delegating S = 1 path stays
+//! within a small factor of batched, S = 8 stays within a linear-in-S
+//! envelope of batched (catching any accidental O(N) term in the exchange),
+//! and sharded throughput never regresses past the agent baseline.
+//!
 //! `--scale` / `DPDE_SCALE` shrink the sweep for CI smoke runs; the default
 //! reproduces the full N = 10³…10⁶ sweep (plus 10⁷ for the count-level
 //! runtimes, whose period cost is independent of N).
@@ -24,21 +36,33 @@
 //! * the hybrid runtime regresses past the agent baseline on the endemic
 //!   workload (any scale; small smoke scales legitimately keep hybrid at
 //!   membership fidelity, so the bound there is "not slower", with a noise
-//!   allowance), or
+//!   allowance),
 //! * at full scale (≥ 1), the hybrid runtime is not ≥ 10× faster than the
-//!   agent runtime on the endemic workload.
+//!   agent runtime on the endemic workload, or
+//! * a sharded gate fails: S = 1 drifts past `max(10 × batched, 2 ms)` at the
+//!   largest epidemic N, S = 8 drifts past `max(32 × S × batched, 10 ms)`
+//!   there, or S = 8 process-period throughput at the largest epidemic N
+//!   falls below the agent runtime's at the largest common N.
 
 use dpde_bench::{banner, scale_from_args, scaled};
 use dpde_core::runtime::{
     AgentRuntime, AggregateRuntime, BatchedRuntime, HybridRuntime, InitialStates, Runtime,
+    ShardedRuntime,
 };
 use dpde_core::{Protocol, ProtocolCompiler};
 use dpde_protocols::endemic::EndemicParams;
-use netsim::Scenario;
+use netsim::{Scenario, Topology};
 use odekit::EquationSystemBuilder;
 use std::time::Instant;
 
 const PERIODS: u64 = 30;
+/// Per-period migration probability for the sharded rows: low enough that
+/// shards stay meaningfully local, high enough that the exchange path (the
+/// code being timed) does real work every period.
+const SHARD_MIGRATION: f64 = 0.01;
+/// Shard counts tracked in the sweep; "s1" exercises the bit-for-bit
+/// delegation path, the others the exchange + per-shard stepping path.
+const SHARD_SWEEP: [(usize, &str); 3] = [(1, "sharded_s1"), (8, "sharded_s8"), (64, "sharded_s64")];
 
 fn epidemic() -> Protocol {
     let sys = EquationSystemBuilder::new()
@@ -194,6 +218,29 @@ fn main() {
         });
     }
 
+    // Sharded rows: the epidemic workload at N = 10⁶ and 10⁷ for S ∈ {1, 8,
+    // 64}. S = 1 takes the delegation path (bit-for-bit batched); S > 1 pays
+    // the multivariate-hypergeometric exchange plus one batched step per
+    // shard.
+    let mut sharded_ns = vec![largest_common, count_level_extra];
+    sharded_ns.dedup();
+    for &n in &sharded_ns {
+        let initial = InitialStates::counts(&[n - 1, 1]);
+        for (shards, label) in SHARD_SWEEP {
+            if shards as u64 > n {
+                continue; // smoke scales can shrink N below the shard count
+            }
+            let scenario = Scenario::new(n as usize, PERIODS)
+                .expect("scenario")
+                .with_seed(7)
+                .with_topology(Topology::sharded(shards, SHARD_MIGRATION).expect("topology"));
+            let sharded = ShardedRuntime::new(protocol.clone());
+            measure("epidemic", label, n, 3, &mut || {
+                run_steps(&sharded, &scenario, &initial)
+            });
+        }
+    }
+
     // Endemic workload at N = 10⁵, started at the endemic equilibrium with
     // the replication parameters the simulated figures use (β = 4 via b = 2
     // contacts, γ = 0.1, α = 0.01): the equilibrium holds ≈ 8.9 % stashers
@@ -224,11 +271,37 @@ fn main() {
         });
     }
 
-    let seconds_of = |workload: &str, runtime: &str, n: u64| {
+    // Sharded rows for the endemic workload at N = 10⁶: three states and a
+    // denser transition structure than the epidemic, so the exchange is
+    // costlier per shard-period.
+    let endemic_sharded_n = scaled(1_000_000, scale, 100);
+    {
+        let params = EndemicParams::from_contact_count(2, 0.1, 0.01).expect("valid parameters");
+        let endemic_protocol = params.figure1_protocol().expect("figure 1 protocol");
+        let counts = params.equilibrium_counts(endemic_sharded_n);
+        let initial = InitialStates::counts(&counts);
+        for (shards, label) in SHARD_SWEEP {
+            if shards as u64 > endemic_sharded_n {
+                continue;
+            }
+            let scenario = Scenario::new(endemic_sharded_n as usize, PERIODS)
+                .expect("scenario")
+                .with_seed(7)
+                .with_topology(Topology::sharded(shards, SHARD_MIGRATION).expect("topology"));
+            let sharded = ShardedRuntime::new(endemic_protocol.clone());
+            measure("endemic", label, endemic_sharded_n, 3, &mut || {
+                run_steps(&sharded, &scenario, &initial)
+            });
+        }
+    }
+
+    let maybe_seconds = |workload: &str, runtime: &str, n: u64| {
         rows.iter()
             .find(|r| r.workload == workload && r.runtime == runtime && r.n == n)
             .map(|r| r.seconds)
-            .expect("measured")
+    };
+    let seconds_of = |workload: &str, runtime: &str, n: u64| {
+        maybe_seconds(workload, runtime, n).expect("measured")
     };
     let agent_largest = seconds_of("epidemic", "agent", largest_common);
     let batched_largest = seconds_of("epidemic", "batched", largest_common);
@@ -236,6 +309,10 @@ fn main() {
     let endemic_agent = seconds_of("endemic", "agent", endemic_n);
     let endemic_hybrid = seconds_of("endemic", "hybrid", endemic_n);
     let hybrid_speedup = endemic_agent / endemic_hybrid;
+    let sharded_largest = *sharded_ns.last().expect("non-empty sharded sweep");
+    let batched_at_sharded = seconds_of("epidemic", "batched", sharded_largest);
+    let sharded_s1 = maybe_seconds("epidemic", "sharded_s1", sharded_largest);
+    let sharded_s8 = maybe_seconds("epidemic", "sharded_s8", sharded_largest);
 
     println!("\n== summary ==");
     println!(
@@ -246,15 +323,27 @@ fn main() {
         "endemic, N = {endemic_n}: agent {endemic_agent:.4}s, \
          hybrid {endemic_hybrid:.4}s, speedup {hybrid_speedup:.1}x"
     );
+    println!(
+        "sharded epidemic, N = {sharded_largest}: batched {batched_at_sharded:.6}s, \
+         S=1 {}s, S=8 {}s",
+        sharded_s1.map_or("-".to_string(), |s| format!("{s:.6}")),
+        sharded_s8.map_or("-".to_string(), |s| format!("{s:.6}")),
+    );
 
+    let json_opt = |v: Option<f64>| v.map_or("null".to_string(), |s| format!("{s:.6}"));
     let json = format!(
         "{{\n  \"bench\": \"runtime_sweep\",\n  \"periods\": {PERIODS},\n  \
          \"scale\": {scale},\n  \"results\": [\n{}\n  ],\n  \
          \"largest_common_n\": {largest_common},\n  \
          \"batched_speedup_at_largest\": {speedup:.2},\n  \
          \"endemic_n\": {endemic_n},\n  \
-         \"hybrid_speedup_endemic\": {hybrid_speedup:.2}\n}}\n",
-        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n")
+         \"hybrid_speedup_endemic\": {hybrid_speedup:.2},\n  \
+         \"sharded_largest_n\": {sharded_largest},\n  \
+         \"sharded_s1_seconds\": {},\n  \
+         \"sharded_s8_seconds\": {}\n}}\n",
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n"),
+        json_opt(sharded_s1),
+        json_opt(sharded_s8),
     );
     let out = std::env::var("DPDE_BENCH_OUT").unwrap_or_else(|_| "BENCH_runtime.json".into());
     match std::fs::write(&out, &json) {
@@ -292,5 +381,45 @@ fn main() {
              agent runtime on the endemic workload at N = {endemic_n} (need ≥ 10x)"
         );
         std::process::exit(1);
+    }
+    // Perf gate 4: the S = 1 delegation path must stay within a small factor
+    // of plain batched (it *is* a batched run plus aggregation copies). The
+    // absolute floor absorbs timer noise at microsecond magnitudes.
+    if let Some(s1) = sharded_s1 {
+        let bound = (10.0 * batched_at_sharded).max(0.002);
+        if s1 > bound {
+            eprintln!(
+                "error: sharded S=1 took {s1:.6}s at N = {sharded_largest}, past its \
+                 delegation bound of {bound:.6}s (batched: {batched_at_sharded:.6}s)"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(s8) = sharded_s8 {
+        // Perf gate 5: S = 8 costs at most a linear-in-S envelope of batched —
+        // this is the O(N)-regression catcher for the exchange path (an
+        // accidental per-process term would blow through it at N = 10⁷).
+        let bound = (32.0 * 8.0 * batched_at_sharded).max(0.010);
+        if s8 > bound {
+            eprintln!(
+                "error: sharded S=8 took {s8:.6}s at N = {sharded_largest}, past its \
+                 linear-in-S bound of {bound:.6}s (batched: {batched_at_sharded:.6}s) — \
+                 the exchange path may have grown an O(N) term"
+            );
+            std::process::exit(1);
+        }
+        // Perf gate 6: sharded throughput never regresses past the agent
+        // baseline (process-periods/sec, compared at each runtime's largest
+        // measured N).
+        let sharded_pps = (sharded_largest * PERIODS) as f64 / s8;
+        let agent_pps = (largest_common * PERIODS) as f64 / agent_largest;
+        if sharded_pps < agent_pps {
+            eprintln!(
+                "error: sharded S=8 throughput ({sharded_pps:.0} process-periods/s at \
+                 N = {sharded_largest}) regressed past the agent baseline \
+                 ({agent_pps:.0} process-periods/s at N = {largest_common})"
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -456,6 +456,7 @@ impl AgentRuntime {
                 members: &state.members,
                 group: &state.group,
             }),
+            shard_counts_alive: None,
         }
     }
 }
@@ -501,6 +502,7 @@ impl Runtime for AgentRuntime {
 
     fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<AgentState> {
         self.protocol.validate()?;
+        super::reject_sharded(scenario, "agent")?;
         let n = scenario.group_size();
         let num_states = self.protocol.num_states();
         let counts_spec = initial.resolve(num_states, n as u64)?;

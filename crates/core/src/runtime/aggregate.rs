@@ -160,6 +160,7 @@ impl AggregateRuntime {
             alive: state.alive_n,
             counts_alive: None,
             membership: None,
+            shard_counts_alive: None,
         }
     }
 }
@@ -193,6 +194,7 @@ impl Runtime for AggregateRuntime {
                     .into(),
             });
         }
+        super::reject_sharded(scenario, "aggregate")?;
         let loss = self.loss.unwrap_or(*scenario.loss());
         self.init_raw(scenario.group_size() as u64, initial, scenario.seed(), loss)
     }

@@ -145,6 +145,65 @@ impl BatchedState {
     pub(super) fn rng_clone(&self) -> Rng {
         self.rng.clone()
     }
+
+    /// Total alive processes.
+    pub(super) fn alive_total(&self) -> u64 {
+        self.alive_n
+    }
+
+    /// The sparse transition tallies of the last executed period.
+    pub(super) fn last_transitions(&self) -> &[(StateId, StateId, u64)] {
+        &self.transitions
+    }
+
+    /// The message tally of the last executed period.
+    pub(super) fn last_messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Replaces the per-state alive counts (crashed counts are untouched) and
+    /// refreshes the derived totals — including the density denominator
+    /// `n_f`, which tracks the *current* population so firing probabilities
+    /// keep meaning "sample a uniform member of this group".
+    ///
+    /// This is the sharded runtime's migration hook: after an inter-shard
+    /// exchange the shard's population differs from the group size its
+    /// scenario was built with, and this method is the only place allowed to
+    /// break that equality. Scratch buffers are untouched (their sizes
+    /// depend only on the protocol).
+    pub(super) fn rebase_alive(&mut self, counts_alive: &[u64]) {
+        debug_assert_eq!(counts_alive.len(), self.counts_alive.len());
+        self.counts_alive.copy_from_slice(counts_alive);
+        for ((count, alive), crashed) in self
+            .counts
+            .iter_mut()
+            .zip(&self.counts_alive)
+            .zip(&self.counts_crashed)
+        {
+            *count = alive + crashed;
+        }
+        self.alive_n = self.counts_alive.iter().sum();
+        self.n_f = self.counts.iter().sum::<u64>() as f64;
+    }
+
+    /// Moves `hits[s]` processes of each state `s` from alive to crashed —
+    /// the sharded runtime's hook for externally drawn massive failures
+    /// (state totals and the density denominator are unchanged: crashed
+    /// processes remember their state).
+    pub(super) fn crash_counts(&mut self, hits: &[u64]) {
+        debug_assert_eq!(hits.len(), self.counts_alive.len());
+        for ((alive, crashed), &hit) in self
+            .counts_alive
+            .iter_mut()
+            .zip(self.counts_crashed.iter_mut())
+            .zip(hits)
+        {
+            debug_assert!(hit <= *alive, "cannot crash more than are alive");
+            *alive -= hit;
+            *crashed += hit;
+        }
+        self.alive_n -= hits.iter().sum::<u64>();
+    }
 }
 
 impl BatchedRuntime {
@@ -194,6 +253,7 @@ impl BatchedRuntime {
             alive: state.alive_n,
             counts_alive: Some(&state.counts_alive),
             membership: None,
+            shard_counts_alive: None,
         }
     }
 
@@ -330,7 +390,11 @@ impl BatchedRuntime {
 }
 
 /// Crashes `k` uniformly random alive processes: the per-state hit counts
-/// follow a multivariate hypergeometric distribution, drawn sequentially.
+/// follow a multivariate hypergeometric distribution.
+///
+/// Delegates to [`Rng::multivariate_hypergeometric_into`], whose
+/// sequential-conditional walk consumes the PRNG stream exactly like the
+/// hand-rolled loop this used to be — seeded runs stay bit-identical.
 fn crash_hypergeometric(
     rng: &mut Rng,
     counts_alive: &mut [u64],
@@ -338,24 +402,18 @@ fn crash_hypergeometric(
     alive_total: u64,
     k: u64,
 ) {
-    let mut population = alive_total;
-    let mut remaining = k;
-    for (alive, crashed) in counts_alive.iter_mut().zip(counts_crashed.iter_mut()) {
-        if remaining == 0 {
-            break;
-        }
-        let here = *alive;
-        let hit = if population == here {
-            remaining
-        } else {
-            rng.hypergeometric(population, here, remaining)
-        };
+    debug_assert_eq!(counts_alive.iter().sum::<u64>(), alive_total);
+    debug_assert!(k <= alive_total, "cannot crash more than are alive");
+    let mut hits = vec![0u64; counts_alive.len()];
+    rng.multivariate_hypergeometric_into(counts_alive, k, &mut hits);
+    for ((alive, crashed), hit) in counts_alive
+        .iter_mut()
+        .zip(counts_crashed.iter_mut())
+        .zip(hits)
+    {
         *alive -= hit;
         *crashed += hit;
-        population -= here;
-        remaining -= hit;
     }
-    debug_assert_eq!(remaining, 0, "all crash draws assigned");
 }
 
 impl Runtime for BatchedRuntime {
@@ -382,6 +440,7 @@ impl Runtime for BatchedRuntime {
                     .into(),
             });
         }
+        super::reject_sharded(scenario, "batched")?;
         let num_states = self.protocol.num_states();
         let n = scenario.group_size() as u64;
         let counts = initial.resolve(num_states, n)?;

@@ -34,7 +34,7 @@ use super::{auto_tier, FidelityTier, InitialStates, Observer, RunConfig, Runtime
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
-use netsim::{OnlineStats, Scenario};
+use netsim::{OnlineStats, Scenario, Topology};
 use odekit::integrate::Trajectory;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -45,6 +45,7 @@ use std::sync::Mutex;
 pub struct Ensemble {
     protocol: Protocol,
     scenario: Option<Scenario>,
+    topology: Option<Topology>,
     initial: Option<InitialStates>,
     config: RunConfig,
     seeds: Vec<u64>,
@@ -59,6 +60,7 @@ impl Ensemble {
         Ensemble {
             protocol,
             scenario: None,
+            topology: None,
             initial: None,
             config: RunConfig::default(),
             seeds: (0..8).collect(),
@@ -71,6 +73,17 @@ impl Ensemble {
     #[must_use]
     pub fn scenario(mut self, scenario: Scenario) -> Self {
         self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the population topology applied to every scenario in the
+    /// ensemble (including each entry of a [`run_sweep`](Self::run_sweep)
+    /// list), overriding the scenarios' own. A sharded topology makes
+    /// [`run_auto`](Self::run_auto) select the
+    /// [`ShardedRuntime`](super::ShardedRuntime) tier.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -144,9 +157,13 @@ impl Ensemble {
     /// ensemble on (see [`FidelityTier`] for the policy; ensembles only record
     /// counts, so no observer ever needs host identity here).
     pub fn selected_tier(&self) -> FidelityTier {
+        let effective = match (&self.scenario, self.topology) {
+            (Some(scenario), Some(topology)) => Some(scenario.clone().with_topology(topology)),
+            _ => None,
+        };
         auto_tier(
             &self.protocol,
-            self.scenario.as_ref(),
+            effective.as_ref().or(self.scenario.as_ref()),
             self.initial.as_ref(),
             false,
         )
@@ -169,6 +186,7 @@ impl Ensemble {
             FidelityTier::Batched => self.run::<super::BatchedRuntime>(),
             FidelityTier::Hybrid => self.run::<super::HybridRuntime>(),
             FidelityTier::Agent => self.run::<super::AgentRuntime>(),
+            FidelityTier::Sharded => self.run::<super::ShardedRuntime>(),
         }
     }
 
@@ -225,7 +243,10 @@ impl Ensemble {
                         return;
                     }
                     let (sc, seed) = jobs[job];
-                    let scenario = scenarios[sc].clone().with_seed(seed);
+                    let mut scenario = scenarios[sc].clone().with_seed(seed);
+                    if let Some(topology) = self.topology {
+                        scenario = scenario.with_topology(topology);
+                    }
                     let runtime = R::build(self.protocol.clone(), &self.config);
                     let mut observers: Vec<Box<dyn Observer>> =
                         vec![Box::new(if self.alive_only {
@@ -510,7 +531,7 @@ mod tests {
         // Per-id events force the agent tier.
         let mut schedule = netsim::FailureSchedule::new();
         schedule.add(1, netsim::FailureEvent::Crash(netsim::ProcessId(0)));
-        let per_id = Ensemble::of(protocol)
+        let per_id = Ensemble::of(protocol.clone())
             .scenario(
                 Scenario::new(1_000, 10)
                     .unwrap()
@@ -518,6 +539,16 @@ mod tests {
             )
             .initial(InitialStates::counts(&[500, 500]));
         assert_eq!(per_id.selected_tier(), FidelityTier::Agent);
+        // A builder-level sharded topology selects the sharded tier and the
+        // ensemble runs on it.
+        let sharded = Ensemble::of(protocol)
+            .scenario(Scenario::new(10_000, 20).unwrap())
+            .initial(InitialStates::counts(&[9_900, 100]))
+            .topology(netsim::Topology::sharded(4, 0.05).unwrap())
+            .seed_range(0..4);
+        assert_eq!(sharded.selected_tier(), FidelityTier::Sharded);
+        let result = sharded.run_auto().unwrap();
+        assert!(result.mean_series("y").unwrap().last().unwrap() > &9_000.0);
     }
 
     #[test]

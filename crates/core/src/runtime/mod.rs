@@ -35,6 +35,7 @@ mod batched;
 mod ensemble;
 mod hybrid;
 mod observer;
+mod sharded;
 mod simulation;
 
 pub use agent::{AgentRuntime, AgentState, MembershipView};
@@ -44,8 +45,9 @@ pub use ensemble::{Ensemble, EnsembleResult};
 pub use hybrid::{HybridFidelity, HybridRuntime, HybridState, SMALL_COUNT_THRESHOLD};
 pub use observer::{
     AliveTracker, CountsRecorder, MembershipTracker, MessageCounter, Observer, PeriodEvents,
-    TransitionRecorder,
+    ShardCountsRecorder, TransitionRecorder,
 };
+pub use sharded::{ShardedRuntime, ShardedState};
 pub use simulation::Simulation;
 
 use crate::error::CoreError;
@@ -110,11 +112,20 @@ pub enum FidelityTier {
     /// Per-process throughout ([`AgentRuntime`]): the environment or an
     /// observer needs host identity.
     Agent,
+    /// Count-batched per shard ([`ShardedRuntime`]): the scenario carries a
+    /// sharded [`Topology`](netsim::Topology) or shard-targeted events, so
+    /// the population advances as `S` locally-mixed count vectors exchanging
+    /// processes through per-period migration.
+    Sharded,
 }
 
 /// Picks the fastest fidelity that can serve a run (the policy behind
 /// [`Simulation::run_auto`] and [`Ensemble::run_auto`]):
 ///
+/// * a scenario with a sharded [`Topology`](netsim::Topology) or
+///   shard-targeted events selects [`FidelityTier::Sharded`] — sharding is
+///   count-level only, so it is checked first and membership observers are
+///   inert under it (exactly as under the batched tier);
 /// * an observer that needs per-process identity, a per-id failure schedule
 ///   or a churn trace forces [`FidelityTier::Agent`];
 /// * otherwise, if any resolved initial per-state count is below
@@ -141,6 +152,9 @@ pub(crate) fn auto_tier(
     initial: Option<&InitialStates>,
     needs_membership: bool,
 ) -> FidelityTier {
+    if scenario.is_some_and(Scenario::needs_sharding) {
+        return FidelityTier::Sharded;
+    }
     if needs_membership || !scenario.map_or(true, Scenario::count_level_compatible) {
         return FidelityTier::Agent;
     }
@@ -356,6 +370,25 @@ impl RunResult {
             .map(|s| s.iter().map(|(_, v)| v).sum())
             .unwrap_or(0.0)
     }
+}
+
+/// Rejects a sharded scenario on behalf of a single-group runtime: only
+/// [`ShardedRuntime`] understands shard topologies and shard-targeted
+/// events, and silently flattening them into one well-mixed group would
+/// change the dynamics the caller asked for.
+pub(crate) fn reject_sharded(scenario: &Scenario, runtime_name: &str) -> Result<()> {
+    if scenario.needs_sharding() {
+        return Err(CoreError::InvalidConfig {
+            name: "scenario",
+            reason: format!(
+                "the scenario carries a sharded topology or shard-targeted \
+                 events, which the {runtime_name} runtime's single well-mixed \
+                 group cannot represent — use ShardedRuntime (or \
+                 Simulation::run_auto, which selects it automatically)"
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Name used for transition series: `from->to`.

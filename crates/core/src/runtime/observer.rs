@@ -54,6 +54,12 @@ pub struct PeriodEvents<'a> {
     /// Per-process membership access (agent runtime only; `None` for
     /// count-level runtimes, whose `counts` contain alive processes only).
     pub membership: Option<MembershipView<'a>>,
+    /// Per-shard alive counts (`shard_counts_alive[shard][state]`), filled
+    /// only by the sharded runtime; every other runtime reports `None` (one
+    /// well-mixed group). The aggregated views ([`counts`](Self::counts),
+    /// [`counts_alive`](Self::counts_alive), [`alive`](Self::alive)) always
+    /// sum over shards, so shard-agnostic observers work unchanged.
+    pub shard_counts_alive: Option<&'a [Vec<u64>]>,
 }
 
 impl PeriodEvents<'_> {
@@ -257,6 +263,46 @@ impl Observer for MessageCounter {
     }
 }
 
+/// Records per-shard alive counts into `metrics["shard{j}:{state}"]` — one
+/// series per (shard, state) pair, so experiments can plot an epidemic
+/// front crossing shard boundaries.
+///
+/// Only the sharded runtime fills [`PeriodEvents::shard_counts_alive`];
+/// under every other runtime this observer records nothing (one well-mixed
+/// group has no per-shard decomposition worth duplicating).
+#[derive(Debug, Default)]
+pub struct ShardCountsRecorder {
+    recorder: MetricsRecorder,
+}
+
+impl ShardCountsRecorder {
+    /// Creates the recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for ShardCountsRecorder {
+    fn on_period(&mut self, protocol: &Protocol, events: &PeriodEvents<'_>) {
+        let Some(shards) = events.shard_counts_alive else {
+            return;
+        };
+        for (j, shard) in shards.iter().enumerate() {
+            for (s, &count) in shard.iter().enumerate() {
+                self.recorder.record(
+                    &format!("shard{j}:{}", protocol.state_name(StateId::new(s))),
+                    events.period,
+                    count as f64,
+                );
+            }
+        }
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        result.metrics.merge(&self.recorder);
+    }
+}
+
 /// The observer set that reproduces the legacy always-on recording: counts
 /// (all processes), transitions, alive counts and message counts.
 pub(crate) fn default_observers() -> Vec<Box<dyn Observer>> {
@@ -297,6 +343,7 @@ mod tests {
             alive: counts.iter().sum(),
             counts_alive: None,
             membership: None,
+            shard_counts_alive: None,
         }
     }
 
@@ -378,6 +425,38 @@ mod tests {
         assert!(!TransitionRecorder::new().needs_membership());
         assert!(!AliveTracker::new().needs_membership());
         assert!(!MessageCounter::new().needs_membership());
+    }
+
+    #[test]
+    fn shard_counts_recorder_records_per_shard_series() {
+        let p = protocol();
+        let shards = vec![vec![90u64, 0], vec![0, 10]];
+        let totals = [90u64, 10];
+        let mut ev = events(0, &totals, &[]);
+        ev.shard_counts_alive = Some(&shards);
+        let mut obs = ShardCountsRecorder::new();
+        obs.on_period(&p, &ev);
+        let shards = vec![vec![80u64, 10], vec![3, 7]];
+        let mut ev = events(1, &totals, &[]);
+        ev.shard_counts_alive = Some(&shards);
+        obs.on_period(&p, &ev);
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert_eq!(
+            result.metrics.series("shard0:x").unwrap(),
+            &[(0, 90.0), (1, 80.0)]
+        );
+        assert_eq!(
+            result.metrics.series("shard1:y").unwrap(),
+            &[(0, 10.0), (1, 7.0)]
+        );
+        // Without shard data the recorder is inert.
+        let mut inert = ShardCountsRecorder::new();
+        inert.on_period(&p, &events(0, &totals, &[]));
+        let mut result = RunResult::new(&p);
+        inert.finish(&mut result);
+        assert!(result.metrics.series("shard0:x").is_err());
+        assert!(!ShardCountsRecorder::new().needs_membership());
     }
 
     #[test]

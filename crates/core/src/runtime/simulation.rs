@@ -6,7 +6,7 @@ use super::{auto_tier, FidelityTier, InitialStates, Observer, RunConfig, RunResu
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
-use netsim::Scenario;
+use netsim::{Scenario, Topology};
 
 /// Builder for a single simulation run.
 ///
@@ -39,6 +39,7 @@ use netsim::Scenario;
 pub struct Simulation {
     protocol: Protocol,
     scenario: Option<Scenario>,
+    topology: Option<Topology>,
     initial: Option<InitialStates>,
     config: RunConfig,
     observers: Vec<Box<dyn Observer>>,
@@ -62,6 +63,7 @@ impl Simulation {
         Simulation {
             protocol,
             scenario: None,
+            topology: None,
             initial: None,
             config: RunConfig::default(),
             observers: Vec::new(),
@@ -73,6 +75,18 @@ impl Simulation {
     #[must_use]
     pub fn scenario(mut self, scenario: Scenario) -> Self {
         self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the population topology, overriding the scenario's own (whether
+    /// the scenario is set before or after this call). A sharded topology
+    /// makes [`run_auto`](Self::run_auto) select the
+    /// [`ShardedRuntime`](super::ShardedRuntime) tier; an explicit
+    /// [`Topology::WellMixed`] forces the single-group tiers even if the
+    /// scenario was built sharded.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -131,12 +145,22 @@ impl Simulation {
     /// simulation on, given the current scenario, initial distribution and
     /// observers (see [`FidelityTier`] for the policy).
     pub fn selected_tier(&self) -> FidelityTier {
+        let effective = self.effective_scenario();
         auto_tier(
             &self.protocol,
-            self.scenario.as_ref(),
+            effective.as_ref().or(self.scenario.as_ref()),
             self.initial.as_ref(),
             self.observers.iter().any(|o| o.needs_membership()),
         )
+    }
+
+    /// The scenario with the builder-level topology override applied, if
+    /// both are present (`None` means: use the scenario as-is).
+    fn effective_scenario(&self) -> Option<Scenario> {
+        match (&self.scenario, self.topology) {
+            (Some(scenario), Some(topology)) => Some(scenario.clone().with_topology(topology)),
+            _ => None,
+        }
     }
 
     /// Executes the run on the fastest fidelity that can serve it
@@ -159,6 +183,7 @@ impl Simulation {
             FidelityTier::Batched => self.run::<super::BatchedRuntime>(),
             FidelityTier::Hybrid => self.run::<super::HybridRuntime>(),
             FidelityTier::Agent => self.run::<super::AgentRuntime>(),
+            FidelityTier::Sharded => self.run::<super::ShardedRuntime>(),
         }
     }
 
@@ -192,10 +217,13 @@ impl Simulation {
     }
 
     fn execute<R: Runtime>(mut self, runtime: &R) -> Result<RunResult> {
-        let scenario = self.scenario.take().ok_or(CoreError::InvalidConfig {
+        let mut scenario = self.scenario.take().ok_or(CoreError::InvalidConfig {
             name: "scenario",
             reason: "Simulation::scenario was not set".into(),
         })?;
+        if let Some(topology) = self.topology.take() {
+            scenario = scenario.with_topology(topology);
+        }
         let initial = self.initial.take().ok_or(CoreError::InvalidConfig {
             name: "initial",
             reason: "Simulation::initial was not set".into(),
@@ -419,10 +447,29 @@ mod tests {
         // Per-id failure schedules need host identity → agent.
         let mut schedule = netsim::FailureSchedule::new();
         schedule.add(1, netsim::FailureEvent::Crash(netsim::ProcessId(0)));
-        let per_id = Simulation::of(protocol)
+        let per_id = Simulation::of(protocol.clone())
             .scenario(scenario().with_failure_schedule(schedule))
             .initial(InitialStates::counts(&[5_000, 5_000]));
         assert_eq!(per_id.selected_tier(), FidelityTier::Agent);
+
+        // A sharded topology — whether baked into the scenario or set on the
+        // builder — selects the sharded tier, even in the small-count regime.
+        let baked = Simulation::of(protocol.clone())
+            .scenario(scenario().with_topology(netsim::Topology::sharded(8, 0.01).unwrap()))
+            .initial(InitialStates::counts(&[9_999, 1]));
+        assert_eq!(baked.selected_tier(), FidelityTier::Sharded);
+        let via_builder = Simulation::of(protocol.clone())
+            .scenario(scenario())
+            .initial(InitialStates::counts(&[5_000, 5_000]))
+            .topology(netsim::Topology::sharded(4, 0.0).unwrap());
+        assert_eq!(via_builder.selected_tier(), FidelityTier::Sharded);
+        // ... and an explicit well-mixed builder topology overrides a sharded
+        // scenario back onto the single-group tiers.
+        let overridden = Simulation::of(protocol)
+            .scenario(scenario().with_topology(netsim::Topology::sharded(8, 0.01).unwrap()))
+            .initial(InitialStates::counts(&[5_000, 5_000]))
+            .topology(netsim::Topology::WellMixed);
+        assert_eq!(overridden.selected_tier(), FidelityTier::Batched);
     }
 
     #[test]

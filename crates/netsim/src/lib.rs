@@ -23,7 +23,9 @@
 //! * [`clock`] — protocol-period bookkeeping (periods ↔ wall-clock time),
 //! * [`metrics`] — time-series recording and summary statistics for
 //!   experiment output,
-//! * [`scenario`] — a bundle of all of the above describing one experiment.
+//! * [`scenario`] — a bundle of all of the above describing one experiment,
+//! * [`topology`] — the population topology (one well-mixed group, or `S`
+//!   shards exchanging processes via migration at period boundaries).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +41,7 @@ pub mod network;
 pub mod rng;
 pub mod scenario;
 pub mod stochastic;
+pub mod topology;
 
 pub use churn::{ChurnEvent, ChurnTrace, SyntheticChurnConfig};
 pub use clock::PeriodClock;
@@ -49,6 +52,7 @@ pub use metrics::{MetricsRecorder, OnlineStats, SummaryStats};
 pub use network::LossConfig;
 pub use rng::Rng;
 pub use scenario::Scenario;
+pub use topology::{Placement, ShardConfig, ShardFailure, ShardPartition, Topology};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SimError>;

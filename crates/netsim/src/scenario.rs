@@ -7,6 +7,7 @@ use crate::failure::{FailureModel, FailureSchedule};
 use crate::group::Group;
 use crate::network::LossConfig;
 use crate::rng::Rng;
+use crate::topology::{ShardFailure, ShardPartition, Topology};
 use crate::Result;
 
 /// A complete description of the environment for one simulation run:
@@ -40,6 +41,9 @@ pub struct Scenario {
     churn_events: Vec<ChurnEvent>,
     initial_availability: Option<Vec<bool>>,
     clock: PeriodClock,
+    topology: Topology,
+    shard_failures: Vec<ShardFailure>,
+    shard_partitions: Vec<ShardPartition>,
 }
 
 impl Scenario {
@@ -73,6 +77,9 @@ impl Scenario {
             churn_events: Vec::new(),
             initial_availability: None,
             clock: PeriodClock::six_minutes(),
+            topology: Topology::WellMixed,
+            shard_failures: Vec::new(),
+            shard_partitions: Vec::new(),
         })
     }
 
@@ -143,6 +150,65 @@ impl Scenario {
         self
     }
 
+    /// Sets the population topology (well-mixed vs sharded). The default is
+    /// [`Topology::WellMixed`], under which every runtime behaves exactly as
+    /// it always has; a sharded topology selects the sharded runtime tier.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Adds a massive-failure event confined to one shard: at `period`,
+    /// `fraction` of that shard's alive processes crash. Requires a sharded
+    /// topology at run time (the shard index is validated against the shard
+    /// count when the run is initialized).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fraction lies outside `[0, 1]`.
+    pub fn with_shard_massive_failure(
+        mut self,
+        period: u64,
+        shard: usize,
+        fraction: f64,
+    ) -> Result<Self> {
+        crate::error::check_probability("fraction", fraction)?;
+        self.shard_failures.push(ShardFailure {
+            period,
+            shard,
+            fraction,
+        });
+        Ok(self)
+    }
+
+    /// Partitions one shard for the inclusive period window
+    /// `from_period ..= to_period`: no process migrates into or out of it
+    /// while the partition is in force.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the window is empty (`from_period > to_period`).
+    pub fn with_shard_partition(
+        mut self,
+        shard: usize,
+        from_period: u64,
+        to_period: u64,
+    ) -> Result<Self> {
+        if from_period > to_period {
+            return Err(SimError::InvalidConfig {
+                name: "shard_partition",
+                reason: format!("window {from_period}..={to_period} is empty"),
+            });
+        }
+        self.shard_partitions.push(ShardPartition {
+            shard,
+            from_period,
+            to_period,
+        });
+        Ok(self)
+    }
+
     /// Installs a churn trace: hour-0 availability is applied to the group at
     /// start-up, and the hourly changes are spread over protocol periods.
     ///
@@ -206,11 +272,47 @@ impl Scenario {
         &self.clock
     }
 
+    /// The population topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The shard-targeted massive failures.
+    pub fn shard_failures(&self) -> &[ShardFailure] {
+        &self.shard_failures
+    }
+
+    /// The shard partition windows.
+    pub fn shard_partitions(&self) -> &[ShardPartition] {
+        &self.shard_partitions
+    }
+
+    /// `true` if any shard-targeted event (failure or partition) is
+    /// configured.
+    pub fn has_shard_events(&self) -> bool {
+        !self.shard_failures.is_empty() || !self.shard_partitions.is_empty()
+    }
+
+    /// `true` if `shard` is partitioned at `period` (no migration in or out).
+    pub fn is_shard_partitioned(&self, shard: usize, period: u64) -> bool {
+        self.shard_partitions
+            .iter()
+            .any(|p| p.shard == shard && p.active_at(period))
+    }
+
+    /// `true` if this scenario can only be served by a shard-aware runtime:
+    /// either the topology is explicitly sharded or a shard-targeted event is
+    /// configured. Well-mixed runtimes reject such scenarios loudly.
+    pub fn needs_sharding(&self) -> bool {
+        self.topology.is_sharded() || self.has_shard_events()
+    }
+
     /// `true` if anything in this scenario can change process liveness:
-    /// scheduled failure events, a probabilistic crash/recovery model, churn
-    /// events or a partial hour-0 availability.
+    /// scheduled failure events (global or shard-targeted), a probabilistic
+    /// crash/recovery model, churn events or a partial hour-0 availability.
     pub fn has_liveness_events(&self) -> bool {
         !self.failure_schedule.is_empty()
+            || !self.shard_failures.is_empty()
             || self.failure_model.crash_prob() > 0.0
             || self.failure_model.recover_prob() > 0.0
             || !self.churn_events.is_empty()
@@ -417,6 +519,58 @@ mod tests {
             .unwrap();
         assert!(churny.has_liveness_events());
         assert!(!churny.count_level_compatible());
+    }
+
+    #[test]
+    fn topology_and_shard_events() {
+        use crate::topology::Topology;
+        let plain = Scenario::new(100, 10).unwrap();
+        assert_eq!(plain.topology(), &Topology::WellMixed);
+        assert!(!plain.needs_sharding());
+        assert!(!plain.has_shard_events());
+
+        let sharded = Scenario::new(1_000, 10)
+            .unwrap()
+            .with_topology(Topology::sharded(4, 0.05).unwrap());
+        assert!(sharded.needs_sharding());
+        assert!(!sharded.has_shard_events());
+        assert_eq!(sharded.topology().shard_count(), 4);
+        // Topology alone does not change liveness or identity needs.
+        assert!(!sharded.has_liveness_events());
+        assert!(sharded.count_level_compatible());
+
+        let with_events = sharded
+            .with_shard_massive_failure(5, 2, 0.5)
+            .unwrap()
+            .with_shard_partition(1, 3, 7)
+            .unwrap();
+        assert!(with_events.has_shard_events());
+        assert!(with_events.needs_sharding());
+        assert!(with_events.has_liveness_events());
+        assert_eq!(with_events.shard_failures().len(), 1);
+        assert_eq!(with_events.shard_partitions().len(), 1);
+        assert!(!with_events.is_shard_partitioned(1, 2));
+        assert!(with_events.is_shard_partitioned(1, 3));
+        assert!(with_events.is_shard_partitioned(1, 7));
+        assert!(!with_events.is_shard_partitioned(1, 8));
+        assert!(!with_events.is_shard_partitioned(2, 5));
+
+        // Shard events without an explicit topology still need sharding.
+        let events_only = Scenario::new(100, 10)
+            .unwrap()
+            .with_shard_massive_failure(1, 0, 0.25)
+            .unwrap();
+        assert!(events_only.needs_sharding());
+
+        // Validation.
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_shard_massive_failure(1, 0, 1.5)
+            .is_err());
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_shard_partition(0, 5, 4)
+            .is_err());
     }
 
     #[test]

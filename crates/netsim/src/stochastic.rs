@@ -247,6 +247,64 @@ impl Rng {
         let value = (mean + var.sqrt() * z + 0.5).floor().max(0.0) as u64;
         value.min(hi)
     }
+
+    /// Draws from a multivariate hypergeometric distribution: `draws`
+    /// processes are removed uniformly at random, without replacement, from a
+    /// population partitioned into cells of sizes `counts`; `out[i]` receives
+    /// the number removed from cell `i`.
+    ///
+    /// This is the inter-shard exchange sampler: by exchangeability, the set
+    /// of emigrants leaving a shard (or the set of victims of a massive
+    /// failure spanning shards) is a uniformly random subset of the eligible
+    /// population, so its split across (shard × state) cells is exactly this
+    /// distribution. Sampling is sequential-conditional — cell `i` given the
+    /// earlier cells is univariate hypergeometric — so each marginal inherits
+    /// the exact-below-[`NORMAL_APPROX_CUTOFF`] guarantee of
+    /// [`Rng::hypergeometric`], including exact `P[cell = 0]` at small means.
+    ///
+    /// `draws` is clamped to the total population. Empty cells and an
+    /// exhausted remainder consume no randomness, and the final non-empty
+    /// cell is taken by subtraction: the univariate sampler's own early
+    /// returns make those draws deterministic, which keeps the RNG stream
+    /// identical to hand-rolled sequential walks over the same cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < counts.len()`.
+    pub fn multivariate_hypergeometric_into(
+        &mut self,
+        counts: &[u64],
+        draws: u64,
+        out: &mut [u64],
+    ) {
+        assert!(
+            out.len() >= counts.len(),
+            "output slice shorter than cell counts"
+        );
+        out[..counts.len()].fill(0);
+        let mut population: u64 = counts.iter().sum();
+        let mut remaining = draws.min(population);
+        for (cell, here) in out.iter_mut().zip(counts.iter().copied()) {
+            if remaining == 0 {
+                break;
+            }
+            let hit = if population == here {
+                remaining
+            } else {
+                self.hypergeometric(population, here, remaining)
+            };
+            *cell = hit;
+            population -= here;
+            remaining -= hit;
+        }
+    }
+
+    /// Allocating form of [`Rng::multivariate_hypergeometric_into`].
+    pub fn multivariate_hypergeometric(&mut self, counts: &[u64], draws: u64) -> Vec<u64> {
+        let mut out = vec![0u64; counts.len()];
+        self.multivariate_hypergeometric_into(counts, draws, &mut out);
+        out
+    }
 }
 
 /// Function form of [`Rng::binomial`].
@@ -267,6 +325,11 @@ pub fn multinomial(rng: &mut Rng, n: u64, weights: &[f64]) -> Vec<u64> {
 /// Function form of [`Rng::hypergeometric`].
 pub fn hypergeometric(rng: &mut Rng, population: u64, successes: u64, draws: u64) -> u64 {
     rng.hypergeometric(population, successes, draws)
+}
+
+/// Function form of [`Rng::multivariate_hypergeometric`].
+pub fn multivariate_hypergeometric(rng: &mut Rng, counts: &[u64], draws: u64) -> Vec<u64> {
+    rng.multivariate_hypergeometric(counts, draws)
 }
 
 /// Samples `k` distinct indices uniformly at random from `0..n` (Floyd's
@@ -555,6 +618,125 @@ mod tests {
             (var - expected_var).abs() < expected_var * 0.1,
             "var {var} vs {expected_var}"
         );
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_moments() {
+        // Remove 1_000 of 10_000 split 5_000/3_000/2_000. Each marginal is
+        // Hypergeometric(10_000, c_i, 1_000): mean 1_000·c_i/10_000, variance
+        // n·(c/N)·(1−c/N)·(N−n)/(N−1).
+        let mut r = rng();
+        let counts = [5_000u64, 3_000, 2_000];
+        let (total, draws, reps) = (10_000f64, 1_000u64, 20_000);
+        let mut sums = [0f64; 3];
+        let mut sq = [0f64; 3];
+        for _ in 0..reps {
+            let s = r.multivariate_hypergeometric(&counts, draws);
+            assert_eq!(s.iter().sum::<u64>(), draws, "draw total conserved");
+            for (i, &x) in s.iter().enumerate() {
+                assert!(x <= counts[i], "cell overdrawn");
+                sums[i] += x as f64;
+                sq[i] += (x as f64).powi(2);
+            }
+        }
+        for i in 0..3 {
+            let p = counts[i] as f64 / total;
+            let expected_mean = draws as f64 * p;
+            let expected_var =
+                draws as f64 * p * (1.0 - p) * (total - draws as f64) / (total - 1.0);
+            let mean = sums[i] / reps as f64;
+            let var = sq[i] / reps as f64 - mean * mean;
+            // 5σ band on the sample mean.
+            let se = (expected_var / reps as f64).sqrt();
+            assert!(
+                (mean - expected_mean).abs() < 5.0 * se,
+                "cell {i}: mean {mean} vs {expected_mean} ± {se}"
+            );
+            assert!(
+                (var - expected_var).abs() < expected_var * 0.1,
+                "cell {i}: var {var} vs {expected_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_boundaries() {
+        let mut r = rng();
+        // draws = 0 removes nothing.
+        assert_eq!(r.multivariate_hypergeometric(&[10, 20, 30], 0), [0, 0, 0]);
+        // draws = total (and clamping above it) empties every cell.
+        assert_eq!(
+            r.multivariate_hypergeometric(&[10, 20, 30], 60),
+            [10, 20, 30]
+        );
+        assert_eq!(
+            r.multivariate_hypergeometric(&[10, 20, 30], 1_000),
+            [10, 20, 30]
+        );
+        // Empty cells never receive draws; single non-empty cell absorbs all.
+        assert_eq!(r.multivariate_hypergeometric(&[0, 50, 0], 7), [0, 7, 0]);
+        // No cells at all.
+        assert_eq!(r.multivariate_hypergeometric(&[], 5), Vec::<u64>::new());
+        // Support check under repetition.
+        for _ in 0..1_000 {
+            let s = r.multivariate_hypergeometric(&[3, 0, 5, 2], 4);
+            assert_eq!(s.iter().sum::<u64>(), 4);
+            assert_eq!(s[1], 0);
+            assert!(s[0] <= 3 && s[2] <= 5 && s[3] <= 2);
+        }
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_small_cell_preserves_miss_probability() {
+        // PR 4's exactness contract extended to the joint sampler: a tiny
+        // cell (10 of 100_000) must keep its exact escape probability under a
+        // large draw (30_000). P[cell untouched] = Π_{i<10} (70_000−i)/(100_000−i)
+        // ≈ 0.7^10 ≈ 0.0282; a clamped normal marginal would distort it.
+        let mut r = rng();
+        let counts = [10u64, 99_990];
+        let draws = 30_000u64;
+        let p_zero: f64 = (0..10)
+            .map(|i| (70_000 - i) as f64 / (100_000 - i) as f64)
+            .product();
+        let reps = 30_000;
+        let zeros = (0..reps)
+            .filter(|_| r.multivariate_hypergeometric(&counts, draws)[0] == 0)
+            .count();
+        let expected = p_zero * reps as f64;
+        let sd = (reps as f64 * p_zero * (1.0 - p_zero)).sqrt();
+        assert!(
+            (zeros as f64 - expected).abs() < 5.0 * sd,
+            "zeros {zeros}, expected {expected:.0} ± {sd:.0}"
+        );
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_golden_and_into_form() {
+        // Pinned draws: the sampler's RNG consumption is part of the seeded
+        // reproducibility contract (the sharded runtime's exchange and the
+        // batched runtime's massive failures both ride on it).
+        let mut r = Rng::seed_from(42);
+        let a = r.multivariate_hypergeometric(&[100, 200, 300], 60);
+        let b = r.multivariate_hypergeometric(&[100, 200, 300], 60);
+        let mut r2 = Rng::seed_from(42);
+        let mut out = [0u64; 3];
+        r2.multivariate_hypergeometric_into(&[100, 200, 300], 60, &mut out);
+        assert_eq!(a, out, "into-form matches allocating form");
+        let mut out2 = [0u64; 3];
+        r2.multivariate_hypergeometric_into(&[100, 200, 300], 60, &mut out2);
+        assert_eq!(b, out2, "stream position advances identically");
+        assert_ne!(a, b, "consecutive draws differ (seed 42)");
+        // The into-form clears stale contents in the cells it owns.
+        let mut dirty = [9u64, 9, 9];
+        Rng::seed_from(7).multivariate_hypergeometric_into(&[0, 0, 0], 5, &mut dirty);
+        assert_eq!(dirty, [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice shorter")]
+    fn multivariate_hypergeometric_into_rejects_short_output() {
+        let mut out = [0u64; 2];
+        rng().multivariate_hypergeometric_into(&[1, 2, 3], 2, &mut out);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * [`core`] — the ODE→protocol compiler (Flipping, One-Time-Sampling,
 //!   Tokenizing), the compiled state machines, the
 //!   [`Runtime`](dpde_core::Runtime) trait with its agent / batched /
-//!   hybrid / aggregate implementations, composable observers, and the
+//!   hybrid / aggregate / sharded implementations, composable observers, and the
 //!   [`Simulation`](dpde_core::Simulation) / [`dpde_core::Ensemble`]
 //!   drivers;
 //! * [`protocols`] — the paper's case studies: epidemic
@@ -87,8 +87,8 @@ pub mod prelude {
     pub use dpde_core::runtime::{
         AgentRuntime, AggregateRuntime, AliveTracker, BatchedRuntime, CountsRecorder, Ensemble,
         EnsembleResult, FidelityTier, HybridRuntime, InitialStates, MembershipTracker,
-        MessageCounter, Observer, PeriodEvents, RunConfig, RunResult, Runtime, Simulation,
-        TransitionRecorder,
+        MessageCounter, Observer, PeriodEvents, RunConfig, RunResult, Runtime, ShardCountsRecorder,
+        ShardedRuntime, Simulation, TransitionRecorder,
     };
     pub use dpde_core::{Action, MessageComplexity, Protocol, ProtocolCompiler, StateId};
     pub use dpde_protocols::endemic::replication::MigratoryStore;
@@ -99,7 +99,7 @@ pub mod prelude {
     pub use dpde_protocols::small_count::{NearExtinction, NearTieTakeover};
     pub use netsim::{
         ChurnTrace, FailureSchedule, Group, LossConfig, MetricsRecorder, OnlineStats, PeriodClock,
-        Rng, Scenario, SyntheticChurnConfig,
+        Placement, Rng, Scenario, ShardConfig, SyntheticChurnConfig, Topology,
     };
     pub use odekit::analysis::{
         analyze_equilibrium, phase_portrait, EquilibriumFinder, PhasePortrait, Stability,

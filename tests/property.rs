@@ -7,7 +7,10 @@
 //! * compiled protocols never produce out-of-range probabilities and conserve
 //!   the process count when executed;
 //! * the normalizing constant only rescales time, not the equilibrium;
-//! * samplers and integrators behave within tolerance.
+//! * samplers and integrators behave within tolerance;
+//! * the sharded runtime degenerates exactly to the batched runtime at S = 1,
+//!   matches it statistically under full mixing, and conserves the total
+//!   population under migration, crashes and shard-targeted events.
 
 use dpde::prelude::*;
 use proptest::prelude::*;
@@ -321,6 +324,129 @@ proptest! {
             .unwrap();
         for (_, s) in run.counts.iter() {
             prop_assert_eq!(s.iter().sum::<f64>() as u64, n);
+        }
+    }
+
+    /// A sharded ensemble at S = 8 with full mixing (migration = 1.0 makes
+    /// every period a complete reshuffle, so the population is statistically
+    /// well-mixed again) matches the batched ensemble's per-period means
+    /// within their combined Welford standard-error envelopes.
+    #[test]
+    fn fully_mixed_sharded_matches_batched_ensemble_means(seed_base in 0u64..1_000) {
+        let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .with_normalizing_constant(0.2)
+            .compile(&sys)
+            .unwrap();
+        let n = 2_000usize;
+        let periods = 150;
+        let ensemble = || {
+            Ensemble::of(protocol.clone())
+                .scenario(Scenario::new(n, periods).unwrap())
+                .initial(InitialStates::counts(&[n as u64 - 16, 16]))
+                .seeds(seed_base..seed_base + 8)
+                .threads(4)
+        };
+        let batched = ensemble().run::<BatchedRuntime>().unwrap();
+        let sharded = ensemble()
+            .topology(Topology::sharded(8, 1.0).unwrap())
+            .run::<ShardedRuntime>()
+            .unwrap();
+        let runs = 8.0f64;
+        for name in ["x", "y"] {
+            let mb = batched.mean_series(name).unwrap();
+            let sb = batched.std_series(name).unwrap();
+            let ms = sharded.mean_series(name).unwrap();
+            let ss = sharded.std_series(name).unwrap();
+            for (p, ((a, b), (sa, sc))) in
+                mb.iter().zip(&ms).zip(sb.iter().zip(&ss)).enumerate()
+            {
+                // Difference of two independent 8-seed means: the standard
+                // error is at most (σ_a + σ_b)/√runs; 6 of those plus a 1 %
+                // floor keeps false alarms out without hiding a real bias.
+                let tolerance = 6.0 * (sa + sc) / runs.sqrt() + 0.01 * n as f64;
+                prop_assert!(
+                    (a - b).abs() <= tolerance,
+                    "state {name} period {p}: batched mean {a}, sharded mean {b}, \
+                     tolerance {tolerance}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With one shard and no shard-targeted events the sharded runtime
+    /// *delegates*: the run is bit-for-bit the batched run — identical
+    /// trajectories, not just statistically close — even with a massive
+    /// failure and a background crash/recovery model in play.
+    #[test]
+    fn sharded_s1_is_bit_for_bit_batched(
+        sys in partitionable_system(3, 4),
+        seed in 0u64..1_000,
+        migration in 0.0f64..1.0,
+    ) {
+        let protocol = ProtocolCompiler::new("random").compile(&sys).unwrap();
+        let n = 900usize;
+        let initial = InitialStates::counts(&[300, 300, 300]);
+        let scenario = Scenario::new(n, 30)
+            .unwrap()
+            .with_seed(seed)
+            .with_massive_failure(10, 0.3)
+            .unwrap()
+            .with_failure_model(netsim::FailureModel::new(0.01, 0.05).unwrap());
+        let run = |sharded: bool| {
+            let mut sim = Simulation::of(protocol.clone())
+                .scenario(scenario.clone())
+                .initial(initial.clone())
+                .observe(CountsRecorder::new());
+            if sharded {
+                sim = sim.topology(Topology::sharded(1, migration).unwrap());
+                sim.run::<ShardedRuntime>()
+            } else {
+                sim.run::<BatchedRuntime>()
+            }
+        };
+        prop_assert_eq!(run(true).unwrap(), run(false).unwrap());
+    }
+
+    /// The sharded runtime conserves the total population (alive + crashed)
+    /// every period, under migration, a global massive failure, a background
+    /// crash/recovery model, a shard-targeted failure and a partition window.
+    #[test]
+    fn sharded_runtime_conserves_total_population(
+        sys in partitionable_system(3, 4),
+        seed in 0u64..1_000,
+        shards in 2usize..7,
+        migration in 0.0f64..1.0,
+    ) {
+        let protocol = ProtocolCompiler::new("random").compile(&sys).unwrap();
+        let n = 900usize;
+        let scenario = Scenario::new(n, 30)
+            .unwrap()
+            .with_seed(seed)
+            .with_topology(Topology::sharded(shards, migration).unwrap())
+            .with_massive_failure(5, 0.2)
+            .unwrap()
+            .with_failure_model(netsim::FailureModel::new(0.02, 0.05).unwrap())
+            .with_shard_massive_failure(8, 0, 0.5)
+            .unwrap()
+            .with_shard_partition(1, 3, 12)
+            .unwrap();
+        let run = Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&[300, 300, 300]))
+            .observe(CountsRecorder::new())
+            .run_auto()
+            .unwrap();
+        prop_assert_eq!(run.counts.len(), 31);
+        for (period, s) in run.counts.iter() {
+            prop_assert_eq!(
+                s.iter().sum::<f64>() as u64, n as u64,
+                "total population drifted at period {}", period
+            );
         }
     }
 }
