@@ -13,6 +13,7 @@ const BINS: &[&str] = &[
     "exp_reality_check",
     "exp_epidemic_logn",
     "exp_shard_epidemic",
+    "exp_async_epidemic",
     "exp_near_tie_takeover",
     "fig02_endemic_phase_portrait",
     "fig04_lv_phase_portrait",

@@ -457,6 +457,7 @@ impl AgentRuntime {
                 group: &state.group,
             }),
             shard_counts_alive: None,
+            transport: None,
         }
     }
 }
@@ -503,6 +504,7 @@ impl Runtime for AgentRuntime {
     fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<AgentState> {
         self.protocol.validate()?;
         super::reject_sharded(scenario, "agent")?;
+        super::reject_transport(scenario, "agent")?;
         let n = scenario.group_size();
         let num_states = self.protocol.num_states();
         let counts_spec = initial.resolve(num_states, n as u64)?;

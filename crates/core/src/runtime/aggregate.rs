@@ -161,6 +161,7 @@ impl AggregateRuntime {
             counts_alive: None,
             membership: None,
             shard_counts_alive: None,
+            transport: None,
         }
     }
 }
@@ -195,6 +196,7 @@ impl Runtime for AggregateRuntime {
             });
         }
         super::reject_sharded(scenario, "aggregate")?;
+        super::reject_transport(scenario, "aggregate")?;
         let loss = self.loss.unwrap_or(*scenario.loss());
         self.init_raw(scenario.group_size() as u64, initial, scenario.seed(), loss)
     }

@@ -1,0 +1,1218 @@
+//! The asynchronous message-passing runtime: every protocol contact is an
+//! actual queued message.
+//!
+//! The period-synchronized runtimes resolve a contact instantaneously — a
+//! probability computed from the current counts, one coin. Here a contact is
+//! a *message*: sent into a [`Transport`], delayed by the link's sampled
+//! latency, possibly dropped by loss or a partition window, and only on
+//! resolution does the executing process learn the outcome and continue its
+//! action list. Time is virtual (seconds on the scenario's
+//! [`PeriodClock`](netsim::PeriodClock)); each `step` advances one protocol
+//! period of it, interleaving process wake-ups and message deliveries in a
+//! deterministic event order, so a seeded run replays bit-identically.
+//!
+//! Execution model:
+//!
+//! * every process owns a fixed uniform **wake offset** inside the period;
+//!   at its wake it starts executing its current state's action list as a
+//!   *chain* — local actions (`Flip`) resolve immediately, contact actions
+//!   suspend the chain behind a probe message;
+//! * a chain holds at most **one message in flight**; its resolution either
+//!   continues the chain (next required contact, next sample, next action)
+//!   or ends it (the process transitioned, or the list ran out);
+//! * a process whose chain is still waiting on a slow response **skips its
+//!   next wake** — that is precisely how link latency slows a protocol down:
+//!   fewer action attempts per unit of virtual time, never altered
+//!   per-attempt probabilities;
+//! * with zero latency and no loss every chain completes within its wake
+//!   instant, so a period degenerates to a sequential sweep in wake order —
+//!   the agent runtime's semantics with a (fixed, uniformly random)
+//!   visiting permutation, which is why the ensemble-mean equivalence
+//!   pinned in `tests/property.rs` holds.
+//!
+//! Contact semantics mirror the agent runtime's: a probe is addressed to a
+//! uniform member of the maximal group and *hits* when it is delivered,
+//! survives the scenario's per-contact loss, and finds its target alive and
+//! in the wanted state — the target's state is read at **delivery time**,
+//! not send time. `SampleAny` probes until the first hit and then pays one
+//! `prob` coin (fire probability `prob·(1−(1−hit)^k)`, as in the agent
+//! runtime); `PushSample` treats a self-addressed probe as a miss (the
+//! executor is not a valid victim); `Tokenize` picks its consumer uniformly
+//! among alive members of the token state and forwards the token as one
+//! more message.
+//!
+//! Initial states are assigned in **contiguous index blocks** (first
+//! `counts[0]` processes in state 0, and so on) rather than shuffled: under
+//! uniform mixing the assignment is exchangeable so the dynamics are
+//! unchanged, and it gives segmented transports a deterministic placement —
+//! "the seeds live in the last segment" is expressible from counts alone.
+//!
+//! Two accounting differences from the agent runtime, by design:
+//! [`PeriodEvents::messages`] counts messages *actually sent* (the agent
+//! runtime bills a state's full per-period message budget up front), and
+//! [`PeriodEvents::membership`] is `None` — per-process identity exists
+//! internally, but the membership view belongs to the agent runtime.
+
+use super::observer::{default_observers, TransportProbe};
+use super::simulation::drive;
+use super::{InitialStates, PeriodEvents, RunConfig, RunResult, Runtime};
+use crate::action::Action;
+use crate::error::CoreError;
+use crate::state_machine::{Protocol, StateId};
+use crate::Result;
+use netsim::transport::{Delivery, InProcTransport, Transport, TransportConfig, TransportStats};
+use netsim::{Group, Rng, Scenario};
+use std::sync::Arc;
+
+/// Executes a protocol as asynchronous message passing over a virtual-time
+/// transport (see the module docs above for the execution model).
+///
+/// Selected by [`Simulation::run_auto`](super::Simulation::run_auto) whenever
+/// the scenario carries a [`TransportConfig`]
+/// ([`Scenario::with_transport`]); a scenario without one runs on the
+/// implicit zero-latency lossless transport, which reproduces the
+/// synchronized runtimes' ensemble means.
+///
+/// # Examples
+///
+/// ```
+/// use dpde_core::{ProtocolCompiler, runtime::{AsyncRuntime, InitialStates}};
+/// use netsim::transport::{LatencyModel, LinkModel, TransportConfig};
+/// use netsim::Scenario;
+/// use odekit::EquationSystemBuilder;
+///
+/// let sys = EquationSystemBuilder::new()
+///     .vars(["x", "y"])
+///     .term("x", -1.0, &[("x", 1), ("y", 1)])
+///     .term("y", 1.0, &[("x", 1), ("y", 1)])
+///     .build()?;
+/// let protocol = ProtocolCompiler::new("epidemic").compile(&sys)?;
+/// // A uniform link: 30 s mean exponential latency, 1 % drops.
+/// let link = LinkModel::new(LatencyModel::Exponential { mean: 30.0 }, 0.01)?;
+/// let scenario = Scenario::new(500, 40)?
+///     .with_seed(7)
+///     .with_transport(TransportConfig::new(link));
+/// let result = AsyncRuntime::new(protocol).run(&scenario, &InitialStates::counts(&[499, 1]))?;
+/// let infected = result.final_counts().expect("run recorded periods")[1];
+/// assert!(infected > 450.0, "epidemic should still saturate, got {infected}");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsyncRuntime {
+    protocol: Protocol,
+    config: RunConfig,
+    compiled: Compiled,
+}
+
+/// The protocol's action lists flattened for the event loop (the agent
+/// runtime's dispatch-table idea, with per-chain progress instead of a
+/// per-period sweep).
+#[derive(Debug, Clone)]
+struct Compiled {
+    actions: Vec<CAction>,
+    /// `(start, end)` action range per state.
+    meta: Vec<(u32, u32)>,
+    /// Flattened `required` state lists referenced by Sample/Tokenize.
+    required: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CAction {
+    Flip {
+        /// `1 / ln(1 − prob)` for geometric-run sampling (see the agent
+        /// runtime's `CompiledAction::Flip`).
+        geo_scale: f64,
+        to: u32,
+    },
+    Sample {
+        req_start: u32,
+        req_end: u32,
+        prob: f64,
+        to: u32,
+    },
+    SampleAny {
+        target: u32,
+        samples: u32,
+        prob: f64,
+        to: u32,
+    },
+    Push {
+        target: u32,
+        samples: u32,
+        prob: f64,
+        to: u32,
+    },
+    Tokenize {
+        req_start: u32,
+        req_end: u32,
+        prob: f64,
+        token_state: u32,
+        to: u32,
+    },
+}
+
+impl Compiled {
+    fn compile(protocol: &Protocol) -> Self {
+        let mut actions = Vec::new();
+        let mut meta = Vec::with_capacity(protocol.num_states());
+        let mut required = Vec::new();
+        let flatten = |required: &mut Vec<u32>, list: &[StateId]| {
+            let start = required.len() as u32;
+            required.extend(list.iter().map(|s| s.index() as u32));
+            (start, required.len() as u32)
+        };
+        for state in 0..protocol.num_states() {
+            let start = actions.len() as u32;
+            for action in protocol.actions(StateId::new(state)) {
+                actions.push(match action {
+                    Action::Flip { prob, to } => CAction::Flip {
+                        geo_scale: if *prob <= 0.0 {
+                            f64::NEG_INFINITY
+                        } else {
+                            1.0 / (1.0 - prob).ln()
+                        },
+                        to: to.index() as u32,
+                    },
+                    Action::Sample {
+                        required: req,
+                        prob,
+                        to,
+                    } => {
+                        let (req_start, req_end) = flatten(&mut required, req);
+                        CAction::Sample {
+                            req_start,
+                            req_end,
+                            prob: *prob,
+                            to: to.index() as u32,
+                        }
+                    }
+                    Action::SampleAny {
+                        target_state,
+                        samples,
+                        prob,
+                        to,
+                    } => CAction::SampleAny {
+                        target: target_state.index() as u32,
+                        samples: *samples,
+                        prob: *prob,
+                        to: to.index() as u32,
+                    },
+                    Action::PushSample {
+                        target_state,
+                        samples,
+                        prob,
+                        to,
+                    } => CAction::Push {
+                        target: target_state.index() as u32,
+                        samples: *samples,
+                        prob: *prob,
+                        to: to.index() as u32,
+                    },
+                    Action::Tokenize {
+                        required: req,
+                        prob,
+                        token_state,
+                        to,
+                    } => {
+                        let (req_start, req_end) = flatten(&mut required, req);
+                        CAction::Tokenize {
+                            req_start,
+                            req_end,
+                            prob: *prob,
+                            token_state: token_state.index() as u32,
+                            to: to.index() as u32,
+                        }
+                    }
+                });
+            }
+            meta.push((start, actions.len() as u32));
+        }
+        Compiled {
+            actions,
+            meta,
+            required,
+        }
+    }
+}
+
+/// Where a process's current chain is suspended, waiting for one in-flight
+/// message to resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No chain running: the process will start one at its next wake.
+    Idle,
+    /// `Sample` action `idx`, probing `required[req_pos]`.
+    Sample { idx: u32, req_pos: u32 },
+    /// `SampleAny` action `idx`, `remaining` probes left (current included).
+    SampleAny { idx: u32, remaining: u32 },
+    /// `PushSample` action `idx`, `remaining` probes left (current included).
+    Push { idx: u32, remaining: u32 },
+    /// `Tokenize` action `idx`, probing its fire condition.
+    TokenFire { idx: u32, req_pos: u32 },
+    /// `Tokenize` action `idx`, token message on its way to the consumer.
+    TokenSend { idx: u32 },
+}
+
+/// Message payload layout: `kind` (4 bits) | chain generation (28 bits) |
+/// action index (32 bits). The generation counter invalidates in-flight
+/// messages when their sender crashes: a stale response must not continue a
+/// chain the crash already killed.
+const GEN_MASK: u32 = 0x0FFF_FFFF;
+
+fn encode(kind: u64, gen: u32, idx: usize) -> u64 {
+    (kind << 60) | (u64::from(gen & GEN_MASK) << 32) | idx as u64
+}
+
+fn decode(payload: u64) -> (u32, usize) {
+    ((payload >> 32) as u32 & GEN_MASK, payload as u32 as usize)
+}
+
+const KIND_PROBE: u64 = 1;
+const KIND_PUSH: u64 = 2;
+const KIND_TOKEN: u64 = 3;
+
+/// The mutable execution state of an [`AsyncRuntime`] run.
+#[derive(Debug)]
+pub struct AsyncState {
+    scenario: Scenario,
+    rng: Rng,
+    transport: InProcTransport,
+    group: Group,
+    /// Current protocol state per process.
+    states: Vec<u32>,
+    counts: Vec<u64>,
+    counts_alive: Vec<u64>,
+    /// Per-process wake offset within a period, in `[0, period_secs)`.
+    offsets: Vec<f64>,
+    /// Process ids sorted by wake offset — the deterministic wake order,
+    /// computed once (offsets never change).
+    wake_order: Vec<u32>,
+    pending: Vec<Phase>,
+    /// Per-process chain generation (bumped on crash, embedded in payloads).
+    chain_id: Vec<u32>,
+    /// The state whose action list the current chain is executing.
+    chain_origin: Vec<u32>,
+    /// Per-flip-action geometric "tails left" counters.
+    flip_skips: Vec<u64>,
+    period: u64,
+    period_secs: f64,
+    has_liveness_events: bool,
+    messages: u64,
+    transitions_dense: Vec<u64>,
+    transitions: Vec<(StateId, StateId, u64)>,
+    probe: TransportProbe,
+}
+
+impl AsyncState {
+    /// The next period to execute (also the number of periods executed).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The current protocol state of each process (index = process id).
+    pub fn process_states(&self) -> &[u32] {
+        &self.states
+    }
+
+    /// A cloneable, thread-safe handle onto the transport's live statistics
+    /// (queue depth, per-link counters, latency windows) — readable while
+    /// the run executes.
+    pub fn transport_stats(&self) -> Arc<TransportStats> {
+        self.transport.stats()
+    }
+}
+
+/// Everything the event handlers touch, borrowed once per `step`.
+struct Ctx<'a> {
+    rng: &'a mut Rng,
+    transport: &'a mut InProcTransport,
+    group: &'a Group,
+    states: &'a mut [u32],
+    counts: &'a mut [u64],
+    counts_alive: &'a mut [u64],
+    pending: &'a mut [Phase],
+    chain_id: &'a [u32],
+    chain_origin: &'a mut [u32],
+    flip_skips: &'a mut [u64],
+    transitions_dense: &'a mut [u64],
+    messages: &'a mut u64,
+    n: usize,
+    num_states: usize,
+    contact_fail: f64,
+    check_alive: bool,
+    period: u64,
+}
+
+impl Ctx<'_> {
+    /// Moves the alive process `p` to `to`, maintaining counts and the dense
+    /// transition buffer.
+    fn move_alive(&mut self, p: usize, to: usize) {
+        let from = self.states[p] as usize;
+        if from == to {
+            return;
+        }
+        self.counts[from] -= 1;
+        self.counts[to] += 1;
+        self.counts_alive[from] -= 1;
+        self.counts_alive[to] += 1;
+        self.states[p] = to as u32;
+        self.transitions_dense[from * self.num_states + to] += 1;
+    }
+
+    fn is_alive(&self, p: usize) -> bool {
+        !self.check_alive || self.group.is_alive_unchecked(p)
+    }
+
+    /// Sends one chain message from `p` to `dst` at virtual time `now`.
+    fn send(&mut self, p: usize, dst: usize, kind: u64, idx: usize, now: f64) {
+        let payload = encode(kind, self.chain_id[p], idx);
+        self.transport
+            .send(p as u32, dst as u32, payload, now, self.period, self.rng);
+        *self.messages += 1;
+    }
+
+    /// Sends a probe to a uniform member of the maximal group (self
+    /// included — a contact aimed at yourself or at a crashed process is
+    /// fruitless, exactly as in the agent runtime).
+    fn send_probe(&mut self, p: usize, kind: u64, idx: usize, now: f64) {
+        let dst = self.rng.index(self.n);
+        self.send(p, dst, kind, idx, now);
+    }
+
+    /// Picks a uniformly random alive member of `state` (rejection sampling
+    /// with a k-th-member fallback, mirroring the agent runtime's
+    /// `random_alive_in_state`), or `None` if no alive member exists.
+    fn random_alive_in_state(&mut self, state: usize) -> Option<usize> {
+        let alive = self.counts_alive[state];
+        if alive == 0 {
+            return None;
+        }
+        for _ in 0..32 {
+            let q = self.rng.index(self.n);
+            if self.states[q] as usize == state && self.is_alive(q) {
+                return Some(q);
+            }
+        }
+        let k = self.rng.index(alive as usize);
+        (0..self.n)
+            .filter(|&q| self.states[q] as usize == state && self.is_alive(q))
+            .nth(k)
+    }
+}
+
+/// Geometric inverse-CDF with precomputed `geo_scale = 1 / ln(1 − prob)`.
+#[inline]
+fn draw_geometric(rng: &mut Rng, geo_scale: f64) -> u64 {
+    let ln1mu = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE).ln();
+    (ln1mu * geo_scale) as u64
+}
+
+impl AsyncRuntime {
+    /// Creates a runtime for the given protocol with the default
+    /// [`RunConfig`].
+    pub fn new(protocol: Protocol) -> Self {
+        let compiled = Compiled::compile(&protocol);
+        AsyncRuntime {
+            protocol,
+            config: RunConfig::default(),
+            compiled,
+        }
+    }
+
+    /// Replaces the run configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// Runs the protocol under the given scenario with the standard
+    /// recording set; use [`Simulation`](super::Simulation) for opt-in
+    /// recording (e.g. [`LiveMetrics`](super::LiveMetrics)).
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors (mismatched initial distribution,
+    /// invalid protocol or transport) and propagates scenario errors.
+    pub fn run(&self, scenario: &Scenario, initial: &InitialStates) -> Result<RunResult> {
+        drive(self, scenario, initial, &mut default_observers())
+    }
+
+    fn events<'s>(&self, state: &'s AsyncState) -> PeriodEvents<'s> {
+        PeriodEvents {
+            period: state.period,
+            counts: &state.counts,
+            transitions: &state.transitions,
+            messages: state.messages,
+            alive: state.group.alive_count() as u64,
+            counts_alive: Some(&state.counts_alive),
+            membership: None,
+            shard_counts_alive: None,
+            transport: Some(state.probe),
+        }
+    }
+
+    /// Walks `p`'s action list (for its chain-origin state) from `start_idx`
+    /// at virtual time `now`: local actions resolve inline, the first
+    /// contact action suspends the chain behind a message, and a transition
+    /// or list exhaustion ends the chain.
+    fn advance_chain(&self, ctx: &mut Ctx<'_>, p: usize, start_idx: usize, now: f64) {
+        let origin = ctx.chain_origin[p] as usize;
+        let (_, end) = self.compiled.meta[origin];
+        let mut idx = start_idx;
+        while idx < end as usize {
+            match self.compiled.actions[idx] {
+                CAction::Flip { geo_scale, to } => {
+                    let skip = &mut ctx.flip_skips[idx];
+                    if *skip == 0 {
+                        *skip = draw_geometric(ctx.rng, geo_scale);
+                        ctx.move_alive(p, to as usize);
+                        ctx.pending[p] = Phase::Idle;
+                        return;
+                    }
+                    *skip -= 1;
+                }
+                CAction::Sample {
+                    req_start,
+                    req_end,
+                    prob,
+                    to,
+                } => {
+                    if req_start == req_end {
+                        // Contact-free sample degenerates to a coin.
+                        if ctx.rng.chance(prob) {
+                            ctx.move_alive(p, to as usize);
+                            ctx.pending[p] = Phase::Idle;
+                            return;
+                        }
+                    } else {
+                        ctx.pending[p] = Phase::Sample {
+                            idx: idx as u32,
+                            req_pos: 0,
+                        };
+                        ctx.send_probe(p, KIND_PROBE, idx, now);
+                        return;
+                    }
+                }
+                CAction::SampleAny { samples, .. } => {
+                    ctx.pending[p] = Phase::SampleAny {
+                        idx: idx as u32,
+                        remaining: samples.max(1),
+                    };
+                    ctx.send_probe(p, KIND_PROBE, idx, now);
+                    return;
+                }
+                CAction::Push { samples, .. } => {
+                    ctx.pending[p] = Phase::Push {
+                        idx: idx as u32,
+                        remaining: samples.max(1),
+                    };
+                    ctx.send_probe(p, KIND_PUSH, idx, now);
+                    return;
+                }
+                CAction::Tokenize {
+                    req_start,
+                    req_end,
+                    prob,
+                    token_state,
+                    ..
+                } => {
+                    if req_start == req_end {
+                        if ctx.rng.chance(prob)
+                            && self.launch_token(ctx, p, idx, token_state as usize, now)
+                        {
+                            return;
+                        }
+                    } else {
+                        ctx.pending[p] = Phase::TokenFire {
+                            idx: idx as u32,
+                            req_pos: 0,
+                        };
+                        ctx.send_probe(p, KIND_PROBE, idx, now);
+                        return;
+                    }
+                }
+            }
+            idx += 1;
+        }
+        ctx.pending[p] = Phase::Idle;
+    }
+
+    /// Fired `Tokenize`: picks the consumer and sends the token. Returns
+    /// `false` (chain continues past the action) when no alive consumer
+    /// exists — the paper's "if no processes are in state x, the token is
+    /// dropped".
+    fn launch_token(
+        &self,
+        ctx: &mut Ctx<'_>,
+        p: usize,
+        idx: usize,
+        token_state: usize,
+        now: f64,
+    ) -> bool {
+        let Some(consumer) = ctx.random_alive_in_state(token_state) else {
+            return false;
+        };
+        ctx.pending[p] = Phase::TokenSend { idx: idx as u32 };
+        ctx.send(p, consumer, KIND_TOKEN, idx, now);
+        true
+    }
+
+    /// Resolves one message: continues (or abandons) the sender's chain.
+    fn on_delivery(&self, ctx: &mut Ctx<'_>, d: Delivery) {
+        let p = d.src as usize;
+        let (gen, _idx) = decode(d.payload);
+        // Stale generation: the sender crashed (and possibly recovered)
+        // since this message left — the chain it belonged to is dead.
+        if gen != (ctx.chain_id[p] & GEN_MASK) {
+            return;
+        }
+        let phase = ctx.pending[p];
+        if phase == Phase::Idle {
+            return;
+        }
+        // The executor was moved by someone else (push victim, token
+        // consumer) while its chain was in flight: the chain belongs to a
+        // state the process is no longer in, so it is abandoned.
+        if ctx.states[p] != ctx.chain_origin[p] {
+            ctx.pending[p] = Phase::Idle;
+            return;
+        }
+        let now = d.deliver_at;
+        let dst = d.dst as usize;
+        // A contact "hits" when the message arrived, survived the scenario's
+        // per-contact loss, and found its target alive. The target's state
+        // is read below, at delivery time.
+        let contact = d.delivered && !ctx.rng.chance(ctx.contact_fail) && ctx.is_alive(dst);
+        match phase {
+            Phase::Idle => unreachable!("filtered above"),
+            Phase::Sample { idx, req_pos } => {
+                let CAction::Sample {
+                    req_start,
+                    req_end,
+                    prob,
+                    to,
+                } = self.compiled.actions[idx as usize]
+                else {
+                    unreachable!("phase points at a Sample action");
+                };
+                let wanted = self.compiled.required[(req_start + req_pos) as usize];
+                if contact && ctx.states[dst] == wanted {
+                    if req_start + req_pos + 1 < req_end {
+                        ctx.pending[p] = Phase::Sample {
+                            idx,
+                            req_pos: req_pos + 1,
+                        };
+                        ctx.send_probe(p, KIND_PROBE, idx as usize, now);
+                        return;
+                    }
+                    if ctx.rng.chance(prob) {
+                        ctx.move_alive(p, to as usize);
+                        ctx.pending[p] = Phase::Idle;
+                        return;
+                    }
+                }
+                self.advance_chain(ctx, p, idx as usize + 1, now);
+            }
+            Phase::SampleAny { idx, remaining } => {
+                let CAction::SampleAny {
+                    target, prob, to, ..
+                } = self.compiled.actions[idx as usize]
+                else {
+                    unreachable!("phase points at a SampleAny action");
+                };
+                if contact && ctx.states[dst] == target {
+                    // First hit found: one `prob` coin decides the whole
+                    // action (fire probability prob·(1−(1−hit)^k), matching
+                    // the agent runtime's collapsed form).
+                    if ctx.rng.chance(prob) {
+                        ctx.move_alive(p, to as usize);
+                        ctx.pending[p] = Phase::Idle;
+                        return;
+                    }
+                } else if remaining > 1 {
+                    ctx.pending[p] = Phase::SampleAny {
+                        idx,
+                        remaining: remaining - 1,
+                    };
+                    ctx.send_probe(p, KIND_PROBE, idx as usize, now);
+                    return;
+                }
+                self.advance_chain(ctx, p, idx as usize + 1, now);
+            }
+            Phase::Push { idx, remaining } => {
+                let CAction::Push {
+                    target, prob, to, ..
+                } = self.compiled.actions[idx as usize]
+                else {
+                    unreachable!("phase points at a Push action");
+                };
+                // The executor is not a valid victim; a self-addressed
+                // probe is a miss (per-probe hit probability avail/N).
+                if contact && dst != p && ctx.states[dst] == target && ctx.rng.chance(prob) {
+                    ctx.move_alive(dst, to as usize);
+                }
+                if remaining > 1 {
+                    ctx.pending[p] = Phase::Push {
+                        idx,
+                        remaining: remaining - 1,
+                    };
+                    ctx.send_probe(p, KIND_PUSH, idx as usize, now);
+                    return;
+                }
+                self.advance_chain(ctx, p, idx as usize + 1, now);
+            }
+            Phase::TokenFire { idx, req_pos } => {
+                let CAction::Tokenize {
+                    req_start,
+                    req_end,
+                    prob,
+                    token_state,
+                    ..
+                } = self.compiled.actions[idx as usize]
+                else {
+                    unreachable!("phase points at a Tokenize action");
+                };
+                if contact
+                    && ctx.states[dst] == self.compiled.required[(req_start + req_pos) as usize]
+                {
+                    if req_start + req_pos + 1 < req_end {
+                        ctx.pending[p] = Phase::TokenFire {
+                            idx,
+                            req_pos: req_pos + 1,
+                        };
+                        ctx.send_probe(p, KIND_PROBE, idx as usize, now);
+                        return;
+                    }
+                    if ctx.rng.chance(prob)
+                        && self.launch_token(ctx, p, idx as usize, token_state as usize, now)
+                    {
+                        return;
+                    }
+                }
+                self.advance_chain(ctx, p, idx as usize + 1, now);
+            }
+            Phase::TokenSend { idx } => {
+                let CAction::Tokenize {
+                    token_state, to, ..
+                } = self.compiled.actions[idx as usize]
+                else {
+                    unreachable!("phase points at a Tokenize action");
+                };
+                // The consumer moves if the token arrived and it still is in
+                // the token state; either way the executor's list continues
+                // (Tokenize never moves the executor).
+                if contact && ctx.states[dst] == token_state {
+                    ctx.move_alive(dst, to as usize);
+                }
+                self.advance_chain(ctx, p, idx as usize + 1, now);
+            }
+        }
+    }
+}
+
+impl Runtime for AsyncRuntime {
+    type State = AsyncState;
+
+    fn build(protocol: Protocol, config: &RunConfig) -> Self {
+        AsyncRuntime::new(protocol).with_config(config.clone())
+    }
+
+    fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<AsyncState> {
+        self.protocol.validate()?;
+        super::reject_sharded(scenario, "async")?;
+        let n = scenario.group_size();
+        let num_states = self.protocol.num_states();
+        let counts = initial.resolve(num_states, n as u64)?;
+        let transport_config = scenario
+            .transport()
+            .cloned()
+            .unwrap_or_else(TransportConfig::default);
+        if transport_config.segments() > n {
+            return Err(CoreError::InvalidConfig {
+                name: "transport",
+                reason: format!(
+                    "{} transport segments cannot partition a group of {n} processes",
+                    transport_config.segments()
+                ),
+            });
+        }
+        let mut rng = scenario.build_rng();
+        let group = scenario.build_group();
+
+        // Contiguous block assignment (see the module docs): deterministic
+        // placement for segmented transports, exchangeable under mixing.
+        let mut states = Vec::with_capacity(n);
+        for (state, &count) in counts.iter().enumerate() {
+            states.extend(std::iter::repeat(state as u32).take(count as usize));
+        }
+        let mut counts_alive = vec![0u64; num_states];
+        for (p, &s) in states.iter().enumerate() {
+            if group.is_alive_unchecked(p) {
+                counts_alive[s as usize] += 1;
+            }
+        }
+
+        let period_secs = scenario.clock().period_secs();
+        let offsets: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, period_secs)).collect();
+        let mut wake_order: Vec<u32> = (0..n as u32).collect();
+        wake_order.sort_by(|&a, &b| {
+            offsets[a as usize]
+                .total_cmp(&offsets[b as usize])
+                .then(a.cmp(&b))
+        });
+        let flip_skips = self
+            .compiled
+            .actions
+            .iter()
+            .map(|a| match a {
+                CAction::Flip { geo_scale, .. } => draw_geometric(&mut rng, *geo_scale),
+                _ => 0,
+            })
+            .collect();
+
+        Ok(AsyncState {
+            transport: InProcTransport::new(transport_config, n),
+            rng,
+            group,
+            states,
+            counts,
+            counts_alive,
+            offsets,
+            wake_order,
+            pending: vec![Phase::Idle; n],
+            chain_id: vec![0; n],
+            chain_origin: vec![0; n],
+            flip_skips,
+            period: 0,
+            period_secs,
+            has_liveness_events: scenario.has_liveness_events(),
+            scenario: scenario.clone(),
+            messages: 0,
+            transitions_dense: vec![0; num_states * num_states],
+            transitions: Vec::new(),
+            probe: TransportProbe::default(),
+        })
+    }
+
+    fn step<'s>(&self, state: &'s mut AsyncState) -> Result<PeriodEvents<'s>> {
+        let period = state.period;
+        let t0 = period as f64 * state.period_secs;
+        let t1 = t0 + state.period_secs;
+        let n = state.scenario.group_size();
+        state.transitions_dense.fill(0);
+        state.transitions.clear();
+        state.messages = 0;
+
+        // 1. Environment events at the period boundary. A crash kills the
+        //    process's chain and bumps its generation so in-flight responses
+        //    are discarded on arrival.
+        if state.has_liveness_events {
+            let (down, up) =
+                state
+                    .scenario
+                    .apply_period_events(period, &mut state.group, &mut state.rng)?;
+            for id in &down {
+                let p = id.index();
+                state.counts_alive[state.states[p] as usize] -= 1;
+                state.chain_id[p] = state.chain_id[p].wrapping_add(1);
+                state.pending[p] = Phase::Idle;
+            }
+            for id in up {
+                let p = id.index();
+                if let Some(rejoin) = self.config.rejoin_state {
+                    let from = state.states[p] as usize;
+                    if from != rejoin.index() {
+                        state.counts[from] -= 1;
+                        state.counts[rejoin.index()] += 1;
+                        state.states[p] = rejoin.index() as u32;
+                    }
+                }
+                state.counts_alive[state.states[p] as usize] += 1;
+            }
+        }
+
+        // 2. The event loop: interleave process wakes and message
+        //    deliveries in virtual-time order (messages first on ties, in
+        //    deterministic sequence order). Messages resolving at or after
+        //    t1 stay queued for later periods — that carry-over is the
+        //    latency semantics.
+        let check_alive = !state.group.all_alive();
+        let AsyncState {
+            ref mut rng,
+            ref mut transport,
+            ref group,
+            ref mut states,
+            ref mut counts,
+            ref mut counts_alive,
+            ref offsets,
+            ref wake_order,
+            ref mut pending,
+            ref chain_id,
+            ref mut chain_origin,
+            ref mut flip_skips,
+            ref mut transitions_dense,
+            ref mut messages,
+            ref scenario,
+            ..
+        } = *state;
+        let mut ctx = Ctx {
+            rng,
+            transport,
+            group,
+            states,
+            counts,
+            counts_alive,
+            pending,
+            chain_id,
+            chain_origin,
+            flip_skips,
+            transitions_dense,
+            messages,
+            n,
+            num_states: self.protocol.num_states(),
+            contact_fail: scenario.loss().effective_contact_failure(1),
+            check_alive,
+            period,
+        };
+        let mut wake_ptr = 0usize;
+        loop {
+            let next_wake = wake_order.get(wake_ptr).map(|&p| t0 + offsets[p as usize]);
+            let next_msg = ctx.transport.next_time().filter(|&t| t < t1);
+            let deliver_first = match (next_msg, next_wake) {
+                (Some(m), Some(w)) => m <= w,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if deliver_first {
+                let d = ctx.transport.next_ready(t1).expect("peeked above");
+                self.on_delivery(&mut ctx, d);
+            } else {
+                let p = wake_order[wake_ptr] as usize;
+                wake_ptr += 1;
+                // A busy chain (waiting on a slow response) or a crashed
+                // process skips this period's attempt.
+                if ctx.pending[p] == Phase::Idle && ctx.is_alive(p) {
+                    ctx.chain_origin[p] = ctx.states[p];
+                    let (start, _) = self.compiled.meta[ctx.states[p] as usize];
+                    self.advance_chain(&mut ctx, p, start as usize, t0 + offsets[p]);
+                }
+            }
+        }
+
+        // 3. Render transitions and snapshot the transport.
+        super::render_sparse_transitions(
+            &state.transitions_dense,
+            self.protocol.num_states(),
+            &mut state.transitions,
+        );
+        let stats = state.transport.stats();
+        state.probe = TransportProbe {
+            queue_depth: state.transport.queue_depth() as u64,
+            sent: stats.sent(),
+            delivered: stats.delivered(),
+            dropped: stats.dropped(),
+            recent_latency_mean: stats.recent_latency_mean(),
+        };
+        state.period = period + 1;
+        Ok(self.events(state))
+    }
+
+    fn snapshot<'s>(&self, state: &'s AsyncState) -> PeriodEvents<'s> {
+        self.events(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AgentRuntime, BatchedRuntime, CountsRecorder};
+    use super::*;
+    use crate::mapping::ProtocolCompiler;
+    use netsim::transport::{LatencyModel, LinkModel};
+    use netsim::Topology;
+    use odekit::system::EquationSystemBuilder;
+
+    fn epidemic_protocol() -> Protocol {
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        ProtocolCompiler::new("epidemic").compile(&sys).unwrap()
+    }
+
+    #[test]
+    fn epidemic_saturates_on_the_default_reliable_transport() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(4096, 40).unwrap().with_seed(11);
+        let result = AsyncRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[4095, 1]))
+            .unwrap();
+        for (_, s) in result.counts.iter() {
+            assert_eq!(s[0] + s[1], 4096.0, "conservation violated");
+        }
+        let final_counts = result.final_counts().unwrap();
+        assert!(
+            final_counts[1] > 4000.0,
+            "epidemic stalled at {final_counts:?}"
+        );
+        // Messages were actually sent (one per probe, not a budget).
+        assert!(result
+            .metrics
+            .series("messages")
+            .unwrap()
+            .iter()
+            .any(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let protocol = epidemic_protocol();
+        let link = LinkModel::new(LatencyModel::Exponential { mean: 90.0 }, 0.02).unwrap();
+        let initial = InitialStates::counts(&[999, 1]);
+        let run = |seed: u64| {
+            let scenario = Scenario::new(1000, 25)
+                .unwrap()
+                .with_seed(seed)
+                .with_transport(TransportConfig::new(link));
+            AsyncRuntime::new(epidemic_protocol())
+                .run(&scenario, &initial)
+                .unwrap()
+                .counts
+                .states()
+                .to_vec()
+        };
+        drop(protocol);
+        assert_eq!(run(5), run(5), "same seed must replay bit-identically");
+        assert_ne!(run(5), run(6), "different seeds should diverge");
+    }
+
+    #[test]
+    fn latency_delays_the_takeoff() {
+        // A mean latency of two periods stretches every chain across
+        // multiple wake slots, so the epidemic needs strictly more periods
+        // to reach the halfway mark than on the instantaneous transport.
+        let first_half_period = |transport: Option<TransportConfig>| {
+            let mut scenario = Scenario::new(2000, 120).unwrap().with_seed(21);
+            if let Some(t) = transport {
+                scenario = scenario.with_transport(t);
+            }
+            let result = AsyncRuntime::new(epidemic_protocol())
+                .run(&scenario, &InitialStates::counts(&[1999, 1]))
+                .unwrap();
+            let y = result.state_series("y").unwrap();
+            y.iter()
+                .position(|&v| v > 1000.0)
+                .expect("epidemic reached half")
+        };
+        let instant = first_half_period(None);
+        let slow_link = LinkModel::new(LatencyModel::Exponential { mean: 720.0 }, 0.0).unwrap();
+        let slow = first_half_period(Some(TransportConfig::new(slow_link)));
+        assert!(
+            slow > instant + 3,
+            "latency should delay takeoff: instant={instant}, slow={slow}"
+        );
+    }
+
+    #[test]
+    fn partitioned_link_blocks_infection() {
+        // Two contiguous segments of 100 processes; the 10 seeds sit at the
+        // tail indices (block assignment), i.e. entirely inside segment 1.
+        // With the inter-segment link partitioned for the whole run, no
+        // message crosses and segment 0 stays uninfected.
+        let protocol = epidemic_protocol();
+        let transport = TransportConfig::default()
+            .with_segments(2)
+            .unwrap()
+            .with_partition(0, 1, 0, 1_000)
+            .unwrap();
+        let scenario = Scenario::new(200, 60)
+            .unwrap()
+            .with_seed(9)
+            .with_transport(transport);
+        let runtime = AsyncRuntime::new(protocol);
+        let mut state = runtime
+            .init(&scenario, &InitialStates::counts(&[190, 10]))
+            .unwrap();
+        for _ in 0..scenario.periods() {
+            runtime.step(&mut state).unwrap();
+        }
+        let states = state.process_states();
+        assert!(
+            states[..100].iter().all(|&s| s == 0),
+            "partition leaked: segment 0 got infected"
+        );
+        assert!(
+            states[100..].iter().all(|&s| s == 1),
+            "segment 1 should fully saturate among its own 100 processes"
+        );
+        // The cross-segment probes were sent and timed out as drops.
+        let stats = state.transport_stats();
+        assert!(
+            stats.dropped() > 0,
+            "cross-partition sends should be dropped"
+        );
+        assert_eq!(
+            stats.sent(),
+            stats.delivered() + stats.dropped() + stats.in_flight()
+        );
+    }
+
+    #[test]
+    fn transport_probe_streams_through_period_events() {
+        let protocol = epidemic_protocol();
+        let link = LinkModel::new(LatencyModel::Constant(30.0), 0.1).unwrap();
+        let scenario = Scenario::new(300, 10)
+            .unwrap()
+            .with_seed(2)
+            .with_transport(TransportConfig::new(link));
+        let runtime = AsyncRuntime::new(protocol);
+        let mut state = runtime
+            .init(&scenario, &InitialStates::counts(&[299, 1]))
+            .unwrap();
+        let mut last_sent = 0;
+        for _ in 0..scenario.periods() {
+            let ev = runtime.step(&mut state).unwrap();
+            let probe = ev.transport.expect("async runtime always reports a probe");
+            assert!(probe.sent >= last_sent, "sent counter is cumulative");
+            assert_eq!(
+                probe.sent,
+                probe.delivered + probe.dropped + probe.queue_depth,
+                "every sent message is delivered, dropped, or in flight"
+            );
+            last_sent = probe.sent;
+        }
+        assert!(last_sent > 0);
+        assert!(
+            state.transport_stats().dropped() > 0,
+            "10% drops must show up"
+        );
+    }
+
+    #[test]
+    fn sharded_scenarios_are_rejected() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(1000, 5)
+            .unwrap()
+            .with_topology(Topology::sharded(4, 0.01).unwrap());
+        let err = AsyncRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[999, 1]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn period_synchronized_runtimes_reject_transport_scenarios() {
+        let scenario = Scenario::new(100, 5)
+            .unwrap()
+            .with_transport(TransportConfig::default());
+        let initial = InitialStates::counts(&[99, 1]);
+        let agent_err = AgentRuntime::new(epidemic_protocol())
+            .run(&scenario, &initial)
+            .unwrap_err();
+        assert!(agent_err.to_string().contains("AsyncRuntime"));
+        let batched_err = BatchedRuntime::new(epidemic_protocol())
+            .run(&scenario, &initial)
+            .unwrap_err();
+        assert!(matches!(batched_err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn crashes_kill_chains_and_recoveries_rejoin() {
+        // With every process crashed at period 0, nothing ever transitions
+        // even though probes may still be in flight.
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(50, 10)
+            .unwrap()
+            .with_massive_failure(0, 1.0)
+            .unwrap()
+            .with_seed(3);
+        let result = AsyncRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[49, 1]))
+            .unwrap();
+        assert_eq!(result.final_counts(), Some(&[49.0, 1.0][..]));
+        assert_eq!(result.total_transitions("x", "y"), 0.0);
+    }
+
+    #[test]
+    fn zero_latency_matches_the_agent_runtime_in_ensemble_mean() {
+        // A pointwise pin lives in tests/property.rs; this is a fast smoke
+        // version — mean final infections over a few seeds must land within
+        // the batched-agreement envelope used across the runtime tests.
+        let n = 20_000u64;
+        let mean_final = |agent: bool| {
+            let mut total = 0.0;
+            for seed in 300..308u64 {
+                let scenario = Scenario::new(n as usize, 12).unwrap().with_seed(seed);
+                let initial = InitialStates::counts(&[n - 20, 20]);
+                let result = if agent {
+                    AgentRuntime::new(epidemic_protocol())
+                        .run(&scenario, &initial)
+                        .unwrap()
+                } else {
+                    AsyncRuntime::new(epidemic_protocol())
+                        .run(&scenario, &initial)
+                        .unwrap()
+                };
+                total += result.final_counts().unwrap()[1];
+            }
+            total / 8.0
+        };
+        let agent = mean_final(true);
+        let asynchronous = mean_final(false);
+        let tolerance = n as f64 * 0.15;
+        assert!(
+            (agent - asynchronous).abs() < tolerance,
+            "agent mean {agent} vs async mean {asynchronous} exceeds {tolerance}"
+        );
+    }
+
+    #[test]
+    fn segments_cannot_exceed_group_size() {
+        let protocol = epidemic_protocol();
+        let transport = TransportConfig::default().with_segments(64).unwrap();
+        let scenario = Scenario::new(10, 5).unwrap().with_transport(transport);
+        let err = AsyncRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[9, 1]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                name: "transport",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn run_auto_selects_async_for_transport_scenarios() {
+        let protocol = epidemic_protocol();
+        let scenario = Scenario::new(500, 10)
+            .unwrap()
+            .with_seed(1)
+            .with_transport(TransportConfig::default());
+        let result = super::super::Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&[499, 1]))
+            .observe(CountsRecorder::new())
+            .run_auto()
+            .unwrap();
+        let final_counts = result.final_counts().unwrap();
+        assert_eq!(final_counts[0] + final_counts[1], 500.0);
+        assert!(
+            final_counts[1] > 1.0,
+            "run_auto's async run should make progress"
+        );
+    }
+}

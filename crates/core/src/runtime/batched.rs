@@ -254,6 +254,7 @@ impl BatchedRuntime {
             counts_alive: Some(&state.counts_alive),
             membership: None,
             shard_counts_alive: None,
+            transport: None,
         }
     }
 
@@ -441,6 +442,7 @@ impl Runtime for BatchedRuntime {
             });
         }
         super::reject_sharded(scenario, "batched")?;
+        super::reject_transport(scenario, "batched")?;
         let num_states = self.protocol.num_states();
         let n = scenario.group_size() as u64;
         let counts = initial.resolve(num_states, n)?;

@@ -187,6 +187,7 @@ impl Ensemble {
             FidelityTier::Hybrid => self.run::<super::HybridRuntime>(),
             FidelityTier::Agent => self.run::<super::AgentRuntime>(),
             FidelityTier::Sharded => self.run::<super::ShardedRuntime>(),
+            FidelityTier::Async => self.run::<super::AsyncRuntime>(),
         }
     }
 

@@ -375,6 +375,7 @@ impl Runtime for HybridRuntime {
 
     fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<HybridState> {
         super::reject_sharded(scenario, "hybrid")?;
+        super::reject_transport(scenario, "hybrid")?;
         let locked_membership = !scenario.count_level_compatible();
         let counts = initial.resolve(self.protocol().num_states(), scenario.group_size() as u64)?;
         let mut live = vec![false; counts.len()];

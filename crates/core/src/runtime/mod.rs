@@ -31,6 +31,7 @@
 
 mod agent;
 mod aggregate;
+mod async_runtime;
 mod batched;
 mod ensemble;
 mod hybrid;
@@ -40,12 +41,14 @@ mod simulation;
 
 pub use agent::{AgentRuntime, AgentState, MembershipView};
 pub use aggregate::{AggregateRuntime, AggregateState};
+pub use async_runtime::{AsyncRuntime, AsyncState};
 pub use batched::{BatchedRuntime, BatchedState};
 pub use ensemble::{Ensemble, EnsembleResult};
 pub use hybrid::{HybridFidelity, HybridRuntime, HybridState, SMALL_COUNT_THRESHOLD};
 pub use observer::{
-    AliveTracker, CountsRecorder, MembershipTracker, MessageCounter, Observer, PeriodEvents,
-    ShardCountsRecorder, TransitionRecorder,
+    AliveTracker, CountsRecorder, LiveMetrics, LiveMetricsHandle, MembershipTracker,
+    MessageCounter, Observer, PeriodEvents, ShardCountsRecorder, TransitionRecorder,
+    TransportProbe,
 };
 pub use sharded::{ShardedRuntime, ShardedState};
 pub use simulation::Simulation;
@@ -117,11 +120,21 @@ pub enum FidelityTier {
     /// the population advances as `S` locally-mixed count vectors exchanging
     /// processes through per-period migration.
     Sharded,
+    /// Asynchronous message passing ([`AsyncRuntime`]): the scenario carries
+    /// a [`TransportConfig`](netsim::TransportConfig), so every protocol
+    /// contact becomes an actual queued message subject to per-link latency,
+    /// drops and partition windows, scheduled in virtual time.
+    Async,
 }
 
 /// Picks the fastest fidelity that can serve a run (the policy behind
 /// [`Simulation::run_auto`] and [`Ensemble::run_auto`]):
 ///
+/// * a scenario with a [`TransportConfig`](netsim::TransportConfig) selects
+///   [`FidelityTier::Async`] — explicit link models (latency distributions,
+///   drops, partition windows) only exist at the message layer, so no
+///   period-synchronized runtime can serve them; this dominates every other
+///   criterion and is checked first;
 /// * a scenario with a sharded [`Topology`](netsim::Topology) or
 ///   shard-targeted events selects [`FidelityTier::Sharded`] — sharding is
 ///   count-level only, so it is checked first and membership observers are
@@ -152,6 +165,9 @@ pub(crate) fn auto_tier(
     initial: Option<&InitialStates>,
     needs_membership: bool,
 ) -> FidelityTier {
+    if scenario.is_some_and(Scenario::has_link_models) {
+        return FidelityTier::Async;
+    }
     if scenario.is_some_and(Scenario::needs_sharding) {
         return FidelityTier::Sharded;
     }
@@ -384,6 +400,25 @@ pub(crate) fn reject_sharded(scenario: &Scenario, runtime_name: &str) -> Result<
                 "the scenario carries a sharded topology or shard-targeted \
                  events, which the {runtime_name} runtime's single well-mixed \
                  group cannot represent — use ShardedRuntime (or \
+                 Simulation::run_auto, which selects it automatically)"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Rejects a scenario with explicit link models on behalf of a
+/// period-synchronized runtime: per-link latency, drops and partition
+/// windows only exist at the message layer, and silently ignoring them
+/// would simulate a different network than the caller configured.
+pub(crate) fn reject_transport(scenario: &Scenario, runtime_name: &str) -> Result<()> {
+    if scenario.has_link_models() {
+        return Err(CoreError::InvalidConfig {
+            name: "scenario",
+            reason: format!(
+                "the scenario carries a transport model (link latency / drops \
+                 / partitions), which the period-synchronized {runtime_name} \
+                 runtime cannot honour — use AsyncRuntime (or \
                  Simulation::run_auto, which selects it automatically)"
             ),
         });

@@ -21,6 +21,8 @@ use super::{edge_name, MembershipView, RunResult};
 use crate::state_machine::{Protocol, StateId};
 use netsim::MetricsRecorder;
 use odekit::integrate::Trajectory;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Everything that happened in (or up to) one protocol period, borrowed from
 /// the runtime's execution state.
@@ -60,6 +62,30 @@ pub struct PeriodEvents<'a> {
     /// [`counts_alive`](Self::counts_alive), [`alive`](Self::alive)) always
     /// sum over shards, so shard-agnostic observers work unchanged.
     pub shard_counts_alive: Option<&'a [Vec<u64>]>,
+    /// Transport-layer snapshot (queue depth, cumulative message fates,
+    /// recent delivery latency), filled only by the asynchronous runtime;
+    /// the period-synchronized runtimes report `None` (their messages are
+    /// accounting fictions, not queued deliveries).
+    pub transport: Option<TransportProbe>,
+}
+
+/// One snapshot of the asynchronous transport layer, taken at a period
+/// boundary: how many messages are in flight right now, the cumulative
+/// sent/delivered/dropped totals, and the mean delivery latency over the
+/// recent streaming window (seconds of virtual time).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransportProbe {
+    /// Messages queued but not yet resolved at this snapshot.
+    pub queue_depth: u64,
+    /// Cumulative messages sent since the start of the run.
+    pub sent: u64,
+    /// Cumulative messages delivered.
+    pub delivered: u64,
+    /// Cumulative messages dropped (loss or partition).
+    pub dropped: u64,
+    /// Mean delivery latency over the recent window (seconds; 0 before the
+    /// first delivery).
+    pub recent_latency_mean: f64,
 }
 
 impl PeriodEvents<'_> {
@@ -303,6 +329,146 @@ impl Observer for ShardCountsRecorder {
     }
 }
 
+/// Streams the asynchronous transport's health while a run is still
+/// executing, and records it as `metrics["transport:*"]` series afterwards.
+///
+/// The streaming half is the point: [`handle`](Self::handle) returns a
+/// cloneable, thread-safe [`LiveMetricsHandle`] whose gauges (queue depth,
+/// cumulative sent/delivered/dropped, recent mean latency) are updated at
+/// every period boundary — a progress thread can poll it mid-run instead of
+/// waiting for the [`RunResult`]. The recorded series are per-period:
+/// `transport:queue_depth` and `transport:latency_mean` are instantaneous
+/// snapshots, `transport:sent` / `transport:delivered` / `transport:dropped`
+/// are the counts for the period that just executed.
+///
+/// Only the asynchronous runtime fills [`PeriodEvents::transport`]; under
+/// every other runtime this observer is inert (like
+/// [`ShardCountsRecorder`] without shard data).
+#[derive(Debug, Default)]
+pub struct LiveMetrics {
+    recorder: MetricsRecorder,
+    gauges: Arc<Gauges>,
+    last: TransportProbe,
+}
+
+/// The shared gauge block behind [`LiveMetricsHandle`]. The latency gauge
+/// stores an `f64` through its bit pattern, so every field fits one atomic.
+#[derive(Debug, Default)]
+struct Gauges {
+    queue_depth: AtomicU64,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    latency_bits: AtomicU64,
+    periods: AtomicU64,
+}
+
+/// A cloneable, thread-safe view of a [`LiveMetrics`] observer's gauges,
+/// readable while the run is still executing.
+#[derive(Debug, Clone, Default)]
+pub struct LiveMetricsHandle {
+    gauges: Arc<Gauges>,
+}
+
+impl LiveMetricsHandle {
+    /// Messages in flight at the last period boundary.
+    pub fn queue_depth(&self) -> u64 {
+        self.gauges.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative messages sent so far.
+    pub fn sent(&self) -> u64 {
+        self.gauges.sent.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.gauges.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative messages dropped so far (loss or partition).
+    pub fn dropped(&self) -> u64 {
+        self.gauges.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Mean delivery latency over the transport's recent window (seconds).
+    pub fn recent_latency_mean(&self) -> f64 {
+        f64::from_bits(self.gauges.latency_bits.load(Ordering::Relaxed))
+    }
+
+    /// Periods observed so far (including the period-0 snapshot).
+    pub fn periods_observed(&self) -> u64 {
+        self.gauges.periods.load(Ordering::Relaxed)
+    }
+}
+
+impl LiveMetrics {
+    /// Creates the observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A live handle onto the gauges, safe to read from another thread while
+    /// the run executes.
+    pub fn handle(&self) -> LiveMetricsHandle {
+        LiveMetricsHandle {
+            gauges: Arc::clone(&self.gauges),
+        }
+    }
+}
+
+impl Observer for LiveMetrics {
+    fn on_period(&mut self, _protocol: &Protocol, events: &PeriodEvents<'_>) {
+        let Some(probe) = events.transport else {
+            return;
+        };
+        self.gauges
+            .queue_depth
+            .store(probe.queue_depth, Ordering::Relaxed);
+        self.gauges.sent.store(probe.sent, Ordering::Relaxed);
+        self.gauges
+            .delivered
+            .store(probe.delivered, Ordering::Relaxed);
+        self.gauges.dropped.store(probe.dropped, Ordering::Relaxed);
+        self.gauges
+            .latency_bits
+            .store(probe.recent_latency_mean.to_bits(), Ordering::Relaxed);
+        self.gauges.periods.fetch_add(1, Ordering::Relaxed);
+
+        self.recorder.record(
+            "transport:queue_depth",
+            events.period,
+            probe.queue_depth as f64,
+        );
+        self.recorder.record(
+            "transport:latency_mean",
+            events.period,
+            probe.recent_latency_mean,
+        );
+        if events.period > 0 {
+            let p = events.period - 1;
+            let delta = |now: u64, before: u64| now.saturating_sub(before) as f64;
+            self.recorder
+                .record("transport:sent", p, delta(probe.sent, self.last.sent));
+            self.recorder.record(
+                "transport:delivered",
+                p,
+                delta(probe.delivered, self.last.delivered),
+            );
+            self.recorder.record(
+                "transport:dropped",
+                p,
+                delta(probe.dropped, self.last.dropped),
+            );
+        }
+        self.last = probe;
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        result.metrics.merge(&self.recorder);
+    }
+}
+
 /// The observer set that reproduces the legacy always-on recording: counts
 /// (all processes), transitions, alive counts and message counts.
 pub(crate) fn default_observers() -> Vec<Box<dyn Observer>> {
@@ -344,6 +510,7 @@ mod tests {
             counts_alive: None,
             membership: None,
             shard_counts_alive: None,
+            transport: None,
         }
     }
 
@@ -457,6 +624,81 @@ mod tests {
         inert.finish(&mut result);
         assert!(result.metrics.series("shard0:x").is_err());
         assert!(!ShardCountsRecorder::new().needs_membership());
+    }
+
+    #[test]
+    fn live_metrics_streams_gauges_and_records_series() {
+        let p = protocol();
+        let mut obs = LiveMetrics::new();
+        let handle = obs.handle();
+        let mut ev = events(0, &[90, 10], &[]);
+        ev.transport = Some(TransportProbe {
+            queue_depth: 5,
+            sent: 10,
+            delivered: 4,
+            dropped: 1,
+            recent_latency_mean: 2.5,
+        });
+        obs.on_period(&p, &ev);
+        // Gauges are readable mid-run, from a clone, on another thread.
+        let h2 = handle.clone();
+        std::thread::spawn(move || {
+            assert_eq!(h2.queue_depth(), 5);
+            assert_eq!(h2.sent(), 10);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(handle.queue_depth(), 5);
+        assert_eq!(handle.delivered(), 4);
+        assert_eq!(handle.dropped(), 1);
+        assert_eq!(handle.recent_latency_mean(), 2.5);
+        assert_eq!(handle.periods_observed(), 1);
+
+        let mut ev = events(1, &[50, 50], &[]);
+        ev.transport = Some(TransportProbe {
+            queue_depth: 2,
+            sent: 25,
+            delivered: 20,
+            dropped: 3,
+            recent_latency_mean: 1.5,
+        });
+        obs.on_period(&p, &ev);
+        assert_eq!(handle.sent(), 25);
+        assert_eq!(handle.periods_observed(), 2);
+
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        // Instantaneous series have one point per snapshot...
+        assert_eq!(
+            result.metrics.series("transport:queue_depth").unwrap(),
+            &[(0, 5.0), (1, 2.0)]
+        );
+        // ...while the fate series are per-period deltas.
+        assert_eq!(
+            result.metrics.series("transport:sent").unwrap(),
+            &[(0, 15.0)]
+        );
+        assert_eq!(
+            result.metrics.series("transport:delivered").unwrap(),
+            &[(0, 16.0)]
+        );
+        assert_eq!(
+            result.metrics.series("transport:dropped").unwrap(),
+            &[(0, 2.0)]
+        );
+        assert!(!LiveMetrics::new().needs_membership());
+    }
+
+    #[test]
+    fn live_metrics_is_inert_without_transport_data() {
+        let p = protocol();
+        let mut obs = LiveMetrics::new();
+        let handle = obs.handle();
+        obs.on_period(&p, &events(0, &[90, 10], &[]));
+        assert_eq!(handle.periods_observed(), 0);
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert!(result.metrics.series("transport:queue_depth").is_err());
     }
 
     #[test]

@@ -256,6 +256,7 @@ impl ShardedRuntime {
             counts_alive: Some(&state.counts_alive),
             membership: None,
             shard_counts_alive: Some(&state.shard_alive),
+            transport: None,
         }
     }
 
@@ -444,6 +445,7 @@ impl Runtime for ShardedRuntime {
 
     fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<ShardedState> {
         self.protocol().validate()?;
+        super::reject_transport(scenario, "sharded")?;
         if !scenario.count_level_compatible() {
             return Err(CoreError::InvalidConfig {
                 name: "scenario",

@@ -184,6 +184,7 @@ impl Simulation {
             FidelityTier::Hybrid => self.run::<super::HybridRuntime>(),
             FidelityTier::Agent => self.run::<super::AgentRuntime>(),
             FidelityTier::Sharded => self.run::<super::ShardedRuntime>(),
+            FidelityTier::Async => self.run::<super::AsyncRuntime>(),
         }
     }
 
@@ -465,11 +466,29 @@ mod tests {
         assert_eq!(via_builder.selected_tier(), FidelityTier::Sharded);
         // ... and an explicit well-mixed builder topology overrides a sharded
         // scenario back onto the single-group tiers.
-        let overridden = Simulation::of(protocol)
+        let overridden = Simulation::of(protocol.clone())
             .scenario(scenario().with_topology(netsim::Topology::sharded(8, 0.01).unwrap()))
             .initial(InitialStates::counts(&[5_000, 5_000]))
             .topology(netsim::Topology::WellMixed);
         assert_eq!(overridden.selected_tier(), FidelityTier::Batched);
+
+        // A transport model (link latency / drops / partitions) dominates
+        // every other criterion: only the async runtime delivers messages,
+        // so even the small-count and membership-tracking regimes yield.
+        let transported = || scenario().with_transport(netsim::TransportConfig::default());
+        let asynchronous = Simulation::of(protocol.clone())
+            .scenario(transported())
+            .initial(InitialStates::counts(&[5_000, 5_000]));
+        assert_eq!(asynchronous.selected_tier(), FidelityTier::Async);
+        let small_async = Simulation::of(protocol.clone())
+            .scenario(transported())
+            .initial(InitialStates::counts(&[9_999, 1]));
+        assert_eq!(small_async.selected_tier(), FidelityTier::Async);
+        let tracked_async = Simulation::of(protocol)
+            .scenario(transported())
+            .initial(InitialStates::counts(&[9_999, 1]))
+            .observe(MembershipTracker::of(y));
+        assert_eq!(tracked_async.selected_tier(), FidelityTier::Async);
     }
 
     #[test]

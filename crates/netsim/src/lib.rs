@@ -25,7 +25,10 @@
 //!   experiment output,
 //! * [`scenario`] — a bundle of all of the above describing one experiment,
 //! * [`topology`] — the population topology (one well-mixed group, or `S`
-//!   shards exchanging processes via migration at period boundaries).
+//!   shards exchanging processes via migration at period boundaries),
+//! * [`transport`] — the asynchronous message layer: per-link latency
+//!   distributions, drop probability, partition windows, and an in-process
+//!   virtual-time broker with streaming delivery statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod rng;
 pub mod scenario;
 pub mod stochastic;
 pub mod topology;
+pub mod transport;
 
 pub use churn::{ChurnEvent, ChurnTrace, SyntheticChurnConfig};
 pub use clock::PeriodClock;
@@ -53,6 +57,10 @@ pub use network::LossConfig;
 pub use rng::Rng;
 pub use scenario::Scenario;
 pub use topology::{Placement, ShardConfig, ShardFailure, ShardPartition, Topology};
+pub use transport::{
+    Delivery, InProcTransport, LatencyModel, LinkModel, LinkPartition, RingBuffer, Transport,
+    TransportConfig, TransportStats,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SimError>;

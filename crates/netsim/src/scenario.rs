@@ -8,6 +8,7 @@ use crate::group::Group;
 use crate::network::LossConfig;
 use crate::rng::Rng;
 use crate::topology::{ShardFailure, ShardPartition, Topology};
+use crate::transport::TransportConfig;
 use crate::Result;
 
 /// A complete description of the environment for one simulation run:
@@ -44,6 +45,7 @@ pub struct Scenario {
     topology: Topology,
     shard_failures: Vec<ShardFailure>,
     shard_partitions: Vec<ShardPartition>,
+    transport: Option<TransportConfig>,
 }
 
 impl Scenario {
@@ -80,6 +82,7 @@ impl Scenario {
             topology: Topology::WellMixed,
             shard_failures: Vec::new(),
             shard_partitions: Vec::new(),
+            transport: None,
         })
     }
 
@@ -285,6 +288,28 @@ impl Scenario {
     /// The shard partition windows.
     pub fn shard_partitions(&self) -> &[ShardPartition] {
         &self.shard_partitions
+    }
+
+    /// Attaches a message-transport model: per-link latency distributions,
+    /// drop probability and partition windows. A scenario carrying one is
+    /// served by the asynchronous message-passing runtime (`run_auto` routes
+    /// it there); the period-synchronized runtimes reject it loudly.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// The transport model, if one is attached.
+    pub fn transport(&self) -> Option<&TransportConfig> {
+        self.transport.as_ref()
+    }
+
+    /// `true` if this scenario models the message layer explicitly (link
+    /// latency / drops / partitions) and therefore needs the asynchronous
+    /// runtime.
+    pub fn has_link_models(&self) -> bool {
+        self.transport.is_some()
     }
 
     /// `true` if any shard-targeted event (failure or partition) is
@@ -571,6 +596,28 @@ mod tests {
             .unwrap()
             .with_shard_partition(0, 5, 4)
             .is_err());
+    }
+
+    #[test]
+    fn transport_classification() {
+        use crate::transport::{LatencyModel, LinkModel, TransportConfig};
+        let plain = Scenario::new(100, 10).unwrap();
+        assert!(!plain.has_link_models());
+        assert!(plain.transport().is_none());
+
+        let link = LinkModel::new(LatencyModel::Exponential { mean: 10.0 }, 0.01).unwrap();
+        let asynchronous = Scenario::new(100, 10)
+            .unwrap()
+            .with_transport(TransportConfig::new(link));
+        assert!(asynchronous.has_link_models());
+        assert_eq!(
+            asynchronous.transport().unwrap().default_link().drop_prob(),
+            0.01
+        );
+        // A transport model says nothing about liveness, identity or shards.
+        assert!(!asynchronous.has_liveness_events());
+        assert!(asynchronous.count_level_compatible());
+        assert!(!asynchronous.needs_sharding());
     }
 
     #[test]

@@ -1,0 +1,918 @@
+//! Message transport: per-link latency, drops, partitions, and an
+//! in-process broker with streaming delivery statistics.
+//!
+//! Everything else in `netsim` advances in synchronized protocol periods;
+//! this module is the substrate for *asynchronous* execution, where each
+//! protocol contact is an actual message that is sent, queued, delayed by a
+//! sampled per-link latency, and finally delivered or dropped. The design
+//! notes live here (the ROADMAP points at this module):
+//!
+//! * **Links are segment pairs.** Modelling `N²` per-process links would be
+//!   both unaffordable and unidentifiable; instead the population is split
+//!   into `segments` contiguous index blocks and every (ordered-free) segment
+//!   pair is one link with its own [`LinkModel`] — latency distribution plus
+//!   drop probability — falling back to a configurable default. One segment
+//!   (the default) degenerates to a single uniform link, the paper's
+//!   well-mixed medium.
+//! * **Partitions are period windows.** A [`LinkPartition`] blocks every
+//!   message between two segments for an inclusive period window, mirroring
+//!   [`ShardPartition`](crate::topology::ShardPartition) but at the message
+//!   layer: sends during the window are queued and resolved as timeouts, so
+//!   the sender still pays the latency before learning nothing came back.
+//! * **The broker is a virtual-time queue.** [`InProcTransport`] keeps
+//!   messages in a binary heap ordered by `(deliver_at, sequence)`; ties are
+//!   impossible by construction, so a seeded run replays **bit-identically**.
+//!   The [`Transport`] trait is the seam for socket-shaped implementations
+//!   later — the consuming runtime only sees `send` / `next_ready`.
+//! * **Statistics stream while the run executes.** Every send/delivery/drop
+//!   updates an [`Arc`]-shared [`TransportStats`] (atomic counters plus a
+//!   bounded [`RingBuffer`] of recent per-link delivery latencies), so an
+//!   observer — or another thread — can read queue depth, latency and drop
+//!   counts mid-run instead of waiting for post-hoc recorders.
+
+use crate::error::{check_probability, SimError};
+use crate::rng::Rng;
+use crate::Result;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
+use std::sync::{Arc, Mutex};
+
+/// Per-message delivery latency distribution, in seconds of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Instant delivery (the synchronous limit).
+    Zero,
+    /// Every message takes exactly this many seconds.
+    Constant(f64),
+    /// Uniform in `[min, max]` seconds.
+    Uniform {
+        /// Lower bound (seconds).
+        min: f64,
+        /// Upper bound (seconds).
+        max: f64,
+    },
+    /// Exponential with the given mean in seconds (the classic M/M queueing
+    /// assumption; heavy enough a tail to exercise out-of-order delivery).
+    Exponential {
+        /// Mean latency (seconds).
+        mean: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one delivery latency.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        match *self {
+            LatencyModel::Zero => 0.0,
+            LatencyModel::Constant(secs) => secs,
+            LatencyModel::Uniform { min, max } => rng.uniform(min, max),
+            LatencyModel::Exponential { mean } => {
+                // Inverse CDF; guard the u = 1 endpoint of `next_f64`.
+                let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+                -mean * u.ln()
+            }
+        }
+    }
+
+    /// The distribution's mean, in seconds.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Zero => 0.0,
+            LatencyModel::Constant(secs) => secs,
+            LatencyModel::Uniform { min, max } => 0.5 * (min + max),
+            LatencyModel::Exponential { mean } => mean,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let ok = match *self {
+            LatencyModel::Zero => true,
+            LatencyModel::Constant(secs) => secs.is_finite() && secs >= 0.0,
+            LatencyModel::Uniform { min, max } => {
+                min.is_finite() && max.is_finite() && 0.0 <= min && min <= max
+            }
+            LatencyModel::Exponential { mean } => mean.is_finite() && mean >= 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SimError::InvalidConfig {
+                name: "latency",
+                reason: format!("latency model {self:?} is not a valid non-negative distribution"),
+            })
+        }
+    }
+}
+
+/// The behaviour of one link: how long messages take and how often they are
+/// lost. A link connects two population segments (or a segment to itself).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    latency: LatencyModel,
+    drop_prob: f64,
+}
+
+impl LinkModel {
+    /// A perfect link: zero latency, no drops.
+    pub fn reliable() -> Self {
+        LinkModel {
+            latency: LatencyModel::Zero,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Creates a link model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the latency distribution is invalid or the drop
+    /// probability lies outside `[0, 1]`.
+    pub fn new(latency: LatencyModel, drop_prob: f64) -> Result<Self> {
+        latency.validate()?;
+        check_probability("drop_prob", drop_prob)?;
+        Ok(LinkModel { latency, drop_prob })
+    }
+
+    /// The latency distribution.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// The per-message drop probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+}
+
+/// A partition window between two segments: every message between them sent
+/// during the inclusive period window `from_period ..= to_period` is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkPartition {
+    /// One side of the partitioned link.
+    pub a: usize,
+    /// The other side (`a == b` partitions a segment from itself).
+    pub b: usize,
+    /// First period of the window (inclusive).
+    pub from_period: u64,
+    /// Last period of the window (inclusive).
+    pub to_period: u64,
+}
+
+impl LinkPartition {
+    /// `true` if the partition is in force at `period`.
+    pub fn active_at(&self, period: u64) -> bool {
+        (self.from_period..=self.to_period).contains(&period)
+    }
+}
+
+/// Everything a scenario needs to say about its message transport: the
+/// segment count, the default link, per-segment-pair overrides and partition
+/// windows. Attaching one to a [`Scenario`](crate::Scenario) (via
+/// [`Scenario::with_transport`](crate::Scenario::with_transport)) is what
+/// routes a run onto the asynchronous message-passing tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportConfig {
+    segments: usize,
+    default_link: LinkModel,
+    overrides: Vec<(usize, usize, LinkModel)>,
+    partitions: Vec<LinkPartition>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig::new(LinkModel::reliable())
+    }
+}
+
+impl TransportConfig {
+    /// One segment, every message on `default_link`.
+    pub fn new(default_link: LinkModel) -> Self {
+        TransportConfig {
+            segments: 1,
+            default_link,
+            overrides: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Splits the population into `segments` contiguous index blocks; every
+    /// segment pair becomes a distinct link.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `segments` is zero.
+    pub fn with_segments(mut self, segments: usize) -> Result<Self> {
+        if segments == 0 {
+            return Err(SimError::InvalidConfig {
+                name: "segments",
+                reason: "transport needs at least one segment".into(),
+            });
+        }
+        self.segments = segments;
+        Ok(self)
+    }
+
+    /// Overrides the link model between segments `a` and `b` (symmetric;
+    /// `a == b` sets the segment's internal link).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either segment index is out of range.
+    pub fn with_link(mut self, a: usize, b: usize, model: LinkModel) -> Result<Self> {
+        self.check_segment(a)?;
+        self.check_segment(b)?;
+        self.overrides.push((a.min(b), a.max(b), model));
+        Ok(self)
+    }
+
+    /// Partitions the link between segments `a` and `b` for the inclusive
+    /// period window `from_period ..= to_period`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a segment index is out of range or the window is
+    /// empty (`from_period > to_period`).
+    pub fn with_partition(
+        mut self,
+        a: usize,
+        b: usize,
+        from_period: u64,
+        to_period: u64,
+    ) -> Result<Self> {
+        self.check_segment(a)?;
+        self.check_segment(b)?;
+        if from_period > to_period {
+            return Err(SimError::InvalidConfig {
+                name: "link_partition",
+                reason: format!("window {from_period}..={to_period} is empty"),
+            });
+        }
+        self.partitions.push(LinkPartition {
+            a: a.min(b),
+            b: a.max(b),
+            from_period,
+            to_period,
+        });
+        Ok(self)
+    }
+
+    fn check_segment(&self, segment: usize) -> Result<()> {
+        if segment >= self.segments {
+            return Err(SimError::InvalidConfig {
+                name: "segment",
+                reason: format!(
+                    "segment {segment} out of range for {} segments",
+                    self.segments
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The number of population segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// The link model used by every pair without an override.
+    pub fn default_link(&self) -> LinkModel {
+        self.default_link
+    }
+
+    /// The partition windows.
+    pub fn partitions(&self) -> &[LinkPartition] {
+        &self.partitions
+    }
+
+    /// The segment of process index `p` in a population of `n`: contiguous
+    /// near-equal blocks, matching how experiments place initial states.
+    pub fn segment_of(&self, p: usize, n: usize) -> usize {
+        debug_assert!(p < n);
+        (p * self.segments) / n
+    }
+
+    /// The effective link model between two segments (last override wins).
+    pub fn link(&self, a: usize, b: usize) -> LinkModel {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(oa, ob, _)| (*oa, *ob) == (lo, hi))
+            .map(|(_, _, m)| *m)
+            .unwrap_or(self.default_link)
+    }
+
+    /// `true` if the link between two segments is partitioned at `period`.
+    pub fn is_partitioned(&self, a: usize, b: usize, period: u64) -> bool {
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.partitions
+            .iter()
+            .any(|p| (p.a, p.b) == (lo, hi) && p.active_at(period))
+    }
+
+    /// Number of distinct links (unordered segment pairs, including each
+    /// segment's internal link) — the size of the per-link statistics table.
+    pub fn link_count(&self) -> usize {
+        self.segments * (self.segments + 1) / 2
+    }
+
+    /// Dense index of the link between two segments, for per-link counters.
+    pub fn link_index(&self, a: usize, b: usize) -> usize {
+        let (lo, hi) = (a.min(b), a.max(b));
+        // Row `lo` of the upper triangle starts after lo rows of decreasing
+        // length: Σ_{r<lo} (segments - r).
+        lo * self.segments - lo * (lo + 1) / 2 + lo + (hi - lo)
+    }
+}
+
+/// A message handed back by [`Transport::next_ready`]. `delivered == false`
+/// means the message was dropped or partitioned: the event still resolves at
+/// `deliver_at` (the sender's timeout), but carries no response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Sender process index.
+    pub src: u32,
+    /// Receiver process index.
+    pub dst: u32,
+    /// Opaque payload (the consuming runtime encodes its action bookkeeping
+    /// here; the transport never interprets it).
+    pub payload: u64,
+    /// Virtual send time (seconds).
+    pub sent_at: f64,
+    /// Virtual resolution time (seconds).
+    pub deliver_at: f64,
+    /// `false` if the message was dropped by loss or a partition window.
+    pub delivered: bool,
+}
+
+/// The message-passing seam between a runtime and the medium. The in-process
+/// broker ([`InProcTransport`]) is the only implementation today; the trait
+/// is the shape a socket-backed transport plugs into later (send side
+/// unchanged, `next_ready` fed by a reader thread).
+pub trait Transport {
+    /// Queues a message from `src` to `dst` at virtual time `now` (during
+    /// `period`), sampling the link's latency and drop fate from `rng`.
+    /// Returns the resolution time.
+    fn send(
+        &mut self,
+        src: u32,
+        dst: u32,
+        payload: u64,
+        now: f64,
+        period: u64,
+        rng: &mut Rng,
+    ) -> f64;
+
+    /// Pops the earliest message with `deliver_at < until`, if any.
+    fn next_ready(&mut self, until: f64) -> Option<Delivery>;
+
+    /// The resolution time of the earliest queued message.
+    fn next_time(&self) -> Option<f64>;
+
+    /// Number of messages currently in flight.
+    fn queue_depth(&self) -> usize;
+}
+
+/// Heap entry: min-ordered by `(deliver_at, seq)`. The sequence number makes
+/// the order total and deterministic even when two messages resolve at the
+/// same instant (e.g. two zero-latency probes from one action).
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    deliver_at: f64,
+    seq: u64,
+    delivery: Delivery,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest message.
+        other
+            .deliver_at
+            .total_cmp(&self.deliver_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The in-process broker: a virtual-time priority queue plus shared
+/// statistics. Single-threaded by design (the consuming runtime owns it);
+/// the [`TransportStats`] handle is what crosses threads.
+#[derive(Debug)]
+pub struct InProcTransport {
+    config: TransportConfig,
+    n: usize,
+    queue: BinaryHeap<Queued>,
+    seq: u64,
+    stats: Arc<TransportStats>,
+}
+
+impl InProcTransport {
+    /// Creates a broker for a population of `n` processes.
+    pub fn new(config: TransportConfig, n: usize) -> Self {
+        let stats = Arc::new(TransportStats::new(config.link_count()));
+        InProcTransport {
+            config,
+            n,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            stats,
+        }
+    }
+
+    /// The transport configuration.
+    pub fn config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    /// A cloneable, thread-safe handle onto the live statistics.
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(
+        &mut self,
+        src: u32,
+        dst: u32,
+        payload: u64,
+        now: f64,
+        period: u64,
+        rng: &mut Rng,
+    ) -> f64 {
+        let sa = self.config.segment_of(src as usize, self.n);
+        let sb = self.config.segment_of(dst as usize, self.n);
+        let link = self.config.link(sa, sb);
+        let latency = link.latency().sample(rng);
+        let partitioned = self.config.is_partitioned(sa, sb, period);
+        let delivered = !partitioned && !rng.chance(link.drop_prob());
+        let deliver_at = now + latency;
+        self.seq += 1;
+        self.queue.push(Queued {
+            deliver_at,
+            seq: self.seq,
+            delivery: Delivery {
+                src,
+                dst,
+                payload,
+                sent_at: now,
+                deliver_at,
+                delivered,
+            },
+        });
+        self.stats.on_send(self.config.link_index(sa, sb));
+        deliver_at
+    }
+
+    fn next_ready(&mut self, until: f64) -> Option<Delivery> {
+        if self.queue.peek()?.deliver_at >= until {
+            return None;
+        }
+        let queued = self.queue.pop()?;
+        let d = queued.delivery;
+        let sa = self.config.segment_of(d.src as usize, self.n);
+        let sb = self.config.segment_of(d.dst as usize, self.n);
+        self.stats.on_resolve(
+            self.config.link_index(sa, sb),
+            d.delivered,
+            d.deliver_at - d.sent_at,
+        );
+        Some(d)
+    }
+
+    fn next_time(&self) -> Option<f64> {
+        self.queue.peek().map(|q| q.deliver_at)
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A bounded ring of recent samples — the streaming window behind the
+/// per-link latency statistics (old samples are overwritten, so memory stays
+/// constant however long the run is).
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    samples: Vec<f64>,
+    capacity: usize,
+    next: usize,
+    total_pushed: u64,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding up to `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer {
+            samples: Vec::with_capacity(capacity.min(64)),
+            capacity: capacity.max(1),
+            next: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Adds a sample, evicting the oldest once full.
+    pub fn push(&mut self, sample: f64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.next] = sample;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total_pushed += 1;
+    }
+
+    /// Number of samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no sample was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total samples ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Mean of the samples in the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum of the samples in the window (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Per-link message counters.
+#[derive(Debug, Default)]
+struct LinkCounters {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Live transport statistics, shared between the broker (writer) and any
+/// number of reader threads: global and per-link sent/delivered/dropped
+/// counters plus ring buffers of recent delivery latencies. All reads are
+/// wait-free except the latency windows (one short mutex).
+#[derive(Debug)]
+pub struct TransportStats {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    links: Vec<LinkCounters>,
+    latencies: Mutex<RingBuffer>,
+    link_latencies: Vec<Mutex<RingBuffer>>,
+}
+
+/// Capacity of the streaming latency windows.
+const LATENCY_WINDOW: usize = 1024;
+
+impl TransportStats {
+    fn new(link_count: usize) -> Self {
+        TransportStats {
+            sent: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            links: (0..link_count).map(|_| LinkCounters::default()).collect(),
+            latencies: Mutex::new(RingBuffer::new(LATENCY_WINDOW)),
+            link_latencies: (0..link_count)
+                .map(|_| Mutex::new(RingBuffer::new(LATENCY_WINDOW)))
+                .collect(),
+        }
+    }
+
+    fn on_send(&self, link: usize) {
+        self.sent.fetch_add(1, MemOrdering::Relaxed);
+        self.links[link].sent.fetch_add(1, MemOrdering::Relaxed);
+    }
+
+    fn on_resolve(&self, link: usize, delivered: bool, latency: f64) {
+        if delivered {
+            self.delivered.fetch_add(1, MemOrdering::Relaxed);
+            self.links[link]
+                .delivered
+                .fetch_add(1, MemOrdering::Relaxed);
+            self.latencies.lock().expect("stats lock").push(latency);
+            self.link_latencies[link]
+                .lock()
+                .expect("stats lock")
+                .push(latency);
+        } else {
+            self.dropped.fetch_add(1, MemOrdering::Relaxed);
+            self.links[link].dropped.fetch_add(1, MemOrdering::Relaxed);
+        }
+    }
+
+    /// Total messages ever sent.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(MemOrdering::Relaxed)
+    }
+
+    /// Total messages delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(MemOrdering::Relaxed)
+    }
+
+    /// Total messages dropped (loss or partition).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(MemOrdering::Relaxed)
+    }
+
+    /// Messages currently in flight (sent but not yet resolved).
+    pub fn in_flight(&self) -> u64 {
+        self.sent() - self.delivered() - self.dropped()
+    }
+
+    /// Number of links tracked.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `(sent, delivered, dropped)` for one link index (see
+    /// [`TransportConfig::link_index`]).
+    pub fn link_counts(&self, link: usize) -> (u64, u64, u64) {
+        let l = &self.links[link];
+        (
+            l.sent.load(MemOrdering::Relaxed),
+            l.delivered.load(MemOrdering::Relaxed),
+            l.dropped.load(MemOrdering::Relaxed),
+        )
+    }
+
+    /// Mean delivery latency over the recent window (seconds; 0 if nothing
+    /// was delivered yet).
+    pub fn recent_latency_mean(&self) -> f64 {
+        self.latencies.lock().expect("stats lock").mean()
+    }
+
+    /// Maximum delivery latency over the recent window (seconds).
+    pub fn recent_latency_max(&self) -> f64 {
+        self.latencies.lock().expect("stats lock").max()
+    }
+
+    /// Mean delivery latency of one link over its recent window (seconds).
+    pub fn link_latency_mean(&self, link: usize) -> f64 {
+        self.link_latencies[link].lock().expect("stats lock").mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_models_sample_and_validate() {
+        let mut rng = Rng::seed_from(1);
+        assert_eq!(LatencyModel::Zero.sample(&mut rng), 0.0);
+        assert_eq!(LatencyModel::Constant(3.0).sample(&mut rng), 3.0);
+        for _ in 0..100 {
+            let u = LatencyModel::Uniform { min: 1.0, max: 2.0 }.sample(&mut rng);
+            assert!((1.0..=2.0).contains(&u));
+            let e = LatencyModel::Exponential { mean: 5.0 }.sample(&mut rng);
+            assert!(e >= 0.0);
+        }
+        // Empirical mean of the exponential tracks its parameter.
+        let mean = (0..20_000)
+            .map(|_| LatencyModel::Exponential { mean: 5.0 }.sample(&mut rng))
+            .sum::<f64>()
+            / 20_000.0;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+        assert_eq!(LatencyModel::Uniform { min: 0.0, max: 4.0 }.mean(), 2.0);
+        // Invalid models are rejected through LinkModel::new.
+        assert!(LinkModel::new(LatencyModel::Constant(-1.0), 0.0).is_err());
+        assert!(LinkModel::new(LatencyModel::Uniform { min: 2.0, max: 1.0 }, 0.0).is_err());
+        assert!(LinkModel::new(LatencyModel::Exponential { mean: f64::NAN }, 0.0).is_err());
+        assert!(LinkModel::new(LatencyModel::Zero, 1.5).is_err());
+        let link = LinkModel::new(LatencyModel::Constant(2.0), 0.25).unwrap();
+        assert_eq!(link.latency(), LatencyModel::Constant(2.0));
+        assert_eq!(link.drop_prob(), 0.25);
+    }
+
+    #[test]
+    fn config_segments_links_and_partitions() {
+        let cfg = TransportConfig::new(LinkModel::reliable())
+            .with_segments(3)
+            .unwrap()
+            .with_link(
+                0,
+                2,
+                LinkModel::new(LatencyModel::Constant(9.0), 0.0).unwrap(),
+            )
+            .unwrap()
+            .with_partition(1, 2, 5, 10)
+            .unwrap();
+        assert_eq!(cfg.segments(), 3);
+        assert_eq!(cfg.link_count(), 6);
+        // Contiguous block placement.
+        assert_eq!(cfg.segment_of(0, 9), 0);
+        assert_eq!(cfg.segment_of(4, 9), 1);
+        assert_eq!(cfg.segment_of(8, 9), 2);
+        // Override lookup is symmetric; unconfigured pairs use the default.
+        assert_eq!(cfg.link(2, 0).latency(), LatencyModel::Constant(9.0));
+        assert_eq!(cfg.link(0, 2).latency(), LatencyModel::Constant(9.0));
+        assert_eq!(cfg.link(0, 1).latency(), LatencyModel::Zero);
+        // Partition windows are inclusive and symmetric.
+        assert!(!cfg.is_partitioned(1, 2, 4));
+        assert!(cfg.is_partitioned(2, 1, 5));
+        assert!(cfg.is_partitioned(1, 2, 10));
+        assert!(!cfg.is_partitioned(1, 2, 11));
+        assert!(!cfg.is_partitioned(0, 1, 7));
+        // Link indices are a dense bijection over unordered pairs.
+        let cfg_ref = &cfg;
+        let mut seen: Vec<usize> = (0..3)
+            .flat_map(|a| (a..3).map(move |b| cfg_ref.link_index(a, b)))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        // Validation.
+        assert!(TransportConfig::default().with_segments(0).is_err());
+        assert!(TransportConfig::default()
+            .with_link(0, 1, LinkModel::reliable())
+            .is_err());
+        assert!(TransportConfig::default()
+            .with_partition(0, 0, 5, 4)
+            .is_err());
+    }
+
+    #[test]
+    fn broker_orders_by_virtual_time_deterministically() {
+        let cfg = TransportConfig::new(
+            LinkModel::new(
+                LatencyModel::Uniform {
+                    min: 0.0,
+                    max: 10.0,
+                },
+                0.0,
+            )
+            .unwrap(),
+        );
+        let run = |seed: u64| {
+            let mut rng = Rng::seed_from(seed);
+            let mut t = InProcTransport::new(cfg.clone(), 100);
+            for i in 0..50u32 {
+                t.send(i, (i + 1) % 100, u64::from(i), 0.0, 0, &mut rng);
+            }
+            assert_eq!(t.queue_depth(), 50);
+            let mut out = Vec::new();
+            while let Some(d) = t.next_ready(f64::INFINITY) {
+                out.push((d.deliver_at, d.payload));
+            }
+            out
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed replays bit-identically");
+        // Sorted by delivery time.
+        for w in a.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_ne!(a, run(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn broker_respects_the_until_horizon() {
+        let cfg = TransportConfig::new(LinkModel::new(LatencyModel::Constant(5.0), 0.0).unwrap());
+        let mut rng = Rng::seed_from(1);
+        let mut t = InProcTransport::new(cfg, 10);
+        t.send(0, 1, 0, 0.0, 0, &mut rng);
+        assert_eq!(t.next_time(), Some(5.0));
+        assert!(
+            t.next_ready(5.0).is_none(),
+            "deliver_at == until stays queued"
+        );
+        let d = t.next_ready(5.1).unwrap();
+        assert!(d.delivered);
+        assert_eq!((d.src, d.dst), (0, 1));
+        assert_eq!(d.deliver_at - d.sent_at, 5.0);
+        assert_eq!(t.queue_depth(), 0);
+        assert_eq!(t.next_time(), None);
+    }
+
+    #[test]
+    fn drops_and_partitions_resolve_as_timeouts() {
+        // Drop probability 1: everything resolves undelivered.
+        let lossy = TransportConfig::new(LinkModel::new(LatencyModel::Zero, 1.0).unwrap());
+        let mut rng = Rng::seed_from(2);
+        let mut t = InProcTransport::new(lossy, 10);
+        t.send(0, 1, 0, 0.0, 0, &mut rng);
+        let d = t.next_ready(f64::INFINITY).unwrap();
+        assert!(!d.delivered);
+        assert_eq!(t.stats().dropped(), 1);
+
+        // Partition window: cross-segment messages die during the window and
+        // flow before/after it.
+        let cfg = TransportConfig::new(LinkModel::reliable())
+            .with_segments(2)
+            .unwrap()
+            .with_partition(0, 1, 3, 6)
+            .unwrap();
+        let mut t = InProcTransport::new(cfg, 10);
+        // Process 0 is segment 0; process 9 is segment 1.
+        t.send(0, 9, 0, 0.0, 2, &mut rng);
+        t.send(0, 9, 1, 0.0, 3, &mut rng);
+        t.send(0, 9, 2, 0.0, 6, &mut rng);
+        t.send(0, 9, 3, 0.0, 7, &mut rng);
+        // Intra-segment traffic ignores the partition.
+        t.send(0, 1, 4, 0.0, 4, &mut rng);
+        let mut fates = std::collections::HashMap::new();
+        while let Some(d) = t.next_ready(f64::INFINITY) {
+            fates.insert(d.payload, d.delivered);
+        }
+        assert!(fates[&0]);
+        assert!(!fates[&1]);
+        assert!(!fates[&2]);
+        assert!(fates[&3]);
+        assert!(fates[&4]);
+    }
+
+    #[test]
+    fn stats_stream_counts_and_latencies() {
+        let cfg = TransportConfig::new(LinkModel::new(LatencyModel::Constant(2.0), 0.5).unwrap());
+        let mut rng = Rng::seed_from(3);
+        let mut t = InProcTransport::new(cfg, 10);
+        let stats = t.stats();
+        for i in 0..1000u32 {
+            t.send(i % 10, (i + 1) % 10, 0, 0.0, 0, &mut rng);
+        }
+        assert_eq!(stats.sent(), 1000);
+        assert_eq!(stats.in_flight(), 1000);
+        while t.next_ready(f64::INFINITY).is_some() {}
+        assert_eq!(stats.in_flight(), 0);
+        assert_eq!(stats.delivered() + stats.dropped(), 1000);
+        // Half dropped, within 5σ ≈ 80.
+        assert!(
+            (stats.dropped() as f64 - 500.0).abs() < 80.0,
+            "dropped {}",
+            stats.dropped()
+        );
+        assert_eq!(stats.recent_latency_mean(), 2.0);
+        assert_eq!(stats.recent_latency_max(), 2.0);
+        assert_eq!(stats.link_count(), 1);
+        let (sent, delivered, dropped) = stats.link_counts(0);
+        assert_eq!(sent, 1000);
+        assert_eq!(delivered + dropped, 1000);
+        assert_eq!(stats.link_latency_mean(0), 2.0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut ring = RingBuffer::new(3);
+        assert!(ring.is_empty());
+        assert_eq!(ring.mean(), 0.0);
+        for x in [1.0, 2.0, 3.0] {
+            ring.push(x);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.mean(), 2.0);
+        ring.push(10.0); // evicts 1.0
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.mean(), 5.0);
+        assert_eq!(ring.max(), 10.0);
+        assert_eq!(ring.total_pushed(), 4);
+    }
+
+    #[test]
+    fn stats_are_readable_from_another_thread() {
+        let cfg = TransportConfig::new(LinkModel::reliable());
+        let mut rng = Rng::seed_from(4);
+        let mut t = InProcTransport::new(cfg, 10);
+        let stats = t.stats();
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(move || {
+                // Spin until the writer's sends become visible.
+                loop {
+                    let seen = stats.sent();
+                    if seen >= 100 {
+                        return seen;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            for i in 0..100u32 {
+                t.send(i % 10, (i + 3) % 10, 0, 0.0, 0, &mut rng);
+            }
+            assert!(reader.join().expect("reader thread") >= 100);
+        });
+    }
+}

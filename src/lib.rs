@@ -9,11 +9,12 @@
 //!   partitionable / restricted polynomial), rewriting, numerical integration
 //!   and non-linear dynamics analysis;
 //! * [`netsim`] — the round-based process-group simulator (membership,
-//!   failures, churn, message loss, metrics);
+//!   failures, churn, message loss, transport models, metrics);
 //! * [`core`] — the ODE→protocol compiler (Flipping, One-Time-Sampling,
 //!   Tokenizing), the compiled state machines, the
 //!   [`Runtime`](dpde_core::Runtime) trait with its agent / batched /
-//!   hybrid / aggregate / sharded implementations, composable observers, and the
+//!   hybrid / aggregate / sharded / async implementations, composable
+//!   observers, and the
 //!   [`Simulation`](dpde_core::Simulation) / [`dpde_core::Ensemble`]
 //!   drivers;
 //! * [`protocols`] — the paper's case studies: epidemic
@@ -85,10 +86,11 @@ pub use odekit;
 pub mod prelude {
     pub use dpde_core::equivalence::{compare_to_system, compare_trajectories};
     pub use dpde_core::runtime::{
-        AgentRuntime, AggregateRuntime, AliveTracker, BatchedRuntime, CountsRecorder, Ensemble,
-        EnsembleResult, FidelityTier, HybridRuntime, InitialStates, MembershipTracker,
-        MessageCounter, Observer, PeriodEvents, RunConfig, RunResult, Runtime, ShardCountsRecorder,
-        ShardedRuntime, Simulation, TransitionRecorder,
+        AgentRuntime, AggregateRuntime, AliveTracker, AsyncRuntime, BatchedRuntime, CountsRecorder,
+        Ensemble, EnsembleResult, FidelityTier, HybridRuntime, InitialStates, LiveMetrics,
+        LiveMetricsHandle, MembershipTracker, MessageCounter, Observer, PeriodEvents, RunConfig,
+        RunResult, Runtime, ShardCountsRecorder, ShardedRuntime, Simulation, TransitionRecorder,
+        TransportProbe,
     };
     pub use dpde_core::{Action, MessageComplexity, Protocol, ProtocolCompiler, StateId};
     pub use dpde_protocols::endemic::replication::MigratoryStore;
@@ -98,8 +100,10 @@ pub mod prelude {
     pub use dpde_protocols::lv::LvParams;
     pub use dpde_protocols::small_count::{NearExtinction, NearTieTakeover};
     pub use netsim::{
-        ChurnTrace, FailureSchedule, Group, LossConfig, MetricsRecorder, OnlineStats, PeriodClock,
-        Placement, Rng, Scenario, ShardConfig, SyntheticChurnConfig, Topology,
+        ChurnTrace, FailureSchedule, Group, InProcTransport, LatencyModel, LinkModel,
+        LinkPartition, LossConfig, MetricsRecorder, OnlineStats, PeriodClock, Placement, Rng,
+        Scenario, ShardConfig, SyntheticChurnConfig, Topology, Transport, TransportConfig,
+        TransportStats,
     };
     pub use odekit::analysis::{
         analyze_equilibrium, phase_portrait, EquilibriumFinder, PhasePortrait, Stability,
@@ -128,5 +132,40 @@ mod tests {
         // The new driver types are reachable through the prelude.
         let _ = Simulation::of(protocol.clone());
         let _ = Ensemble::of(protocol);
+    }
+
+    #[test]
+    fn async_quickstart_works_from_the_prelude_alone() {
+        // The README's transport quickstart, spelled entirely in prelude
+        // names: build a lossy latency link, run the async runtime under
+        // run_auto, and stream live transport gauges while it executes.
+        use crate::prelude::*;
+        let sys = EquationSystemBuilder::new()
+            .vars(["x", "y"])
+            .term("x", -1.0, &[("x", 1), ("y", 1)])
+            .term("y", 1.0, &[("x", 1), ("y", 1)])
+            .build()
+            .unwrap();
+        let protocol = ProtocolCompiler::new("epidemic").compile(&sys).unwrap();
+        let link = LinkModel::new(LatencyModel::Exponential { mean: 30.0 }, 0.01).unwrap();
+        let scenario = Scenario::new(400, 30)
+            .unwrap()
+            .with_seed(5)
+            .with_transport(TransportConfig::new(link));
+        let live = LiveMetrics::new();
+        let handle: LiveMetricsHandle = live.handle();
+        let result = Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&[399, 1]))
+            .observe(CountsRecorder::new())
+            .observe(live)
+            .run_auto()
+            .unwrap();
+        assert!(result.final_counts().unwrap()[1] > 300.0);
+        assert!(handle.sent() > 0);
+        // 30 stepped periods plus the initial snapshot.
+        assert_eq!(handle.periods_observed(), 31);
+        let probe: TransportProbe = TransportProbe::default();
+        assert_eq!(probe.queue_depth, 0);
     }
 }

@@ -376,6 +376,93 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// On the implicit zero-latency, lossless transport the async runtime's
+    /// ensemble-mean epidemic trajectory matches the batched and agent
+    /// runtimes' within their combined Welford standard-error envelopes:
+    /// with instantaneous delivery every chain completes inside its wake
+    /// instant, so a period collapses to the agent runtime's sequential
+    /// sweep under a random visiting permutation.
+    #[test]
+    fn async_zero_latency_matches_synchronized_ensemble_means(seed_base in 0u64..1_000) {
+        let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .with_normalizing_constant(0.2)
+            .compile(&sys)
+            .unwrap();
+        let n = 2_000usize;
+        let periods = 150;
+        let ensemble = || {
+            Ensemble::of(protocol.clone())
+                .scenario(Scenario::new(n, periods).unwrap())
+                .initial(InitialStates::counts(&[n as u64 - 16, 16]))
+                .seeds(seed_base..seed_base + 8)
+                .threads(4)
+        };
+        let asynchronous = ensemble().run::<AsyncRuntime>().unwrap();
+        let runs = 8.0f64;
+        for synchronized in [
+            ensemble().run::<BatchedRuntime>().unwrap(),
+            ensemble().run::<AgentRuntime>().unwrap(),
+        ] {
+            for name in ["x", "y"] {
+                let ma = asynchronous.mean_series(name).unwrap();
+                let sa = asynchronous.std_series(name).unwrap();
+                let ms = synchronized.mean_series(name).unwrap();
+                let ss = synchronized.std_series(name).unwrap();
+                for (p, ((a, b), (da, db))) in
+                    ma.iter().zip(&ms).zip(sa.iter().zip(&ss)).enumerate()
+                {
+                    let tolerance = 6.0 * (da + db) / runs.sqrt() + 0.01 * n as f64;
+                    prop_assert!(
+                        (a - b).abs() <= tolerance,
+                        "state {name} period {p}: async mean {a}, synchronized mean {b}, \
+                         tolerance {tolerance}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// LV-majority under the zero-latency transport: the async runtime's
+    /// ensemble means track the batched runtime's through the full
+    /// three-state selection dynamics, and both select the initial majority.
+    #[test]
+    fn async_lv_majority_matches_batched_ensemble_means(seed_base in 0u64..1_000) {
+        let protocol = LvParams::new().protocol().unwrap();
+        let n = 2_000usize;
+        let split = 1_200u64; // 60/40
+        let ensemble = || {
+            Ensemble::of(protocol.clone())
+                .scenario(Scenario::new(n, 700).unwrap())
+                .initial(InitialStates::counts(&[split, n as u64 - split, 0]))
+                .seeds(seed_base..seed_base + 8)
+                .threads(4)
+        };
+        let asynchronous = ensemble().run::<AsyncRuntime>().unwrap().mean;
+        let batched = ensemble().run::<BatchedRuntime>().unwrap().mean;
+        let tolerance = n as f64 * 0.15;
+        for (period, (a, b)) in asynchronous
+            .states()
+            .iter()
+            .zip(batched.states())
+            .enumerate()
+        {
+            for state in 0..3 {
+                prop_assert!(
+                    (a[state] - b[state]).abs() < tolerance,
+                    "period {period} state {state}: async {} vs batched {}",
+                    a[state], b[state]
+                );
+            }
+        }
+        prop_assert!(asynchronous.last_state()[0] > n as f64 * 0.9);
+        prop_assert!(batched.last_state()[0] > n as f64 * 0.9);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// With one shard and no shard-targeted events the sharded runtime
