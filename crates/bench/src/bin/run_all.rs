@@ -15,6 +15,7 @@ const BINS: &[&str] = &[
     "exp_shard_epidemic",
     "exp_async_epidemic",
     "exp_near_tie_takeover",
+    "exp_adversary",
     "fig02_endemic_phase_portrait",
     "fig04_lv_phase_portrait",
     "fig05_endemic_massive_failure",

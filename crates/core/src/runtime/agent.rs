@@ -1,11 +1,14 @@
 //! The per-process (agent-based) protocol runtime.
 
+use super::inject::{self, InjectionPoint};
 use super::observer::default_observers;
 use super::simulation::drive;
 use super::{InitialStates, PeriodEvents, RunConfig, RunResult, Runtime};
 use crate::action::Action;
+use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
+use netsim::adversary::{AdversaryView, Injection};
 use netsim::{Group, ProcessId, Rng, Scenario};
 
 /// Executes a protocol with one explicit state per process.
@@ -267,6 +270,9 @@ pub struct AgentState {
     transitions_dense: Vec<u64>,
     transitions: Vec<(StateId, StateId, u64)>,
     messages: u64,
+    /// The scenario's adversary, forked for this run (absent for
+    /// adversary-free scenarios).
+    injector: Option<InjectionPoint>,
 }
 
 impl AgentState {
@@ -302,6 +308,17 @@ impl AgentState {
     /// the same stream.
     pub(super) fn rng_clone(&self) -> Rng {
         self.rng.clone()
+    }
+
+    /// Detaches the adversary injection point (hybrid handoff: the strategy
+    /// state must survive the fidelity switch).
+    pub(super) fn take_injector(&mut self) -> Option<InjectionPoint> {
+        self.injector.take()
+    }
+
+    /// Re-attaches an adversary injection point after a handoff.
+    pub(super) fn set_injector(&mut self, injector: Option<InjectionPoint>) {
+        self.injector = injector;
     }
 }
 
@@ -436,6 +453,7 @@ impl AgentRuntime {
             rng,
             flip_skips,
             has_liveness_events: scenario.has_liveness_events(),
+            injector: InjectionPoint::from_scenario(scenario),
             scenario: scenario.clone(),
             period,
             transitions_dense: vec![0; num_states * num_states],
@@ -458,6 +476,107 @@ impl AgentRuntime {
             }),
             shard_counts_alive: None,
             transport: None,
+            injections: inject::records_of(&state.injector),
+        }
+    }
+
+    /// Shows the adversary (if any) the live alive counts and applies the
+    /// injections it emits with per-id victim selection: a `CrashUniform`
+    /// consumes the run's main PRNG stream exactly like a scheduled massive
+    /// failure of the same fraction, and targeted injections pick uniform
+    /// victims among the alive members of the targeted state.
+    fn apply_injections(&self, state: &mut AgentState) -> Result<()> {
+        let Some(mut injector) = state.injector.take() else {
+            return Ok(());
+        };
+        let view = AdversaryView {
+            period: state.period,
+            counts_alive: state.members.counts_alive(),
+            alive: state.group.alive_count() as u64,
+            shard_counts_alive: None,
+            transport: None,
+        };
+        let planned = match injector.plan(&view) {
+            Ok(planned) => planned,
+            Err(e) => {
+                state.injector = Some(injector);
+                return Err(e);
+            }
+        };
+        for injection in planned {
+            match self.apply_one_injection(state, injection) {
+                Ok(victims) => injector.record(state.period, injection, victims),
+                Err(e) => {
+                    state.injector = Some(injector);
+                    return Err(e);
+                }
+            }
+        }
+        state.injector = Some(injector);
+        Ok(())
+    }
+
+    /// Applies one validated injection to the per-id run state, returning the
+    /// number of affected processes.
+    fn apply_one_injection(&self, state: &mut AgentState, injection: Injection) -> Result<u64> {
+        match injection {
+            Injection::CrashUniform { fraction } => {
+                // Bit-identical to the scheduled massive-failure path.
+                let down = state
+                    .group
+                    .crash_random_fraction(&mut state.rng, fraction)?;
+                for id in &down {
+                    state.members.on_crash(id.index());
+                }
+                Ok(down.len() as u64)
+            }
+            Injection::CrashState { state: s, fraction } => {
+                if s >= self.protocol.num_states() {
+                    return Err(CoreError::InvalidConfig {
+                        name: "adversary",
+                        reason: format!(
+                            "injection targets state {s}, but the protocol has only {} states",
+                            self.protocol.num_states()
+                        ),
+                    });
+                }
+                let pool: Vec<usize> = (0..state.scenario.group_size())
+                    .filter(|&p| {
+                        state.members.state_of(p) == s && state.group.is_alive_unchecked(p)
+                    })
+                    .collect();
+                let k = inject::victim_count(fraction, pool.len() as u64) as usize;
+                let chosen =
+                    netsim::stochastic::sample_without_replacement(&mut state.rng, pool.len(), k);
+                for idx in chosen {
+                    let p = pool[idx];
+                    let changed = state.group.crash(ProcessId(p))?;
+                    debug_assert!(changed);
+                    state.members.on_crash(p);
+                }
+                Ok(k as u64)
+            }
+            Injection::RecoverUniform { fraction } => {
+                let pool: Vec<usize> = (0..state.scenario.group_size())
+                    .filter(|&p| !state.group.is_alive_unchecked(p))
+                    .collect();
+                let k = inject::victim_count(fraction, pool.len() as u64) as usize;
+                let chosen =
+                    netsim::stochastic::sample_without_replacement(&mut state.rng, pool.len(), k);
+                for idx in chosen {
+                    let p = pool[idx];
+                    let changed = state.group.recover(ProcessId(p))?;
+                    debug_assert!(changed);
+                    state.members.on_recover(p);
+                    if let Some(rejoin) = self.config.rejoin_state {
+                        state.members.force_state_alive(p, rejoin.index());
+                    }
+                }
+                Ok(k as u64)
+            }
+            // `Injection` is non_exhaustive: shard-targeted (and any future)
+            // injections are rejected explicitly rather than silently skipped.
+            unsupported => Err(inject::unsupported_injection("agent", &unsupported)),
         }
     }
 }
@@ -534,6 +653,7 @@ impl Runtime for AgentRuntime {
             ),
             group,
             has_liveness_events: scenario.has_liveness_events(),
+            injector: InjectionPoint::from_scenario(scenario),
             scenario: scenario.clone(),
             period: 0,
             transitions_dense: vec![0; num_states * num_states],
@@ -575,6 +695,8 @@ impl Runtime for AgentRuntime {
                 }
             }
         }
+        // Adversary injections observe the post-event state.
+        self.apply_injections(state)?;
 
         // 2. Protocol actions. Liveness is invariant during the action loop
         //    (environment events only happen at period boundaries), so one
@@ -1172,6 +1294,7 @@ mod tests {
         let scenario = Scenario::new(10, 5)
             .unwrap()
             .with_failure_schedule(schedule)
+            .unwrap()
             .with_seed(1);
         let runtime = AgentRuntime::new(protocol).with_config(RunConfig::rejoining_to(y));
         // The only way a y can appear is via the rejoin rule.
@@ -1301,6 +1424,55 @@ mod tests {
             group.crash(ProcessId(p)).unwrap();
         }
         assert_eq!(m.random_alive_in_state(0, &group, &mut rng), None);
+    }
+
+    #[test]
+    fn oblivious_adversary_matches_scheduled_massive_failure_bit_for_bit() {
+        // The same failure budget delivered through the adversary hook must
+        // reproduce the scheduled-event run exactly, per-id victim selection
+        // and RNG stream included.
+        let protocol = epidemic_protocol();
+        let runtime = AgentRuntime::new(protocol);
+        let initial = InitialStates::counts(&[1999, 1]);
+        let scheduled = Scenario::new(2000, 25)
+            .unwrap()
+            .with_massive_failure(12, 0.5)
+            .unwrap()
+            .with_seed(7);
+        let injected = Scenario::new(2000, 25)
+            .unwrap()
+            .with_seed(7)
+            .with_adversary(
+                netsim::adversary::ObliviousSchedule::new()
+                    .crash_uniform_at(12, 0.5)
+                    .unwrap(),
+            );
+        let a = runtime.run(&scheduled, &initial).unwrap();
+        let b = runtime.run(&injected, &initial).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_adversary_strikes_the_leading_state_per_id() {
+        // An inert two-state protocol: the adversary sees [600, 400] alive,
+        // strikes the leader with budget 0.3·1000 = 300 victims, all drawn
+        // from state x.
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let scenario = Scenario::new(1000, 20)
+            .unwrap()
+            .with_seed(13)
+            .with_adversary(netsim::adversary::TargetLargestState::new(0.3, 10, 5, 1).unwrap());
+        let result = AgentRuntime::new(protocol)
+            .run(&scenario, &InitialStates::counts(&[600, 400]))
+            .unwrap();
+        // Total counts are unchanged (crashed processes remember their
+        // state); the strike is visible through the alive-only counts.
+        assert_eq!(result.final_counts(), Some(&[600.0, 400.0][..]));
+        let alive = result
+            .metrics
+            .series("alive")
+            .expect("alive series recorded");
+        assert_eq!(alive.last().unwrap().1, 700.0);
     }
 
     #[test]

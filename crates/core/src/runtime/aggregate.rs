@@ -162,6 +162,7 @@ impl AggregateRuntime {
             membership: None,
             shard_counts_alive: None,
             transport: None,
+            injections: &[],
         }
     }
 }
@@ -186,10 +187,12 @@ impl Runtime for AggregateRuntime {
             || !scenario.churn_events().is_empty()
             || scenario.failure_model().crash_prob() > 0.0
             || scenario.failure_model().recover_prob() > 0.0
+            || scenario.adversary().is_some()
         {
             return Err(CoreError::InvalidConfig {
                 name: "scenario",
-                reason: "the aggregate runtime does not model failures or churn; \
+                reason: "the aggregate runtime does not model failures, churn \
+                         or adversaries; \
                          use AgentRuntime for this scenario (or with_alive_fraction \
                          for a constant dead fraction)"
                     .into(),

@@ -53,6 +53,7 @@
 //! [`PeriodEvents::membership`] is `None` — per-process identity exists
 //! internally, but the membership view belongs to the agent runtime.
 
+use super::inject::{self, InjectionPoint};
 use super::observer::{default_observers, TransportProbe};
 use super::simulation::drive;
 use super::{InitialStates, PeriodEvents, RunConfig, RunResult, Runtime};
@@ -60,8 +61,9 @@ use crate::action::Action;
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
+use netsim::adversary::{AdversaryView, Injection, TransportGauges};
 use netsim::transport::{Delivery, InProcTransport, Transport, TransportConfig, TransportStats};
-use netsim::{Group, Rng, Scenario};
+use netsim::{Group, ProcessId, Rng, Scenario};
 use std::sync::Arc;
 
 /// Executes a protocol as asynchronous message passing over a virtual-time
@@ -301,6 +303,10 @@ pub struct AsyncState {
     transitions_dense: Vec<u64>,
     transitions: Vec<(StateId, StateId, u64)>,
     probe: TransportProbe,
+    /// The scenario's adversary, forked for this run (absent for
+    /// adversary-free scenarios). Uniquely here the adversary's view carries
+    /// live transport gauges alongside the counts.
+    injector: Option<InjectionPoint>,
 }
 
 impl AsyncState {
@@ -454,6 +460,118 @@ impl AsyncRuntime {
             membership: None,
             shard_counts_alive: None,
             transport: Some(state.probe),
+            injections: inject::records_of(&state.injector),
+        }
+    }
+
+    fn apply_injections(&self, state: &mut AsyncState) -> Result<()> {
+        let Some(mut injector) = state.injector.take() else {
+            return Ok(());
+        };
+        let stats = state.transport.stats();
+        let view = AdversaryView {
+            period: state.period,
+            counts_alive: &state.counts_alive,
+            alive: state.group.alive_count() as u64,
+            shard_counts_alive: None,
+            transport: Some(TransportGauges {
+                queue_depth: state.transport.queue_depth() as u64,
+                sent: stats.sent(),
+                delivered: stats.delivered(),
+                dropped: stats.dropped(),
+            }),
+        };
+        let planned = match injector.plan(&view) {
+            Ok(planned) => planned,
+            Err(e) => {
+                state.injector = Some(injector);
+                return Err(e);
+            }
+        };
+        for injection in planned {
+            match self.apply_one_injection(state, injection) {
+                Ok(victims) => injector.record(state.period, injection, victims),
+                Err(e) => {
+                    state.injector = Some(injector);
+                    return Err(e);
+                }
+            }
+        }
+        state.injector = Some(injector);
+        Ok(())
+    }
+
+    /// Applies one validated injection to the per-id run state, returning the
+    /// number of affected processes. Crashes invalidate the victim's chain
+    /// exactly like a scheduled crash: the generation counter bumps so
+    /// in-flight responses are discarded on arrival.
+    fn apply_one_injection(&self, state: &mut AsyncState, injection: Injection) -> Result<u64> {
+        match injection {
+            Injection::CrashUniform { fraction } => {
+                // Bit-identical to the scheduled massive-failure path.
+                let down = state
+                    .group
+                    .crash_random_fraction(&mut state.rng, fraction)?;
+                for id in &down {
+                    let p = id.index();
+                    state.counts_alive[state.states[p] as usize] -= 1;
+                    state.chain_id[p] = state.chain_id[p].wrapping_add(1);
+                    state.pending[p] = Phase::Idle;
+                }
+                Ok(down.len() as u64)
+            }
+            Injection::CrashState { state: s, fraction } => {
+                if s >= self.protocol.num_states() {
+                    return Err(CoreError::InvalidConfig {
+                        name: "adversary",
+                        reason: format!(
+                            "injection targets state {s}, but the protocol has only {} states",
+                            self.protocol.num_states()
+                        ),
+                    });
+                }
+                let pool: Vec<usize> = (0..state.scenario.group_size())
+                    .filter(|&p| state.states[p] as usize == s && state.group.is_alive_unchecked(p))
+                    .collect();
+                let k = inject::victim_count(fraction, pool.len() as u64) as usize;
+                let chosen =
+                    netsim::stochastic::sample_without_replacement(&mut state.rng, pool.len(), k);
+                for idx in chosen {
+                    let p = pool[idx];
+                    let changed = state.group.crash(ProcessId(p))?;
+                    debug_assert!(changed);
+                    state.counts_alive[state.states[p] as usize] -= 1;
+                    state.chain_id[p] = state.chain_id[p].wrapping_add(1);
+                    state.pending[p] = Phase::Idle;
+                }
+                Ok(k as u64)
+            }
+            Injection::RecoverUniform { fraction } => {
+                let pool: Vec<usize> = (0..state.scenario.group_size())
+                    .filter(|&p| !state.group.is_alive_unchecked(p))
+                    .collect();
+                let k = inject::victim_count(fraction, pool.len() as u64) as usize;
+                let chosen =
+                    netsim::stochastic::sample_without_replacement(&mut state.rng, pool.len(), k);
+                for idx in chosen {
+                    let p = pool[idx];
+                    let changed = state.group.recover(ProcessId(p))?;
+                    debug_assert!(changed);
+                    if let Some(rejoin) = self.config.rejoin_state {
+                        let from = state.states[p] as usize;
+                        if from != rejoin.index() {
+                            state.counts[from] -= 1;
+                            state.counts[rejoin.index()] += 1;
+                            state.states[p] = rejoin.index() as u32;
+                        }
+                    }
+                    state.counts_alive[state.states[p] as usize] += 1;
+                }
+                Ok(k as u64)
+            }
+            // `Injection` is non_exhaustive: shard-targeted (and any future)
+            // injections are rejected explicitly rather than silently skipped.
+            unsupported => Err(inject::unsupported_injection("async", &unsupported)),
         }
     }
 
@@ -801,6 +919,7 @@ impl Runtime for AsyncRuntime {
             transitions_dense: vec![0; num_states * num_states],
             transitions: Vec::new(),
             probe: TransportProbe::default(),
+            injector: InjectionPoint::from_scenario(scenario),
         })
     }
 
@@ -840,6 +959,10 @@ impl Runtime for AsyncRuntime {
                 state.counts_alive[state.states[p] as usize] += 1;
             }
         }
+
+        // Adversary injections observe the post-event state, including the
+        // live transport gauges (carry-over queue depth from prior periods).
+        self.apply_injections(state)?;
 
         // 2. The event loop: interleave process wakes and message
         //    deliveries in virtual-time order (messages first on ties, in

@@ -1,5 +1,6 @@
 //! The count-batched stochastic protocol runtime.
 
+use super::inject::{self, InjectionPoint};
 use super::observer::default_observers;
 use super::simulation::drive;
 use super::{InitialStates, PeriodEvents, RunConfig, RunResult, Runtime};
@@ -7,6 +8,7 @@ use crate::action::Action;
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
+use netsim::adversary::{AdversaryView, Injection, InjectionRecord};
 use netsim::{FailureEvent, Rng, Scenario};
 
 /// Executes a protocol by advancing whole state-count vectors, sampling the
@@ -110,6 +112,7 @@ pub struct BatchedState {
     messages: u64,
     transitions_dense: Vec<u64>,
     transitions: Vec<(StateId, StateId, u64)>,
+    injector: Option<InjectionPoint>,
     // Scratch buffers reused every period.
     start: Vec<u64>,
     delta: Vec<i64>,
@@ -204,6 +207,50 @@ impl BatchedState {
         }
         self.alive_n -= hits.iter().sum::<u64>();
     }
+
+    /// Moves `hits[s]` processes of each state `s` from crashed back to
+    /// alive (remembered-state recovery) — the sharded runtime's hook for
+    /// externally drawn recovery injections. `rejoin` optionally resets
+    /// recovering processes into one state instead.
+    pub(super) fn recover_counts(&mut self, hits: &[u64], rejoin: Option<StateId>) {
+        debug_assert_eq!(hits.len(), self.counts_crashed.len());
+        for (s, &hit) in hits.iter().enumerate() {
+            if hit == 0 {
+                continue;
+            }
+            debug_assert!(hit <= self.counts_crashed[s]);
+            self.counts_crashed[s] -= hit;
+            match rejoin {
+                Some(r) => {
+                    let r = r.index();
+                    self.counts_alive[r] += hit;
+                    self.counts[s] -= hit;
+                    self.counts[r] += hit;
+                }
+                None => self.counts_alive[s] += hit,
+            }
+        }
+        self.alive_n += hits.iter().sum::<u64>();
+    }
+
+    /// Detaches the adversary injection point (hybrid handoff: the strategy
+    /// state must survive the fidelity switch).
+    pub(super) fn take_injector(&mut self) -> Option<InjectionPoint> {
+        self.injector.take()
+    }
+
+    /// Re-attaches an adversary injection point after a handoff (or detaches
+    /// it with `None` — the sharded runtime drives injections from its
+    /// master state, not per shard).
+    pub(super) fn set_injector(&mut self, injector: Option<InjectionPoint>) {
+        self.injector = injector;
+    }
+
+    /// The injections applied in the most recent period (the sharded
+    /// runtime's delegate mode surfaces its single shard's records).
+    pub(super) fn injection_records(&self) -> &[InjectionRecord] {
+        inject::records_of(&self.injector)
+    }
 }
 
 impl BatchedRuntime {
@@ -226,6 +273,12 @@ impl BatchedRuntime {
     /// The protocol being executed.
     pub fn protocol(&self) -> &Protocol {
         &self.protocol
+    }
+
+    /// The configured rejoin state (the sharded runtime applies recovery
+    /// injections at its master level with the inner runtime's semantics).
+    pub(super) fn rejoin_state(&self) -> Option<StateId> {
+        self.config.rejoin_state
     }
 
     /// Runs the protocol under the given scenario and initial state
@@ -255,6 +308,7 @@ impl BatchedRuntime {
             membership: None,
             shard_counts_alive: None,
             transport: None,
+            injections: inject::records_of(&state.injector),
         }
     }
 
@@ -311,6 +365,7 @@ impl BatchedRuntime {
             messages: 0,
             transitions_dense: vec![0; num_states * num_states],
             transitions: Vec::new(),
+            injector: InjectionPoint::from_scenario(scenario),
             start: vec![0; num_states],
             delta: vec![0; num_states],
             weights: Vec::with_capacity(max_outcomes),
@@ -388,6 +443,83 @@ impl BatchedRuntime {
         }
         Ok(())
     }
+
+    /// Shows the adversary (if any) the live counts and applies the
+    /// injections it emits, with the same exchangeable semantics as the
+    /// scheduled-event path: a `CrashUniform` consumes the run's main PRNG
+    /// stream exactly like a scheduled massive failure of the same fraction.
+    fn apply_injections(&self, state: &mut BatchedState) -> Result<()> {
+        let Some(mut injector) = state.injector.take() else {
+            return Ok(());
+        };
+        let view = AdversaryView {
+            period: state.period,
+            counts_alive: &state.counts_alive,
+            alive: state.alive_n,
+            shard_counts_alive: None,
+            transport: None,
+        };
+        let planned = injector.plan(&view)?;
+        for injection in planned {
+            let victims = match injection {
+                Injection::CrashUniform { fraction } => {
+                    let k = inject::victim_count(fraction, state.alive_n);
+                    crash_hypergeometric(
+                        &mut state.rng,
+                        &mut state.counts_alive,
+                        &mut state.counts_crashed,
+                        state.alive_n,
+                        k,
+                    );
+                    state.alive_n -= k;
+                    k
+                }
+                Injection::CrashState { state: s, fraction } => {
+                    if s >= state.counts_alive.len() {
+                        state.injector = Some(injector);
+                        return Err(CoreError::InvalidConfig {
+                            name: "adversary",
+                            reason: format!(
+                                "injection targets state {s}, but the protocol has only {} states",
+                                state.counts_alive.len()
+                            ),
+                        });
+                    }
+                    // A state-targeted crash is a deterministic count move:
+                    // the victims are exchangeable within one state, so no
+                    // randomness is needed at count level.
+                    let k = inject::victim_count(fraction, state.counts_alive[s]);
+                    state.counts_alive[s] -= k;
+                    state.counts_crashed[s] += k;
+                    state.alive_n -= k;
+                    k
+                }
+                Injection::RecoverUniform { fraction } => {
+                    let crashed_total: u64 = state.counts_crashed.iter().sum();
+                    let k = inject::victim_count(fraction, crashed_total);
+                    if k > 0 {
+                        let mut hits = vec![0u64; state.counts_crashed.len()];
+                        state.rng.multivariate_hypergeometric_into(
+                            &state.counts_crashed,
+                            k,
+                            &mut hits,
+                        );
+                        state.recover_counts(&hits, self.config.rejoin_state);
+                    }
+                    k
+                }
+                // `Injection` is non_exhaustive: shard-targeted (and any
+                // future) injections are rejected rather than skipped.
+                unsupported => {
+                    state.injector = Some(injector);
+                    return Err(inject::unsupported_injection("batched", &unsupported));
+                }
+            };
+            injector.record(state.period, injection, victims);
+        }
+        state.injector = Some(injector);
+        Ok(())
+    }
 }
 
 /// Crashes `k` uniformly random alive processes: the per-state hit counts
@@ -460,8 +592,10 @@ impl Runtime for BatchedRuntime {
         state.transitions_dense.fill(0);
         state.transitions.clear();
 
-        // 1. Environment events at count level.
+        // 1. Environment events at count level, then adversary injections
+        // (which observe the post-event counts).
         self.apply_failures(state)?;
+        self.apply_injections(state)?;
 
         // 2. Protocol actions over the start-of-period alive counts.
         let n_f = state.n_f;
@@ -598,7 +732,8 @@ impl Runtime for BatchedRuntime {
 mod tests {
     use super::*;
     use crate::mapping::ProtocolCompiler;
-    use crate::runtime::{AgentRuntime, CountsRecorder, Ensemble, Simulation};
+    use crate::runtime::{AgentRuntime, CountsRecorder, Ensemble, ResilienceReport, Simulation};
+    use netsim::adversary::{ObliviousSchedule, TargetLargestState};
     use netsim::FailureModel;
     use odekit::system::EquationSystemBuilder;
 
@@ -736,7 +871,8 @@ mod tests {
         schedule.add(1, FailureEvent::Crash(netsim::ProcessId(3)));
         let scenario = Scenario::new(100, 10)
             .unwrap()
-            .with_failure_schedule(schedule);
+            .with_failure_schedule(schedule)
+            .unwrap();
         assert!(matches!(
             runtime.init(&scenario, &initial),
             Err(CoreError::InvalidConfig {
@@ -909,6 +1045,94 @@ mod tests {
         let last = result.final_counts().unwrap();
         assert!(last[0] < 100.0);
         assert_eq!(last.iter().sum::<f64>(), 10_000.0);
+    }
+
+    #[test]
+    fn oblivious_adversary_matches_scheduled_massive_failure_bit_for_bit() {
+        // A CrashUniform injection consumes the run's main PRNG stream
+        // exactly like a scheduled massive failure: same seed, same victims,
+        // same trajectory — the equivalence the proptests pin across seeds.
+        let protocol = epidemic_protocol();
+        let initial = InitialStates::counts(&[99_990, 10]);
+        let scheduled = Scenario::new(100_000, 30)
+            .unwrap()
+            .with_massive_failure(15, 0.5)
+            .unwrap()
+            .with_seed(7);
+        let injected = Scenario::new(100_000, 30)
+            .unwrap()
+            .with_seed(7)
+            .with_adversary(ObliviousSchedule::new().crash_uniform_at(15, 0.5).unwrap());
+        let a = BatchedRuntime::new(protocol.clone())
+            .run(&scheduled, &initial)
+            .unwrap();
+        let b = BatchedRuntime::new(protocol)
+            .run(&injected, &initial)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_adversary_strikes_the_leading_state() {
+        // An inert protocol isolates the injection: TargetLargestState
+        // spends 30% of the *total* alive population (3000 processes), all
+        // drawn from the leader (x, 6000 strong).
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let scenario = Scenario::new(10_000, 20)
+            .unwrap()
+            .with_seed(3)
+            .with_adversary(TargetLargestState::new(0.3, 10, 5, 1).unwrap());
+        let result = Simulation::of(protocol)
+            .scenario(scenario)
+            .initial(InitialStates::counts(&[6_000, 4_000]))
+            .observe(CountsRecorder::alive_only())
+            .observe(ResilienceReport::new())
+            .run::<BatchedRuntime>()
+            .unwrap();
+        let last = result.final_counts().unwrap();
+        assert_eq!(last, &[3_000.0, 4_000.0]);
+        // The injection surfaced to observers (applied during period 10, so
+        // it rides on snapshot 11).
+        assert_eq!(
+            result.metrics.series("resilience:victims").unwrap(),
+            &[(11, 3_000.0)]
+        );
+        assert_eq!(
+            result
+                .metrics
+                .series("resilience:injections_total")
+                .unwrap(),
+            &[(0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn recovery_injections_restore_crashed_processes() {
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let adversary = ObliviousSchedule::new()
+            .crash_uniform_at(2, 0.5)
+            .unwrap()
+            .inject_at(5, netsim::Injection::RecoverUniform { fraction: 1.0 })
+            .unwrap();
+        let scenario = Scenario::new(10_000, 10)
+            .unwrap()
+            .with_seed(9)
+            .with_adversary(adversary);
+        let runtime = BatchedRuntime::new(protocol);
+        let mut state = runtime
+            .init(&scenario, &InitialStates::counts(&[5_000, 5_000]))
+            .unwrap();
+        for _ in 0..3 {
+            runtime.step(&mut state).unwrap();
+        }
+        assert_eq!(state.alive_n, 5_000);
+        for _ in 3..6 {
+            runtime.step(&mut state).unwrap();
+        }
+        // Everyone recovered into their remembered state.
+        assert_eq!(state.alive_n, 10_000);
+        assert_eq!(state.counts_crashed.iter().sum::<u64>(), 0);
+        assert_eq!(state.counts.iter().sum::<u64>(), 10_000);
     }
 
     #[test]

@@ -36,8 +36,38 @@ use crate::state_machine::{Protocol, StateId};
 use crate::Result;
 use netsim::{OnlineStats, Scenario, Topology};
 use odekit::integrate::Trajectory;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One ensemble run that panicked instead of completing.
+///
+/// A panicking seed does not bring the ensemble down: the worker catches the
+/// unwind, records it here, and moves on to the next job. The aggregated
+/// envelopes cover the seeds that completed;
+/// [`EnsembleResult::failures`] lists the ones that did not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedFailure {
+    /// Index of the scenario within the sweep (always 0 for
+    /// [`Ensemble::run`]).
+    pub scenario: usize,
+    /// The seed whose run panicked.
+    pub seed: u64,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Stringifies a caught panic payload (panics carry `&str` or `String` in
+/// practice; anything else is opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Driver for ensembles: the same protocol and initial distribution executed
 /// under many seeds (and optionally many scenarios), in parallel.
@@ -235,6 +265,7 @@ impl Ensemble {
         let next_job = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Trajectory>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+        let panics: Mutex<Vec<SeedFailure>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -255,16 +286,28 @@ impl Ensemble {
                         } else {
                             CountsRecorder::new()
                         })];
-                    match drive(&runtime, &scenario, initial, &mut observers) {
-                        Ok(result) => {
+                    // A panicking run must not take its worker (let alone the
+                    // whole ensemble) down: catch the unwind, record the seed,
+                    // keep pulling jobs.
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        drive(&runtime, &scenario, initial, &mut observers)
+                    })) {
+                        Ok(Ok(result)) => {
                             *slots[job].lock().unwrap() = Some(result.counts);
                         }
-                        Err(err) => {
+                        Ok(Err(err)) => {
                             let mut guard = first_error.lock().unwrap();
                             if guard.is_none() {
                                 *guard = Some(err);
                             }
                             return;
+                        }
+                        Err(payload) => {
+                            panics.lock().unwrap().push(SeedFailure {
+                                scenario: sc,
+                                seed,
+                                message: panic_message(payload),
+                            });
                         }
                     }
                 });
@@ -274,21 +317,50 @@ impl Ensemble {
         if let Some(err) = first_error.into_inner().unwrap() {
             return Err(err);
         }
+        // Workers race on the shared failure list; sort it so results are
+        // deterministic regardless of scheduling.
+        let mut panics = panics.into_inner().unwrap();
+        panics.sort_by_key(|a| (a.scenario, a.seed));
 
-        let trajectories: Vec<Trajectory> = slots
-            .into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("job completed"))
-            .collect();
-        let per_scenario = self.seeds.len();
-        Ok(trajectories
-            .chunks(per_scenario)
-            .map(|chunk| self.aggregate(chunk, threads))
-            .collect())
+        let mut slot_iter = slots.into_iter().map(|slot| slot.into_inner().unwrap());
+        let mut results = Vec::with_capacity(scenarios.len());
+        for sc in 0..scenarios.len() {
+            let mut seeds = Vec::with_capacity(self.seeds.len());
+            let mut trajectories = Vec::with_capacity(self.seeds.len());
+            for &seed in &self.seeds {
+                if let Some(trajectory) = slot_iter.next().expect("one slot per job") {
+                    seeds.push(seed);
+                    trajectories.push(trajectory);
+                }
+            }
+            let failures: Vec<SeedFailure> = panics
+                .iter()
+                .filter(|f| f.scenario == sc)
+                .cloned()
+                .collect();
+            if trajectories.is_empty() {
+                return Err(CoreError::EnsemblePanicked {
+                    scenario: sc,
+                    first_message: failures
+                        .first()
+                        .map(|f| f.message.clone())
+                        .unwrap_or_default(),
+                });
+            }
+            results.push(self.aggregate(seeds, &trajectories, failures, threads));
+        }
+        Ok(results)
     }
 
     /// Folds the per-seed trajectories of one scenario into mean/std
     /// envelopes.
-    fn aggregate(&self, trajectories: &[Trajectory], threads_used: usize) -> EnsembleResult {
+    fn aggregate(
+        &self,
+        seeds: Vec<u64>,
+        trajectories: &[Trajectory],
+        failures: Vec<SeedFailure>,
+        threads_used: usize,
+    ) -> EnsembleResult {
         let reference = &trajectories[0];
         let periods = reference.len();
         let dim = reference.dim();
@@ -310,7 +382,7 @@ impl Ensemble {
         EnsembleResult {
             state_names: self.protocol.state_names().to_vec(),
             time_scale: self.protocol.time_scale(),
-            seeds: self.seeds.clone(),
+            seeds,
             mean,
             std_dev,
             final_counts: trajectories
@@ -318,6 +390,7 @@ impl Ensemble {
                 .map(|t| t.last_state().to_vec())
                 .collect(),
             threads_used,
+            failures,
         }
     }
 }
@@ -327,8 +400,9 @@ impl Ensemble {
 pub struct EnsembleResult {
     state_names: Vec<String>,
     time_scale: f64,
-    /// The seeds that were run, in order; `final_counts[i]` belongs to
-    /// `seeds[i]`.
+    /// The seeds that completed, in order; `final_counts[i]` belongs to
+    /// `seeds[i]`. Panicked seeds are absent here and listed in
+    /// [`failures`](Self::failures).
     pub seeds: Vec<u64>,
     /// Per-period mean counts across the ensemble (time is the period index).
     pub mean: Trajectory,
@@ -338,6 +412,9 @@ pub struct EnsembleResult {
     pub final_counts: Vec<Vec<f64>>,
     /// Number of worker threads the ensemble actually spawned.
     pub threads_used: usize,
+    /// Seeds whose run panicked (caught per worker; the envelopes above
+    /// cover only the completed seeds). Empty for a fully healthy ensemble.
+    pub failures: Vec<SeedFailure>,
 }
 
 impl EnsembleResult {
@@ -515,6 +592,88 @@ mod tests {
         assert!(matches!(err, CoreError::InvalidConfig { .. }));
     }
 
+    /// An [`AgentRuntime`] wrapper that panics mid-run for odd seeds —
+    /// exercises the per-seed `catch_unwind` supervision.
+    struct PanickyRuntime(AgentRuntime);
+
+    struct PanickyState {
+        poisoned: bool,
+        inner: super::super::AgentState,
+    }
+
+    impl Runtime for PanickyRuntime {
+        type State = PanickyState;
+
+        fn build(protocol: Protocol, config: &RunConfig) -> Self {
+            PanickyRuntime(AgentRuntime::build(protocol, config))
+        }
+
+        fn protocol(&self) -> &Protocol {
+            self.0.protocol()
+        }
+
+        fn init(&self, scenario: &Scenario, initial: &InitialStates) -> Result<PanickyState> {
+            Ok(PanickyState {
+                poisoned: scenario.seed() % 2 == 1,
+                inner: self.0.init(scenario, initial)?,
+            })
+        }
+
+        fn step<'s>(&self, state: &'s mut PanickyState) -> Result<super::super::PeriodEvents<'s>> {
+            assert!(!state.poisoned, "injected test panic");
+            self.0.step(&mut state.inner)
+        }
+
+        fn snapshot<'s>(&self, state: &'s PanickyState) -> super::super::PeriodEvents<'s> {
+            self.0.snapshot(&state.inner)
+        }
+    }
+
+    #[test]
+    fn panicked_seeds_are_reported_not_fatal() {
+        let ensemble = Ensemble::of(epidemic_protocol())
+            .scenario(Scenario::new(500, 10).unwrap())
+            .initial(InitialStates::counts(&[499, 1]))
+            .seeds([0, 1, 2, 3])
+            .threads(2)
+            .run::<PanickyRuntime>()
+            .unwrap();
+        // The even seeds completed and are the only ones aggregated …
+        assert_eq!(ensemble.seeds, vec![0, 2]);
+        assert_eq!(ensemble.runs(), 2);
+        assert_eq!(ensemble.mean.len(), 11);
+        // … and the odd seeds are reported, in deterministic order.
+        assert_eq!(ensemble.failures.len(), 2);
+        assert_eq!(
+            ensemble.failures.iter().map(|f| f.seed).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        for failure in &ensemble.failures {
+            assert_eq!(failure.scenario, 0);
+            assert!(failure.message.contains("injected test panic"));
+        }
+    }
+
+    #[test]
+    fn an_ensemble_where_every_seed_panics_is_an_error() {
+        let err = Ensemble::of(epidemic_protocol())
+            .scenario(Scenario::new(500, 10).unwrap())
+            .initial(InitialStates::counts(&[499, 1]))
+            .seeds([1, 3, 5])
+            .run::<PanickyRuntime>()
+            .unwrap_err();
+        match err {
+            CoreError::EnsemblePanicked {
+                scenario,
+                first_message,
+            } => {
+                assert_eq!(scenario, 0);
+                assert!(first_message.contains("injected test panic"));
+            }
+            other => panic!("expected EnsemblePanicked, got {other:?}"),
+        }
+    }
+
     #[test]
     fn ensemble_tier_selection_policy() {
         let protocol = epidemic_protocol();
@@ -536,7 +695,8 @@ mod tests {
             .scenario(
                 Scenario::new(1_000, 10)
                     .unwrap()
-                    .with_failure_schedule(schedule),
+                    .with_failure_schedule(schedule)
+                    .unwrap(),
             )
             .initial(InitialStates::counts(&[500, 500]));
         assert_eq!(per_id.selected_tier(), FidelityTier::Agent);

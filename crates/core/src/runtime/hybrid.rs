@@ -352,10 +352,24 @@ impl HybridRuntime {
                 })
             }
         };
-        if let Some(mode) = switched {
-            match mode {
-                Mode::Agent(_) => state.to_membership += 1,
-                Mode::Batched(_) => state.to_count_level += 1,
+        if let Some(mut mode) = switched {
+            // The adversary's strategy state (cascading hazard, strike
+            // counters, decision PRNG position) must survive the fidelity
+            // switch: hand the live injection point over instead of keeping
+            // the fresh fork `state_from_counts` installs.
+            let injector = match &mut state.mode {
+                Mode::Batched(b) => b.take_injector(),
+                Mode::Agent(a) => a.take_injector(),
+            };
+            match &mut mode {
+                Mode::Agent(a) => {
+                    a.set_injector(injector);
+                    state.to_membership += 1;
+                }
+                Mode::Batched(b) => {
+                    b.set_injector(injector);
+                    state.to_count_level += 1;
+                }
             }
             state.mode = mode;
         }
@@ -578,6 +592,7 @@ mod tests {
         let scenario = Scenario::new(5_000, 10)
             .unwrap()
             .with_failure_schedule(schedule)
+            .unwrap()
             .with_seed(2);
         let runtime = HybridRuntime::new(epidemic_protocol());
         // Counts are large, but the per-id schedule forces membership.
@@ -679,6 +694,40 @@ mod tests {
         let events = runtime.snapshot(&state);
         assert_eq!(events.counts.iter().sum::<u64>(), 10_000);
         assert!(events.counts[1] > 9_000, "y = {}", events.counts[1]);
+    }
+
+    #[test]
+    fn adversary_strategy_state_survives_the_handoff() {
+        // A single-strike adversary fires at count level and knocks the
+        // leading state below the fidelity threshold, forcing a downgrade to
+        // membership. If the handoff installed a fresh strategy fork instead
+        // of transferring the live injection point, the "spent" strike
+        // counter would reset and the adversary would strike again.
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let scenario = Scenario::new(10_000, 10)
+            .unwrap()
+            .with_seed(21)
+            .with_adversary(netsim::adversary::TargetLargestState::new(0.59375, 2, 1, 1).unwrap());
+        let runtime = HybridRuntime::new(protocol).with_threshold(100);
+        let mut state = runtime
+            .init(&scenario, &InitialStates::counts(&[6_000, 4_000]))
+            .unwrap();
+        assert_eq!(state.fidelity(), HybridFidelity::CountLevel);
+        for _ in 0..10 {
+            runtime.step(&mut state).unwrap();
+        }
+        // The strike (~5937 of x's 6000) dropped x below the threshold.
+        assert_eq!(state.fidelity(), HybridFidelity::Membership);
+        assert_eq!(state.handoffs(), (1, 0));
+        let events = runtime.snapshot(&state);
+        // y was never struck: one strike total, budget spent on x. A reset
+        // strike counter would have taken ~2400 more victims from y.
+        assert_eq!(events.counts_alive.unwrap()[1], 4_000);
+        assert!(
+            events.alive > 4_000 && events.alive < 4_100,
+            "alive = {}",
+            events.alive
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! The shared adversary hook threaded through every runtime's step path.
+//!
+//! A [`Scenario`](netsim::Scenario) carrying an
+//! [`Adversary`](netsim::Adversary) gets one [`InjectionPoint`] per run.
+//! Each period — immediately after the scenario's own scheduled events —
+//! the runtime builds an [`AdversaryView`] of its live state, asks the
+//! injection point to [`plan`](InjectionPoint::plan), and applies the
+//! returned [`Injection`]s with the same victim-selection semantics as the
+//! scheduled-event path (exchangeable hypergeometric draws on count-level
+//! tiers, uniform per-id sampling on membership tiers). Applied injections
+//! are [`record`](InjectionPoint::record)ed and surfaced to observers via
+//! `PeriodEvents::injections`.
+//!
+//! Adversary *decisions* draw from a dedicated PRNG derived from the
+//! scenario seed (never the run's main stream), while injection
+//! *application* draws from the run's main RNG exactly where a scheduled
+//! event would — which is what lets property tests pin an oblivious
+//! adversary bit-for-bit to the classic scenario-event path.
+
+use crate::error::CoreError;
+use netsim::adversary::{AdversaryState, AdversaryView, Injection, InjectionRecord};
+use netsim::{Rng, Scenario};
+
+/// Stream tweak XORed into the scenario seed for the adversary's private
+/// decision PRNG, so decisions never perturb the run's main random stream.
+const ADVERSARY_STREAM: u64 = 0x5EED_AD7E_CA5C_ADE5;
+
+/// Per-run adversary state: the forked strategy, its private decision PRNG,
+/// and the log of injections applied in the most recent period.
+#[derive(Debug, Clone)]
+pub(crate) struct InjectionPoint {
+    strategy: Box<dyn AdversaryState>,
+    rng: Rng,
+    log: Vec<InjectionRecord>,
+}
+
+impl InjectionPoint {
+    /// Forks the scenario's adversary into a per-run injection point, or
+    /// `None` if the scenario carries no adversary.
+    pub(crate) fn from_scenario(scenario: &Scenario) -> Option<Self> {
+        scenario.adversary().map(|handle| InjectionPoint {
+            strategy: handle.fork(),
+            rng: Rng::seed_from(scenario.seed() ^ ADVERSARY_STREAM),
+            log: Vec::new(),
+        })
+    }
+
+    /// Clears the previous period's log and plans this period's injections
+    /// from the live view. Every returned injection is validated.
+    pub(crate) fn plan(&mut self, view: &AdversaryView<'_>) -> crate::Result<Vec<Injection>> {
+        self.log.clear();
+        let planned = self.strategy.plan(view, &mut self.rng);
+        for injection in &planned {
+            injection.validate().map_err(|e| CoreError::InvalidConfig {
+                name: "adversary",
+                reason: format!("strategy emitted an invalid injection: {e}"),
+            })?;
+        }
+        Ok(planned)
+    }
+
+    /// Records one applied injection for this period's observer view.
+    pub(crate) fn record(&mut self, period: u64, injection: Injection, victims: u64) {
+        self.log.push(InjectionRecord {
+            period,
+            injection,
+            victims,
+        });
+    }
+
+    /// The injections applied in the most recent period.
+    pub(crate) fn records(&self) -> &[InjectionRecord] {
+        &self.log
+    }
+}
+
+/// The observer-facing injection slice of an optional injection point.
+pub(crate) fn records_of(injector: &Option<InjectionPoint>) -> &[InjectionRecord] {
+    injector.as_ref().map_or(&[], InjectionPoint::records)
+}
+
+/// Exact victim count for a fractional injection: `floor(fraction · pop)`,
+/// matching the scheduled massive-failure semantics.
+pub(crate) fn victim_count(fraction: f64, population: u64) -> u64 {
+    ((fraction * population as f64).floor() as u64).min(population)
+}
+
+/// The error a runtime raises for an injection it cannot represent (e.g. a
+/// shard-targeted injection on a well-mixed runtime).
+pub(crate) fn unsupported_injection(runtime_name: &str, injection: &Injection) -> CoreError {
+    CoreError::InvalidConfig {
+        name: "adversary",
+        reason: format!(
+            "the adversary emitted {injection:?}, which the {runtime_name} \
+             runtime cannot represent"
+        ),
+    }
+}

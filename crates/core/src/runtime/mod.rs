@@ -35,6 +35,7 @@ mod async_runtime;
 mod batched;
 mod ensemble;
 mod hybrid;
+mod inject;
 mod observer;
 mod sharded;
 mod simulation;
@@ -43,15 +44,15 @@ pub use agent::{AgentRuntime, AgentState, MembershipView};
 pub use aggregate::{AggregateRuntime, AggregateState};
 pub use async_runtime::{AsyncRuntime, AsyncState};
 pub use batched::{BatchedRuntime, BatchedState};
-pub use ensemble::{Ensemble, EnsembleResult};
+pub use ensemble::{Ensemble, EnsembleResult, SeedFailure};
 pub use hybrid::{HybridFidelity, HybridRuntime, HybridState, SMALL_COUNT_THRESHOLD};
 pub use observer::{
     AliveTracker, CountsRecorder, LiveMetrics, LiveMetricsHandle, MembershipTracker,
-    MessageCounter, Observer, PeriodEvents, ShardCountsRecorder, TransitionRecorder,
-    TransportProbe,
+    MessageCounter, Observer, PeriodEvents, ResilienceReport, ShardCountsRecorder,
+    TransitionRecorder, TransportProbe,
 };
 pub use sharded::{ShardedRuntime, ShardedState};
-pub use simulation::Simulation;
+pub use simulation::{RunDeadline, Simulation};
 
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
@@ -300,6 +301,27 @@ impl RunConfig {
     }
 }
 
+/// Whether a run executed its full scheduled horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunStatus {
+    /// Every scheduled period executed.
+    #[default]
+    Completed,
+    /// A [`RunDeadline`] stopped the run early; the result covers only the
+    /// periods that completed.
+    Interrupted {
+        /// Number of protocol periods that executed before the deadline hit.
+        completed_periods: u64,
+    },
+}
+
+impl RunStatus {
+    /// `true` if the run executed its full horizon.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+}
+
 /// The output of one simulation run, assembled by the attached observers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -320,6 +342,9 @@ pub struct RunResult {
     /// constant), recorded so trajectories can be compared against
     /// integrations of the source equations.
     pub time_scale: f64,
+    /// Whether the run completed its horizon or was interrupted by a
+    /// [`RunDeadline`].
+    pub status: RunStatus,
 }
 
 impl RunResult {
@@ -331,6 +356,7 @@ impl RunResult {
             metrics: MetricsRecorder::new(),
             tracked_members: Vec::new(),
             time_scale: protocol.time_scale(),
+            status: RunStatus::Completed,
         }
     }
 

@@ -19,6 +19,7 @@
 
 use super::{edge_name, MembershipView, RunResult};
 use crate::state_machine::{Protocol, StateId};
+use netsim::adversary::{Injection, InjectionRecord};
 use netsim::MetricsRecorder;
 use odekit::integrate::Trajectory;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +68,10 @@ pub struct PeriodEvents<'a> {
     /// the period-synchronized runtimes report `None` (their messages are
     /// accounting fictions, not queued deliveries).
     pub transport: Option<TransportProbe>,
+    /// Adversary injections applied during the period leading up to this
+    /// snapshot (empty when no adversary is attached, at period 0, and in
+    /// quiet periods). The `counts` above already reflect them.
+    pub injections: &'a [InjectionRecord],
 }
 
 /// One snapshot of the asynchronous transport layer, taken at a period
@@ -469,6 +474,124 @@ impl Observer for LiveMetrics {
     }
 }
 
+/// Summarizes a run's survival under fault injection into
+/// `metrics["resilience:*"]` series — the robustness counterpart of
+/// [`LiveMetrics`].
+///
+/// Metric definitions (all over *alive* per-state counts):
+///
+/// * `resilience:victims` — per attack snapshot, processes crashed by the
+///   adversary during the period leading up to it (recoveries not counted).
+/// * `resilience:time_to_recovery` — per recovered attack, recorded at the
+///   attack snapshot: the number of periods until the leading state's
+///   *share* of the alive population first returned to its pre-attack
+///   level. An attack whose share never recovers within the run contributes
+///   to `resilience:unrecovered` instead.
+/// * `resilience:injections_total`, `resilience:recovered`,
+///   `resilience:unrecovered` — run totals (single point at period 0).
+/// * `resilience:ttr_mean` — mean time-to-recovery over recovered attacks
+///   (absent when none recovered).
+/// * `resilience:extinct_states` — protocol states with zero alive
+///   processes at the end of the run (takeover/extinction indicator).
+///
+/// Inert when the run applies no injections (no adversary attached, or a
+/// quiet one): nothing is recorded, like [`ShardCountsRecorder`] without
+/// shard data.
+#[derive(Debug, Default)]
+pub struct ResilienceReport {
+    recorder: MetricsRecorder,
+    last_share: Option<f64>,
+    /// `(attack snapshot, pre-attack leading share)` awaiting recovery.
+    pending: Vec<(u64, f64)>,
+    injections_seen: u64,
+    recovery_times: Vec<u64>,
+    final_alive: Vec<u64>,
+}
+
+impl ResilienceReport {
+    /// Creates the observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for ResilienceReport {
+    fn on_period(&mut self, _protocol: &Protocol, events: &PeriodEvents<'_>) {
+        let alive = events.alive_counts();
+        let total: u64 = alive.iter().sum();
+        let share = if total > 0 {
+            alive.iter().max().map(|&m| m as f64 / total as f64)
+        } else {
+            None
+        };
+
+        // Resolve attacks from earlier snapshots whose leading share is back
+        // to its pre-attack level.
+        if let Some(share) = share {
+            self.pending.retain(|&(attacked_at, target)| {
+                if events.period > attacked_at && share >= target {
+                    self.recovery_times.push(events.period - attacked_at);
+                    self.recorder.record(
+                        "resilience:time_to_recovery",
+                        attacked_at,
+                        (events.period - attacked_at) as f64,
+                    );
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        if !events.injections.is_empty() {
+            self.injections_seen += events.injections.len() as u64;
+            let victims: u64 = events
+                .injections
+                .iter()
+                .filter(|r| !matches!(r.injection, Injection::RecoverUniform { .. }))
+                .map(|r| r.victims)
+                .sum();
+            self.recorder
+                .record("resilience:victims", events.period, victims as f64);
+            if victims > 0 {
+                // Recovery target: the leading share *before* the attack.
+                let target = self.last_share.or(share).unwrap_or(0.0);
+                self.pending.push((events.period, target));
+            }
+        }
+
+        self.last_share = share.or(self.last_share);
+        self.final_alive = alive;
+    }
+
+    fn finish(&mut self, result: &mut RunResult) {
+        if self.injections_seen == 0 {
+            return;
+        }
+        result.metrics.merge(&self.recorder);
+        result.metrics.record(
+            "resilience:injections_total",
+            0,
+            self.injections_seen as f64,
+        );
+        result
+            .metrics
+            .record("resilience:recovered", 0, self.recovery_times.len() as f64);
+        result
+            .metrics
+            .record("resilience:unrecovered", 0, self.pending.len() as f64);
+        if !self.recovery_times.is_empty() {
+            let mean =
+                self.recovery_times.iter().sum::<u64>() as f64 / self.recovery_times.len() as f64;
+            result.metrics.record("resilience:ttr_mean", 0, mean);
+        }
+        let extinct = self.final_alive.iter().filter(|&&c| c == 0).count();
+        result
+            .metrics
+            .record("resilience:extinct_states", 0, extinct as f64);
+    }
+}
+
 /// The observer set that reproduces the legacy always-on recording: counts
 /// (all processes), transitions, alive counts and message counts.
 pub(crate) fn default_observers() -> Vec<Box<dyn Observer>> {
@@ -511,6 +634,7 @@ mod tests {
             membership: None,
             shard_counts_alive: None,
             transport: None,
+            injections: &[],
         }
     }
 
@@ -699,6 +823,140 @@ mod tests {
         let mut result = RunResult::new(&p);
         obs.finish(&mut result);
         assert!(result.metrics.series("transport:queue_depth").is_err());
+    }
+
+    #[test]
+    fn resilience_report_tracks_recovery_and_totals() {
+        let p = protocol();
+        let mut obs = ResilienceReport::new();
+        // Pre-attack: state x leads with share 0.9.
+        obs.on_period(&p, &events(0, &[90, 10], &[]));
+        // Attack at snapshot 1: 45 victims out of state x.
+        let records = [InjectionRecord {
+            period: 1,
+            injection: Injection::CrashState {
+                state: 0,
+                fraction: 0.5,
+            },
+            victims: 45,
+        }];
+        let counts = [45u64, 10];
+        let mut ev = events(1, &counts, &[]);
+        ev.injections = &records;
+        obs.on_period(&p, &ev);
+        // Leading share dips (45/55 ≈ 0.82 < 0.9), then recovers at
+        // snapshot 3 (55/60 ≈ 0.92 ≥ 0.9).
+        obs.on_period(&p, &events(2, &[48, 8], &[]));
+        obs.on_period(&p, &events(3, &[55, 5], &[]));
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert_eq!(
+            result.metrics.series("resilience:victims").unwrap(),
+            &[(1, 45.0)]
+        );
+        assert_eq!(
+            result
+                .metrics
+                .series("resilience:time_to_recovery")
+                .unwrap(),
+            &[(1, 2.0)]
+        );
+        assert_eq!(
+            result
+                .metrics
+                .series("resilience:injections_total")
+                .unwrap(),
+            &[(0, 1.0)]
+        );
+        assert_eq!(
+            result.metrics.series("resilience:recovered").unwrap(),
+            &[(0, 1.0)]
+        );
+        assert_eq!(
+            result.metrics.series("resilience:unrecovered").unwrap(),
+            &[(0, 0.0)]
+        );
+        assert_eq!(
+            result.metrics.series("resilience:ttr_mean").unwrap(),
+            &[(0, 2.0)]
+        );
+        assert_eq!(
+            result.metrics.series("resilience:extinct_states").unwrap(),
+            &[(0, 0.0)]
+        );
+        assert!(!ResilienceReport::new().needs_membership());
+    }
+
+    #[test]
+    fn resilience_report_counts_unrecovered_attacks_and_extinctions() {
+        let p = protocol();
+        let mut obs = ResilienceReport::new();
+        obs.on_period(&p, &events(0, &[90, 10], &[]));
+        let records = [InjectionRecord {
+            period: 1,
+            injection: Injection::CrashUniform { fraction: 0.9 },
+            victims: 90,
+        }];
+        let counts = [5u64, 5];
+        let mut ev = events(1, &counts, &[]);
+        ev.injections = &records;
+        obs.on_period(&p, &ev);
+        // The leading share never returns to 0.9.
+        obs.on_period(&p, &events(2, &[5, 4], &[]));
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert_eq!(
+            result.metrics.series("resilience:unrecovered").unwrap(),
+            &[(0, 1.0)]
+        );
+        assert!(result.metrics.series("resilience:ttr_mean").is_err());
+        assert_eq!(
+            result.metrics.series("resilience:extinct_states").unwrap(),
+            &[(0, 0.0)]
+        );
+
+        // A takeover after an attack: the surviving state's share hits 1.0
+        // (counts as recovered) and the extinct state is reported.
+        let mut obs = ResilienceReport::new();
+        obs.on_period(&p, &events(0, &[60, 40], &[]));
+        let records = [InjectionRecord {
+            period: 1,
+            injection: Injection::CrashState {
+                state: 0,
+                fraction: 1.0,
+            },
+            victims: 60,
+        }];
+        let counts = [0u64, 40];
+        let mut ev = events(1, &counts, &[]);
+        ev.injections = &records;
+        obs.on_period(&p, &ev);
+        obs.on_period(&p, &events(2, &[0, 40], &[]));
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert_eq!(
+            result.metrics.series("resilience:extinct_states").unwrap(),
+            &[(0, 1.0)]
+        );
+        assert_eq!(
+            result.metrics.series("resilience:recovered").unwrap(),
+            &[(0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn resilience_report_is_inert_without_injections() {
+        let p = protocol();
+        let mut obs = ResilienceReport::new();
+        obs.on_period(&p, &events(0, &[90, 10], &[]));
+        obs.on_period(&p, &events(1, &[50, 50], &[]));
+        let mut result = RunResult::new(&p);
+        obs.finish(&mut result);
+        assert!(result.metrics.series("resilience:victims").is_err());
+        assert!(result
+            .metrics
+            .series("resilience:injections_total")
+            .is_err());
     }
 
     #[test]

@@ -61,6 +61,7 @@
 //! plentiful; the default is sequential stepping, which also keeps
 //! single-core CI benches honest.
 
+use super::inject::{self, InjectionPoint};
 use super::observer::default_observers;
 use super::simulation::drive;
 use super::{
@@ -69,6 +70,7 @@ use super::{
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
+use netsim::adversary::{AdversaryView, Injection};
 use netsim::topology::Placement;
 use netsim::{FailureEvent, Rng, Scenario};
 
@@ -124,6 +126,11 @@ pub struct ShardedState {
     delegate: bool,
     migration: f64,
     period: u64,
+    /// The scenario's adversary, driven at the master level so one strategy
+    /// instance sees the whole sharded population (`None` in delegate mode —
+    /// there the single shard's own injection point applies it, keeping the
+    /// bit-for-bit contract with [`BatchedRuntime`]).
+    injector: Option<InjectionPoint>,
     // Aggregated views, refreshed after every step.
     counts: Vec<u64>,
     counts_alive: Vec<u64>,
@@ -257,6 +264,11 @@ impl ShardedRuntime {
             membership: None,
             shard_counts_alive: Some(&state.shard_alive),
             transport: None,
+            injections: if state.delegate {
+                state.shards[0].injection_records()
+            } else {
+                inject::records_of(&state.injector)
+            },
         }
     }
 
@@ -430,6 +442,150 @@ impl ShardedRuntime {
             state.shards[j].crash_counts(&state.scratch_hits[..num_states]);
         }
     }
+
+    /// Shows the adversary (if any) the live per-shard alive counts and
+    /// applies the injections it emits from the master PRNG (general mode
+    /// only): uniform and state-targeted crashes draw multivariate
+    /// hypergeometrics over the flattened `S × states` alive cells — the
+    /// same exchangeable semantics the scheduled global events use — while
+    /// shard-targeted crashes confine the draw to one shard.
+    fn apply_injections(&self, state: &mut ShardedState) -> Result<()> {
+        let Some(mut injector) = state.injector.take() else {
+            return Ok(());
+        };
+        let result = self.drive_injections(state, &mut injector);
+        state.injector = Some(injector);
+        result
+    }
+
+    fn drive_injections(
+        &self,
+        state: &mut ShardedState,
+        injector: &mut InjectionPoint,
+    ) -> Result<()> {
+        let num_states = state.num_states();
+        let num_shards = state.shards.len();
+        // Fresh post-event alive view: the cached aggregates are refreshed
+        // only after the protocol step, so recompute from the shards.
+        for (j, shard) in state.shards.iter().enumerate() {
+            state.scratch_alive[j].copy_from_slice(shard.alive_counts());
+        }
+        let mut counts_alive = vec![0u64; num_states];
+        for shard in &state.scratch_alive {
+            for (s, &c) in shard.iter().enumerate() {
+                counts_alive[s] += c;
+            }
+        }
+        let alive: u64 = counts_alive.iter().sum();
+        let planned = injector.plan(&AdversaryView {
+            period: state.period,
+            counts_alive: &counts_alive,
+            alive,
+            shard_counts_alive: Some(&state.scratch_alive),
+            transport: None,
+        })?;
+        for injection in planned {
+            let victims = match injection {
+                Injection::CrashUniform { fraction } => {
+                    for (j, shard) in state.shards.iter().enumerate() {
+                        state.flat_cells[j * num_states..(j + 1) * num_states]
+                            .copy_from_slice(shard.alive_counts());
+                    }
+                    let total: u64 = state.flat_cells.iter().sum();
+                    let k = inject::victim_count(fraction, total);
+                    state.master_rng.multivariate_hypergeometric_into(
+                        &state.flat_cells,
+                        k,
+                        &mut state.flat_hits,
+                    );
+                    for (j, shard) in state.shards.iter_mut().enumerate() {
+                        shard.crash_counts(&state.flat_hits[j * num_states..(j + 1) * num_states]);
+                    }
+                    k
+                }
+                Injection::CrashState { state: s, fraction } => {
+                    if s >= num_states {
+                        return Err(CoreError::InvalidConfig {
+                            name: "adversary",
+                            reason: format!(
+                                "injection targets state {s}, but the protocol has only \
+                                 {num_states} states"
+                            ),
+                        });
+                    }
+                    // Victims are exchangeable within the state but spread
+                    // over shards: split the kill across shards by a
+                    // hypergeometric draw over that state's per-shard cells.
+                    let cells: Vec<u64> = state
+                        .shards
+                        .iter()
+                        .map(|shard| shard.alive_counts()[s])
+                        .collect();
+                    let total: u64 = cells.iter().sum();
+                    let k = inject::victim_count(fraction, total);
+                    state.master_rng.multivariate_hypergeometric_into(
+                        &cells,
+                        k,
+                        &mut state.dest_draws[..num_shards],
+                    );
+                    for (j, shard) in state.shards.iter_mut().enumerate() {
+                        state.scratch_hits[..num_states].fill(0);
+                        state.scratch_hits[s] = state.dest_draws[j];
+                        shard.crash_counts(&state.scratch_hits[..num_states]);
+                    }
+                    k
+                }
+                Injection::CrashShard { shard: j, fraction } => {
+                    if j >= num_shards {
+                        return Err(CoreError::InvalidConfig {
+                            name: "adversary",
+                            reason: format!(
+                                "injection targets shard {j}, but the topology has only \
+                                 {num_shards} shard(s)"
+                            ),
+                        });
+                    }
+                    let alive_total = state.shards[j].alive_total();
+                    let k = inject::victim_count(fraction, alive_total);
+                    state.master_rng.multivariate_hypergeometric_into(
+                        state.shards[j].alive_counts(),
+                        k,
+                        &mut state.scratch_hits[..num_states],
+                    );
+                    state.shards[j].crash_counts(&state.scratch_hits[..num_states]);
+                    k
+                }
+                Injection::RecoverUniform { fraction } => {
+                    for (j, shard) in state.shards.iter().enumerate() {
+                        state.flat_cells[j * num_states..(j + 1) * num_states]
+                            .copy_from_slice(shard.crashed_counts());
+                    }
+                    let total: u64 = state.flat_cells.iter().sum();
+                    let k = inject::victim_count(fraction, total);
+                    state.master_rng.multivariate_hypergeometric_into(
+                        &state.flat_cells,
+                        k,
+                        &mut state.flat_hits,
+                    );
+                    let rejoin = self.inner.rejoin_state();
+                    for (j, shard) in state.shards.iter_mut().enumerate() {
+                        shard.recover_counts(
+                            &state.flat_hits[j * num_states..(j + 1) * num_states],
+                            rejoin,
+                        );
+                    }
+                    k
+                }
+                // `Injection` is non_exhaustive: unknown future injections
+                // are rejected rather than silently skipped.
+                unsupported => {
+                    return Err(inject::unsupported_injection("sharded", &unsupported));
+                }
+            };
+            injector.record(state.period, injection, victims);
+        }
+        Ok(())
+    }
 }
 
 impl Runtime for ShardedRuntime {
@@ -557,6 +713,14 @@ impl Runtime for ShardedRuntime {
         let mut state = ShardedState {
             shards,
             master_rng,
+            // In delegate mode the single shard carries the full scenario and
+            // therefore its own injection point; a master-level one would
+            // apply every injection twice.
+            injector: if delegate {
+                None
+            } else {
+                InjectionPoint::from_scenario(scenario)
+            },
             scenario: scenario.clone(),
             delegate,
             migration,
@@ -585,10 +749,12 @@ impl Runtime for ShardedRuntime {
         if !state.delegate {
             // Period-boundary order: migration first (processes move, then
             // experience the period's events where they land), then global
-            // and shard-targeted failures, then the protocol period itself.
+            // and shard-targeted failures, then adversary injections (which
+            // observe the post-event counts), then the protocol period.
             self.exchange(state);
             self.apply_global_failures(state)?;
             self.apply_shard_failures(state);
+            self.apply_injections(state)?;
         }
         if self.parallel && state.shards.len() > 1 {
             let inner = &self.inner;
@@ -808,6 +974,7 @@ mod tests {
         let with_id = Scenario::new(100, 10)
             .unwrap()
             .with_failure_schedule(schedule)
+            .unwrap()
             .with_topology(Topology::sharded(2, 0.1).unwrap());
         assert!(runtime.init(&with_id, &initial).is_err());
         // Shard events must target existing shards.
@@ -830,6 +997,67 @@ mod tests {
         assert!(runtime
             .init(&tiny, &InitialStates::counts(&[3, 1]))
             .is_err());
+    }
+
+    #[test]
+    fn oblivious_adversary_matches_scheduled_global_failure_bit_for_bit() {
+        // The master-level injection path consumes the master PRNG exactly
+        // like a scheduled global massive failure of the same fraction.
+        let protocol = epidemic_protocol();
+        let initial = InitialStates::counts(&[99_900, 100]);
+        let runtime = ShardedRuntime::new(protocol);
+        let scheduled = Scenario::new(100_000, 30)
+            .unwrap()
+            .with_topology(Topology::sharded(4, 0.1).unwrap())
+            .with_massive_failure(5, 0.5)
+            .unwrap()
+            .with_seed(19);
+        let injected = Scenario::new(100_000, 30)
+            .unwrap()
+            .with_topology(Topology::sharded(4, 0.1).unwrap())
+            .with_seed(19)
+            .with_adversary(
+                netsim::adversary::ObliviousSchedule::new()
+                    .crash_uniform_at(5, 0.5)
+                    .unwrap(),
+            );
+        let a = runtime.run(&scheduled, &initial).unwrap();
+        let b = runtime.run(&injected, &initial).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_targeted_injection_hits_only_its_shard() {
+        // The injected twin of shard_failure_hits_only_its_shard: an
+        // oblivious CrashShard at period 5 halves shard 2 and nothing else.
+        let protocol = Protocol::new("inert", vec!["x".into(), "y".into()]).unwrap();
+        let adversary = netsim::adversary::ObliviousSchedule::new()
+            .inject_at(
+                5,
+                netsim::adversary::Injection::CrashShard {
+                    shard: 2,
+                    fraction: 0.5,
+                },
+            )
+            .unwrap();
+        let scenario = Scenario::new(80_000, 10)
+            .unwrap()
+            .with_topology(Topology::sharded(4, 0.0).unwrap())
+            .with_seed(1)
+            .with_adversary(adversary);
+        let runtime = ShardedRuntime::new(protocol);
+        let mut state = runtime
+            .init(&scenario, &InitialStates::counts(&[40_000, 40_000]))
+            .unwrap();
+        for _ in 0..10 {
+            runtime.step(&mut state).unwrap();
+        }
+        let alive: Vec<u64> = state
+            .shard_alive_counts()
+            .iter()
+            .map(|shard| shard.iter().sum())
+            .collect();
+        assert_eq!(alive, vec![20_000, 20_000, 10_000, 20_000]);
     }
 
     #[test]

@@ -2,11 +2,45 @@
 //! + observers, generic over the [`Runtime`] fidelity.
 
 use super::observer::default_observers;
-use super::{auto_tier, FidelityTier, InitialStates, Observer, RunConfig, RunResult, Runtime};
+use super::{
+    auto_tier, FidelityTier, InitialStates, Observer, RunConfig, RunResult, RunStatus, Runtime,
+};
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
 use netsim::{Scenario, Topology};
+
+/// An execution budget for a single run.
+///
+/// When the budget runs out before the scenario's horizon, the run stops
+/// early and degrades to a *partial* [`RunResult`]: everything the observers
+/// recorded up to that point is returned, with
+/// [`RunStatus::Interrupted`] making the truncation explicit. Interrupted
+/// results never masquerade as completed runs — check
+/// [`RunResult::status`] (or [`RunStatus::is_completed`]) before comparing
+/// trajectories across runs.
+///
+/// Deadlines are deterministic: the budget is counted in protocol periods,
+/// not wall-clock time, so a deadlined run is exactly a prefix of the
+/// un-deadlined run with the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDeadline {
+    period_budget: u64,
+}
+
+impl RunDeadline {
+    /// A deadline allowing at most `budget` protocol periods.
+    pub fn periods(budget: u64) -> Self {
+        RunDeadline {
+            period_budget: budget,
+        }
+    }
+
+    /// The number of periods the deadline allows.
+    pub fn period_budget(&self) -> u64 {
+        self.period_budget
+    }
+}
 
 /// Builder for a single simulation run.
 ///
@@ -43,6 +77,7 @@ pub struct Simulation {
     initial: Option<InitialStates>,
     config: RunConfig,
     observers: Vec<Box<dyn Observer>>,
+    deadline: Option<RunDeadline>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -53,6 +88,7 @@ impl std::fmt::Debug for Simulation {
             .field("initial", &self.initial)
             .field("config", &self.config)
             .field("observers", &self.observers.len())
+            .field("deadline", &self.deadline)
             .finish()
     }
 }
@@ -67,6 +103,7 @@ impl Simulation {
             initial: None,
             config: RunConfig::default(),
             observers: Vec::new(),
+            deadline: None,
         }
     }
 
@@ -109,6 +146,15 @@ impl Simulation {
     #[must_use]
     pub fn config(mut self, config: RunConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Caps the run at a period budget (see [`RunDeadline`]). A run that
+    /// exhausts the budget returns a partial [`RunResult`] with
+    /// [`RunStatus::Interrupted`].
+    #[must_use]
+    pub fn deadline(mut self, deadline: RunDeadline) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -232,7 +278,13 @@ impl Simulation {
         if self.observers.is_empty() {
             self.observers = default_observers();
         }
-        drive(runtime, &scenario, &initial, &mut self.observers)
+        drive_deadlined(
+            runtime,
+            &scenario,
+            &initial,
+            &mut self.observers,
+            self.deadline,
+        )
     }
 }
 
@@ -244,8 +296,29 @@ pub(crate) fn drive<R: Runtime>(
     initial: &InitialStates,
     observers: &mut [Box<dyn Observer>],
 ) -> Result<RunResult> {
+    drive_deadlined(runtime, scenario, initial, observers, None)
+}
+
+/// [`drive`] with an optional period budget: when the budget is smaller than
+/// the scenario's horizon, only that many periods execute and the result is
+/// marked [`RunStatus::Interrupted`].
+pub(crate) fn drive_deadlined<R: Runtime>(
+    runtime: &R,
+    scenario: &Scenario,
+    initial: &InitialStates,
+    observers: &mut [Box<dyn Observer>],
+    deadline: Option<RunDeadline>,
+) -> Result<RunResult> {
     let mut state = runtime.init(scenario, initial)?;
-    drive_periods(runtime, &mut state, scenario.periods(), observers)
+    let scheduled = scenario.periods();
+    let budget = deadline.map_or(scheduled, |d| d.period_budget().min(scheduled));
+    let mut result = drive_periods(runtime, &mut state, budget, observers)?;
+    if budget < scheduled {
+        result.status = RunStatus::Interrupted {
+            completed_periods: budget,
+        };
+    }
+    Ok(result)
 }
 
 /// Drives `periods` steps of an already initialized state (also used by the
@@ -449,7 +522,7 @@ mod tests {
         let mut schedule = netsim::FailureSchedule::new();
         schedule.add(1, netsim::FailureEvent::Crash(netsim::ProcessId(0)));
         let per_id = Simulation::of(protocol.clone())
-            .scenario(scenario().with_failure_schedule(schedule))
+            .scenario(scenario().with_failure_schedule(schedule).unwrap())
             .initial(InitialStates::counts(&[5_000, 5_000]));
         assert_eq!(per_id.selected_tier(), FidelityTier::Agent);
 
@@ -542,6 +615,7 @@ mod tests {
                 Scenario::new(500, 10)
                     .unwrap()
                     .with_failure_schedule(schedule)
+                    .unwrap()
                     .with_seed(3),
             )
             .initial(InitialStates::counts(&[499, 1]))
@@ -553,6 +627,41 @@ mod tests {
             499.0,
             "the scheduled per-id crash was applied"
         );
+    }
+
+    #[test]
+    fn a_deadline_degrades_to_a_partial_result_with_explicit_status() {
+        use super::super::RunStatus;
+        let build = |periods| {
+            Simulation::of(epidemic_protocol())
+                .scenario(Scenario::new(512, periods).unwrap().with_seed(4))
+                .initial(InitialStates::counts(&[511, 1]))
+                .observe(CountsRecorder::new())
+        };
+        // Budget below the horizon: the run stops early, keeps what was
+        // recorded, and says so.
+        let partial = build(30)
+            .deadline(RunDeadline::periods(12))
+            .run::<AgentRuntime>()
+            .unwrap();
+        assert_eq!(
+            partial.status,
+            RunStatus::Interrupted {
+                completed_periods: 12
+            }
+        );
+        assert!(!partial.status.is_completed());
+        assert_eq!(partial.counts.len(), 13, "snapshot + 12 periods");
+        // A deadlined run is exactly a prefix of the full run.
+        let full = build(30).run::<AgentRuntime>().unwrap();
+        assert_eq!(full.status, RunStatus::Completed);
+        assert_eq!(partial.counts.states(), &full.counts.states()[..13]);
+        // A budget at (or above) the horizon changes nothing.
+        let covered = build(30)
+            .deadline(RunDeadline::periods(64))
+            .run::<AgentRuntime>()
+            .unwrap();
+        assert_eq!(covered, full);
     }
 
     #[test]

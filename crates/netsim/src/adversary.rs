@@ -1,0 +1,955 @@
+//! Adaptive adversaries: fault injection driven by the live run state.
+//!
+//! Every failure mechanism elsewhere in this crate is *oblivious* — schedules,
+//! probabilistic models, churn traces and partition windows are all fixed
+//! before the run starts. The paper's thesis is that protocols derived from
+//! differential equations inherit the ODE's stability, and an honest stress
+//! test of that claim needs an adversary that can *watch* the run and strike
+//! where it hurts: kill whichever state currently leads, crash the shard the
+//! winning species lives in, let failures cascade, or churn hosts with
+//! heavy-tailed bursts.
+//!
+//! The model:
+//!
+//! * an [`Adversary`] is an immutable, shareable strategy attached to a
+//!   [`Scenario`](crate::Scenario) via
+//!   [`Scenario::with_adversary`](crate::Scenario::with_adversary);
+//! * at run start every runtime [`fork`](Adversary::fork)s a per-run
+//!   [`AdversaryState`] and gives it its own decision PRNG (derived from the
+//!   scenario seed on a separate stream, so adversary *decisions* never
+//!   perturb the run's main random stream);
+//! * once per protocol period — immediately after the scenario's own
+//!   scheduled events — the runtime shows the state an [`AdversaryView`]
+//!   (per-state alive counts, per-shard counts when sharded, transport
+//!   gauges when asynchronous) and applies the [`Injection`]s it returns;
+//! * count-level runtimes apply injections exchangeably (hypergeometric
+//!   victim draws), per-id runtimes pick uniform victims — the same
+//!   semantics as the scenario's own massive-failure events, which is what
+//!   lets property tests pin an oblivious adversary bit-for-bit to the
+//!   scheduled-event path.
+//!
+//! Shipped strategies:
+//!
+//! * [`ObliviousSchedule`] — a fixed injection list that ignores the view;
+//!   the bridge between the adversary path and classic scenario events.
+//! * [`TargetLargestState`] — repeatedly kills a budgeted fraction of the
+//!   population, always drawn from whichever state currently leads.
+//! * [`TargetWinner`] — waits until one state crosses a winning share, then
+//!   strikes that species where it is concentrated (its densest shard on a
+//!   sharded run, the state itself otherwise).
+//! * [`CascadingFailure`] — a correlated model: each period's observed
+//!   crashes raise the next period's crash hazard, which decays
+//!   exponentially when the system is quiet.
+//! * [`HeavyTailedChurn`] — Pareto-interarrival churn bursts generated from
+//!   a dedicated seed into a replayable trace (record once, replay
+//!   bit-for-bit under any run seed).
+
+use crate::error::{check_probability, SimError};
+use crate::rng::Rng;
+use crate::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// Transport gauges exposed to adversaries on asynchronous runs (cumulative
+/// counters plus the instantaneous queue depth).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportGauges {
+    /// Messages currently queued for delivery.
+    pub queue_depth: u64,
+    /// Messages sent since the run started.
+    pub sent: u64,
+    /// Messages delivered since the run started.
+    pub delivered: u64,
+    /// Messages dropped (loss or partitions) since the run started.
+    pub dropped: u64,
+}
+
+/// The live run state an adversary observes once per period, immediately
+/// after the scenario's own scheduled events have been applied.
+#[derive(Debug)]
+pub struct AdversaryView<'a> {
+    /// The period about to execute.
+    pub period: u64,
+    /// Alive processes per protocol state (summed over shards when sharded).
+    pub counts_alive: &'a [u64],
+    /// Total alive processes.
+    pub alive: u64,
+    /// Per-shard alive counts (`[shard][state]`), present on sharded runs.
+    pub shard_counts_alive: Option<&'a [Vec<u64>]>,
+    /// Transport gauges, present on asynchronous runs.
+    pub transport: Option<TransportGauges>,
+}
+
+impl AdversaryView<'_> {
+    /// The index of the state with the most alive processes (ties break
+    /// toward the lower index), or `None` if nobody is alive.
+    pub fn leading_state(&self) -> Option<usize> {
+        if self.alive == 0 {
+            return None;
+        }
+        self.counts_alive
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+
+    /// The shard holding the most alive processes of `state`, or `None` on
+    /// unsharded runs / when the state is extinct everywhere.
+    pub fn densest_shard_of(&self, state: usize) -> Option<usize> {
+        let shards = self.shard_counts_alive?;
+        shards
+            .iter()
+            .enumerate()
+            .filter(|(_, counts)| counts.get(state).copied().unwrap_or(0) > 0)
+            .max_by(|a, b| a.1[state].cmp(&b.1[state]).then(b.0.cmp(&a.0)))
+            .map(|(j, _)| j)
+    }
+}
+
+/// One fault injected mid-run by an adversary. Fractions follow the same
+/// floor semantics as scheduled massive failures: a `fraction` of the target
+/// population means exactly `floor(fraction · population)` victims, chosen
+/// uniformly (exchangeably on count-level runtimes, per-id otherwise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Injection {
+    /// Crash a uniform fraction of all currently alive processes — the
+    /// injected twin of [`FailureEvent::MassiveFailure`](crate::FailureEvent).
+    CrashUniform {
+        /// Fraction of the alive population to crash, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Crash a fraction of the alive processes currently in one state.
+    CrashState {
+        /// The targeted protocol state.
+        state: usize,
+        /// Fraction of that state's alive processes to crash, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Crash a fraction of one shard's alive processes (sharded runs only).
+    CrashShard {
+        /// The targeted shard.
+        shard: usize,
+        /// Fraction of that shard's alive processes to crash, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Recover a uniform fraction of the currently crashed processes.
+    RecoverUniform {
+        /// Fraction of the crashed population to recover, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl Injection {
+    /// Validates the injection's fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fraction lies outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Injection::CrashUniform { fraction }
+            | Injection::CrashState { fraction, .. }
+            | Injection::CrashShard { fraction, .. }
+            | Injection::RecoverUniform { fraction } => check_probability("fraction", *fraction),
+        }
+    }
+}
+
+/// The record of one applied injection, reported through the observer layer
+/// (`PeriodEvents::injections` in `dpde-core`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionRecord {
+    /// The period the injection was applied at.
+    pub period: u64,
+    /// The injection as emitted by the strategy.
+    pub injection: Injection,
+    /// Processes actually crashed (or recovered) by it.
+    pub victims: u64,
+}
+
+/// An adaptive fault-injection strategy. Implementations are immutable and
+/// shareable; per-run mutable state lives in the [`AdversaryState`] returned
+/// by [`fork`](Self::fork).
+pub trait Adversary: fmt::Debug + Send + Sync {
+    /// A short human-readable strategy name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Creates the per-run mutable strategy state.
+    fn fork(&self) -> Box<dyn AdversaryState>;
+}
+
+/// The per-run mutable half of an [`Adversary`]. `plan` is called once per
+/// protocol period with the live view; the returned injections are applied
+/// immediately, in order. `rng` is the adversary's private decision stream —
+/// derived from the scenario seed but separate from the run's main stream,
+/// so a strategy that ignores the view consumes nothing from the run.
+pub trait AdversaryState: fmt::Debug + Send {
+    /// Observes the current period and emits the injections to apply.
+    fn plan(&mut self, view: &AdversaryView<'_>, rng: &mut Rng) -> Vec<Injection>;
+
+    /// Clones the strategy state into a fresh box (runtime execution states
+    /// are `Clone`, and the strategy state rides inside them).
+    fn clone_box(&self) -> Box<dyn AdversaryState>;
+}
+
+impl Clone for Box<dyn AdversaryState> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A cloneable, `Debug`-friendly handle wrapping a shared [`Adversary`] so
+/// it can ride on a [`Scenario`](crate::Scenario) (which is `Clone`).
+#[derive(Clone)]
+pub struct AdversaryHandle(Arc<dyn Adversary>);
+
+impl AdversaryHandle {
+    /// Wraps a strategy.
+    pub fn new(adversary: impl Adversary + 'static) -> Self {
+        AdversaryHandle(Arc::new(adversary))
+    }
+
+    /// The strategy's name.
+    pub fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    /// Forks the per-run strategy state.
+    pub fn fork(&self) -> Box<dyn AdversaryState> {
+        self.0.fork()
+    }
+}
+
+impl fmt::Debug for AdversaryHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AdversaryHandle").field(&self.0).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ObliviousSchedule
+// ---------------------------------------------------------------------------
+
+/// A fixed injection schedule that ignores the live view — the oblivious
+/// baseline every adaptive strategy is compared against, and the bridge used
+/// by property tests to pin the injection path bit-for-bit to the classic
+/// scenario-event path (a `CrashUniform` here consumes the run's random
+/// stream exactly like a scheduled massive failure).
+#[derive(Debug, Clone, Default)]
+pub struct ObliviousSchedule {
+    events: Vec<(u64, Injection)>,
+}
+
+impl ObliviousSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an injection at the given period.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the injection's fraction lies outside `[0, 1]`.
+    pub fn inject_at(mut self, period: u64, injection: Injection) -> Result<Self> {
+        injection.validate()?;
+        self.events.push((period, injection));
+        Ok(self)
+    }
+
+    /// Convenience: a uniform crash of `fraction` of the alive population at
+    /// `period` — the injected twin of
+    /// [`Scenario::with_massive_failure`](crate::Scenario::with_massive_failure).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fraction lies outside `[0, 1]`.
+    pub fn crash_uniform_at(self, period: u64, fraction: f64) -> Result<Self> {
+        self.inject_at(period, Injection::CrashUniform { fraction })
+    }
+
+    /// The scheduled `(period, injection)` pairs, in insertion order.
+    pub fn events(&self) -> &[(u64, Injection)] {
+        &self.events
+    }
+}
+
+impl Adversary for ObliviousSchedule {
+    fn name(&self) -> &str {
+        "oblivious-schedule"
+    }
+
+    fn fork(&self) -> Box<dyn AdversaryState> {
+        Box::new(ObliviousScheduleState {
+            events: self.events.clone(),
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ObliviousScheduleState {
+    events: Vec<(u64, Injection)>,
+}
+
+impl AdversaryState for ObliviousScheduleState {
+    fn clone_box(&self) -> Box<dyn AdversaryState> {
+        Box::new(self.clone())
+    }
+
+    fn plan(&mut self, view: &AdversaryView<'_>, _rng: &mut Rng) -> Vec<Injection> {
+        self.events
+            .iter()
+            .filter(|(p, _)| *p == view.period)
+            .map(|(_, inj)| *inj)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TargetLargestState
+// ---------------------------------------------------------------------------
+
+/// Kills a budgeted fraction of the population, always drawn from whichever
+/// state currently leads.
+///
+/// Each strike spends `budget_fraction` of the *total* alive population, all
+/// taken from the leading state (capped at that state's size). That makes
+/// the strategy budget-comparable with an oblivious uniform crash of the
+/// same fraction: both kill `floor(budget_fraction · alive)` processes per
+/// strike — the adaptive one just concentrates every casualty on the
+/// current winner.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetLargestState {
+    budget_fraction: f64,
+    start_period: u64,
+    every: u64,
+    strikes: u32,
+}
+
+impl TargetLargestState {
+    /// A strategy striking every `every` periods from `start_period`, at
+    /// most `strikes` times, spending `budget_fraction` of the alive
+    /// population per strike.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fraction lies outside `[0, 1]` or `every` is
+    /// zero.
+    pub fn new(budget_fraction: f64, start_period: u64, every: u64, strikes: u32) -> Result<Self> {
+        check_probability("budget_fraction", budget_fraction)?;
+        if every == 0 {
+            return Err(SimError::InvalidConfig {
+                name: "every",
+                reason: "strike interval must be at least one period".into(),
+            });
+        }
+        Ok(TargetLargestState {
+            budget_fraction,
+            start_period,
+            every,
+            strikes,
+        })
+    }
+}
+
+impl Adversary for TargetLargestState {
+    fn name(&self) -> &str {
+        "target-largest-state"
+    }
+
+    fn fork(&self) -> Box<dyn AdversaryState> {
+        Box::new(TargetLargestStateRun {
+            config: *self,
+            remaining: self.strikes,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TargetLargestStateRun {
+    config: TargetLargestState,
+    remaining: u32,
+}
+
+impl AdversaryState for TargetLargestStateRun {
+    fn clone_box(&self) -> Box<dyn AdversaryState> {
+        Box::new(self.clone())
+    }
+
+    fn plan(&mut self, view: &AdversaryView<'_>, _rng: &mut Rng) -> Vec<Injection> {
+        let c = &self.config;
+        if self.remaining == 0
+            || view.period < c.start_period
+            || (view.period - c.start_period) % c.every != 0
+        {
+            return Vec::new();
+        }
+        let Some(state) = view.leading_state() else {
+            return Vec::new();
+        };
+        let in_state = view.counts_alive[state];
+        if in_state == 0 {
+            return Vec::new();
+        }
+        self.remaining -= 1;
+        // Spend the budget (a fraction of *total* alive) inside the leading
+        // state: floor parity with CrashUniform{budget_fraction} holds as
+        // long as the leader is big enough to absorb the strike.
+        let fraction = (c.budget_fraction * view.alive as f64 / in_state as f64).min(1.0);
+        vec![Injection::CrashState { state, fraction }]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TargetWinner
+// ---------------------------------------------------------------------------
+
+/// Waits until one state crosses a winning share of the alive population,
+/// then strikes that species where it is concentrated: on a sharded run the
+/// shard holding most of it is crashed, otherwise the state itself is hit.
+/// After each strike the strategy cools down before re-evaluating.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetWinner {
+    threshold_share: f64,
+    fraction: f64,
+    strikes: u32,
+    cooldown: u64,
+}
+
+impl TargetWinner {
+    /// A strategy that fires once a state holds at least `threshold_share`
+    /// of the alive population, crashing `fraction` of the winner's
+    /// stronghold (shard or state), at most `strikes` times with `cooldown`
+    /// periods between strikes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either probability lies outside `[0, 1]`.
+    pub fn new(threshold_share: f64, fraction: f64, strikes: u32, cooldown: u64) -> Result<Self> {
+        check_probability("threshold_share", threshold_share)?;
+        check_probability("fraction", fraction)?;
+        Ok(TargetWinner {
+            threshold_share,
+            fraction,
+            strikes,
+            cooldown,
+        })
+    }
+}
+
+impl Adversary for TargetWinner {
+    fn name(&self) -> &str {
+        "target-winner"
+    }
+
+    fn fork(&self) -> Box<dyn AdversaryState> {
+        Box::new(TargetWinnerRun {
+            config: *self,
+            remaining: self.strikes,
+            next_allowed: 0,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TargetWinnerRun {
+    config: TargetWinner,
+    remaining: u32,
+    next_allowed: u64,
+}
+
+impl AdversaryState for TargetWinnerRun {
+    fn clone_box(&self) -> Box<dyn AdversaryState> {
+        Box::new(self.clone())
+    }
+
+    fn plan(&mut self, view: &AdversaryView<'_>, _rng: &mut Rng) -> Vec<Injection> {
+        if self.remaining == 0 || view.period < self.next_allowed || view.alive == 0 {
+            return Vec::new();
+        }
+        let Some(state) = view.leading_state() else {
+            return Vec::new();
+        };
+        let share = view.counts_alive[state] as f64 / view.alive as f64;
+        if share < self.config.threshold_share {
+            return Vec::new();
+        }
+        self.remaining -= 1;
+        self.next_allowed = view.period + self.config.cooldown.max(1);
+        let fraction = self.config.fraction;
+        match view.densest_shard_of(state) {
+            Some(shard) => vec![Injection::CrashShard { shard, fraction }],
+            None => vec![Injection::CrashState { state, fraction }],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CascadingFailure
+// ---------------------------------------------------------------------------
+
+/// A correlated failure model: every observed crash raises the next
+/// period's crash hazard, and the hazard decays exponentially while the
+/// system is quiet. A single spark can therefore snowball — each wave of
+/// victims feeds the hazard that kills the next wave — until the decay wins.
+///
+/// The hazard update per period is
+/// `h ← decay · h + gain · (observed crashed fraction)`, seeded by
+/// `h = spark_fraction` at `spark_period`; while `h` exceeds a small cutoff
+/// the strategy emits `CrashUniform { fraction: h }`.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadingFailure {
+    spark_period: u64,
+    spark_fraction: f64,
+    gain: f64,
+    decay: f64,
+}
+
+/// Hazards below this are treated as extinguished (no injection emitted).
+const HAZARD_CUTOFF: f64 = 1e-4;
+
+impl CascadingFailure {
+    /// A cascade sparked at `spark_period` with initial hazard
+    /// `spark_fraction`; each period's crashed fraction is fed back with
+    /// `gain`, and the hazard decays by `decay` per period.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `spark_fraction` or `decay` lies outside
+    /// `[0, 1]`, or `gain` is negative or not finite.
+    pub fn new(spark_period: u64, spark_fraction: f64, gain: f64, decay: f64) -> Result<Self> {
+        check_probability("spark_fraction", spark_fraction)?;
+        check_probability("decay", decay)?;
+        if !gain.is_finite() || gain < 0.0 {
+            return Err(SimError::InvalidConfig {
+                name: "gain",
+                reason: format!("hazard gain must be finite and non-negative, got {gain}"),
+            });
+        }
+        Ok(CascadingFailure {
+            spark_period,
+            spark_fraction,
+            gain,
+            decay,
+        })
+    }
+}
+
+impl Adversary for CascadingFailure {
+    fn name(&self) -> &str {
+        "cascading-failure"
+    }
+
+    fn fork(&self) -> Box<dyn AdversaryState> {
+        Box::new(CascadingFailureRun {
+            config: *self,
+            hazard: 0.0,
+            last_alive: None,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CascadingFailureRun {
+    config: CascadingFailure,
+    hazard: f64,
+    last_alive: Option<u64>,
+}
+
+impl AdversaryState for CascadingFailureRun {
+    fn clone_box(&self) -> Box<dyn AdversaryState> {
+        Box::new(self.clone())
+    }
+
+    fn plan(&mut self, view: &AdversaryView<'_>, _rng: &mut Rng) -> Vec<Injection> {
+        // Feed back the crashes observed since the previous period (from any
+        // source: our own injections, scheduled events, the failure model).
+        if let Some(last) = self.last_alive {
+            let crashed = last.saturating_sub(view.alive);
+            let crashed_fraction = if last > 0 {
+                crashed as f64 / last as f64
+            } else {
+                0.0
+            };
+            self.hazard =
+                (self.config.decay * self.hazard + self.config.gain * crashed_fraction).min(1.0);
+        }
+        if view.period == self.config.spark_period {
+            self.hazard = self.hazard.max(self.config.spark_fraction);
+        }
+        self.last_alive = Some(view.alive);
+        if self.hazard < HAZARD_CUTOFF || view.alive == 0 {
+            return Vec::new();
+        }
+        vec![Injection::CrashUniform {
+            fraction: self.hazard,
+        }]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HeavyTailedChurn
+// ---------------------------------------------------------------------------
+
+/// One churn burst of a [`HeavyTailedChurn`] trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnBurst {
+    /// The period the burst fires at.
+    pub period: u64,
+    /// Fraction of the alive population that leaves (crashes).
+    pub leave_fraction: f64,
+    /// Fraction of the crashed population that rejoins (recovers).
+    pub rejoin_fraction: f64,
+}
+
+/// Heavy-tailed churn: bursts of departures and rejoins whose interarrival
+/// times follow a Pareto distribution, so quiet stretches are punctuated by
+/// clustered disruption (the opposite of the memoryless churn a
+/// per-period [`FailureModel`](crate::FailureModel) produces).
+///
+/// The burst trace is generated **once** from a dedicated seed
+/// ([`generate`](Self::generate)) and stored — record/replay is built in:
+/// [`bursts`](Self::bursts) exposes the trace and [`replay`](Self::replay)
+/// reconstructs the strategy from it, so the same trace can be replayed
+/// bit-for-bit under any run seed.
+#[derive(Debug, Clone)]
+pub struct HeavyTailedChurn {
+    bursts: Vec<ChurnBurst>,
+}
+
+impl HeavyTailedChurn {
+    /// Generates a burst trace over `horizon` periods: interarrival gaps are
+    /// Pareto with tail index `shape` (> 1, lower = heavier tail) and mean
+    /// `mean_gap` periods; every burst crashes `leave_fraction` of the alive
+    /// population and recovers `rejoin_fraction` of the crashed one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `shape ≤ 1`, `mean_gap` is not positive, or
+    /// either fraction lies outside `[0, 1]`.
+    pub fn generate(
+        seed: u64,
+        horizon: u64,
+        shape: f64,
+        mean_gap: f64,
+        leave_fraction: f64,
+        rejoin_fraction: f64,
+    ) -> Result<Self> {
+        if !shape.is_finite() || shape <= 1.0 {
+            return Err(SimError::InvalidConfig {
+                name: "shape",
+                reason: format!("Pareto tail index must exceed 1 (finite mean), got {shape}"),
+            });
+        }
+        if !mean_gap.is_finite() || mean_gap <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                name: "mean_gap",
+                reason: format!("mean interarrival gap must be positive, got {mean_gap}"),
+            });
+        }
+        check_probability("leave_fraction", leave_fraction)?;
+        check_probability("rejoin_fraction", rejoin_fraction)?;
+        // Pareto(scale, shape) has mean scale·shape/(shape−1); solve for the
+        // scale that hits the requested mean gap.
+        let scale = mean_gap * (shape - 1.0) / shape;
+        let mut rng = Rng::seed_from(seed);
+        let mut bursts = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u = rng.next_f64();
+            let gap = scale / (1.0 - u).max(f64::MIN_POSITIVE).powf(1.0 / shape);
+            t += gap;
+            if t >= horizon as f64 {
+                break;
+            }
+            bursts.push(ChurnBurst {
+                period: t as u64,
+                leave_fraction,
+                rejoin_fraction,
+            });
+        }
+        Ok(HeavyTailedChurn { bursts })
+    }
+
+    /// Reconstructs the strategy from a recorded trace.
+    pub fn replay(bursts: Vec<ChurnBurst>) -> Self {
+        HeavyTailedChurn { bursts }
+    }
+
+    /// The recorded burst trace, in period order.
+    pub fn bursts(&self) -> &[ChurnBurst] {
+        &self.bursts
+    }
+}
+
+impl Adversary for HeavyTailedChurn {
+    fn name(&self) -> &str {
+        "heavy-tailed-churn"
+    }
+
+    fn fork(&self) -> Box<dyn AdversaryState> {
+        Box::new(HeavyTailedChurnRun {
+            bursts: self.bursts.clone(),
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HeavyTailedChurnRun {
+    bursts: Vec<ChurnBurst>,
+}
+
+impl AdversaryState for HeavyTailedChurnRun {
+    fn clone_box(&self) -> Box<dyn AdversaryState> {
+        Box::new(self.clone())
+    }
+
+    fn plan(&mut self, view: &AdversaryView<'_>, _rng: &mut Rng) -> Vec<Injection> {
+        let mut out = Vec::new();
+        for burst in self.bursts.iter().filter(|b| b.period == view.period) {
+            if burst.leave_fraction > 0.0 {
+                out.push(Injection::CrashUniform {
+                    fraction: burst.leave_fraction,
+                });
+            }
+            if burst.rejoin_fraction > 0.0 {
+                out.push(Injection::RecoverUniform {
+                    fraction: burst.rejoin_fraction,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        period: u64,
+        counts: &'a [u64],
+        shards: Option<&'a [Vec<u64>]>,
+    ) -> AdversaryView<'a> {
+        AdversaryView {
+            period,
+            counts_alive: counts,
+            alive: counts.iter().sum(),
+            shard_counts_alive: shards,
+            transport: None,
+        }
+    }
+
+    #[test]
+    fn view_helpers() {
+        let counts = [10u64, 30, 20];
+        let v = view(0, &counts, None);
+        assert_eq!(v.leading_state(), Some(1));
+        assert_eq!(v.densest_shard_of(1), None);
+        let empty = [0u64, 0];
+        assert_eq!(view(0, &empty, None).leading_state(), None);
+        // Ties break toward the lower index.
+        let tied = [5u64, 5];
+        assert_eq!(view(0, &tied, None).leading_state(), Some(0));
+        let shards = vec![vec![5u64, 1], vec![5, 29], vec![0, 0]];
+        let v = view(0, &counts, Some(&shards));
+        assert_eq!(v.densest_shard_of(1), Some(1));
+        assert_eq!(v.densest_shard_of(0), Some(0), "tie breaks low");
+    }
+
+    #[test]
+    fn injection_validation() {
+        assert!(Injection::CrashUniform { fraction: 0.5 }.validate().is_ok());
+        assert!(Injection::CrashUniform { fraction: 1.5 }
+            .validate()
+            .is_err());
+        assert!(Injection::CrashState {
+            state: 0,
+            fraction: -0.1
+        }
+        .validate()
+        .is_err());
+        assert!(Injection::RecoverUniform { fraction: 1.0 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn oblivious_schedule_fires_at_its_periods_only() {
+        let schedule = ObliviousSchedule::new()
+            .crash_uniform_at(3, 0.5)
+            .unwrap()
+            .inject_at(7, Injection::RecoverUniform { fraction: 1.0 })
+            .unwrap();
+        assert_eq!(schedule.events().len(), 2);
+        assert!(ObliviousSchedule::new().crash_uniform_at(1, 2.0).is_err());
+        let handle = AdversaryHandle::new(schedule);
+        assert_eq!(handle.name(), "oblivious-schedule");
+        assert!(format!("{handle:?}").contains("AdversaryHandle"));
+        let mut run = handle.fork();
+        let counts = [50u64, 50];
+        let mut rng = Rng::seed_from(0);
+        assert!(run.plan(&view(2, &counts, None), &mut rng).is_empty());
+        assert_eq!(
+            run.plan(&view(3, &counts, None), &mut rng),
+            vec![Injection::CrashUniform { fraction: 0.5 }]
+        );
+        assert_eq!(
+            run.plan(&view(7, &counts, None), &mut rng),
+            vec![Injection::RecoverUniform { fraction: 1.0 }]
+        );
+    }
+
+    #[test]
+    fn target_largest_state_spends_total_budget_on_the_leader() {
+        let adv = TargetLargestState::new(0.2, 10, 5, 2).unwrap();
+        assert!(TargetLargestState::new(1.5, 0, 1, 1).is_err());
+        assert!(TargetLargestState::new(0.5, 0, 0, 1).is_err());
+        let mut run = adv.fork();
+        let counts = [550u64, 450];
+        let mut rng = Rng::seed_from(0);
+        assert!(run.plan(&view(9, &counts, None), &mut rng).is_empty());
+        let got = run.plan(&view(10, &counts, None), &mut rng);
+        // 20 % of 1000 alive = 200 victims, all from state 0 (550 strong):
+        // fraction 200/550.
+        match got[..] {
+            [Injection::CrashState { state: 0, fraction }] => {
+                assert!((fraction - 200.0 / 550.0).abs() < 1e-12);
+            }
+            _ => panic!("unexpected plan {got:?}"),
+        }
+        // Off-cadence periods are quiet; the second strike follows the
+        // current leader, and the budget is capped at the leader's size.
+        assert!(run.plan(&view(11, &counts, None), &mut rng).is_empty());
+        let flipped = [100u64, 900];
+        let got = run.plan(&view(15, &flipped, None), &mut rng);
+        match got[..] {
+            [Injection::CrashState { state: 1, fraction }] => {
+                assert!((fraction - 200.0 / 900.0).abs() < 1e-12);
+            }
+            _ => panic!("unexpected plan {got:?}"),
+        }
+        // Strike budget exhausted.
+        assert!(run.plan(&view(20, &counts, None), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn target_winner_waits_for_the_threshold_and_prefers_shards() {
+        let adv = TargetWinner::new(0.6, 0.5, 1, 3).unwrap();
+        assert!(TargetWinner::new(1.2, 0.5, 1, 1).is_err());
+        let mut run = adv.fork();
+        let mut rng = Rng::seed_from(0);
+        let tied = [500u64, 500];
+        assert!(run.plan(&view(0, &tied, None), &mut rng).is_empty());
+        let decided = [700u64, 300];
+        let shards = vec![vec![100u64, 200], vec![600, 100]];
+        let got = run.plan(&view(5, &decided, Some(&shards)), &mut rng);
+        assert_eq!(
+            got,
+            vec![Injection::CrashShard {
+                shard: 1,
+                fraction: 0.5
+            }]
+        );
+        // Budget spent.
+        assert!(run
+            .plan(&view(20, &decided, Some(&shards)), &mut rng)
+            .is_empty());
+
+        // Without shard visibility the state itself is struck.
+        let mut run = TargetWinner::new(0.6, 0.25, 2, 4).unwrap().fork();
+        let got = run.plan(&view(5, &decided, None), &mut rng);
+        assert_eq!(
+            got,
+            vec![Injection::CrashState {
+                state: 0,
+                fraction: 0.25
+            }]
+        );
+        // Cooldown: quiet until period 9.
+        assert!(run.plan(&view(8, &decided, None), &mut rng).is_empty());
+        assert!(!run.plan(&view(9, &decided, None), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn cascading_failure_snowballs_and_decays() {
+        let adv = CascadingFailure::new(5, 0.1, 2.0, 0.5).unwrap();
+        assert!(CascadingFailure::new(0, 1.5, 1.0, 0.5).is_err());
+        assert!(CascadingFailure::new(0, 0.5, -1.0, 0.5).is_err());
+        assert!(CascadingFailure::new(0, 0.5, 1.0, 1.5).is_err());
+        let mut run = adv.fork();
+        let mut rng = Rng::seed_from(0);
+        let counts = [1000u64];
+        assert!(run.plan(&view(0, &counts, None), &mut rng).is_empty());
+        // Spark fires.
+        let got = run.plan(&view(5, &counts, None), &mut rng);
+        assert_eq!(got, vec![Injection::CrashUniform { fraction: 0.1 }]);
+        // 10 % died: hazard = 0.5·0.1 + 2·0.1 = 0.25 — the cascade grows.
+        let after = [900u64];
+        let got = run.plan(&view(6, &after, None), &mut rng);
+        match got[..] {
+            [Injection::CrashUniform { fraction }] => {
+                assert!((fraction - 0.25).abs() < 1e-12)
+            }
+            _ => panic!("unexpected plan {got:?}"),
+        }
+        // If nothing dies, the hazard halves each period and eventually
+        // extinguishes.
+        let mut fractions = Vec::new();
+        for p in 7..30 {
+            let got = run.plan(&view(p, &after, None), &mut rng);
+            match got[..] {
+                [Injection::CrashUniform { fraction }] => fractions.push(fraction),
+                [] => break,
+                _ => panic!("unexpected plan {got:?}"),
+            }
+        }
+        assert!(fractions.windows(2).all(|w| w[1] < w[0]));
+        assert!(run.plan(&view(40, &after, None), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn heavy_tailed_churn_records_and_replays() {
+        let adv = HeavyTailedChurn::generate(42, 500, 1.5, 25.0, 0.3, 0.5).unwrap();
+        assert!(HeavyTailedChurn::generate(1, 100, 0.9, 10.0, 0.1, 0.1).is_err());
+        assert!(HeavyTailedChurn::generate(1, 100, 2.0, 0.0, 0.1, 0.1).is_err());
+        assert!(HeavyTailedChurn::generate(1, 100, 2.0, 10.0, 1.5, 0.1).is_err());
+        let bursts = adv.bursts().to_vec();
+        assert!(!bursts.is_empty(), "500 periods at mean gap 25 must burst");
+        assert!(bursts.iter().all(|b| b.period < 500));
+        assert!(bursts.windows(2).all(|w| w[0].period <= w[1].period));
+        // Same seed → identical trace; the replayed strategy plans the same.
+        let again = HeavyTailedChurn::generate(42, 500, 1.5, 25.0, 0.3, 0.5).unwrap();
+        assert_eq!(adv.bursts(), again.bursts());
+        let replayed = HeavyTailedChurn::replay(bursts.clone());
+        let mut a = adv.fork();
+        let mut b = replayed.fork();
+        let counts = [100u64];
+        let mut rng = Rng::seed_from(0);
+        for p in 0..500 {
+            assert_eq!(
+                a.plan(&view(p, &counts, None), &mut rng),
+                b.plan(&view(p, &counts, None), &mut rng)
+            );
+        }
+        // A burst emits a crash and a recovery injection.
+        let burst = bursts[0];
+        let got = a.plan(&view(burst.period, &counts, None), &mut rng);
+        assert_eq!(
+            got,
+            vec![
+                Injection::CrashUniform {
+                    fraction: burst.leave_fraction
+                },
+                Injection::RecoverUniform {
+                    fraction: burst.rejoin_fraction
+                }
+            ]
+        );
+        // Different seeds diverge.
+        let other = HeavyTailedChurn::generate(43, 500, 1.5, 25.0, 0.3, 0.5).unwrap();
+        assert_ne!(adv.bursts(), other.bursts());
+    }
+}

@@ -309,6 +309,58 @@ mod tests {
     }
 
     #[test]
+    fn a_changeless_trace_spreads_to_no_events() {
+        // Constant availability means zero churn: spreading must emit an
+        // empty event list (not empty per-period placeholders), for any
+        // periods-per-hour granularity including the degenerate 0 → 1 clamp.
+        let t = ChurnTrace::from_availability(vec![vec![true, false, true]; 4]).unwrap();
+        for periods_per_hour in [0, 1, 7] {
+            let mut rng = Rng::seed_from(11);
+            assert!(t.spread_over_periods(periods_per_hour, &mut rng).is_empty());
+        }
+        assert_eq!(t.mean_hourly_churn(), 0.0);
+    }
+
+    #[test]
+    fn an_all_leave_hour_empties_the_group_and_nobody_joins() {
+        // Hour 1 takes every host down at once — the heaviest churn spike the
+        // format can express. Every change must surface as a leave, none as a
+        // join, and the leave set must cover each host exactly once.
+        let t = ChurnTrace::from_availability(vec![vec![true; 5], vec![false; 5]]).unwrap();
+        assert_eq!(t.hourly_churn(1), 1.0);
+        assert_eq!(t.availability_at(1), 0.0);
+        let mut rng = Rng::seed_from(3);
+        let events = t.spread_over_periods(4, &mut rng);
+        assert!(events.iter().all(|e| e.joins.is_empty()));
+        let mut left: Vec<usize> = events
+            .iter()
+            .flat_map(|e| e.leaves.iter().map(|p| p.index()))
+            .collect();
+        left.sort_unstable();
+        assert_eq!(left, vec![0, 1, 2, 3, 4]);
+        // All leaves land inside hour 1's period window.
+        assert!(events.iter().all(|e| (4..8).contains(&e.period)));
+    }
+
+    #[test]
+    fn spreading_is_deterministic_under_a_fixed_seed() {
+        // Replay guarantee: the same trace spread with the same seed yields
+        // the identical event list, bit for bit; a different seed moves the
+        // events to different slots within the same hour windows.
+        let cfg = SyntheticChurnConfig {
+            hosts: 60,
+            hours: 6,
+            mean_availability: 0.7,
+            churn_min: 0.2,
+            churn_max: 0.4,
+        };
+        let trace = cfg.generate(&mut Rng::seed_from(9)).unwrap();
+        let spread = |seed: u64| trace.spread_over_periods(10, &mut Rng::seed_from(seed));
+        assert_eq!(spread(21), spread(21));
+        assert_ne!(spread(21), spread(22), "different seeds should differ");
+    }
+
+    #[test]
     fn text_round_trip() {
         let text = "# two hosts\n10\n01\n11\n";
         let t = ChurnTrace::from_text(text).unwrap();

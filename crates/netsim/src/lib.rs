@@ -20,6 +20,9 @@
 //!   recoveries) and probabilistic crash/recovery models,
 //! * [`churn`] — availability traces: a synthetic Overnet-like generator and
 //!   a replay engine (the paper injects hourly churn of 10–25 % of hosts),
+//! * [`adversary`] — *adaptive* fault injection: strategies observing the
+//!   live per-period run state and emitting crash/recovery injections
+//!   mid-run (targeted strikes, cascading failures, heavy-tailed churn),
 //! * [`clock`] — protocol-period bookkeeping (periods ↔ wall-clock time),
 //! * [`metrics`] — time-series recording and summary statistics for
 //!   experiment output,
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 pub mod churn;
 pub mod clock;
 pub mod error;
@@ -47,6 +51,11 @@ pub mod stochastic;
 pub mod topology;
 pub mod transport;
 
+pub use adversary::{
+    Adversary, AdversaryHandle, AdversaryState, AdversaryView, CascadingFailure, ChurnBurst,
+    HeavyTailedChurn, Injection, InjectionRecord, ObliviousSchedule, TargetLargestState,
+    TargetWinner, TransportGauges,
+};
 pub use churn::{ChurnEvent, ChurnTrace, SyntheticChurnConfig};
 pub use clock::PeriodClock;
 pub use error::SimError;

@@ -1,5 +1,6 @@
 //! Experiment scenarios: everything describing one simulation run.
 
+use crate::adversary::{Adversary, AdversaryHandle};
 use crate::churn::{ChurnEvent, ChurnTrace};
 use crate::clock::PeriodClock;
 use crate::error::SimError;
@@ -46,6 +47,7 @@ pub struct Scenario {
     shard_failures: Vec<ShardFailure>,
     shard_partitions: Vec<ShardPartition>,
     transport: Option<TransportConfig>,
+    adversary: Option<AdversaryHandle>,
 }
 
 impl Scenario {
@@ -83,7 +85,26 @@ impl Scenario {
             shard_failures: Vec::new(),
             shard_partitions: Vec::new(),
             transport: None,
+            adversary: None,
         })
+    }
+
+    /// Rejects events scheduled at or beyond the run horizon: they would
+    /// never fire, which almost always means a typo in the period or the
+    /// horizon rather than an intentionally inert event.
+    fn check_horizon(&self, name: &'static str, period: u64) -> Result<()> {
+        if period >= self.periods {
+            return Err(SimError::InvalidConfig {
+                name,
+                reason: format!(
+                    "event at period {period} lies beyond the run horizon of {} periods \
+                     (last period is {})",
+                    self.periods,
+                    self.periods - 1
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Sets the PRNG seed.
@@ -98,7 +119,9 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns an error if `periods` is zero.
+    /// Returns an error if `periods` is zero, or if shrinking the horizon
+    /// would strand an already-scheduled event (failure, shard failure or
+    /// partition start) beyond it.
     pub fn with_periods(mut self, periods: u64) -> Result<Self> {
         if periods == 0 {
             return Err(SimError::InvalidConfig {
@@ -107,6 +130,15 @@ impl Scenario {
             });
         }
         self.periods = periods;
+        for (period, _) in self.failure_schedule.events() {
+            self.check_horizon("failure_schedule", *period)?;
+        }
+        for f in &self.shard_failures {
+            self.check_horizon("shard_failure", f.period)?;
+        }
+        for p in &self.shard_partitions {
+            self.check_horizon("shard_partition", p.from_period)?;
+        }
         Ok(self)
     }
 
@@ -122,9 +154,11 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns an error if the fraction lies outside `[0, 1]`.
+    /// Returns an error if the fraction lies outside `[0, 1]` or the period
+    /// lies at or beyond the run horizon (the event would never fire).
     pub fn with_massive_failure(mut self, period: u64, fraction: f64) -> Result<Self> {
         crate::error::check_probability("fraction", fraction)?;
+        self.check_horizon("massive_failure", period)?;
         self.failure_schedule.add(
             period,
             crate::failure::FailureEvent::MassiveFailure { fraction },
@@ -133,10 +167,17 @@ impl Scenario {
     }
 
     /// Replaces the whole failure schedule.
-    #[must_use]
-    pub fn with_failure_schedule(mut self, schedule: FailureSchedule) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any scheduled event lies at or beyond the run
+    /// horizon (it would never fire).
+    pub fn with_failure_schedule(mut self, schedule: FailureSchedule) -> Result<Self> {
+        for (period, _) in schedule.events() {
+            self.check_horizon("failure_schedule", *period)?;
+        }
         self.failure_schedule = schedule;
-        self
+        Ok(self)
     }
 
     /// Sets a probabilistic per-period crash/recovery model.
@@ -169,7 +210,8 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns an error if the fraction lies outside `[0, 1]`.
+    /// Returns an error if the fraction lies outside `[0, 1]` or the period
+    /// lies at or beyond the run horizon (the event would never fire).
     pub fn with_shard_massive_failure(
         mut self,
         period: u64,
@@ -177,6 +219,7 @@ impl Scenario {
         fraction: f64,
     ) -> Result<Self> {
         crate::error::check_probability("fraction", fraction)?;
+        self.check_horizon("shard_failure", period)?;
         self.shard_failures.push(ShardFailure {
             period,
             shard,
@@ -191,7 +234,10 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns an error if the window is empty (`from_period > to_period`).
+    /// Returns an error if the window is empty (`from_period > to_period`),
+    /// starts at or beyond the run horizon (it would never take effect), or
+    /// overlaps a partition window already configured for the same shard
+    /// (the windows would silently shadow each other).
     pub fn with_shard_partition(
         mut self,
         shard: usize,
@@ -202,6 +248,21 @@ impl Scenario {
             return Err(SimError::InvalidConfig {
                 name: "shard_partition",
                 reason: format!("window {from_period}..={to_period} is empty"),
+            });
+        }
+        self.check_horizon("shard_partition", from_period)?;
+        if let Some(existing) = self
+            .shard_partitions
+            .iter()
+            .find(|p| p.shard == shard && from_period <= p.to_period && p.from_period <= to_period)
+        {
+            return Err(SimError::InvalidConfig {
+                name: "shard_partition",
+                reason: format!(
+                    "window {from_period}..={to_period} overlaps the existing window {}..={} \
+                     on shard {shard}",
+                    existing.from_period, existing.to_period
+                ),
             });
         }
         self.shard_partitions.push(ShardPartition {
@@ -305,6 +366,27 @@ impl Scenario {
         self.transport.as_ref()
     }
 
+    /// Attaches an adaptive fault-injection adversary. Once per period —
+    /// after the scenario's own scheduled events — every runtime shows the
+    /// adversary the live run state (per-state counts, shard counts,
+    /// transport gauges) and applies the [`Injection`](crate::Injection)s it
+    /// emits. Adversary *decisions* draw from a dedicated PRNG stream
+    /// derived from the scenario seed, so attaching a strategy that ends up
+    /// injecting nothing leaves the run bit-for-bit unchanged.
+    ///
+    /// The aggregate (mean-field) runtime rejects scenarios carrying an
+    /// adversary, exactly as it rejects every other failure mechanism.
+    #[must_use]
+    pub fn with_adversary(mut self, adversary: impl Adversary + 'static) -> Self {
+        self.adversary = Some(AdversaryHandle::new(adversary));
+        self
+    }
+
+    /// The attached adversary, if any.
+    pub fn adversary(&self) -> Option<&AdversaryHandle> {
+        self.adversary.as_ref()
+    }
+
     /// `true` if this scenario models the message layer explicitly (link
     /// latency / drops / partitions) and therefore needs the asynchronous
     /// runtime.
@@ -335,6 +417,9 @@ impl Scenario {
     /// `true` if anything in this scenario can change process liveness:
     /// scheduled failure events (global or shard-targeted), a probabilistic
     /// crash/recovery model, churn events or a partial hour-0 availability.
+    /// An attached adversary is deliberately *not* counted: its injections
+    /// ride on a separate hook in every runtime's step path, so the
+    /// scheduled-event fast paths stay unchanged.
     pub fn has_liveness_events(&self) -> bool {
         !self.failure_schedule.is_empty()
             || !self.shard_failures.is_empty()
@@ -524,7 +609,8 @@ mod tests {
         schedule.add(1, crate::failure::FailureEvent::Crash(ProcessId(3)));
         let with_id = Scenario::new(100, 10)
             .unwrap()
-            .with_failure_schedule(schedule);
+            .with_failure_schedule(schedule)
+            .unwrap();
         assert!(with_id.has_liveness_events());
         assert!(!with_id.count_level_compatible());
 
@@ -626,7 +712,8 @@ mod tests {
             .unwrap()
             .with_loss(LossConfig::new(0.1, 0.0).unwrap())
             .with_clock(PeriodClock::new(1.0).unwrap())
-            .with_failure_schedule(FailureSchedule::massive_failure_at(3, 0.1));
+            .with_failure_schedule(FailureSchedule::massive_failure_at(3, 0.1))
+            .unwrap();
         assert_eq!(s.loss().connection_failure(), 0.1);
         assert_eq!(s.clock().period_secs(), 1.0);
         assert_eq!(s.failure_schedule().len(), 1);
@@ -634,5 +721,95 @@ mod tests {
         let s = s.with_periods(25).unwrap();
         assert_eq!(s.periods(), 25);
         assert!(s.with_periods(0).is_err());
+    }
+
+    #[test]
+    fn events_beyond_the_horizon_are_rejected() {
+        // Massive failure at or past the horizon never fires — typed error.
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_massive_failure(9, 0.5)
+            .is_ok());
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_massive_failure(10, 0.5)
+            .is_err());
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_massive_failure(99, 0.5)
+            .is_err());
+        // Same for shard failures and partition starts.
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_shard_massive_failure(10, 0, 0.5)
+            .is_err());
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_shard_partition(0, 10, 20)
+            .is_err());
+        // A partition window extending past the horizon is fine as long as
+        // it starts inside it ("partitioned for the whole run" idiom).
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_shard_partition(0, 0, 10)
+            .is_ok());
+        // Whole schedules are checked too.
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_failure_schedule(FailureSchedule::massive_failure_at(12, 0.1))
+            .is_err());
+        // Shrinking the horizon below a scheduled event is rejected;
+        // growing it is fine.
+        let s = Scenario::new(100, 100)
+            .unwrap()
+            .with_massive_failure(50, 0.5)
+            .unwrap();
+        assert!(s.clone().with_periods(50).is_err());
+        assert!(s.clone().with_periods(51).is_ok());
+        assert!(s.with_periods(1000).is_ok());
+        let s = Scenario::new(100, 100)
+            .unwrap()
+            .with_shard_partition(2, 30, 60)
+            .unwrap();
+        assert!(s.clone().with_periods(30).is_err());
+        assert!(s.with_periods(31).is_ok());
+    }
+
+    #[test]
+    fn overlapping_shard_partitions_are_rejected() {
+        let base = || {
+            Scenario::new(100, 100)
+                .unwrap()
+                .with_shard_partition(1, 10, 20)
+                .unwrap()
+        };
+        // Overlap (shared endpoint, containment, plain intersection) on the
+        // same shard is a typed error…
+        assert!(base().with_shard_partition(1, 20, 30).is_err());
+        assert!(base().with_shard_partition(1, 12, 18).is_err());
+        assert!(base().with_shard_partition(1, 5, 10).is_err());
+        assert!(base().with_shard_partition(1, 0, 99).is_err());
+        // …while disjoint windows and other shards are fine.
+        assert!(base().with_shard_partition(1, 21, 30).is_ok());
+        assert!(base().with_shard_partition(1, 0, 9).is_ok());
+        assert!(base().with_shard_partition(2, 10, 20).is_ok());
+    }
+
+    #[test]
+    fn adversary_attachment_and_classification() {
+        use crate::adversary::ObliviousSchedule;
+        let plain = Scenario::new(100, 10).unwrap();
+        assert!(plain.adversary().is_none());
+        let armed =
+            plain.with_adversary(ObliviousSchedule::new().crash_uniform_at(5, 0.5).unwrap());
+        let handle = armed.adversary().expect("adversary attached");
+        assert_eq!(handle.name(), "oblivious-schedule");
+        // Cloning the scenario shares the strategy.
+        assert!(armed.clone().adversary().is_some());
+        // The adversary rides on its own hook: it does not flip the
+        // scheduled-event predicates.
+        assert!(!armed.has_liveness_events());
+        assert!(armed.count_level_compatible());
+        assert!(!armed.needs_sharding());
     }
 }

@@ -88,9 +88,9 @@ pub mod prelude {
     pub use dpde_core::runtime::{
         AgentRuntime, AggregateRuntime, AliveTracker, AsyncRuntime, BatchedRuntime, CountsRecorder,
         Ensemble, EnsembleResult, FidelityTier, HybridRuntime, InitialStates, LiveMetrics,
-        LiveMetricsHandle, MembershipTracker, MessageCounter, Observer, PeriodEvents, RunConfig,
-        RunResult, Runtime, ShardCountsRecorder, ShardedRuntime, Simulation, TransitionRecorder,
-        TransportProbe,
+        LiveMetricsHandle, MembershipTracker, MessageCounter, Observer, PeriodEvents,
+        ResilienceReport, RunConfig, RunDeadline, RunResult, RunStatus, Runtime, SeedFailure,
+        ShardCountsRecorder, ShardedRuntime, Simulation, TransitionRecorder, TransportProbe,
     };
     pub use dpde_core::{Action, MessageComplexity, Protocol, ProtocolCompiler, StateId};
     pub use dpde_protocols::endemic::replication::MigratoryStore;
@@ -100,10 +100,11 @@ pub mod prelude {
     pub use dpde_protocols::lv::LvParams;
     pub use dpde_protocols::small_count::{NearExtinction, NearTieTakeover};
     pub use netsim::{
-        ChurnTrace, FailureSchedule, Group, InProcTransport, LatencyModel, LinkModel,
-        LinkPartition, LossConfig, MetricsRecorder, OnlineStats, PeriodClock, Placement, Rng,
-        Scenario, ShardConfig, SyntheticChurnConfig, Topology, Transport, TransportConfig,
-        TransportStats,
+        Adversary, AdversaryView, CascadingFailure, ChurnTrace, FailureSchedule, Group,
+        HeavyTailedChurn, InProcTransport, Injection, InjectionRecord, LatencyModel, LinkModel,
+        LinkPartition, LossConfig, MetricsRecorder, ObliviousSchedule, OnlineStats, PeriodClock,
+        Placement, Rng, Scenario, ShardConfig, SyntheticChurnConfig, TargetLargestState,
+        TargetWinner, Topology, Transport, TransportConfig, TransportGauges, TransportStats,
     };
     pub use odekit::analysis::{
         analyze_equilibrium, phase_portrait, EquilibriumFinder, PhasePortrait, Stability,

@@ -536,4 +536,50 @@ proptest! {
             );
         }
     }
+
+    /// An *oblivious* adversary — a fixed `CrashUniform` schedule that never
+    /// looks at the run — is bit-for-bit the scheduled massive-failure path,
+    /// on both the count-level (batched) and per-id (agent) runtimes: the
+    /// injection machinery adds no RNG draws and no semantic drift of its
+    /// own. The adaptive strategies differ from scheduled events only by
+    /// *what they choose*, never by how a choice is applied.
+    #[test]
+    fn oblivious_adversary_is_bit_for_bit_the_scheduled_event_path(
+        sys in partitionable_system(3, 4),
+        seed in 0u64..1_000,
+        period in 1u64..29,
+        sixteenths in 1u32..16,
+    ) {
+        let protocol = ProtocolCompiler::new("random").compile(&sys).unwrap();
+        let n = 900usize;
+        let initial = InitialStates::counts(&[300, 300, 300]);
+        // Exact binary fraction: floor(q·c) arithmetic cannot drift.
+        let fraction = f64::from(sixteenths) / 16.0;
+        let base = || Scenario::new(n, 30).unwrap().with_seed(seed);
+        let scheduled = base().with_massive_failure(period, fraction).unwrap();
+        let adversarial = base().with_adversary(
+            ObliviousSchedule::new()
+                .crash_uniform_at(period, fraction)
+                .unwrap(),
+        );
+        let run = |scenario: Scenario, batched: bool| {
+            let sim = Simulation::of(protocol.clone())
+                .scenario(scenario)
+                .initial(initial.clone())
+                .observe(CountsRecorder::new())
+                .observe(AliveTracker::new());
+            if batched {
+                sim.run::<BatchedRuntime>()
+            } else {
+                sim.run::<AgentRuntime>()
+            }
+        };
+        for batched in [true, false] {
+            prop_assert_eq!(
+                run(scheduled.clone(), batched).unwrap(),
+                run(adversarial.clone(), batched).unwrap(),
+                "fidelity (batched = {}) diverged", batched
+            );
+        }
+    }
 }
