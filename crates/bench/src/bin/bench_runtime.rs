@@ -22,6 +22,16 @@
 //! count-level tiers — the honest, enforceable bound is a constant factor of
 //! the per-process agent baseline.
 //!
+//! Both workloads also run on the continuous-time runtimes (exact SSA and
+//! tau-leaping) at N ∈ {10³, 10⁵}. Their period cost is **O(events)** — the
+//! number of reaction firings, roughly N × the mean per-period rate — not
+//! independent of N like the count-batched tiers, so they are never gated
+//! against batched. The honest, enforceable envelope is a constant factor of
+//! the per-process agent runtime at the same N: an SSA event costs one
+//! propensity scan over the channel list where an agent process-period costs
+//! one action sweep, and the epidemic/endemic workloads fire at most a few
+//! events per process over the horizon.
+//!
 //! Both workloads also run on the sharded runtime (S ∈ {1, 8, 64} at
 //! N = 10⁶–10⁷) so the per-shard overhead has a tracked trajectory. A note
 //! on the sharded gates: a count-batched period costs O(states²·actions)
@@ -47,7 +57,11 @@
 //!   membership fidelity, so the bound there is "not slower", with a noise
 //!   allowance),
 //! * at full scale (≥ 1), the hybrid runtime is not ≥ 10× faster than the
-//!   agent runtime on the endemic workload, or
+//!   agent runtime on the endemic workload,
+//! * a continuous-time gate fails: SSA or tau-leap drifts past
+//!   `max(25 × agent, 5 ms)` at the largest continuous N of its workload
+//!   (the O(events) envelope — a per-event cost regression or an accidental
+//!   O(N²) term in the channel scan blows through it), or
 //! * a sharded gate fails: S = 1 drifts past `max(10 × batched, 2 ms)` at the
 //!   largest epidemic N, S = 8 drifts past `max(32 × S × batched, 10 ms)`
 //!   there, or S = 8 process-period throughput at the largest epidemic N
@@ -56,7 +70,7 @@
 use dpde_bench::{banner, scale_from_args, scaled};
 use dpde_core::runtime::{
     AgentRuntime, AggregateRuntime, AsyncRuntime, BatchedRuntime, HybridRuntime, InitialStates,
-    Runtime, ShardedRuntime,
+    Runtime, ShardedRuntime, SsaRuntime, TauLeapRuntime,
 };
 use dpde_core::{Protocol, ProtocolCompiler};
 use dpde_protocols::endemic::EndemicParams;
@@ -256,9 +270,35 @@ fn main() {
         let lossy = Scenario::new(n as usize, PERIODS)
             .expect("scenario")
             .with_seed(7)
-            .with_transport(TransportConfig::new(lossy_link));
+            .with_transport(TransportConfig::new(lossy_link))
+            .expect("valid transport windows");
         measure("epidemic", "async_latency", n, reps, &mut || {
             run_steps(&runtime, &lossy, &initial)
+        });
+    }
+
+    // Continuous-time rows: the epidemic workload through the exact SSA and
+    // the tau-leap runtimes at N ∈ {10³, 10⁵}. Cost is O(events) — each of
+    // the ~N infections is one reaction firing (SSA) or lands inside a
+    // Poisson leap (tau-leap) — so the rows track per-event cost, not a
+    // count-level period cost.
+    let mut continuous_ns: Vec<u64> = [1_000u64, 100_000]
+        .iter()
+        .map(|&n| scaled(n, scale, 100))
+        .collect();
+    continuous_ns.dedup();
+    for &n in &continuous_ns {
+        let scenario = Scenario::new(n as usize, PERIODS)
+            .expect("scenario")
+            .with_seed(7);
+        let initial = InitialStates::counts(&[n - 1, 1]);
+        let ssa = SsaRuntime::new(protocol.clone());
+        measure("epidemic", "ssa", n, 3, &mut || {
+            run_steps(&ssa, &scenario, &initial)
+        });
+        let tau = TauLeapRuntime::new(protocol.clone());
+        measure("epidemic", "tau_leap", n, 3, &mut || {
+            run_steps(&tau, &scenario, &initial)
         });
     }
 
@@ -313,6 +353,24 @@ fn main() {
         measure("endemic", "hybrid", endemic_n, reps, &mut || {
             run_steps(&hybrid, &scenario, &initial)
         });
+
+        // Continuous-time rows on the endemic workload (three states, denser
+        // channel structure, every population large — no fallback bursts):
+        // N ∈ {10³, 10⁵}, sharing the 10⁵ point with the agent gate above.
+        for &n in &continuous_ns {
+            let scenario = Scenario::new(n as usize, PERIODS)
+                .expect("scenario")
+                .with_seed(7);
+            let initial = InitialStates::counts(&params.equilibrium_counts(n));
+            let ssa = SsaRuntime::new(endemic_protocol.clone());
+            measure("endemic", "ssa", n, 3, &mut || {
+                run_steps(&ssa, &scenario, &initial)
+            });
+            let tau = TauLeapRuntime::new(endemic_protocol.clone());
+            measure("endemic", "tau_leap", n, 3, &mut || {
+                run_steps(&tau, &scenario, &initial)
+            });
+        }
     }
 
     // Sharded rows for the endemic workload at N = 10⁶: three states and a
@@ -361,6 +419,12 @@ fn main() {
     let async_zero = maybe_seconds("epidemic", "async_zero", async_largest);
     let async_latency = maybe_seconds("epidemic", "async_latency", async_largest);
     let agent_at_async = maybe_seconds("epidemic", "agent", async_largest);
+    let continuous_largest = *continuous_ns.last().expect("non-empty continuous sweep");
+    let ssa_epidemic = maybe_seconds("epidemic", "ssa", continuous_largest);
+    let tau_epidemic = maybe_seconds("epidemic", "tau_leap", continuous_largest);
+    let agent_at_continuous = maybe_seconds("epidemic", "agent", continuous_largest);
+    let ssa_endemic = maybe_seconds("endemic", "ssa", endemic_n);
+    let tau_endemic = maybe_seconds("endemic", "tau_leap", endemic_n);
 
     println!("\n== summary ==");
     println!(
@@ -384,6 +448,15 @@ fn main() {
         async_latency.map_or("-".to_string(), |s| format!("{s:.4}")),
         agent_at_async.map_or("-".to_string(), |s| format!("{s:.4}")),
     );
+    println!(
+        "continuous time, N = {continuous_largest}: epidemic SSA {}s / tau-leap {}s \
+         (agent there: {}s); endemic SSA {}s / tau-leap {}s (agent: {endemic_agent:.4}s)",
+        ssa_epidemic.map_or("-".to_string(), |s| format!("{s:.4}")),
+        tau_epidemic.map_or("-".to_string(), |s| format!("{s:.4}")),
+        agent_at_continuous.map_or("-".to_string(), |s| format!("{s:.4}")),
+        ssa_endemic.map_or("-".to_string(), |s| format!("{s:.4}")),
+        tau_endemic.map_or("-".to_string(), |s| format!("{s:.4}")),
+    );
 
     let json_opt = |v: Option<f64>| v.map_or("null".to_string(), |s| format!("{s:.6}"));
     let json = format!(
@@ -398,12 +471,21 @@ fn main() {
          \"sharded_s8_seconds\": {},\n  \
          \"async_largest_n\": {async_largest},\n  \
          \"async_zero_seconds\": {},\n  \
-         \"async_latency_seconds\": {}\n}}\n",
+         \"async_latency_seconds\": {},\n  \
+         \"continuous_largest_n\": {continuous_largest},\n  \
+         \"ssa_epidemic_seconds\": {},\n  \
+         \"tau_leap_epidemic_seconds\": {},\n  \
+         \"ssa_endemic_seconds\": {},\n  \
+         \"tau_leap_endemic_seconds\": {}\n}}\n",
         rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n"),
         json_opt(sharded_s1),
         json_opt(sharded_s8),
         json_opt(async_zero),
         json_opt(async_latency),
+        json_opt(ssa_epidemic),
+        json_opt(tau_epidemic),
+        json_opt(ssa_endemic),
+        json_opt(tau_endemic),
     );
     let out = std::env::var("DPDE_BENCH_OUT").unwrap_or_else(|_| "BENCH_runtime.json".into());
     match std::fs::write(&out, &json) {
@@ -480,6 +562,33 @@ fn main() {
                  ({agent_pps:.0} process-periods/s at N = {largest_common})"
             );
             std::process::exit(1);
+        }
+    }
+    // Perf gate 8 (checked before gate 7 for locality with the continuous
+    // rows above): the continuous-time runtimes' honest O(events) envelope.
+    // They cannot be gated against the count-level tiers — their period cost
+    // grows with the number of reaction firings — so the enforceable bound
+    // is a constant factor of the agent runtime at the same N, which does
+    // comparable per-process work per period. The factor budgets the
+    // per-event channel scan (SSA) and the per-leap propensity/moment pass
+    // (tau-leap); the absolute floor absorbs timer noise at smoke scales.
+    let continuous_gates = [
+        ("epidemic", "ssa", ssa_epidemic, agent_at_continuous),
+        ("epidemic", "tau_leap", tau_epidemic, agent_at_continuous),
+        ("endemic", "ssa", ssa_endemic, Some(endemic_agent)),
+        ("endemic", "tau_leap", tau_endemic, Some(endemic_agent)),
+    ];
+    for (workload, runtime, seconds, agent_secs) in continuous_gates {
+        if let (Some(seconds), Some(agent_secs)) = (seconds, agent_secs) {
+            let bound = (25.0 * agent_secs).max(0.005);
+            if seconds > bound {
+                eprintln!(
+                    "error: {runtime} runtime took {seconds:.4}s on the {workload} \
+                     workload, past its agent-relative O(events) bound of {bound:.4}s \
+                     (agent: {agent_secs:.4}s)"
+                );
+                std::process::exit(1);
+            }
         }
     }
     // Perf gate 7: the async runtime's honest envelope. It cannot be gated

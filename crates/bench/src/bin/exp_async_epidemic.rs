@@ -53,7 +53,8 @@ fn main() {
         let scenario = Scenario::new(n as usize, PERIODS)
             .expect("valid scenario")
             .with_seed(700)
-            .with_transport(transport);
+            .with_transport(transport)
+            .expect("valid transport windows");
         let mut sim = Simulation::of(protocol.clone())
             .scenario(scenario)
             .initial(initial.clone())

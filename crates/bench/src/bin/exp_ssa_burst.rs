@@ -1,0 +1,120 @@
+//! Burst-arrival epidemic: the takeoff-time distribution under the
+//! continuous-time fidelities versus the period-synchronized baseline.
+//!
+//! The paper's analysis treats a protocol period as an atomic round: every
+//! firing probability is evaluated against start-of-period populations, so
+//! within one period an epidemic cannot compound. At the canonical pull
+//! epidemic's rates that approximation is visible: once a burst of seed
+//! infectives arrives, each new infective starts converting others *within
+//! the same period* under the exact continuous-time dynamics, so the
+//! half-infected mark arrives measurably earlier than the synchronized tiers
+//! predict. This experiment runs the same compiled protocol through three
+//! fidelities over a seed ensemble and compares the takeoff-time
+//! distributions:
+//!
+//! * **batched** — the count-level synchronized baseline;
+//! * **SSA** — the exact Gillespie next-reaction runtime: takeoff shifts
+//!   earlier by a compounding factor the synchronized tiers cannot express;
+//! * **tau-leap** — the Poisson-leaping runtime at its default error bound:
+//!   takeoff tracks the exact SSA distribution within a fraction of the
+//!   SSA-versus-batched divergence.
+use dpde_bench::{banner, compare_line, scale_from_args, scaled};
+use dpde_core::runtime::{
+    BatchedRuntime, CountsRecorder, InitialStates, RunResult, Runtime, Simulation, SsaRuntime,
+    TauLeapRuntime, DEFAULT_TAU_EPSILON,
+};
+use dpde_core::Protocol;
+use dpde_protocols::epidemic::Epidemic;
+use netsim::Scenario;
+
+const PERIODS: u64 = 60;
+const RUNS: u64 = 12;
+const BURST: u64 = 10;
+
+/// First period at which the infected series reaches `threshold`, or the
+/// horizon if it never does.
+fn takeoff(result: &RunResult, threshold: f64) -> f64 {
+    result
+        .state_series("y")
+        .ok()
+        .and_then(|series| series.iter().position(|&v| v >= threshold))
+        .map_or(PERIODS as f64, |p| p as f64)
+}
+
+/// Per-seed takeoff periods of one fidelity over the ensemble.
+fn takeoffs<R: Runtime>(protocol: &Protocol, n: u64, threshold: f64) -> Vec<f64> {
+    (0..RUNS)
+        .map(|seed| {
+            let result = Simulation::of(protocol.clone())
+                .scenario(
+                    Scenario::new(n as usize, PERIODS)
+                        .expect("valid scenario")
+                        .with_seed(900 + seed),
+                )
+                .initial(InitialStates::counts(&[n - BURST, BURST]))
+                .observe(CountsRecorder::new())
+                .run::<R>()
+                .expect("epidemic run");
+            takeoff(&result, threshold)
+        })
+        .collect()
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "SSA burst epidemic",
+        "takeoff-time distribution: exact continuous time vs the synchronized approximation",
+        scale,
+    );
+
+    let n = scaled(20_000, scale, 1_000);
+    let protocol = Epidemic::new().protocol();
+    let half = n as f64 / 2.0;
+
+    let batched = takeoffs::<BatchedRuntime>(&protocol, n, half);
+    let ssa = takeoffs::<SsaRuntime>(&protocol, n, half);
+    let tau = takeoffs::<TauLeapRuntime>(&protocol, n, half);
+
+    println!("seed,batched_takeoff,ssa_takeoff,tau_leap_takeoff");
+    for seed in 0..RUNS as usize {
+        println!(
+            "{},{:.0},{:.0},{:.0}",
+            900 + seed,
+            batched[seed],
+            ssa[seed],
+            tau[seed]
+        );
+    }
+
+    let (mb, ms, mt) = (mean(&batched), mean(&ssa), mean(&tau));
+    let divergence = mb - ms;
+    let tau_gap = (mt - ms).abs();
+    // The tau-leap bound is honest only relative to the effect it
+    // approximates: its takeoff must sit much closer to the exact SSA's than
+    // the synchronized tiers do (one period of slack for ensemble noise).
+    let tau_tolerance = (0.5 * divergence).max(1.0);
+
+    println!("\n== summary ==");
+    compare_line(
+        "within-period compounding accelerates takeoff",
+        "SSA strictly earlier than batched",
+        &format!("mean takeoff {ms:.1} (SSA) vs {mb:.1} (batched)"),
+    );
+    compare_line(
+        "tau-leaping tracks the exact dynamics within its bound",
+        &format!("within {tau_tolerance:.1} periods of SSA (eps = {DEFAULT_TAU_EPSILON})"),
+        &format!("mean takeoff {mt:.1} (tau-leap), gap {tau_gap:.1}"),
+    );
+
+    let diverged = divergence >= 1.0;
+    let tracked = tau_gap <= tau_tolerance;
+    if !diverged || !tracked {
+        eprintln!("error: expectation failed (diverged: {diverged}, tracked: {tracked})");
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@ const BINS: &[&str] = &[
     "exp_async_epidemic",
     "exp_near_tie_takeover",
     "exp_adversary",
+    "exp_ssa_burst",
     "fig02_endemic_phase_portrait",
     "fig04_lv_phase_portrait",
     "fig05_endemic_massive_failure",

@@ -477,6 +477,7 @@ impl AgentRuntime {
             shard_counts_alive: None,
             transport: None,
             injections: inject::records_of(&state.injector),
+            virtual_time: None,
         }
     }
 

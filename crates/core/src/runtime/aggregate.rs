@@ -163,6 +163,7 @@ impl AggregateRuntime {
             shard_counts_alive: None,
             transport: None,
             injections: &[],
+            virtual_time: None,
         }
     }
 }

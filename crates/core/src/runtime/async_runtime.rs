@@ -93,7 +93,7 @@ use std::sync::Arc;
 /// let link = LinkModel::new(LatencyModel::Exponential { mean: 30.0 }, 0.01)?;
 /// let scenario = Scenario::new(500, 40)?
 ///     .with_seed(7)
-///     .with_transport(TransportConfig::new(link));
+///     .with_transport(TransportConfig::new(link))?;
 /// let result = AsyncRuntime::new(protocol).run(&scenario, &InitialStates::counts(&[499, 1]))?;
 /// let infected = result.final_counts().expect("run recorded periods")[1];
 /// assert!(infected > 450.0, "epidemic should still saturate, got {infected}");
@@ -461,6 +461,7 @@ impl AsyncRuntime {
             shard_counts_alive: None,
             transport: Some(state.probe),
             injections: inject::records_of(&state.injector),
+            virtual_time: None,
         }
     }
 
@@ -1108,7 +1109,8 @@ mod tests {
             let scenario = Scenario::new(1000, 25)
                 .unwrap()
                 .with_seed(seed)
-                .with_transport(TransportConfig::new(link));
+                .with_transport(TransportConfig::new(link))
+                .unwrap();
             AsyncRuntime::new(epidemic_protocol())
                 .run(&scenario, &initial)
                 .unwrap()
@@ -1129,7 +1131,7 @@ mod tests {
         let first_half_period = |transport: Option<TransportConfig>| {
             let mut scenario = Scenario::new(2000, 120).unwrap().with_seed(21);
             if let Some(t) = transport {
-                scenario = scenario.with_transport(t);
+                scenario = scenario.with_transport(t).unwrap();
             }
             let result = AsyncRuntime::new(epidemic_protocol())
                 .run(&scenario, &InitialStates::counts(&[1999, 1]))
@@ -1163,7 +1165,8 @@ mod tests {
         let scenario = Scenario::new(200, 60)
             .unwrap()
             .with_seed(9)
-            .with_transport(transport);
+            .with_transport(transport)
+            .unwrap();
         let runtime = AsyncRuntime::new(protocol);
         let mut state = runtime
             .init(&scenario, &InitialStates::counts(&[190, 10]))
@@ -1199,7 +1202,8 @@ mod tests {
         let scenario = Scenario::new(300, 10)
             .unwrap()
             .with_seed(2)
-            .with_transport(TransportConfig::new(link));
+            .with_transport(TransportConfig::new(link))
+            .unwrap();
         let runtime = AsyncRuntime::new(protocol);
         let mut state = runtime
             .init(&scenario, &InitialStates::counts(&[299, 1]))
@@ -1239,7 +1243,8 @@ mod tests {
     fn period_synchronized_runtimes_reject_transport_scenarios() {
         let scenario = Scenario::new(100, 5)
             .unwrap()
-            .with_transport(TransportConfig::default());
+            .with_transport(TransportConfig::default())
+            .unwrap();
         let initial = InitialStates::counts(&[99, 1]);
         let agent_err = AgentRuntime::new(epidemic_protocol())
             .run(&scenario, &initial)
@@ -1305,7 +1310,10 @@ mod tests {
     fn segments_cannot_exceed_group_size() {
         let protocol = epidemic_protocol();
         let transport = TransportConfig::default().with_segments(64).unwrap();
-        let scenario = Scenario::new(10, 5).unwrap().with_transport(transport);
+        let scenario = Scenario::new(10, 5)
+            .unwrap()
+            .with_transport(transport)
+            .unwrap();
         let err = AsyncRuntime::new(protocol)
             .run(&scenario, &InitialStates::counts(&[9, 1]))
             .unwrap_err();
@@ -1324,7 +1332,8 @@ mod tests {
         let scenario = Scenario::new(500, 10)
             .unwrap()
             .with_seed(1)
-            .with_transport(TransportConfig::default());
+            .with_transport(TransportConfig::default())
+            .unwrap();
         let result = super::super::Simulation::of(protocol)
             .scenario(scenario)
             .initial(InitialStates::counts(&[499, 1]))

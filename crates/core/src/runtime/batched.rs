@@ -251,6 +251,30 @@ impl BatchedState {
     pub(super) fn injection_records(&self) -> &[InjectionRecord] {
         inject::records_of(&self.injector)
     }
+
+    /// Overwrites the period counter — the continuous-time runtimes advance
+    /// their event clocks outside the inner state and synchronize it at each
+    /// boundary so the shared failure/injection hooks fire on schedule.
+    pub(super) fn set_period(&mut self, period: u64) {
+        self.period = period;
+    }
+
+    /// Mutable access to the PRNG, for runtimes that draw event waits and
+    /// leap sizes from the same stream the boundary hooks consume.
+    pub(super) fn rng_mut(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// The scenario this state was built against.
+    pub(super) fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The density denominator (total population as `f64`), i.e. the `n` in
+    /// "sample a uniform member of this group".
+    pub(super) fn density_n(&self) -> f64 {
+        self.n_f
+    }
 }
 
 impl BatchedRuntime {
@@ -309,6 +333,7 @@ impl BatchedRuntime {
             shard_counts_alive: None,
             transport: None,
             injections: inject::records_of(&state.injector),
+            virtual_time: None,
         }
     }
 
@@ -375,7 +400,9 @@ impl BatchedRuntime {
     }
 
     /// Applies this period's exchangeable failure events at count level.
-    fn apply_failures(&self, state: &mut BatchedState) -> Result<()> {
+    /// Shared with the continuous-time runtimes, which run the same boundary
+    /// hooks between their event windows.
+    pub(super) fn apply_failures(&self, state: &mut BatchedState) -> Result<()> {
         let period = state.period;
         // Scheduled massive failures: hypergeometric split across states.
         for (p, event) in state.scenario.failure_schedule().events() {
@@ -448,7 +475,7 @@ impl BatchedRuntime {
     /// injections it emits, with the same exchangeable semantics as the
     /// scheduled-event path: a `CrashUniform` consumes the run's main PRNG
     /// stream exactly like a scheduled massive failure of the same fraction.
-    fn apply_injections(&self, state: &mut BatchedState) -> Result<()> {
+    pub(super) fn apply_injections(&self, state: &mut BatchedState) -> Result<()> {
         let Some(mut injector) = state.injector.take() else {
             return Ok(());
         };

@@ -30,7 +30,7 @@
 
 use super::observer::CountsRecorder;
 use super::simulation::drive;
-use super::{auto_tier, FidelityTier, InitialStates, Observer, RunConfig, Runtime};
+use super::{auto_tier, ErrorBudget, FidelityTier, InitialStates, Observer, RunConfig, Runtime};
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
@@ -78,6 +78,7 @@ pub struct Ensemble {
     topology: Option<Topology>,
     initial: Option<InitialStates>,
     config: RunConfig,
+    budget: ErrorBudget,
     seeds: Vec<u64>,
     threads: Option<usize>,
     alive_only: bool,
@@ -93,6 +94,7 @@ impl Ensemble {
             topology: None,
             initial: None,
             config: RunConfig::default(),
+            budget: ErrorBudget::default(),
             seeds: (0..8).collect(),
             threads: None,
             alive_only: false,
@@ -136,6 +138,15 @@ impl Ensemble {
     #[must_use]
     pub fn config(mut self, config: RunConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Sets the accuracy/cost trade-off [`run_auto`](Self::run_auto) honours
+    /// (see [`ErrorBudget`]). The default, [`ErrorBudget::Fast`], keeps the
+    /// historical count-threshold tier policy bit-for-bit.
+    #[must_use]
+    pub fn error_budget(mut self, budget: ErrorBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -196,6 +207,7 @@ impl Ensemble {
             effective.as_ref().or(self.scenario.as_ref()),
             self.initial.as_ref(),
             false,
+            self.budget,
         )
     }
 
@@ -218,6 +230,15 @@ impl Ensemble {
             FidelityTier::Agent => self.run::<super::AgentRuntime>(),
             FidelityTier::Sharded => self.run::<super::ShardedRuntime>(),
             FidelityTier::Async => self.run::<super::AsyncRuntime>(),
+            FidelityTier::Ssa => self.run::<super::SsaRuntime>(),
+            FidelityTier::TauLeap => {
+                if let ErrorBudget::Bounded(epsilon) = self.budget {
+                    let mut bounded = self.clone();
+                    bounded.config.tau_epsilon = Some(epsilon);
+                    return bounded.run::<super::TauLeapRuntime>();
+                }
+                self.run::<super::TauLeapRuntime>()
+            }
         }
     }
 
@@ -710,6 +731,43 @@ mod tests {
         assert_eq!(sharded.selected_tier(), FidelityTier::Sharded);
         let result = sharded.run_auto().unwrap();
         assert!(result.mean_series("y").unwrap().last().unwrap() > &9_000.0);
+    }
+
+    #[test]
+    fn ensemble_error_budget_selects_continuous_time_tiers() {
+        let base = Ensemble::of(epidemic_protocol())
+            .scenario(Scenario::new(2_000, 15).unwrap())
+            .initial(InitialStates::counts(&[1_500, 500]))
+            .seed_range(0..4)
+            .threads(2);
+        // The default budget keeps the historical policy …
+        assert_eq!(base.selected_tier(), FidelityTier::Batched);
+        // … while explicit budgets redirect to the continuous-time tiers.
+        let exact = base.clone().error_budget(ErrorBudget::Exact);
+        assert_eq!(exact.selected_tier(), FidelityTier::Ssa);
+        let bounded = base.clone().error_budget(ErrorBudget::Bounded(0.05));
+        assert_eq!(bounded.selected_tier(), FidelityTier::TauLeap);
+        // Both budgets actually run and conserve the population mean.
+        for ensemble in [exact, bounded] {
+            let result = ensemble.run_auto().unwrap();
+            assert!(result.failures.is_empty());
+            for (_, s) in result.mean.iter() {
+                assert!((s.iter().sum::<f64>() - 2_000.0).abs() < 1e-9);
+            }
+            assert!(result.mean_series("y").unwrap().last().unwrap() > &1_500.0);
+        }
+        // Id-based scenarios still win over the budget: correctness first.
+        let mut schedule = netsim::FailureSchedule::new();
+        schedule.add(1, netsim::FailureEvent::Crash(netsim::ProcessId(0)));
+        let per_id = base
+            .scenario(
+                Scenario::new(2_000, 15)
+                    .unwrap()
+                    .with_failure_schedule(schedule)
+                    .unwrap(),
+            )
+            .error_budget(ErrorBudget::Exact);
+        assert_eq!(per_id.selected_tier(), FidelityTier::Agent);
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //!   hands off losslessly to per-process execution when any count runs
 //!   small (extinction, tie-breaking, post-failure recovery), and
 //!   [`AggregateRuntime`] is the scenario-free mean-field sampler for
-//!   failure-free sweeps. Drivers and tests are generic over the trait, so
-//!   the same experiment can be replayed at any fidelity (or let
-//!   [`Simulation::run_auto`] pick one — see [`FidelityTier`]).
+//!   failure-free sweeps. Two continuous-time fidelities complement them:
+//!   [`SsaRuntime`] executes every reaction individually at exponentially
+//!   distributed virtual times (exact Gillespie sampling), and
+//!   [`TauLeapRuntime`] advances the same event clock in Poisson-batched
+//!   leaps under a per-leap error bound. Drivers and tests are generic over
+//!   the trait, so the same experiment can be replayed at any fidelity (or
+//!   let [`Simulation::run_auto`] pick one — see [`FidelityTier`] and
+//!   [`ErrorBudget`]).
 //! * **Observers** — recording is opt-in: an [`Observer`] receives
 //!   [`PeriodEvents`] after every protocol period and folds whatever it
 //!   recorded into the final [`RunResult`]. Built-ins cover the standard
@@ -39,6 +44,8 @@ mod inject;
 mod observer;
 mod sharded;
 mod simulation;
+mod ssa;
+mod tau_leap;
 
 pub use agent::{AgentRuntime, AgentState, MembershipView};
 pub use aggregate::{AggregateRuntime, AggregateState};
@@ -53,6 +60,8 @@ pub use observer::{
 };
 pub use sharded::{ShardedRuntime, ShardedState};
 pub use simulation::{RunDeadline, Simulation};
+pub use ssa::{SsaRuntime, SsaState};
+pub use tau_leap::{TauLeapRuntime, TauLeapState, DEFAULT_TAU_EPSILON};
 
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
@@ -126,6 +135,58 @@ pub enum FidelityTier {
     /// contact becomes an actual queued message subject to per-link latency,
     /// drops and partition windows, scheduled in virtual time.
     Async,
+    /// Exact continuous-time stochastic simulation ([`SsaRuntime`]): every
+    /// reaction fires individually at an exponentially distributed virtual
+    /// time (Gillespie's stochastic simulation algorithm, next-reaction
+    /// form). Selected by [`ErrorBudget::Exact`].
+    Ssa,
+    /// Tau-leaping ([`TauLeapRuntime`]): continuous-time dynamics advanced
+    /// in Poisson-batched leaps whose size is chosen from a per-leap error
+    /// bound, with automatic fallback to exact SSA steps at small counts.
+    /// Selected by [`ErrorBudget::Bounded`].
+    TauLeap,
+}
+
+/// How much sampling error the caller will trade for speed — the knob that
+/// generalizes the automatic tier policy beyond its count-threshold
+/// heuristics (see [`Simulation::error_budget`] and
+/// [`Ensemble::error_budget`]).
+///
+/// The period-synchronized tiers evaluate every firing probability against
+/// start-of-period populations, so within one period the dynamics cannot
+/// compound — an approximation that is excellent for slow per-period rates
+/// and visibly biased for fast ones (see the `exp_ssa_burst` experiment).
+/// The budget names the caller's position on that trade:
+///
+/// * [`Exact`](ErrorBudget::Exact) — no within-period approximation at all:
+///   run the continuous-time exact sampler ([`FidelityTier::Ssa`]),
+///   whatever it costs (`O(events)` per period, i.e. proportional to `N`
+///   times the mean per-period rate).
+/// * [`Bounded`](ErrorBudget::Bounded)`(ε)` — continuous-time dynamics with
+///   a per-leap relative error bound of `ε` ([`FidelityTier::TauLeap`]):
+///   leaps are sized so no propensity changes by more than a factor `ε`
+///   within a leap, and the runtime drops to exact SSA steps whenever a
+///   population is too small for leaping to respect the bound.
+/// * [`Fast`](ErrorBudget::Fast) — the default: today's count-threshold
+///   policy, bit-for-bit ([`FidelityTier::Batched`] or
+///   [`FidelityTier::Hybrid`] by initial counts).
+///
+/// Scenario features that *require* a specific runtime (transport models →
+/// async, sharded topologies → sharded, host identity → agent) dominate the
+/// budget: those tiers are the only ones that can serve such runs, so the
+/// budget only arbitrates among the count-level, well-mixed fidelities.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ErrorBudget {
+    /// Exact continuous-time sampling ([`FidelityTier::Ssa`]).
+    Exact,
+    /// Continuous-time leaping with per-leap relative error at most the
+    /// given `ε` ([`FidelityTier::TauLeap`]). Values are clamped to
+    /// `(0, 1)` at runtime construction.
+    Bounded(f64),
+    /// The period-synchronized count-threshold policy — the historical
+    /// default, unchanged bit-for-bit.
+    #[default]
+    Fast,
 }
 
 /// Picks the fastest fidelity that can serve a run (the policy behind
@@ -142,7 +203,13 @@ pub enum FidelityTier {
 ///   inert under it (exactly as under the batched tier);
 /// * an observer that needs per-process identity, a per-id failure schedule
 ///   or a churn trace forces [`FidelityTier::Agent`];
-/// * otherwise, if any resolved initial per-state count is below
+/// * otherwise the [`ErrorBudget`] arbitrates among the count-level
+///   fidelities: [`ErrorBudget::Exact`] selects [`FidelityTier::Ssa`] and
+///   [`ErrorBudget::Bounded`] selects [`FidelityTier::TauLeap`] — the
+///   continuous-time tiers serve any exchangeable count-level run,
+///   regardless of population sizes;
+/// * otherwise (the default [`ErrorBudget::Fast`]), if any resolved initial
+///   per-state count is below
 ///   [`SMALL_COUNT_THRESHOLD`] the run starts in the small-count regime
 ///   where mean-field batching is untrustworthy, so the
 ///   [`FidelityTier::Hybrid`] tier serves it (count-batched whenever
@@ -165,6 +232,7 @@ pub(crate) fn auto_tier(
     scenario: Option<&Scenario>,
     initial: Option<&InitialStates>,
     needs_membership: bool,
+    budget: ErrorBudget,
 ) -> FidelityTier {
     if scenario.is_some_and(Scenario::has_link_models) {
         return FidelityTier::Async;
@@ -174,6 +242,11 @@ pub(crate) fn auto_tier(
     }
     if needs_membership || !scenario.map_or(true, Scenario::count_level_compatible) {
         return FidelityTier::Agent;
+    }
+    match budget {
+        ErrorBudget::Exact => return FidelityTier::Ssa,
+        ErrorBudget::Bounded(_) => return FidelityTier::TauLeap,
+        ErrorBudget::Fast => {}
     }
     let small_start = match (scenario, initial) {
         (Some(sc), Some(init)) => init
@@ -290,6 +363,11 @@ pub struct RunConfig {
     /// its previous state). The endemic replication protocol sets this to the
     /// receptive state: a host that lost its disk rejoins without replicas.
     pub rejoin_state: Option<StateId>,
+    /// Per-leap relative error bound for [`TauLeapRuntime`] (`None` uses
+    /// [`DEFAULT_TAU_EPSILON`]). Set automatically by the drivers when an
+    /// [`ErrorBudget::Bounded`] selects the tau-leap tier; ignored by every
+    /// other runtime.
+    pub tau_epsilon: Option<f64>,
 }
 
 impl RunConfig {
@@ -297,6 +375,7 @@ impl RunConfig {
     pub fn rejoining_to(state: StateId) -> Self {
         RunConfig {
             rejoin_state: Some(state),
+            ..RunConfig::default()
         }
     }
 }

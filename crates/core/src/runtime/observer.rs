@@ -72,6 +72,15 @@ pub struct PeriodEvents<'a> {
     /// snapshot (empty when no adversary is attached, at period 0, and in
     /// quiet periods). The `counts` above already reflect them.
     pub injections: &'a [InjectionRecord],
+    /// Virtual time of this snapshot in seconds on the scenario's
+    /// [`PeriodClock`](netsim::PeriodClock), filled only by the
+    /// continuous-time runtimes (SSA and tau-leap), whose event clocks run
+    /// between period boundaries. `None` for the period-synchronized tiers,
+    /// where `period` alone is the time axis. The continuous-time runtimes
+    /// report counts at period boundaries, so for them `virtual_time` is
+    /// always `period * period_secs` — recorders binning by `period` see
+    /// identical figure bins across all tiers.
+    pub virtual_time: Option<f64>,
 }
 
 /// One snapshot of the asynchronous transport layer, taken at a period
@@ -635,6 +644,7 @@ mod tests {
             shard_counts_alive: None,
             transport: None,
             injections: &[],
+            virtual_time: None,
         }
     }
 

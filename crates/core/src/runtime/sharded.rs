@@ -269,6 +269,7 @@ impl ShardedRuntime {
             } else {
                 inject::records_of(&state.injector)
             },
+            virtual_time: None,
         }
     }
 

@@ -3,7 +3,8 @@
 
 use super::observer::default_observers;
 use super::{
-    auto_tier, FidelityTier, InitialStates, Observer, RunConfig, RunResult, RunStatus, Runtime,
+    auto_tier, ErrorBudget, FidelityTier, InitialStates, Observer, RunConfig, RunResult, RunStatus,
+    Runtime,
 };
 use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
@@ -76,6 +77,7 @@ pub struct Simulation {
     topology: Option<Topology>,
     initial: Option<InitialStates>,
     config: RunConfig,
+    budget: ErrorBudget,
     observers: Vec<Box<dyn Observer>>,
     deadline: Option<RunDeadline>,
 }
@@ -87,6 +89,7 @@ impl std::fmt::Debug for Simulation {
             .field("scenario", &self.scenario)
             .field("initial", &self.initial)
             .field("config", &self.config)
+            .field("budget", &self.budget)
             .field("observers", &self.observers.len())
             .field("deadline", &self.deadline)
             .finish()
@@ -102,9 +105,23 @@ impl Simulation {
             topology: None,
             initial: None,
             config: RunConfig::default(),
+            budget: ErrorBudget::default(),
             observers: Vec::new(),
             deadline: None,
         }
+    }
+
+    /// Sets the [`ErrorBudget`] arbitrating which fidelity
+    /// [`run_auto`](Self::run_auto) selects among the count-level tiers:
+    /// [`ErrorBudget::Exact`] runs exact continuous-time sampling,
+    /// [`ErrorBudget::Bounded`] runs tau-leaping at the given per-leap
+    /// bound, and the default [`ErrorBudget::Fast`] keeps the historical
+    /// count-threshold policy bit-for-bit. Scenario features that require a
+    /// specific runtime (transport, sharding, host identity) still dominate.
+    #[must_use]
+    pub fn error_budget(mut self, budget: ErrorBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Sets the environment (group size, horizon, failures, churn, losses,
@@ -197,6 +214,7 @@ impl Simulation {
             effective.as_ref().or(self.scenario.as_ref()),
             self.initial.as_ref(),
             self.observers.iter().any(|o| o.needs_membership()),
+            self.budget,
         )
     }
 
@@ -219,18 +237,30 @@ impl Simulation {
     /// [`HybridRuntime`](super::HybridRuntime) when the environment is
     /// exchangeable but the run starts (and may end) in the small-count
     /// regime where mean-field batching is untrustworthy; the per-process
-    /// [`AgentRuntime`](super::AgentRuntime) otherwise.
+    /// [`AgentRuntime`](super::AgentRuntime) otherwise. An
+    /// [`error_budget`](Self::error_budget) of [`ErrorBudget::Exact`] or
+    /// [`ErrorBudget::Bounded`] replaces the count-threshold arbitration
+    /// with the continuous-time tiers ([`SsaRuntime`](super::SsaRuntime),
+    /// [`TauLeapRuntime`](super::TauLeapRuntime)) — the bounded budget's
+    /// `ε` is threaded into the tau-leap runtime automatically.
     ///
     /// # Errors
     ///
     /// Same as [`run`](Self::run).
-    pub fn run_auto(self) -> Result<RunResult> {
+    pub fn run_auto(mut self) -> Result<RunResult> {
         match self.selected_tier() {
             FidelityTier::Batched => self.run::<super::BatchedRuntime>(),
             FidelityTier::Hybrid => self.run::<super::HybridRuntime>(),
             FidelityTier::Agent => self.run::<super::AgentRuntime>(),
             FidelityTier::Sharded => self.run::<super::ShardedRuntime>(),
             FidelityTier::Async => self.run::<super::AsyncRuntime>(),
+            FidelityTier::Ssa => self.run::<super::SsaRuntime>(),
+            FidelityTier::TauLeap => {
+                if let ErrorBudget::Bounded(epsilon) = self.budget {
+                    self.config.tau_epsilon = Some(epsilon);
+                }
+                self.run::<super::TauLeapRuntime>()
+            }
         }
     }
 
@@ -548,7 +578,11 @@ mod tests {
         // A transport model (link latency / drops / partitions) dominates
         // every other criterion: only the async runtime delivers messages,
         // so even the small-count and membership-tracking regimes yield.
-        let transported = || scenario().with_transport(netsim::TransportConfig::default());
+        let transported = || {
+            scenario()
+                .with_transport(netsim::TransportConfig::default())
+                .unwrap()
+        };
         let asynchronous = Simulation::of(protocol.clone())
             .scenario(transported())
             .initial(InitialStates::counts(&[5_000, 5_000]));
@@ -562,6 +596,196 @@ mod tests {
             .initial(InitialStates::counts(&[9_999, 1]))
             .observe(MembershipTracker::of(y));
         assert_eq!(tracked_async.selected_tier(), FidelityTier::Async);
+    }
+
+    #[test]
+    fn error_budget_tier_selection() {
+        use super::super::{SsaRuntime, TauLeapRuntime};
+        let protocol = epidemic_protocol();
+        let build = |budget| {
+            Simulation::of(protocol.clone())
+                .scenario(Scenario::new(10_000, 10).unwrap())
+                .initial(InitialStates::counts(&[5_000, 5_000]))
+                .error_budget(budget)
+        };
+        // The default budget reproduces today's count-threshold policy.
+        assert_eq!(
+            build(ErrorBudget::Fast).selected_tier(),
+            FidelityTier::Batched
+        );
+        assert_eq!(
+            build(ErrorBudget::Fast)
+                .initial(InitialStates::counts(&[9_999, 1]))
+                .selected_tier(),
+            FidelityTier::Hybrid
+        );
+        // Exact / bounded budgets select the continuous-time tiers,
+        // regardless of population sizes.
+        assert_eq!(build(ErrorBudget::Exact).selected_tier(), FidelityTier::Ssa);
+        assert_eq!(
+            build(ErrorBudget::Exact)
+                .initial(InitialStates::counts(&[9_999, 1]))
+                .selected_tier(),
+            FidelityTier::Ssa
+        );
+        assert_eq!(
+            build(ErrorBudget::Bounded(0.05)).selected_tier(),
+            FidelityTier::TauLeap
+        );
+        // Feature-requiring scenarios dominate the budget: only their tier
+        // can serve them.
+        let transported = Simulation::of(protocol.clone())
+            .scenario(
+                Scenario::new(10_000, 10)
+                    .unwrap()
+                    .with_transport(netsim::TransportConfig::default())
+                    .unwrap(),
+            )
+            .initial(InitialStates::counts(&[5_000, 5_000]))
+            .error_budget(ErrorBudget::Exact);
+        assert_eq!(transported.selected_tier(), FidelityTier::Async);
+        let sharded = Simulation::of(protocol.clone())
+            .scenario(
+                Scenario::new(10_000, 10)
+                    .unwrap()
+                    .with_topology(netsim::Topology::sharded(4, 0.01).unwrap()),
+            )
+            .initial(InitialStates::counts(&[5_000, 5_000]))
+            .error_budget(ErrorBudget::Bounded(0.05));
+        assert_eq!(sharded.selected_tier(), FidelityTier::Sharded);
+
+        // And the losers reject those scenarios cleanly rather than
+        // silently simulating a different network.
+        let transported_scenario = Scenario::new(100, 5)
+            .unwrap()
+            .with_transport(netsim::TransportConfig::default())
+            .unwrap();
+        let err = Simulation::of(protocol.clone())
+            .scenario(transported_scenario)
+            .initial(InitialStates::counts(&[99, 1]))
+            .run::<SsaRuntime>()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                name: "scenario",
+                ..
+            }
+        ));
+        let sharded_scenario = Scenario::new(100, 5)
+            .unwrap()
+            .with_topology(netsim::Topology::sharded(4, 0.01).unwrap());
+        let err = Simulation::of(protocol)
+            .scenario(sharded_scenario)
+            .initial(InitialStates::counts(&[99, 1]))
+            .run::<TauLeapRuntime>()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InvalidConfig {
+                name: "scenario",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn combined_features_pick_one_winner_and_losers_reject() {
+        use super::super::{AsyncRuntime, BatchedRuntime, ShardedRuntime};
+        let protocol = epidemic_protocol();
+        let initial = || InitialStates::counts(&[990, 10]);
+        let adversary = || netsim::adversary::ObliviousSchedule::new();
+
+        // Transport + adversary → async wins; the period-synchronized tiers
+        // reject the transport model.
+        let transport_adversary = || {
+            Scenario::new(1_000, 10)
+                .unwrap()
+                .with_transport(netsim::TransportConfig::default())
+                .unwrap()
+                .with_adversary(adversary())
+        };
+        let sim = Simulation::of(protocol.clone())
+            .scenario(transport_adversary())
+            .initial(initial());
+        assert_eq!(sim.selected_tier(), FidelityTier::Async);
+        sim.run::<AsyncRuntime>().unwrap();
+        assert!(Simulation::of(protocol.clone())
+            .scenario(transport_adversary())
+            .initial(initial())
+            .run::<BatchedRuntime>()
+            .is_err());
+        assert!(Simulation::of(protocol.clone())
+            .scenario(transport_adversary())
+            .initial(initial())
+            .run::<ShardedRuntime>()
+            .is_err());
+
+        // Sharded + adversary → sharded wins; single-group tiers reject the
+        // topology.
+        let sharded_adversary = || {
+            Scenario::new(1_000, 10)
+                .unwrap()
+                .with_topology(netsim::Topology::sharded(4, 0.05).unwrap())
+                .with_adversary(adversary())
+        };
+        let sim = Simulation::of(protocol.clone())
+            .scenario(sharded_adversary())
+            .initial(initial());
+        assert_eq!(sim.selected_tier(), FidelityTier::Sharded);
+        sim.run::<ShardedRuntime>().unwrap();
+        assert!(Simulation::of(protocol.clone())
+            .scenario(sharded_adversary())
+            .initial(initial())
+            .run::<BatchedRuntime>()
+            .is_err());
+
+        // Transport + sharded topology: transport dominates (checked first),
+        // and the sharded runtime rejects the transport model it cannot
+        // honour (the async runtime in turn rejects sharded topologies, so
+        // the combination is not silently servable by either alone — the
+        // winner reports the conflict loudly at run time).
+        let transport_sharded = || {
+            Scenario::new(1_000, 10)
+                .unwrap()
+                .with_topology(netsim::Topology::sharded(4, 0.05).unwrap())
+                .with_transport(netsim::TransportConfig::default())
+                .unwrap()
+        };
+        let sim = Simulation::of(protocol.clone())
+            .scenario(transport_sharded())
+            .initial(initial());
+        assert_eq!(sim.selected_tier(), FidelityTier::Async);
+        assert!(Simulation::of(protocol)
+            .scenario(transport_sharded())
+            .initial(initial())
+            .run::<ShardedRuntime>()
+            .is_err());
+    }
+
+    #[test]
+    fn run_auto_threads_the_bounded_epsilon_and_default_is_bit_for_bit() {
+        // Bounded budget: run_auto executes on the tau-leap tier (smoke: the
+        // run completes and conserves counts).
+        let bounded = Simulation::of(epidemic_protocol())
+            .scenario(Scenario::new(5_000, 15).unwrap().with_seed(8))
+            .initial(InitialStates::counts(&[4_000, 1_000]))
+            .error_budget(ErrorBudget::Bounded(0.05))
+            .observe(CountsRecorder::new())
+            .run_auto()
+            .unwrap();
+        assert_eq!(bounded.final_counts().unwrap().iter().sum::<f64>(), 5_000.0);
+        // The default budget reproduces the historical selection exactly:
+        // same seeds, same tier, same draws — bit-for-bit equal results.
+        let build = || {
+            Simulation::of(epidemic_protocol())
+                .scenario(Scenario::new(5_000, 15).unwrap().with_seed(8))
+                .initial(InitialStates::counts(&[4_000, 1_000]))
+                .observe(CountsRecorder::new())
+        };
+        let auto = build().run_auto().unwrap();
+        let batched = build().run::<super::super::BatchedRuntime>().unwrap();
+        assert_eq!(auto, batched);
     }
 
     #[test]

@@ -139,6 +139,11 @@ impl Scenario {
         for p in &self.shard_partitions {
             self.check_horizon("shard_partition", p.from_period)?;
         }
+        if let Some(transport) = &self.transport {
+            for p in transport.partitions() {
+                self.check_horizon("link_partition", p.from_period)?;
+            }
+        }
         Ok(self)
     }
 
@@ -355,10 +360,20 @@ impl Scenario {
     /// drop probability and partition windows. A scenario carrying one is
     /// served by the asynchronous message-passing runtime (`run_auto` routes
     /// it there); the period-synchronized runtimes reject it loudly.
-    #[must_use]
-    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any [`LinkPartition`](crate::LinkPartition)
+    /// window starts at or beyond the run horizon (the window would never
+    /// open — almost always a typo in the period or the horizon). Windows
+    /// that open in-horizon but extend past it are fine: they simply stay in
+    /// force to the end of the run, mirroring shard-partition semantics.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Result<Self> {
+        for p in transport.partitions() {
+            self.check_horizon("link_partition", p.from_period)?;
+        }
         self.transport = Some(transport);
-        self
+        Ok(self)
     }
 
     /// The transport model, if one is attached.
@@ -694,7 +709,8 @@ mod tests {
         let link = LinkModel::new(LatencyModel::Exponential { mean: 10.0 }, 0.01).unwrap();
         let asynchronous = Scenario::new(100, 10)
             .unwrap()
-            .with_transport(TransportConfig::new(link));
+            .with_transport(TransportConfig::new(link))
+            .unwrap();
         assert!(asynchronous.has_link_models());
         assert_eq!(
             asynchronous.transport().unwrap().default_link().drop_prob(),
@@ -770,6 +786,45 @@ mod tests {
         let s = Scenario::new(100, 100)
             .unwrap()
             .with_shard_partition(2, 30, 60)
+            .unwrap();
+        assert!(s.clone().with_periods(30).is_err());
+        assert!(s.with_periods(31).is_ok());
+    }
+
+    #[test]
+    fn link_partitions_beyond_the_horizon_are_rejected() {
+        use crate::transport::TransportConfig;
+        let partitioned = |from: u64, to: u64| {
+            TransportConfig::default()
+                .with_segments(2)
+                .unwrap()
+                .with_partition(0, 1, from, to)
+                .unwrap()
+        };
+        // A window opening inside the horizon is fine, even when it extends
+        // past it ("partitioned for the whole run" idiom, as for shards).
+        assert!(Scenario::new(100, 10)
+            .unwrap()
+            .with_transport(partitioned(9, 50))
+            .is_ok());
+        // A window that opens at or past the horizon never takes effect —
+        // typed error naming the offending period.
+        let err = Scenario::new(100, 10)
+            .unwrap()
+            .with_transport(partitioned(10, 20))
+            .unwrap_err();
+        match err {
+            SimError::InvalidConfig { name, reason } => {
+                assert_eq!(name, "link_partition");
+                assert!(reason.contains("period 10"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Shrinking the horizon below an attached window start is rejected;
+        // keeping it above is fine.
+        let s = Scenario::new(100, 100)
+            .unwrap()
+            .with_transport(partitioned(30, 60))
             .unwrap();
         assert!(s.clone().with_periods(30).is_err());
         assert!(s.with_periods(31).is_ok());

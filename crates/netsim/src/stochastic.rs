@@ -305,6 +305,79 @@ impl Rng {
         self.multivariate_hypergeometric_into(counts, draws, &mut out);
         out
     }
+
+    /// Draws from `Exponential(mean)`: the waiting time to the next event of
+    /// a Poisson process with rate `1 / mean` — the inter-event clock of the
+    /// continuous-time (SSA) protocol runtimes. Non-positive means return
+    /// `0.0` (a rate-∞ event fires immediately).
+    ///
+    /// Exactly one uniform is consumed per draw, via inversion of the
+    /// survival function; the `1 − u` mirror keeps `ln` away from zero, so
+    /// the result is always finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netsim::Rng;
+    ///
+    /// let mut rng = Rng::seed_from(7);
+    /// let wait = rng.exponential(360.0);
+    /// assert!(wait.is_finite() && wait >= 0.0);
+    /// ```
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Draws from `Poisson(mean)`: the number of events of a unit-rate
+    /// process in a window of length `mean` — the per-channel leap count of
+    /// the tau-leaping runtime. Non-positive means return `0`.
+    ///
+    /// Below [`NORMAL_APPROX_CUTOFF`] the draw walks the exact inverse CDF
+    /// starting from `P(X = 0) = e^{−mean}`, so — exactly as for
+    /// [`Rng::binomial`] — boundary outcomes keep their true probabilities:
+    /// `P[X = 0]` matches the analytic value bit-for-bit, which is what
+    /// keeps absorbing states reachable when a leap window carries a small
+    /// expected count. Above the cutoff a continuity-corrected normal
+    /// approximation is used, whose error is far below the stochastic noise
+    /// of the experiments.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netsim::Rng;
+    ///
+    /// let mut rng = Rng::seed_from(7);
+    /// let k = rng.poisson(1_000.0);
+    /// assert!((850..1150).contains(&k));
+    /// ```
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean < NORMAL_APPROX_CUTOFF {
+            // Inversion by sequential search. The tail bound is defensive
+            // only: below the cutoff the CDF reaches any u < 1 long before
+            // the probe leaves the support's bulk (P[X > 1000 | mean < 30]
+            // underflows f64).
+            let mut f = (-mean).exp();
+            let u = self.next_f64();
+            let mut cdf = f;
+            let mut k = 0u64;
+            while u > cdf && k < 1_000 {
+                k += 1;
+                f *= mean / k as f64;
+                cdf += f;
+            }
+            k
+        } else {
+            let z = self.standard_normal();
+            (mean + mean.sqrt() * z + 0.5).floor().max(0.0) as u64
+        }
+    }
 }
 
 /// Function form of [`Rng::binomial`].
@@ -330,6 +403,16 @@ pub fn hypergeometric(rng: &mut Rng, population: u64, successes: u64, draws: u64
 /// Function form of [`Rng::multivariate_hypergeometric`].
 pub fn multivariate_hypergeometric(rng: &mut Rng, counts: &[u64], draws: u64) -> Vec<u64> {
     rng.multivariate_hypergeometric(counts, draws)
+}
+
+/// Function form of [`Rng::exponential`].
+pub fn exponential(rng: &mut Rng, mean: f64) -> f64 {
+    rng.exponential(mean)
+}
+
+/// Function form of [`Rng::poisson`].
+pub fn poisson(rng: &mut Rng, mean: f64) -> u64 {
+    rng.poisson(mean)
 }
 
 /// Samples `k` distinct indices uniformly at random from `0..n` (Floyd's
@@ -763,6 +846,95 @@ mod tests {
         for &h in &hits {
             assert!((h as f64 - 3_000.0).abs() < 300.0, "hits {h}");
         }
+    }
+
+    #[test]
+    fn exponential_edges_and_moments() {
+        let mut r = rng();
+        assert_eq!(exponential(&mut r, 0.0), 0.0);
+        assert_eq!(exponential(&mut r, -3.0), 0.0);
+        let mean = 360.0;
+        let draws = 100_000;
+        let samples: Vec<f64> = (0..draws).map(|_| r.exponential(mean)).collect();
+        assert!(samples.iter().all(|&x| x.is_finite() && x >= 0.0));
+        let m = samples.iter().sum::<f64>() / draws as f64;
+        let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / draws as f64;
+        // E[X] = mean, Var[X] = mean²; 5σ bands on the sample mean.
+        let se = mean / (draws as f64).sqrt();
+        assert!((m - mean).abs() < 5.0 * se, "mean {m}");
+        assert!((var - mean * mean).abs() < mean * mean * 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_is_deterministic_per_seed() {
+        // Golden values pin the one-uniform-per-draw consumption pattern.
+        let mut a = Rng::seed_from(42);
+        let mut b = Rng::seed_from(42);
+        let xs: Vec<f64> = (0..6).map(|_| a.exponential(10.0)).collect();
+        let ys: Vec<f64> = (0..6).map(|_| b.exponential(10.0)).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+        assert!(xs.windows(2).any(|w| w[0] != w[1]), "draws vary");
+    }
+
+    #[test]
+    fn poisson_edge_cases() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -2.0), 0);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let mut a = Rng::seed_from(42);
+        let mut b = Rng::seed_from(42);
+        // Both regimes are deterministic.
+        for &mean in &[0.5, 4.0, 25.0, 100.0, 10_000.0] {
+            assert_eq!(a.poisson(mean), b.poisson(mean));
+        }
+    }
+
+    #[test]
+    fn poisson_moments_inversion_regime() {
+        let mut r = rng();
+        let (mean, draws) = (8.0, 50_000);
+        let samples: Vec<u64> = (0..draws).map(|_| r.poisson(mean)).collect();
+        let m = samples.iter().sum::<u64>() as f64 / draws as f64;
+        let var = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / draws as f64;
+        // E[X] = Var[X] = mean; 5σ bands on the sample mean.
+        let se = (mean / draws as f64).sqrt();
+        assert!((m - mean).abs() < 5.0 * se, "mean {m}");
+        assert!((var - mean).abs() < mean * 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_moments_normal_regime() {
+        let mut r = rng();
+        let (mean, draws) = (5_000.0, 20_000);
+        let samples: Vec<u64> = (0..draws).map(|_| r.poisson(mean)).collect();
+        let m = samples.iter().sum::<u64>() as f64 / draws as f64;
+        let se = (mean / draws as f64).sqrt();
+        assert!((m - mean).abs() < 5.0 * se, "mean {m}");
+        let var = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / draws as f64;
+        assert!((var - mean).abs() < mean * 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_mean_preserves_zero_probability() {
+        // The exactness contract extended to the leap sampler: below the
+        // cutoff P[X = 0] must match the analytic e^{−mean} — a clamped
+        // normal would visibly distort the probability that a leap window
+        // leaves a small population untouched.
+        let mut r = rng();
+        let mean = 5.0_f64;
+        let p_zero = (-mean).exp(); // ≈ 0.0067
+        let draws = 30_000;
+        let zeros = (0..draws).filter(|_| r.poisson(mean) == 0).count();
+        let expected = p_zero * draws as f64;
+        let sd = (draws as f64 * p_zero * (1.0 - p_zero)).sqrt();
+        assert!(
+            (zeros as f64 - expected).abs() < 5.0 * sd,
+            "zeros {zeros}, expected {expected:.0} ± {sd:.0}"
+        );
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! * [`core`] — the ODE→protocol compiler (Flipping, One-Time-Sampling,
 //!   Tokenizing), the compiled state machines, the
 //!   [`Runtime`](dpde_core::Runtime) trait with its agent / batched /
-//!   hybrid / aggregate / sharded / async implementations, composable
-//!   observers, and the
+//!   hybrid / aggregate / sharded / async / SSA / tau-leap implementations,
+//!   the [`ErrorBudget`](dpde_core::runtime::ErrorBudget) tier policy,
+//!   composable observers, and the
 //!   [`Simulation`](dpde_core::Simulation) / [`dpde_core::Ensemble`]
 //!   drivers;
 //! * [`protocols`] — the paper's case studies: epidemic
@@ -87,10 +88,11 @@ pub mod prelude {
     pub use dpde_core::equivalence::{compare_to_system, compare_trajectories};
     pub use dpde_core::runtime::{
         AgentRuntime, AggregateRuntime, AliveTracker, AsyncRuntime, BatchedRuntime, CountsRecorder,
-        Ensemble, EnsembleResult, FidelityTier, HybridRuntime, InitialStates, LiveMetrics,
-        LiveMetricsHandle, MembershipTracker, MessageCounter, Observer, PeriodEvents,
+        Ensemble, EnsembleResult, ErrorBudget, FidelityTier, HybridRuntime, InitialStates,
+        LiveMetrics, LiveMetricsHandle, MembershipTracker, MessageCounter, Observer, PeriodEvents,
         ResilienceReport, RunConfig, RunDeadline, RunResult, RunStatus, Runtime, SeedFailure,
-        ShardCountsRecorder, ShardedRuntime, Simulation, TransitionRecorder, TransportProbe,
+        ShardCountsRecorder, ShardedRuntime, Simulation, SsaRuntime, TauLeapRuntime,
+        TransitionRecorder, TransportProbe, DEFAULT_TAU_EPSILON,
     };
     pub use dpde_core::{Action, MessageComplexity, Protocol, ProtocolCompiler, StateId};
     pub use dpde_protocols::endemic::replication::MigratoryStore;
@@ -99,6 +101,7 @@ pub mod prelude {
     pub use dpde_protocols::lv::majority::{Decision, MajoritySelection};
     pub use dpde_protocols::lv::LvParams;
     pub use dpde_protocols::small_count::{NearExtinction, NearTieTakeover};
+    pub use netsim::stochastic;
     pub use netsim::{
         Adversary, AdversaryView, CascadingFailure, ChurnTrace, FailureSchedule, Group,
         HeavyTailedChurn, InProcTransport, Injection, InjectionRecord, LatencyModel, LinkModel,
@@ -132,7 +135,17 @@ mod tests {
         assert_eq!(protocol.num_states(), 2);
         // The new driver types are reachable through the prelude.
         let _ = Simulation::of(protocol.clone());
-        let _ = Ensemble::of(protocol);
+        let _ = Ensemble::of(protocol.clone());
+        // … as are the continuous-time runtimes, the error-budget policy and
+        // the continuous-time samplers.
+        let _ = SsaRuntime::new(protocol.clone());
+        let _ = TauLeapRuntime::new(protocol.clone()).with_epsilon(DEFAULT_TAU_EPSILON);
+        let budgeted = Simulation::of(protocol).error_budget(ErrorBudget::Bounded(0.05));
+        drop(budgeted);
+        let mut rng = Rng::seed_from(7);
+        assert!(stochastic::exponential(&mut rng, 2.0) >= 0.0);
+        let _ = stochastic::poisson(&mut rng, 3.0);
+        assert!(rng.exponential(1.0) >= 0.0);
     }
 
     #[test]
@@ -152,7 +165,8 @@ mod tests {
         let scenario = Scenario::new(400, 30)
             .unwrap()
             .with_seed(5)
-            .with_transport(TransportConfig::new(link));
+            .with_transport(TransportConfig::new(link))
+            .unwrap();
         let live = LiveMetrics::new();
         let handle: LiveMetricsHandle = live.handle();
         let result = Simulation::of(protocol)

@@ -10,7 +10,11 @@
 //! * samplers and integrators behave within tolerance;
 //! * the sharded runtime degenerates exactly to the batched runtime at S = 1,
 //!   matches it statistically under full mixing, and conserves the total
-//!   population under migration, crashes and shard-targeted events.
+//!   population under migration, crashes and shard-targeted events;
+//! * the continuous-time fidelities (exact SSA and tau-leaping) match the
+//!   synchronized tiers' ensemble means at slow per-period rates, and the
+//!   tau-leap runtime's small-count fallback to exact SSA steps is
+//!   deterministic per seed.
 
 use dpde::prelude::*;
 use proptest::prelude::*;
@@ -581,5 +585,127 @@ proptest! {
                 "fidelity (batched = {}) diverged", batched
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The continuous-time fidelities (exact SSA and tau-leaping) match the
+    /// synchronized tiers on the epidemic: at a slow normalizing constant the
+    /// within-period compounding the event clock resolves is O(q²) per
+    /// period, so each continuous-time ensemble mean stays inside the
+    /// combined Welford standard-error envelope of both the batched and the
+    /// agent ensembles.
+    #[test]
+    fn continuous_time_fidelities_match_synchronized_ensemble_means(seed_base in 0u64..1_000) {
+        let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .with_normalizing_constant(0.05)
+            .compile(&sys)
+            .unwrap();
+        let n = 2_000usize;
+        let periods = 250;
+        let ensemble = || {
+            Ensemble::of(protocol.clone())
+                .scenario(Scenario::new(n, periods).unwrap())
+                .initial(InitialStates::counts(&[n as u64 - 16, 16]))
+                .seeds(seed_base..seed_base + 8)
+                .threads(4)
+        };
+        let continuous = [
+            ("ssa", ensemble().run::<SsaRuntime>().unwrap()),
+            ("tau-leap", ensemble().run::<TauLeapRuntime>().unwrap()),
+        ];
+        let runs = 8.0f64;
+        for synchronized in [
+            ensemble().run::<BatchedRuntime>().unwrap(),
+            ensemble().run::<AgentRuntime>().unwrap(),
+        ] {
+            for (label, result) in &continuous {
+                for name in ["x", "y"] {
+                    let ma = result.mean_series(name).unwrap();
+                    let sa = result.std_series(name).unwrap();
+                    let ms = synchronized.mean_series(name).unwrap();
+                    let ss = synchronized.std_series(name).unwrap();
+                    for (p, ((a, b), (da, db))) in
+                        ma.iter().zip(&ms).zip(sa.iter().zip(&ss)).enumerate()
+                    {
+                        let tolerance = 6.0 * (da + db) / runs.sqrt() + 0.01 * n as f64;
+                        prop_assert!(
+                            (a - b).abs() <= tolerance,
+                            "state {name} period {p}: {label} mean {a}, synchronized mean {b}, \
+                             tolerance {tolerance}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// LV-majority under the continuous-time fidelities: the SSA and
+    /// tau-leap ensemble means track the batched tier's through the full
+    /// three-state selection dynamics (the paper's default p = 0.01 keeps
+    /// per-period rates deep in the shared continuous-time limit), and every
+    /// fidelity selects the initial majority.
+    #[test]
+    fn continuous_time_lv_majority_matches_batched_ensemble_means(seed_base in 0u64..1_000) {
+        let protocol = LvParams::new().protocol().unwrap();
+        let n = 2_000usize;
+        let split = 1_200u64; // 60/40
+        let ensemble = || {
+            Ensemble::of(protocol.clone())
+                .scenario(Scenario::new(n, 700).unwrap())
+                .initial(InitialStates::counts(&[split, n as u64 - split, 0]))
+                .seeds(seed_base..seed_base + 8)
+                .threads(4)
+        };
+        let batched = ensemble().run::<BatchedRuntime>().unwrap().mean;
+        let tolerance = n as f64 * 0.15;
+        for (label, result) in [
+            ("ssa", ensemble().run::<SsaRuntime>().unwrap()),
+            ("tau-leap", ensemble().run::<TauLeapRuntime>().unwrap()),
+        ] {
+            for (period, (a, b)) in result.mean.states().iter().zip(batched.states()).enumerate() {
+                for state in 0..3 {
+                    prop_assert!(
+                        (a[state] - b[state]).abs() < tolerance,
+                        "period {period} state {state}: {label} {} vs batched {}",
+                        a[state], b[state]
+                    );
+                }
+            }
+            prop_assert!(result.mean.last_state()[0] > n as f64 * 0.9);
+        }
+        prop_assert!(batched.last_state()[0] > n as f64 * 0.9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tau-leap runtime's small-count fallback (exact SSA burst steps at
+    /// the epidemic's takeoff head) is deterministic per seed: two runs of
+    /// the same scenario are bit-for-bit identical, across random seeds and
+    /// seed-count regimes that exercise both the leaping and fallback paths.
+    #[test]
+    fn tau_leap_fallback_is_deterministic_per_seed(
+        seed in 0u64..1_000,
+        infected in 1u64..8,
+    ) {
+        let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .with_normalizing_constant(0.2)
+            .compile(&sys)
+            .unwrap();
+        let n = 2_000u64;
+        let scenario = Scenario::new(n as usize, 80).unwrap().with_seed(seed);
+        let initial = InitialStates::counts(&[n - infected, infected]);
+        let run = || {
+            TauLeapRuntime::new(protocol.clone())
+                .run(&scenario, &initial)
+                .unwrap()
+        };
+        prop_assert_eq!(run(), run());
     }
 }
