@@ -1,0 +1,289 @@
+//! The socket-transport robustness experiment: an epidemic running as real
+//! worker processes, self-healing through adversarial SIGKILLs.
+//!
+//! Three arms, all on the Unix-datagram-socket transport backend (each
+//! population segment is owned by an actual child process of this binary,
+//! re-exec'd through [`maybe_run_worker`]):
+//!
+//! * **Supervised self-healing** — an adaptive
+//!   [`TargetLargestState::striking_workers`] adversary SIGKILLs the worker
+//!   owning the densest segment mid-run (twice); the supervisor respawns it
+//!   under a bumped generation and the runtime restores its processes from
+//!   the kill's period-boundary checkpoint. The run completes, the
+//!   [`ResilienceReport`] records the strikes *and* their recoveries, and
+//!   the final ensemble mean lands inside the agent-tier Welford envelope —
+//!   process murder becomes a transient.
+//! * **Unsupervised degradation** — the same strike with supervision off:
+//!   the dead segment parks, its traffic resolves as timeouts
+//!   (`TransportStats::timed_out` accounting), and the run *completes
+//!   degraded* — a quarter of the group gone — rather than hanging or
+//!   panicking.
+//! * **Loss injection** — a 30 % drop link on top of the socket backend:
+//!   virtual drops never get a physical echo leg, and the epidemic still
+//!   makes progress to completion.
+//!
+//! Every simulation carries a wall-clock [`RunDeadline`] so a wedged socket
+//! can never hang the harness. Scaled by `--scale` / `DPDE_SCALE` like every
+//! experiment binary.
+//!
+//! [`maybe_run_worker`]: netsim::maybe_run_worker
+//! [`TargetLargestState::striking_workers`]: netsim::TargetLargestState::striking_workers
+//! [`ResilienceReport`]: dpde_core::runtime::ResilienceReport
+//! [`RunDeadline`]: dpde_core::runtime::RunDeadline
+
+use dpde_bench::{banner, scale_from_args, scaled};
+use dpde_core::runtime::{
+    AgentRuntime, AsyncRuntime, CountsRecorder, InitialStates, ResilienceReport, RunDeadline,
+    Runtime, Simulation,
+};
+use dpde_core::ProtocolCompiler;
+use netsim::transport::{LatencyModel, LinkModel, TransportBackend, TransportConfig};
+use netsim::{Scenario, SocketConfig, TargetLargestState, WorkerLauncher};
+use odekit::parse::parse_system;
+use std::time::Duration;
+
+const SEGMENTS: usize = 4;
+// The first strike must land before the epidemic saturates: in the compiled
+// protocol the susceptibles are the senders, so post-saturation there is no
+// traffic left to time out against a parked segment.
+const FIRST_STRIKE: u64 = 4;
+const STRIKE_EVERY: u64 = 20;
+const RESTART_DELAY: u64 = 3;
+const WALL_LIMIT: Duration = Duration::from_secs(300);
+
+fn main() {
+    // When the supervisor re-execs this binary as a segment worker, this
+    // call becomes the whole program; in the coordinator it is a no-op.
+    netsim::maybe_run_worker();
+
+    let scale = scale_from_args();
+    banner(
+        "exp_socket_epidemic",
+        "epidemic over real worker processes: SIGKILL strikes, supervised self-healing",
+        scale,
+    );
+
+    let sys = parse_system("x' = -x*y\ny' = x*y", &[]).expect("epidemic system");
+    let protocol = ProtocolCompiler::new("epidemic")
+        .compile(&sys)
+        .expect("epidemic protocol");
+    let n = (scaled(800, scale, 160) / SEGMENTS as u64 * SEGMENTS as u64) as usize;
+    let periods = scaled(60, scale, 40);
+    let reps = scaled(4, scale.max(0.5), 2);
+    let seeds = 10u64;
+    println!(
+        "n={n} across {SEGMENTS} worker processes, {periods} periods, {reps} seeds per arm, \
+         strikes at {FIRST_STRIKE} and {}, restart delay {RESTART_DELAY} periods",
+        FIRST_STRIKE + STRIKE_EVERY
+    );
+
+    let socket_transport = |supervised: bool| {
+        let mut config = TransportConfig::new(
+            LinkModel::new(
+                LatencyModel::Uniform {
+                    min: 0.0,
+                    max: 15.0,
+                },
+                0.0,
+            )
+            .expect("link"),
+        )
+        .with_segments(SEGMENTS)
+        .expect("segments")
+        .with_backend(TransportBackend::UnixSocket(SocketConfig::new(
+            WorkerLauncher::CurrentExe,
+        )));
+        if supervised {
+            config = config.with_supervision(RESTART_DELAY);
+        }
+        config
+    };
+    let striker = |strikes: u32| {
+        TargetLargestState::new(0.25, FIRST_STRIKE, STRIKE_EVERY, strikes)
+            .expect("adversary")
+            .striking_workers()
+    };
+    let initial = || InitialStates::counts(&[n as u64 - seeds, seeds]);
+    let mut failures: Vec<String> = Vec::new();
+
+    // -- Arm 1: supervised self-healing vs the agent-tier reference ---------
+    println!("\nseed,arm,final_infected,victims,recovered");
+    let mut socket_finals = Vec::new();
+    let mut agent_finals = Vec::new();
+    let mut victims_total = 0.0;
+    let mut recovered_total = 0.0;
+    for seed in 0..reps {
+        let scenario = Scenario::new(n, periods)
+            .expect("scenario")
+            .with_seed(seed)
+            .with_transport(socket_transport(true))
+            .expect("transport")
+            .with_adversary(striker(2));
+        let result = Simulation::of(protocol.clone())
+            .scenario(scenario)
+            .initial(initial())
+            .observe(CountsRecorder::new())
+            .observe(ResilienceReport::new())
+            .deadline(RunDeadline::wall_clock(WALL_LIMIT))
+            .run::<AsyncRuntime>()
+            .expect("supervised socket run");
+        if !result.status.is_completed() {
+            failures.push(format!("supervised seed {seed}: {:?}", result.status));
+        }
+        let infected = result.final_counts().expect("counts")[1];
+        let victims: f64 = result
+            .metrics
+            .series("resilience:victims")
+            .map(|s| s.iter().map(|&(_, v)| v).sum())
+            .unwrap_or(0.0);
+        let recovered = result.metrics.last("resilience:recovered").unwrap_or(0.0);
+        if victims <= 0.0 {
+            failures.push(format!("supervised seed {seed}: no worker strike landed"));
+        }
+        socket_finals.push(infected);
+        victims_total += victims;
+        recovered_total += recovered;
+        println!("{seed},supervised,{infected},{victims},{recovered}");
+
+        let reference = Simulation::of(protocol.clone())
+            .scenario(Scenario::new(n, periods).expect("scenario").with_seed(seed))
+            .initial(initial())
+            .observe(CountsRecorder::new())
+            .deadline(RunDeadline::wall_clock(WALL_LIMIT))
+            .run::<AgentRuntime>()
+            .expect("agent reference run");
+        let agent_infected = reference.final_counts().expect("counts")[1];
+        agent_finals.push(agent_infected);
+        println!("{seed},agent-reference,{agent_infected},0,0");
+    }
+    let stats = |v: &[f64]| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        (mean, var.sqrt())
+    };
+    let (socket_mean, socket_std) = stats(&socket_finals);
+    let (agent_mean, agent_std) = stats(&agent_finals);
+    let envelope = 6.0 * (socket_std + agent_std) / (reps as f64).sqrt() + 0.02 * n as f64;
+    if (socket_mean - agent_mean).abs() > envelope {
+        failures.push(format!(
+            "supervised socket mean {socket_mean:.1} vs agent mean {agent_mean:.1} \
+             outside envelope {envelope:.1}"
+        ));
+    }
+    if recovered_total < reps as f64 {
+        failures.push(format!(
+            "expected at least one recovery per supervised run, got {recovered_total} \
+             over {reps} runs"
+        ));
+    }
+
+    // -- Arm 2: the same strike without supervision -------------------------
+    // Driven by hand so the transport's timeout accounting stays readable.
+    let runtime = AsyncRuntime::new(protocol.clone());
+    let scenario = Scenario::new(n, periods)
+        .expect("scenario")
+        .with_seed(1)
+        .with_transport(socket_transport(false))
+        .expect("transport")
+        .with_adversary(striker(1));
+    let mut state = runtime.init(&scenario, &initial()).expect("init");
+    let mut final_alive = n as u64;
+    for _ in 0..periods {
+        let ev = runtime.step(&mut state).expect("unsupervised step");
+        final_alive = ev.alive;
+    }
+    let timed_out = state.transport_stats().timed_out();
+    let dead_segment = (n / SEGMENTS) as u64;
+    println!(
+        "\nunsupervised: completed {periods} periods with {final_alive}/{n} alive, \
+         {timed_out} transport timeouts"
+    );
+    if final_alive != n as u64 - dead_segment {
+        failures.push(format!(
+            "unsupervised run should leave exactly one segment dead: \
+             {final_alive}/{n} alive, expected {}",
+            n as u64 - dead_segment
+        ));
+    }
+    if timed_out == 0 {
+        failures.push("unsupervised run recorded no transport timeouts".into());
+    }
+
+    // -- Arm 3: loss injection on the socket link ---------------------------
+    // DPDE_SOCKET_DROP overrides the drop probability so CI can push the
+    // loss-injected variant harder than the default 30 %.
+    let drop_prob = std::env::var("DPDE_SOCKET_DROP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.3);
+    let lossy = TransportConfig::new(
+        LinkModel::new(
+            LatencyModel::Uniform {
+                min: 0.0,
+                max: 15.0,
+            },
+            drop_prob,
+        )
+        .expect("lossy link"),
+    )
+    .with_segments(SEGMENTS)
+    .expect("segments")
+    .with_backend(TransportBackend::UnixSocket(SocketConfig::new(
+        WorkerLauncher::CurrentExe,
+    )));
+    let lossy_result = Simulation::of(protocol.clone())
+        .scenario(
+            Scenario::new(n, periods)
+                .expect("scenario")
+                .with_seed(2)
+                .with_transport(lossy)
+                .expect("transport"),
+        )
+        .initial(initial())
+        .observe(CountsRecorder::new())
+        .deadline(RunDeadline::wall_clock(WALL_LIMIT))
+        .run::<AsyncRuntime>()
+        .expect("lossy socket run");
+    let lossy_infected = lossy_result.final_counts().expect("counts")[1];
+    println!(
+        "lossy ({:.0}% drops): status {:?}, {lossy_infected}/{n} infected",
+        drop_prob * 100.0,
+        lossy_result.status
+    );
+    if !lossy_result.status.is_completed() {
+        failures.push(format!(
+            "lossy run did not complete: {:?}",
+            lossy_result.status
+        ));
+    }
+    if lossy_infected <= seeds as f64 {
+        failures.push(format!(
+            "lossy run made no progress: {lossy_infected} infected from {seeds} seeds"
+        ));
+    }
+
+    println!("\n== summary ==");
+    println!(
+        "supervised: mean final infected {socket_mean:.1} of {n} \
+         (agent reference {agent_mean:.1}, envelope {envelope:.1}), \
+         {:.0} SIGKILL victims and {:.0} recoveries per run",
+        victims_total / reps as f64,
+        recovered_total / reps as f64
+    );
+    println!(
+        "unsupervised: degraded completion with {final_alive}/{n} alive and \
+         {timed_out} timeouts — parked, not hung"
+    );
+    println!(
+        "lossy: completed with {lossy_infected:.0}/{n} infected through {:.0}% drops",
+        drop_prob * 100.0
+    );
+    if failures.is_empty() {
+        println!("self-healing demonstrated end to end");
+    } else {
+        for f in &failures {
+            println!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

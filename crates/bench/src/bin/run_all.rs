@@ -17,6 +17,7 @@ const BINS: &[&str] = &[
     "exp_near_tie_takeover",
     "exp_adversary",
     "exp_ssa_burst",
+    "exp_socket_epidemic",
     "fig02_endemic_phase_portrait",
     "fig04_lv_phase_portrait",
     "fig05_endemic_massive_failure",

@@ -496,6 +496,7 @@ impl AgentRuntime {
             alive: state.group.alive_count() as u64,
             shard_counts_alive: None,
             transport: None,
+            segments_alive: None,
         };
         let planned = match injector.plan(&view) {
             Ok(planned) => planned,

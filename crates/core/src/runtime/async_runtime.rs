@@ -62,7 +62,10 @@ use crate::error::CoreError;
 use crate::state_machine::{Protocol, StateId};
 use crate::Result;
 use netsim::adversary::{AdversaryView, Injection, TransportGauges};
-use netsim::transport::{Delivery, InProcTransport, Transport, TransportConfig, TransportStats};
+use netsim::transport::{
+    Delivery, InProcTransport, Transport, TransportBackend, TransportConfig, TransportStats,
+    UdsTransport,
+};
 use netsim::{Group, ProcessId, Rng, Scenario};
 use std::sync::Arc;
 
@@ -273,12 +276,120 @@ const KIND_PROBE: u64 = 1;
 const KIND_PUSH: u64 = 2;
 const KIND_TOKEN: u64 = 3;
 
+/// The transport actually driving the run: the virtual-time in-process
+/// broker, or the Unix-datagram-socket transport running each population
+/// segment as a real worker process ([`TransportBackend`] on the scenario's
+/// [`TransportConfig`] selects which). Both share one event-loop interface,
+/// so the execution model above is backend-agnostic.
+#[derive(Debug)]
+enum RunTransport {
+    InProc(Box<InProcTransport>),
+    Uds(Box<UdsTransport>),
+}
+
+impl RunTransport {
+    fn build(config: TransportConfig, n: usize) -> Result<Self> {
+        Ok(match config.backend() {
+            TransportBackend::InProcess => {
+                RunTransport::InProc(Box::new(InProcTransport::new(config, n)))
+            }
+            TransportBackend::UnixSocket(_) => {
+                RunTransport::Uds(Box::new(UdsTransport::new(config, n)?))
+            }
+        })
+    }
+
+    fn config(&self) -> &TransportConfig {
+        match self {
+            RunTransport::InProc(t) => t.config(),
+            RunTransport::Uds(t) => t.config(),
+        }
+    }
+
+    fn stats(&self) -> Arc<TransportStats> {
+        match self {
+            RunTransport::InProc(t) => t.stats(),
+            RunTransport::Uds(t) => t.stats(),
+        }
+    }
+
+    /// Takes the worker for `segment` down. On the socket backend this is a
+    /// real SIGKILL plus segment parking; in process the failure is purely
+    /// logical (the per-process crash bookkeeping in the caller carries the
+    /// whole effect), keeping both backends injectable by the same adversary.
+    fn kill_segment(&mut self, segment: usize) {
+        match self {
+            RunTransport::InProc(_) => {}
+            RunTransport::Uds(t) => t.kill_segment(segment),
+        }
+    }
+
+    /// Brings the worker for `segment` back: a generation-bumped respawn on
+    /// the socket backend, a no-op in process.
+    fn revive_segment(&mut self, segment: usize) -> Result<()> {
+        match self {
+            RunTransport::InProc(_) => Ok(()),
+            RunTransport::Uds(t) => Ok(t.revive_segment(segment)?),
+        }
+    }
+}
+
+impl Transport for RunTransport {
+    fn send(
+        &mut self,
+        src: u32,
+        dst: u32,
+        payload: u64,
+        now: f64,
+        period: u64,
+        rng: &mut Rng,
+    ) -> f64 {
+        match self {
+            RunTransport::InProc(t) => t.send(src, dst, payload, now, period, rng),
+            RunTransport::Uds(t) => t.send(src, dst, payload, now, period, rng),
+        }
+    }
+
+    fn next_ready(&mut self, until: f64) -> Option<Delivery> {
+        match self {
+            RunTransport::InProc(t) => t.next_ready(until),
+            RunTransport::Uds(t) => t.next_ready(until),
+        }
+    }
+
+    fn next_time(&self) -> Option<f64> {
+        match self {
+            RunTransport::InProc(t) => t.next_time(),
+            RunTransport::Uds(t) => t.next_time(),
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        match self {
+            RunTransport::InProc(t) => t.queue_depth(),
+            RunTransport::Uds(t) => t.queue_depth(),
+        }
+    }
+}
+
+/// A worker restart scheduled by [`Injection::KillWorker`] under
+/// supervision: at period `due` the listed victims — the segment members
+/// that were alive at the kill's period boundary, with the states the
+/// boundary checkpoint recorded for them — rejoin the group.
+#[derive(Debug, Clone)]
+struct PendingRestore {
+    due: u64,
+    segment: usize,
+    /// `(process, checkpointed state)` pairs to recover.
+    victims: Vec<(u32, u32)>,
+}
+
 /// The mutable execution state of an [`AsyncRuntime`] run.
 #[derive(Debug)]
 pub struct AsyncState {
     scenario: Scenario,
     rng: Rng,
-    transport: InProcTransport,
+    transport: RunTransport,
     group: Group,
     /// Current protocol state per process.
     states: Vec<u32>,
@@ -307,6 +418,9 @@ pub struct AsyncState {
     /// adversary-free scenarios). Uniquely here the adversary's view carries
     /// live transport gauges alongside the counts.
     injector: Option<InjectionPoint>,
+    /// Worker restarts scheduled by supervised [`Injection::KillWorker`]s,
+    /// applied at their due period boundary before anything else.
+    pending_restores: Vec<PendingRestore>,
 }
 
 impl AsyncState {
@@ -331,7 +445,7 @@ impl AsyncState {
 /// Everything the event handlers touch, borrowed once per `step`.
 struct Ctx<'a> {
     rng: &'a mut Rng,
-    transport: &'a mut InProcTransport,
+    transport: &'a mut RunTransport,
     group: &'a Group,
     states: &'a mut [u32],
     counts: &'a mut [u64],
@@ -470,6 +584,19 @@ impl AsyncRuntime {
             return Ok(());
         };
         let stats = state.transport.stats();
+        // Per-segment alive counts give worker-striking adversaries their
+        // targeting signal (the same counts on either backend).
+        let segments_alive: Vec<u64> = {
+            let config = state.transport.config();
+            let n = state.scenario.group_size();
+            let mut per_segment = vec![0u64; config.segments()];
+            for p in 0..n {
+                if state.group.is_alive_unchecked(p) {
+                    per_segment[config.segment_of(p, n)] += 1;
+                }
+            }
+            per_segment
+        };
         let view = AdversaryView {
             period: state.period,
             counts_alive: &state.counts_alive,
@@ -481,6 +608,7 @@ impl AsyncRuntime {
                 delivered: stats.delivered(),
                 dropped: stats.dropped(),
             }),
+            segments_alive: Some(&segments_alive),
         };
         let planned = match injector.plan(&view) {
             Ok(planned) => planned,
@@ -570,10 +698,98 @@ impl AsyncRuntime {
                 }
                 Ok(k as u64)
             }
+            Injection::KillWorker { segment } => {
+                let n = state.scenario.group_size();
+                let segments = state.transport.config().segments();
+                if segment >= segments {
+                    return Err(CoreError::InvalidConfig {
+                        name: "adversary",
+                        reason: format!(
+                            "injection kills worker {segment}, but the transport has only \
+                             {segments} segments"
+                        ),
+                    });
+                }
+                // The victims are the segment's currently-alive members.
+                // Their states have not changed since the period boundary
+                // (the event loop has not run yet), so this list doubles as
+                // the period-boundary checkpoint a supervised restart
+                // recovers from.
+                let victims: Vec<(u32, u32)> = {
+                    let config = state.transport.config();
+                    (0..n)
+                        .filter(|&p| {
+                            config.segment_of(p, n) == segment && state.group.is_alive_unchecked(p)
+                        })
+                        .map(|p| (p as u32, state.states[p]))
+                        .collect()
+                };
+                for &(p, _) in &victims {
+                    let p = p as usize;
+                    let changed = state.group.crash(ProcessId(p))?;
+                    debug_assert!(changed);
+                    state.counts_alive[state.states[p] as usize] -= 1;
+                    state.chain_id[p] = state.chain_id[p].wrapping_add(1);
+                    state.pending[p] = Phase::Idle;
+                }
+                // On the socket backend this is a real SIGKILL; either way
+                // the segment's in-flight traffic is now garbage (the
+                // generation bumps above discard any stale responses).
+                state.transport.kill_segment(segment);
+                let count = victims.len() as u64;
+                if let Some(delay) = state.transport.config().supervision() {
+                    // `due <= period` fires at a boundary, so a zero delay
+                    // means "restart at the next period".
+                    state.pending_restores.push(PendingRestore {
+                        due: state.period + delay,
+                        segment,
+                        victims,
+                    });
+                }
+                Ok(count)
+            }
             // `Injection` is non_exhaustive: shard-targeted (and any future)
             // injections are rejected explicitly rather than silently skipped.
             unsupported => Err(inject::unsupported_injection("async", &unsupported)),
         }
+    }
+
+    /// Applies every pending supervised worker restart that has come due:
+    /// the worker respawns (a generation-bumped process on the socket
+    /// backend) and its kill victims rejoin with the states the kill-time
+    /// period-boundary checkpoint recorded — unless something else (e.g. a
+    /// `RecoverUniform`) already brought them back.
+    fn apply_due_restores(&self, state: &mut AsyncState) -> Result<()> {
+        if state.pending_restores.is_empty() {
+            return Ok(());
+        }
+        let period = state.period;
+        let mut i = 0;
+        while i < state.pending_restores.len() {
+            if state.pending_restores[i].due > period {
+                i += 1;
+                continue;
+            }
+            let restore = state.pending_restores.remove(i);
+            state.transport.revive_segment(restore.segment)?;
+            for (p, chk_state) in restore.victims {
+                let p = p as usize;
+                if state.group.is_alive_unchecked(p) {
+                    continue;
+                }
+                let changed = state.group.recover(ProcessId(p))?;
+                debug_assert!(changed);
+                let from = state.states[p] as usize;
+                let to = chk_state as usize;
+                if from != to {
+                    state.counts[from] -= 1;
+                    state.counts[to] += 1;
+                    state.states[p] = chk_state;
+                }
+                state.counts_alive[to] += 1;
+            }
+        }
+        Ok(())
     }
 
     /// Walks `p`'s action list (for its chain-origin state) from `start_idx`
@@ -900,7 +1116,7 @@ impl Runtime for AsyncRuntime {
             .collect();
 
         Ok(AsyncState {
-            transport: InProcTransport::new(transport_config, n),
+            transport: RunTransport::build(transport_config, n)?,
             rng,
             group,
             states,
@@ -921,6 +1137,7 @@ impl Runtime for AsyncRuntime {
             transitions: Vec::new(),
             probe: TransportProbe::default(),
             injector: InjectionPoint::from_scenario(scenario),
+            pending_restores: Vec::new(),
         })
     }
 
@@ -932,6 +1149,10 @@ impl Runtime for AsyncRuntime {
         state.transitions_dense.fill(0);
         state.transitions.clear();
         state.messages = 0;
+
+        // 0. Supervised worker restarts that have come due fire first, so a
+        //    restored segment participates in this period's events.
+        self.apply_due_restores(state)?;
 
         // 1. Environment events at the period boundary. A crash kills the
         //    process's chain and bumps its generation so in-flight responses
@@ -1324,6 +1545,61 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn kill_worker_parks_the_segment_and_supervision_restores_it() {
+        // Four segments of 50 processes; the seeds sit in segment 3 (block
+        // assignment). The adversary kills segment 3's worker at period 4
+        // and supervision restarts it from the period-boundary checkpoint
+        // three periods later. On the in-process backend the kill is purely
+        // logical, which makes this path exactly reproducible in CI.
+        let transport = TransportConfig::default()
+            .with_segments(4)
+            .unwrap()
+            .with_supervision(3);
+        let run = |kill: bool| {
+            let mut scenario = Scenario::new(200, 30)
+                .unwrap()
+                .with_seed(17)
+                .with_transport(transport.clone())
+                .unwrap();
+            if kill {
+                scenario = scenario.with_adversary(
+                    netsim::adversary::ObliviousSchedule::new()
+                        .kill_worker_at(4, 3)
+                        .unwrap(),
+                );
+            }
+            let runtime = AsyncRuntime::new(epidemic_protocol());
+            let mut state = runtime
+                .init(&scenario, &InitialStates::counts(&[190, 10]))
+                .unwrap();
+            let mut alive = Vec::new();
+            for _ in 0..30 {
+                let ev = runtime.step(&mut state).unwrap();
+                alive.push(ev.alive);
+                let ev_counts: f64 = ev.counts.iter().map(|&c| c as f64).sum();
+                assert_eq!(ev_counts, 200.0, "conservation violated");
+            }
+            (alive, state.process_states().to_vec())
+        };
+        let (alive, states) = run(true);
+        assert_eq!(alive[3], 200, "pre-strike population intact");
+        assert_eq!(
+            &alive[4..7],
+            &[150, 150, 150],
+            "segment parked for 3 periods"
+        );
+        assert_eq!(alive[7], 200, "supervised restart restored the segment");
+        // The checkpoint/restart path replays bit-identically per seed…
+        let (alive2, states2) = run(true);
+        assert_eq!(alive, alive2);
+        assert_eq!(states, states2);
+        // …and actually perturbed the run relative to the unharmed one.
+        let (alive0, _) = run(false);
+        assert_eq!(alive0, vec![200u64; 30]);
+        assert_ne!(alive, alive0);
     }
 
     #[test]

@@ -485,6 +485,7 @@ impl BatchedRuntime {
             alive: state.alive_n,
             shard_counts_alive: None,
             transport: None,
+            segments_alive: None,
         };
         let planned = injector.plan(&view)?;
         for injection in planned {

@@ -57,15 +57,17 @@ pub struct SeedFailure {
     pub message: String,
 }
 
-/// Stringifies a caught panic payload (panics carry `&str` or `String` in
-/// practice; anything else is opaque).
+/// Stringifies a caught panic payload. Panics carry `&str` or `String` in
+/// practice, which pass through verbatim; anything else at least names its
+/// concrete type id, so an exotic `panic_any` in a failure list is
+/// diagnosable rather than fully opaque.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
-        "non-string panic payload".to_string()
+        format!("non-string panic payload ({:?})", (*payload).type_id())
     }
 }
 
@@ -673,6 +675,17 @@ mod tests {
             assert_eq!(failure.scenario, 0);
             assert!(failure.message.contains("injected test panic"));
         }
+    }
+
+    #[test]
+    fn panic_messages_survive_for_every_payload_kind() {
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new(String::from("kaboom"))), "kaboom");
+        // `panic_any` with an exotic payload still yields a diagnosable
+        // message: the concrete type id is named instead of a blank shrug.
+        let exotic = panic_message(Box::new(42u64));
+        assert!(exotic.contains("non-string panic payload"));
+        assert!(exotic.contains("TypeId"), "got: {exotic}");
     }
 
     #[test]

@@ -824,6 +824,58 @@ mod tests {
     }
 
     #[test]
+    fn live_metrics_handle_polls_safely_while_a_run_executes() {
+        use super::super::{AsyncRuntime, InitialStates, Simulation};
+        use netsim::transport::{LatencyModel, LinkModel, TransportConfig};
+        use netsim::Scenario;
+        // A reader hammers the handle from this thread while the run
+        // executes on another: every counter must be monotone and every
+        // latency read a sane f64 (no torn reads through the bit-packed
+        // gauge), poll after poll.
+        let link = LinkModel::new(LatencyModel::Exponential { mean: 30.0 }, 0.05).unwrap();
+        let scenario = Scenario::new(20_000, 40)
+            .unwrap()
+            .with_seed(8)
+            .with_transport(TransportConfig::new(link))
+            .unwrap();
+        let obs = LiveMetrics::new();
+        let handle = obs.handle();
+        let worker = std::thread::spawn(move || {
+            Simulation::of(protocol())
+                .scenario(scenario)
+                .initial(InitialStates::counts(&[19_990, 10]))
+                .observe(obs)
+                .run::<AsyncRuntime>()
+                .unwrap()
+        });
+        let (mut sent, mut delivered, mut dropped, mut periods) = (0u64, 0u64, 0u64, 0u64);
+        while !worker.is_finished() {
+            let s = handle.sent();
+            let d = handle.delivered();
+            let dr = handle.dropped();
+            let p = handle.periods_observed();
+            assert!(s >= sent, "sent went backwards: {s} < {sent}");
+            assert!(
+                d >= delivered,
+                "delivered went backwards: {d} < {delivered}"
+            );
+            assert!(dr >= dropped, "dropped went backwards: {dr} < {dropped}");
+            assert!(p >= periods, "periods went backwards: {p} < {periods}");
+            let latency = handle.recent_latency_mean();
+            assert!(
+                latency.is_finite() && latency >= 0.0,
+                "torn latency read: {latency}"
+            );
+            (sent, delivered, dropped, periods) = (s, d, dr, p);
+            std::thread::yield_now();
+        }
+        let result = worker.join().unwrap();
+        assert!(handle.sent() > 0, "the run sent messages");
+        assert_eq!(handle.periods_observed(), 41, "snapshot + 40 periods");
+        assert!(result.metrics.series("transport:sent").is_ok());
+    }
+
+    #[test]
     fn live_metrics_is_inert_without_transport_data() {
         let p = protocol();
         let mut obs = LiveMetrics::new();

@@ -484,6 +484,7 @@ impl ShardedRuntime {
             alive,
             shard_counts_alive: Some(&state.scratch_alive),
             transport: None,
+            segments_alive: None,
         })?;
         for injection in planned {
             let victims = match injection {

@@ -21,25 +21,56 @@ use netsim::{Scenario, Topology};
 /// [`RunResult::status`] (or [`RunStatus::is_completed`]) before comparing
 /// trajectories across runs.
 ///
-/// Deadlines are deterministic: the budget is counted in protocol periods,
-/// not wall-clock time, so a deadlined run is exactly a prefix of the
-/// un-deadlined run with the same seed.
+/// Two budget kinds compose (either alone, or both at once):
+///
+/// * **Period budgets** are deterministic: the budget is counted in protocol
+///   periods, not wall-clock time, so a deadlined run is exactly a prefix of
+///   the un-deadlined run with the same seed.
+/// * **Wall-clock budgets** bound real elapsed time, checked at every period
+///   boundary: however wedged the medium underneath gets (a dead socket, a
+///   pathological observer), the run returns within roughly one period of
+///   the limit instead of hanging a CI job. The completed-period count then
+///   depends on machine speed, so wall-deadlined trajectories are *not*
+///   replayable prefixes — check [`RunResult::status`] before comparing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunDeadline {
-    period_budget: u64,
+    period_budget: Option<u64>,
+    wall: Option<std::time::Duration>,
 }
 
 impl RunDeadline {
     /// A deadline allowing at most `budget` protocol periods.
     pub fn periods(budget: u64) -> Self {
         RunDeadline {
-            period_budget: budget,
+            period_budget: Some(budget),
+            wall: None,
         }
     }
 
-    /// The number of periods the deadline allows.
-    pub fn period_budget(&self) -> u64 {
+    /// A deadline allowing at most `limit` of real elapsed time.
+    pub fn wall_clock(limit: std::time::Duration) -> Self {
+        RunDeadline {
+            period_budget: None,
+            wall: Some(limit),
+        }
+    }
+
+    /// Adds a wall-clock limit on top of this deadline (whichever budget
+    /// runs out first stops the run).
+    #[must_use]
+    pub fn and_wall_clock(mut self, limit: std::time::Duration) -> Self {
+        self.wall = Some(limit);
+        self
+    }
+
+    /// The number of periods the deadline allows, if period-bounded.
+    pub fn period_budget(&self) -> Option<u64> {
         self.period_budget
+    }
+
+    /// The real-time limit, if wall-clock-bounded.
+    pub fn wall_limit(&self) -> Option<std::time::Duration> {
+        self.wall
     }
 }
 
@@ -329,9 +360,9 @@ pub(crate) fn drive<R: Runtime>(
     drive_deadlined(runtime, scenario, initial, observers, None)
 }
 
-/// [`drive`] with an optional period budget: when the budget is smaller than
-/// the scenario's horizon, only that many periods execute and the result is
-/// marked [`RunStatus::Interrupted`].
+/// [`drive`] with an optional [`RunDeadline`]: when either budget stops the
+/// run short of the scenario's horizon, the result is marked
+/// [`RunStatus::Interrupted`] with the periods actually completed.
 pub(crate) fn drive_deadlined<R: Runtime>(
     runtime: &R,
     scenario: &Scenario,
@@ -341,11 +372,15 @@ pub(crate) fn drive_deadlined<R: Runtime>(
 ) -> Result<RunResult> {
     let mut state = runtime.init(scenario, initial)?;
     let scheduled = scenario.periods();
-    let budget = deadline.map_or(scheduled, |d| d.period_budget().min(scheduled));
-    let mut result = drive_periods(runtime, &mut state, budget, observers)?;
-    if budget < scheduled {
+    let budget = deadline
+        .and_then(|d| d.period_budget())
+        .map_or(scheduled, |b| b.min(scheduled));
+    let wall = deadline.and_then(|d| d.wall_limit());
+    let (mut result, completed) =
+        drive_periods_walled(runtime, &mut state, budget, wall, observers)?;
+    if completed < scheduled {
         result.status = RunStatus::Interrupted {
-            completed_periods: budget,
+            completed_periods: completed,
         };
     }
     Ok(result)
@@ -359,6 +394,20 @@ pub(crate) fn drive_periods<R: Runtime>(
     periods: u64,
     observers: &mut [Box<dyn Observer>],
 ) -> Result<RunResult> {
+    Ok(drive_periods_walled(runtime, state, periods, None, observers)?.0)
+}
+
+/// [`drive_periods`] with an optional wall-clock limit checked at every
+/// period boundary; returns the periods actually completed alongside the
+/// result.
+pub(crate) fn drive_periods_walled<R: Runtime>(
+    runtime: &R,
+    state: &mut R::State,
+    periods: u64,
+    wall: Option<std::time::Duration>,
+    observers: &mut [Box<dyn Observer>],
+) -> Result<(RunResult, u64)> {
+    let started = std::time::Instant::now();
     let protocol = runtime.protocol();
     {
         let events = runtime.snapshot(state);
@@ -366,17 +415,22 @@ pub(crate) fn drive_periods<R: Runtime>(
             obs.on_period(protocol, &events);
         }
     }
+    let mut completed = 0;
     for _ in 0..periods {
+        if wall.is_some_and(|limit| started.elapsed() >= limit) {
+            break;
+        }
         let events = runtime.step(state)?;
         for obs in observers.iter_mut() {
             obs.on_period(protocol, &events);
         }
+        completed += 1;
     }
     let mut result = RunResult::new(protocol);
     for obs in observers.iter_mut() {
         obs.finish(&mut result);
     }
-    Ok(result)
+    Ok((result, completed))
 }
 
 #[cfg(test)]
@@ -886,6 +940,58 @@ mod tests {
             .run::<AgentRuntime>()
             .unwrap();
         assert_eq!(covered, full);
+    }
+
+    #[test]
+    fn a_wall_clock_deadline_stops_a_slow_run_at_a_period_boundary() {
+        use super::super::RunStatus;
+        // The observer makes every period take ≥ 20 ms, so a 50 ms wall
+        // budget must stop the 100-period run after a handful of them —
+        // with everything recorded so far kept and the truncation explicit.
+        struct Molasses;
+        impl Observer for Molasses {
+            fn on_period(&mut self, _protocol: &Protocol, _events: &PeriodEvents<'_>) {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            fn finish(&mut self, _result: &mut RunResult) {}
+        }
+        let result = Simulation::of(epidemic_protocol())
+            .scenario(Scenario::new(128, 100).unwrap().with_seed(6))
+            .initial(InitialStates::counts(&[127, 1]))
+            .observe(CountsRecorder::new())
+            .observe(Molasses)
+            .deadline(RunDeadline::wall_clock(std::time::Duration::from_millis(
+                50,
+            )))
+            .run::<AgentRuntime>()
+            .unwrap();
+        let RunStatus::Interrupted { completed_periods } = result.status else {
+            panic!("a 2-second run must blow a 50 ms wall budget");
+        };
+        assert!(
+            completed_periods < 100,
+            "interrupted well short of the horizon"
+        );
+        assert_eq!(
+            result.counts.len() as u64,
+            completed_periods + 1,
+            "snapshot plus every completed period was recorded"
+        );
+        // A generous wall budget composed onto a period budget leaves the
+        // deterministic period semantics untouched.
+        let both = Simulation::of(epidemic_protocol())
+            .scenario(Scenario::new(128, 30).unwrap().with_seed(6))
+            .initial(InitialStates::counts(&[127, 1]))
+            .observe(CountsRecorder::new())
+            .deadline(RunDeadline::periods(12).and_wall_clock(std::time::Duration::from_secs(3600)))
+            .run::<AgentRuntime>()
+            .unwrap();
+        assert_eq!(
+            both.status,
+            RunStatus::Interrupted {
+                completed_periods: 12
+            }
+        );
     }
 
     #[test]

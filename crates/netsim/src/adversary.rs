@@ -78,6 +78,10 @@ pub struct AdversaryView<'a> {
     pub shard_counts_alive: Option<&'a [Vec<u64>]>,
     /// Transport gauges, present on asynchronous runs.
     pub transport: Option<TransportGauges>,
+    /// Alive processes per transport segment, present on asynchronous runs
+    /// (the population blocks that map to worker processes on the socket
+    /// backend — the targets of [`Injection::KillWorker`]).
+    pub segments_alive: Option<&'a [u64]>,
 }
 
 impl AdversaryView<'_> {
@@ -90,6 +94,19 @@ impl AdversaryView<'_> {
         self.counts_alive
             .iter()
             .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+
+    /// The transport segment holding the most alive processes (ties break
+    /// toward the lower index), or `None` without segment visibility / when
+    /// every segment is empty.
+    pub fn densest_segment(&self) -> Option<usize> {
+        let segments = self.segments_alive?;
+        segments
+            .iter()
+            .enumerate()
+            .filter(|(_, alive)| **alive > 0)
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
             .map(|(i, _)| i)
     }
@@ -139,6 +156,18 @@ pub enum Injection {
         /// Fraction of the crashed population to recover, in `[0, 1]`.
         fraction: f64,
     },
+    /// Kill the worker owning one transport segment (asynchronous runs
+    /// only). Every alive process in the segment crashes at once; on the
+    /// socket backend the worker *process* is SIGKILLed too — real death,
+    /// not simulated. With supervision enabled
+    /// ([`TransportConfig::with_supervision`](crate::TransportConfig::with_supervision))
+    /// the segment is later restored from the last period-boundary
+    /// checkpoint; without it, the segment stays parked and the run degrades
+    /// gracefully.
+    KillWorker {
+        /// The targeted transport segment (== worker index).
+        segment: usize,
+    },
 }
 
 impl Injection {
@@ -153,6 +182,7 @@ impl Injection {
             | Injection::CrashState { fraction, .. }
             | Injection::CrashShard { fraction, .. }
             | Injection::RecoverUniform { fraction } => check_probability("fraction", *fraction),
+            Injection::KillWorker { .. } => Ok(()),
         }
     }
 }
@@ -270,6 +300,18 @@ impl ObliviousSchedule {
         self.inject_at(period, Injection::CrashUniform { fraction })
     }
 
+    /// Convenience: kill the worker owning `segment` at `period` — real
+    /// process death on the socket backend, a whole-segment crash on the
+    /// in-process one.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; kept fallible for uniformity with the other
+    /// builders.
+    pub fn kill_worker_at(self, period: u64, segment: usize) -> Result<Self> {
+        self.inject_at(period, Injection::KillWorker { segment })
+    }
+
     /// The scheduled `(period, injection)` pairs, in insertion order.
     pub fn events(&self) -> &[(u64, Injection)] {
         &self.events
@@ -326,6 +368,7 @@ pub struct TargetLargestState {
     start_period: u64,
     every: u64,
     strikes: u32,
+    kill_workers: bool,
 }
 
 impl TargetLargestState {
@@ -350,7 +393,18 @@ impl TargetLargestState {
             start_period,
             every,
             strikes,
+            kill_workers: false,
         })
+    }
+
+    /// Strike by killing whole workers instead of budgeted state fractions:
+    /// each strike emits [`Injection::KillWorker`] against the densest
+    /// transport segment — on the socket backend, a real SIGKILL. On runs
+    /// without segment visibility the strategy falls back to its budgeted
+    /// `CrashState` strike, so it stays usable on every tier.
+    pub fn striking_workers(mut self) -> Self {
+        self.kill_workers = true;
+        self
     }
 }
 
@@ -385,6 +439,12 @@ impl AdversaryState for TargetLargestStateRun {
             || (view.period - c.start_period) % c.every != 0
         {
             return Vec::new();
+        }
+        if self.config.kill_workers {
+            if let Some(segment) = view.densest_segment() {
+                self.remaining -= 1;
+                return vec![Injection::KillWorker { segment }];
+            }
         }
         let Some(state) = view.leading_state() else {
             return Vec::new();
@@ -739,6 +799,7 @@ mod tests {
             alive: counts.iter().sum(),
             shard_counts_alive: shards,
             transport: None,
+            segments_alive: None,
         }
     }
 
@@ -757,6 +818,61 @@ mod tests {
         let v = view(0, &counts, Some(&shards));
         assert_eq!(v.densest_shard_of(1), Some(1));
         assert_eq!(v.densest_shard_of(0), Some(0), "tie breaks low");
+    }
+
+    #[test]
+    fn segment_helpers_and_kill_worker() {
+        let counts = [10u64, 30];
+        let v = view(0, &counts, None);
+        assert_eq!(v.densest_segment(), None, "no segment visibility");
+        let segments = [3u64, 25, 25, 0];
+        let v = AdversaryView {
+            segments_alive: Some(&segments),
+            ..view(0, &counts, None)
+        };
+        assert_eq!(v.densest_segment(), Some(1), "tie breaks low");
+        let empty = [0u64, 0];
+        let v = AdversaryView {
+            segments_alive: Some(&empty),
+            ..view(0, &counts, None)
+        };
+        assert_eq!(v.densest_segment(), None, "all segments empty");
+
+        assert!(Injection::KillWorker { segment: 2 }.validate().is_ok());
+        let schedule = ObliviousSchedule::new().kill_worker_at(4, 1).unwrap();
+        let mut run = schedule.fork();
+        let mut rng = Rng::seed_from(0);
+        assert!(run.plan(&view(3, &counts, None), &mut rng).is_empty());
+        assert_eq!(
+            run.plan(&view(4, &counts, None), &mut rng),
+            vec![Injection::KillWorker { segment: 1 }]
+        );
+
+        // The worker-striking variant of TargetLargestState hits the
+        // densest segment when it can see segments, and falls back to its
+        // budgeted CrashState strike when it cannot.
+        let adv = TargetLargestState::new(0.2, 0, 5, 2)
+            .unwrap()
+            .striking_workers();
+        let mut run = adv.fork();
+        let segments = [10u64, 30];
+        let v = AdversaryView {
+            segments_alive: Some(&segments),
+            ..view(0, &counts, None)
+        };
+        assert_eq!(
+            run.plan(&v, &mut rng),
+            vec![Injection::KillWorker { segment: 1 }]
+        );
+        let got = run.plan(&view(5, &counts, None), &mut rng);
+        assert!(
+            matches!(got[..], [Injection::CrashState { state: 1, .. }]),
+            "fallback without segment visibility, got {got:?}"
+        );
+        assert!(
+            run.plan(&v, &mut rng).is_empty(),
+            "strike budget is shared across both modes"
+        );
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub enum SimError {
     },
     /// A requested metric series does not exist.
     UnknownSeries(String),
+    /// An operating-system I/O operation failed (socket bind, datagram
+    /// send, worker spawn, …). The underlying `io::Error` is flattened to a
+    /// string so the error type stays `Clone + PartialEq`.
+    Io {
+        /// What was being attempted, plus the OS error text.
+        context: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,11 +51,19 @@ impl fmt::Display for SimError {
                 write!(f, "invalid configuration `{name}`: {reason}")
             }
             SimError::UnknownSeries(name) => write!(f, "unknown metric series `{name}`"),
+            SimError::Io { context } => write!(f, "i/o failure: {context}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Wraps an [`std::io::Error`] with context into a [`SimError::Io`].
+pub(crate) fn io_error(context: &str, err: std::io::Error) -> SimError {
+    SimError::Io {
+        context: format!("{context}: {err}"),
+    }
+}
 
 /// Validates that `value` is a probability in `[0, 1]`.
 pub(crate) fn check_probability(name: &'static str, value: f64) -> crate::Result<()> {
@@ -86,6 +101,12 @@ mod tests {
         assert!(SimError::UnknownSeries("x".into())
             .to_string()
             .contains('x'));
+        let io = io_error(
+            "bind worker socket",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(io.to_string().contains("bind worker socket"));
+        assert!(io.to_string().contains("denied"));
     }
 
     #[test]

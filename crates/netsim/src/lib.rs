@@ -30,8 +30,13 @@
 //! * [`topology`] — the population topology (one well-mixed group, or `S`
 //!   shards exchanging processes via migration at period boundaries),
 //! * [`transport`] — the asynchronous message layer: per-link latency
-//!   distributions, drop probability, partition windows, and an in-process
-//!   virtual-time broker with streaming delivery statistics.
+//!   distributions, drop probability, partition windows, retry/timeout/
+//!   backoff policies, an in-process virtual-time broker with streaming
+//!   delivery statistics, and a Unix-datagram-socket transport that runs
+//!   each population segment as a real worker process,
+//! * [`supervise`] — worker-process supervision for the socket transport:
+//!   spawning, heartbeat health checks, SIGKILL on adversary command, and
+//!   generation-bumping restarts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +53,7 @@ pub mod network;
 pub mod rng;
 pub mod scenario;
 pub mod stochastic;
+pub mod supervise;
 pub mod topology;
 pub mod transport;
 
@@ -65,10 +71,12 @@ pub use metrics::{MetricsRecorder, OnlineStats, SummaryStats};
 pub use network::LossConfig;
 pub use rng::Rng;
 pub use scenario::Scenario;
+pub use supervise::{maybe_run_worker, SocketConfig, WorkerLauncher, WorkerSupervisor};
 pub use topology::{Placement, ShardConfig, ShardFailure, ShardPartition, Topology};
 pub use transport::{
-    Delivery, InProcTransport, LatencyModel, LinkModel, LinkPartition, RingBuffer, Transport,
-    TransportConfig, TransportStats,
+    Backoff, Delivery, InProcTransport, LatencyModel, LinkModel, LinkPartition, RetryPolicy,
+    RingBuffer, TimeoutPolicy, Transport, TransportBackend, TransportConfig, TransportStats,
+    UdsTransport,
 };
 
 /// Result alias used throughout the crate.

@@ -166,9 +166,171 @@ impl LinkPartition {
     }
 }
 
+/// Decorrelated-jitter exponential backoff between send retries, in seconds
+/// of virtual time: each delay is drawn uniformly from `[base, 3·prev]` and
+/// clamped to `cap` (the AWS "decorrelated jitter" recipe — it spreads
+/// retries as well as full jitter while still growing exponentially).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    base: f64,
+    cap: f64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: 1.0,
+            cap: 30.0,
+        }
+    }
+}
+
+impl Backoff {
+    /// Creates a backoff with the given base delay and cap, both in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < base <= cap` and both are finite.
+    pub fn new(base: f64, cap: f64) -> Result<Self> {
+        if base.is_finite() && cap.is_finite() && base > 0.0 && base <= cap {
+            Ok(Backoff { base, cap })
+        } else {
+            Err(SimError::InvalidConfig {
+                name: "backoff",
+                reason: format!("need 0 < base <= cap, got base {base}, cap {cap}"),
+            })
+        }
+    }
+
+    /// The minimum (and first) delay, in seconds.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// The maximum delay, in seconds.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Draws the next delay given the previous one (decorrelated jitter).
+    pub fn next_delay(&self, prev: f64, rng: &mut Rng) -> f64 {
+        rng.uniform(self.base, (prev * 3.0).max(self.base))
+            .min(self.cap)
+    }
+}
+
+/// How many times a message is attempted before the sender gives up.
+/// Retries are only meaningful together with a [`TimeoutPolicy`] deadline:
+/// without one the sender can never *observe* a loss (an undetected drop
+/// simply resolves as a timeout at the sampled latency, exactly the paper's
+/// model), so the policy degrades to a single attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    backoff: Backoff,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt — the historical behaviour, bit-for-bit.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Backoff::default(),
+        }
+    }
+
+    /// Up to `max_attempts` tries, spaced by `backoff`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `max_attempts` is zero.
+    pub fn new(max_attempts: u32, backoff: Backoff) -> Result<Self> {
+        if max_attempts == 0 {
+            return Err(SimError::InvalidConfig {
+                name: "retry",
+                reason: "a retry policy needs at least one attempt".into(),
+            });
+        }
+        Ok(RetryPolicy {
+            max_attempts,
+            backoff,
+        })
+    }
+
+    /// Maximum number of attempts (≥ 1).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The backoff schedule between attempts.
+    pub fn backoff(&self) -> Backoff {
+        self.backoff
+    }
+}
+
+/// Per-attempt delivery deadline, in seconds of virtual time. A message that
+/// has not arrived by the deadline resolves as a timeout (the same
+/// `delivered == false` semantics [`InProcTransport`] already models for
+/// drops and partitions) and becomes eligible for retry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeoutPolicy {
+    deadline: Option<f64>,
+}
+
+impl TimeoutPolicy {
+    /// No deadline: the sender waits for the sampled latency, however long.
+    pub fn none() -> Self {
+        TimeoutPolicy { deadline: None }
+    }
+
+    /// Each attempt times out after `secs` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `secs` is finite and positive.
+    pub fn after(secs: f64) -> Result<Self> {
+        if secs.is_finite() && secs > 0.0 {
+            Ok(TimeoutPolicy {
+                deadline: Some(secs),
+            })
+        } else {
+            Err(SimError::InvalidConfig {
+                name: "timeout",
+                reason: format!("deadline must be finite and positive, got {secs}"),
+            })
+        }
+    }
+
+    /// The per-attempt deadline, if one is set.
+    pub fn deadline(&self) -> Option<f64> {
+        self.deadline
+    }
+}
+
+/// Which physical medium carries the messages.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum TransportBackend {
+    /// The deterministic in-process virtual-time broker (the default).
+    #[default]
+    InProcess,
+    /// Real Unix datagram sockets: one spawned worker process per population
+    /// segment, supervised per [`SocketConfig`](crate::supervise::SocketConfig). Virtual-time semantics are
+    /// unchanged — the sockets carry every virtually-delivered message
+    /// through the kernel and back, so loss, death and recovery are
+    /// *suffered*, not simulated. See [`UdsTransport`].
+    UnixSocket(crate::supervise::SocketConfig),
+}
+
 /// Everything a scenario needs to say about its message transport: the
 /// segment count, the default link, per-segment-pair overrides and partition
-/// windows. Attaching one to a [`Scenario`](crate::Scenario) (via
+/// windows — plus the retry/timeout robustness layer and the physical
+/// backend. Attaching one to a [`Scenario`](crate::Scenario) (via
 /// [`Scenario::with_transport`](crate::Scenario::with_transport)) is what
 /// routes a run onto the asynchronous message-passing tier.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,6 +339,10 @@ pub struct TransportConfig {
     default_link: LinkModel,
     overrides: Vec<(usize, usize, LinkModel)>,
     partitions: Vec<LinkPartition>,
+    retry: RetryPolicy,
+    timeout: TimeoutPolicy,
+    supervision: Option<u64>,
+    backend: TransportBackend,
 }
 
 impl Default for TransportConfig {
@@ -193,6 +359,10 @@ impl TransportConfig {
             default_link,
             overrides: Vec::new(),
             partitions: Vec::new(),
+            retry: RetryPolicy::none(),
+            timeout: TimeoutPolicy::none(),
+            supervision: None,
+            backend: TransportBackend::InProcess,
         }
     }
 
@@ -257,6 +427,34 @@ impl TransportConfig {
         Ok(self)
     }
 
+    /// Sets the send retry policy (default: a single attempt).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the per-attempt delivery deadline (default: none).
+    pub fn with_timeout(mut self, timeout: TimeoutPolicy) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Enables worker supervision: a segment killed by
+    /// [`Injection::KillWorker`](crate::Injection::KillWorker) is restarted
+    /// from the last period-boundary checkpoint after `restart_delay_periods`
+    /// periods. Without supervision a killed segment stays parked for the
+    /// rest of the run (graceful degradation).
+    pub fn with_supervision(mut self, restart_delay_periods: u64) -> Self {
+        self.supervision = Some(restart_delay_periods);
+        self
+    }
+
+    /// Selects the physical backend (default: the in-process broker).
+    pub fn with_backend(mut self, backend: TransportBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     fn check_segment(&self, segment: usize) -> Result<()> {
         if segment >= self.segments {
             return Err(SimError::InvalidConfig {
@@ -283,6 +481,26 @@ impl TransportConfig {
     /// The partition windows.
     pub fn partitions(&self) -> &[LinkPartition] {
         &self.partitions
+    }
+
+    /// The send retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The per-attempt delivery deadline policy.
+    pub fn timeout(&self) -> TimeoutPolicy {
+        self.timeout
+    }
+
+    /// Restart delay (periods) if supervision is enabled, `None` otherwise.
+    pub fn supervision(&self) -> Option<u64> {
+        self.supervision
+    }
+
+    /// The physical backend.
+    pub fn backend(&self) -> &TransportBackend {
+        &self.backend
     }
 
     /// The segment of process index `p` in a population of `n`: contiguous
@@ -346,10 +564,10 @@ pub struct Delivery {
     pub delivered: bool,
 }
 
-/// The message-passing seam between a runtime and the medium. The in-process
-/// broker ([`InProcTransport`]) is the only implementation today; the trait
-/// is the shape a socket-backed transport plugs into later (send side
-/// unchanged, `next_ready` fed by a reader thread).
+/// The message-passing seam between a runtime and the medium: the in-process
+/// broker ([`InProcTransport`]) and the Unix-datagram-socket transport
+/// ([`UdsTransport`]) both implement it, so a runtime swaps between a
+/// simulated and a real networked medium without changing its event loop.
 pub trait Transport {
     /// Queues a message from `src` to `dst` at virtual time `now` (during
     /// `period`), sampling the link's latency and drop fate from `rng`.
@@ -439,10 +657,24 @@ impl InProcTransport {
     pub fn stats(&self) -> Arc<TransportStats> {
         Arc::clone(&self.stats)
     }
-}
 
-impl Transport for InProcTransport {
-    fn send(
+    /// The population size the broker was built for.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Queues one message, running the full retry/timeout machinery, and
+    /// reports where it went. Shared between the trait `send` and the
+    /// socket-backed transport (which additionally pushes a datagram for
+    /// every virtually-delivered message).
+    ///
+    /// With the default policies (single attempt, no deadline) the RNG draw
+    /// sequence and the outcome are bit-for-bit the historical ones. With a
+    /// deadline `d`, an attempt succeeds only if it is neither dropped nor
+    /// partitioned *and* its sampled latency fits inside `d`; every failed
+    /// attempt burns the full deadline (the sender learns nothing earlier),
+    /// then a decorrelated-jitter backoff delay, before the next try.
+    pub(crate) fn send_inner(
         &mut self,
         src: u32,
         dst: u32,
@@ -450,14 +682,40 @@ impl Transport for InProcTransport {
         now: f64,
         period: u64,
         rng: &mut Rng,
-    ) -> f64 {
+    ) -> SendOutcome {
         let sa = self.config.segment_of(src as usize, self.n);
         let sb = self.config.segment_of(dst as usize, self.n);
         let link = self.config.link(sa, sb);
-        let latency = link.latency().sample(rng);
-        let partitioned = self.config.is_partitioned(sa, sb, period);
-        let delivered = !partitioned && !rng.chance(link.drop_prob());
-        let deliver_at = now + latency;
+        let link_ix = self.config.link_index(sa, sb);
+        let attempts = self.config.retry.max_attempts();
+        let backoff = self.config.retry.backoff();
+        let mut elapsed = 0.0; // virtual seconds burned by failed attempts
+        let mut prev_delay = backoff.base();
+        let mut attempt = 0u32;
+        let (deliver_at, delivered) = loop {
+            attempt += 1;
+            let latency = link.latency().sample(rng);
+            let partitioned = self.config.is_partitioned(sa, sb, period);
+            let delivered = !partitioned && !rng.chance(link.drop_prob());
+            match self.config.timeout.deadline() {
+                // No deadline: the historical single-shot path, whatever the
+                // fate — an undetected loss resolves at the sampled latency.
+                None => break (now + latency, delivered),
+                Some(d) => {
+                    if delivered && latency <= d {
+                        break (now + elapsed + latency, true);
+                    }
+                    self.stats.on_timeout();
+                    if attempt >= attempts {
+                        break (now + elapsed + d, false);
+                    }
+                    self.stats.on_retry();
+                    let delay = backoff.next_delay(prev_delay, rng);
+                    prev_delay = delay;
+                    elapsed += d + delay;
+                }
+            }
+        };
         self.seq += 1;
         self.queue.push(Queued {
             deliver_at,
@@ -471,16 +729,35 @@ impl Transport for InProcTransport {
                 delivered,
             },
         });
-        self.stats.on_send(self.config.link_index(sa, sb));
-        deliver_at
+        self.stats.on_send(link_ix);
+        SendOutcome {
+            deliver_at,
+            seq: self.seq,
+            delivered,
+            dst_segment: sb,
+        }
     }
 
-    fn next_ready(&mut self, until: f64) -> Option<Delivery> {
-        if self.queue.peek()?.deliver_at >= until {
-            return None;
-        }
+    /// `(seq, deliver_at, dst_segment)` of the earliest queued message.
+    pub(crate) fn head(&self) -> Option<(u64, f64, usize)> {
+        self.queue.peek().map(|q| {
+            (
+                q.seq,
+                q.deliver_at,
+                self.config.segment_of(q.delivery.dst as usize, self.n),
+            )
+        })
+    }
+
+    /// Pops the head unconditionally, resolving statistics. `force_timeout`
+    /// downgrades a virtually-delivered message to a timeout (used when the
+    /// physical worker owning the destination is dead or wedged).
+    pub(crate) fn pop_head(&mut self, force_timeout: bool) -> Option<Delivery> {
         let queued = self.queue.pop()?;
-        let d = queued.delivery;
+        let mut d = queued.delivery;
+        if force_timeout {
+            d.delivered = false;
+        }
         let sa = self.config.segment_of(d.src as usize, self.n);
         let sb = self.config.segment_of(d.dst as usize, self.n);
         self.stats.on_resolve(
@@ -490,6 +767,42 @@ impl Transport for InProcTransport {
         );
         Some(d)
     }
+}
+
+/// What [`InProcTransport::send_inner`] did with a message.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SendOutcome {
+    /// Virtual resolution time.
+    pub deliver_at: f64,
+    /// The broker-assigned sequence number (globally unique per run).
+    pub seq: u64,
+    /// `true` if the message will be delivered (not dropped/partitioned/
+    /// timed out).
+    pub delivered: bool,
+    /// Segment of the destination process.
+    pub dst_segment: usize,
+}
+
+impl Transport for InProcTransport {
+    fn send(
+        &mut self,
+        src: u32,
+        dst: u32,
+        payload: u64,
+        now: f64,
+        period: u64,
+        rng: &mut Rng,
+    ) -> f64 {
+        self.send_inner(src, dst, payload, now, period, rng)
+            .deliver_at
+    }
+
+    fn next_ready(&mut self, until: f64) -> Option<Delivery> {
+        if self.queue.peek()?.deliver_at >= until {
+            return None;
+        }
+        self.pop_head(false)
+    }
 
     fn next_time(&self) -> Option<f64> {
         self.queue.peek().map(|q| q.deliver_at)
@@ -497,6 +810,268 @@ impl Transport for InProcTransport {
 
     fn queue_depth(&self) -> usize {
         self.queue.len()
+    }
+}
+
+/// The socket-backed transport: virtual-time semantics from the embedded
+/// [`InProcTransport`], physical reality from Unix datagram sockets.
+///
+/// Every message the virtual broker decides is *delivered* is additionally
+/// pushed through the kernel as a datagram to the worker process owning the
+/// destination segment (one worker per segment, spawned and supervised by a
+/// [`WorkerSupervisor`](crate::supervise::WorkerSupervisor)); the worker
+/// echoes it back, and [`Transport::next_ready`] releases a message only
+/// once its echo has actually arrived. The RNG draw sequence is exactly the
+/// in-proc one, so with healthy workers and identical seeds a socket run
+/// replays the in-proc run bit-for-bit — what changes is that process
+/// death, scheduling stalls and socket failures are now *suffered*:
+///
+/// * a worker SIGKILLed via [`UdsTransport::kill_segment`] (commanded by an
+///   adversary [`Injection::KillWorker`](crate::Injection::KillWorker))
+///   parks its segment — in-flight and future messages to it resolve as
+///   timeouts, accumulating in [`TransportStats::timed_out`] — instead of
+///   failing or hanging the run;
+/// * a wedged worker (no echo within the
+///   [`SocketConfig`](crate::supervise::SocketConfig) budget, bounded
+///   physical resends exhausted, heartbeat dead) is parked the same way, so
+///   no socket can stall the event loop forever;
+/// * [`UdsTransport::revive_segment`] respawns the worker under a bumped
+///   generation and unparks the segment, completing the checkpoint/restart
+///   arc driven by the async runtime.
+#[derive(Debug)]
+pub struct UdsTransport {
+    inner: InProcTransport,
+    supervisor: crate::supervise::WorkerSupervisor,
+    /// Virtually-delivered messages whose echo is still outstanding:
+    /// broker seq → (wire frame for resends, destination segment).
+    awaiting: std::collections::HashMap<u64, (crate::supervise::Frame, usize)>,
+    /// Echoes that arrived before their message reached the heap head.
+    acked: std::collections::HashSet<u64>,
+    /// Messages that must resolve as timeouts (parked destination, send
+    /// failure, echo budget exhausted).
+    timeouts: std::collections::HashSet<u64>,
+    /// Segments whose worker is dead or wedged.
+    parked: Vec<bool>,
+    /// Wall-clock budget for one echo round-trip, resends included.
+    echo_wait: std::time::Duration,
+}
+
+impl UdsTransport {
+    /// Spawns the worker processes and builds the transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the config's backend is not
+    /// [`TransportBackend::UnixSocket`], or if sockets/workers cannot be
+    /// set up ([`SimError::Io`]).
+    pub fn new(config: TransportConfig, n: usize) -> Result<Self> {
+        let TransportBackend::UnixSocket(socket_cfg) = config.backend().clone() else {
+            return Err(SimError::InvalidConfig {
+                name: "backend",
+                reason: "UdsTransport needs TransportBackend::UnixSocket".into(),
+            });
+        };
+        let segments = config.segments();
+        let supervisor =
+            crate::supervise::WorkerSupervisor::spawn(socket_cfg.launcher().clone(), segments)?;
+        Ok(UdsTransport {
+            inner: InProcTransport::new(config, n),
+            supervisor,
+            awaiting: std::collections::HashMap::new(),
+            acked: std::collections::HashSet::new(),
+            timeouts: std::collections::HashSet::new(),
+            parked: vec![false; segments],
+            echo_wait: std::time::Duration::from_millis(socket_cfg.echo_wait_ms()),
+        })
+    }
+
+    /// The transport configuration.
+    pub fn config(&self) -> &TransportConfig {
+        self.inner.config()
+    }
+
+    /// A cloneable, thread-safe handle onto the live statistics.
+    pub fn stats(&self) -> Arc<TransportStats> {
+        self.inner.stats()
+    }
+
+    /// The supervisor owning the worker processes.
+    pub fn supervisor(&self) -> &crate::supervise::WorkerSupervisor {
+        &self.supervisor
+    }
+
+    /// `true` if the segment's worker is currently dead or wedged.
+    pub fn is_parked(&self, segment: usize) -> bool {
+        self.parked[segment]
+    }
+
+    /// SIGKILLs the worker owning `segment` and parks the segment: all its
+    /// in-flight messages, and every future message to it, resolve as
+    /// timeouts. Idempotent; the run keeps going.
+    pub fn kill_segment(&mut self, segment: usize) {
+        self.supervisor.kill(segment);
+        self.park(segment);
+    }
+
+    /// Respawns the worker owning `segment` under a bumped generation and
+    /// unparks the segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] if the spawn or handshake fails; the
+    /// segment stays parked in that case.
+    pub fn revive_segment(&mut self, segment: usize) -> Result<()> {
+        self.supervisor.respawn(segment)?;
+        self.parked[segment] = false;
+        Ok(())
+    }
+
+    fn park(&mut self, segment: usize) {
+        self.parked[segment] = true;
+        let stats = self.inner.stats();
+        let dead: Vec<u64> = self
+            .awaiting
+            .iter()
+            .filter(|(_, (_, seg))| *seg == segment)
+            .map(|(seq, _)| *seq)
+            .collect();
+        for seq in dead {
+            self.awaiting.remove(&seq);
+            self.timeouts.insert(seq);
+            stats.on_timeout();
+        }
+    }
+
+    /// Non-blocking: move every arrived echo from `awaiting` to `acked`.
+    fn drain_echoes(&mut self) {
+        while let Some(frame) = self.supervisor.try_recv_echo() {
+            if self.awaiting.remove(&frame.seq).is_some() {
+                self.acked.insert(frame.seq);
+            }
+        }
+    }
+
+    /// Pushes one echo request, draining echoes between `WouldBlock`
+    /// retries: a burst of sends can fill both datagram queues (Linux caps
+    /// them at `net.unix.max_dgram_qlen`), and the worker cannot drain ours
+    /// while its echoes have nowhere to go.
+    fn push_physical(
+        &mut self,
+        seg: usize,
+        frame: &crate::supervise::Frame,
+    ) -> std::io::Result<()> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+        loop {
+            match self.supervisor.try_send_frame(seg, frame) {
+                Ok(()) => return Ok(()),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        && std::time::Instant::now() < deadline =>
+                {
+                    self.drain_echoes();
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Transport for UdsTransport {
+    fn send(
+        &mut self,
+        src: u32,
+        dst: u32,
+        payload: u64,
+        now: f64,
+        period: u64,
+        rng: &mut Rng,
+    ) -> f64 {
+        let outcome = self.inner.send_inner(src, dst, payload, now, period, rng);
+        if outcome.delivered {
+            let seg = outcome.dst_segment;
+            if self.parked[seg] {
+                self.timeouts.insert(outcome.seq);
+                self.inner.stats().on_timeout();
+            } else {
+                let frame = crate::supervise::Frame {
+                    kind: crate::supervise::KIND_ECHO_REQ,
+                    gen: self.supervisor.generation(),
+                    seq: outcome.seq,
+                    src,
+                    dst,
+                    payload,
+                };
+                if self.push_physical(seg, &frame).is_ok() {
+                    self.awaiting.insert(outcome.seq, (frame, seg));
+                } else {
+                    self.timeouts.insert(outcome.seq);
+                    self.inner.stats().on_timeout();
+                }
+            }
+        }
+        self.drain_echoes();
+        outcome.deliver_at
+    }
+
+    fn next_ready(&mut self, until: f64) -> Option<Delivery> {
+        let (seq, deliver_at, _) = self.inner.head()?;
+        if deliver_at >= until {
+            return None;
+        }
+        self.drain_echoes();
+        if self.acked.remove(&seq) {
+            return self.inner.pop_head(false);
+        }
+        if self.timeouts.remove(&seq) {
+            return self.inner.pop_head(true);
+        }
+        let Some((frame, seg)) = self.awaiting.get(&seq).copied() else {
+            // No physical leg: the virtual fate (a drop or partition
+            // timeout) stands as-is.
+            return self.inner.pop_head(false);
+        };
+        // The echo is outstanding: wait for the kernel round-trip, resending
+        // physically a few times, inside a hard wall-clock budget.
+        let start = std::time::Instant::now();
+        let resend_every = (self.echo_wait / 4).max(std::time::Duration::from_millis(1));
+        let mut next_resend = start + resend_every;
+        let stats = self.inner.stats();
+        loop {
+            self.drain_echoes();
+            if self.acked.remove(&seq) {
+                return self.inner.pop_head(false);
+            }
+            if self.parked[seg] || self.timeouts.remove(&seq) {
+                self.awaiting.remove(&seq);
+                return self.inner.pop_head(true);
+            }
+            let now = std::time::Instant::now();
+            if now.duration_since(start) >= self.echo_wait {
+                // Budget exhausted: the worker is dead or wedged. Confirm
+                // with a heartbeat; park unless it somehow answers.
+                self.awaiting.remove(&seq);
+                stats.on_timeout();
+                if !self.supervisor.heartbeat(seg) {
+                    self.park(seg);
+                }
+                return self.inner.pop_head(true);
+            }
+            if now >= next_resend {
+                let _ = self.supervisor.try_send_frame(seg, &frame);
+                stats.on_retry();
+                next_resend = now + resend_every;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    fn next_time(&self) -> Option<f64> {
+        self.inner.next_time()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.inner.queue_depth()
     }
 }
 
@@ -580,6 +1155,8 @@ pub struct TransportStats {
     sent: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    timed_out: AtomicU64,
+    retries: AtomicU64,
     links: Vec<LinkCounters>,
     latencies: Mutex<RingBuffer>,
     link_latencies: Vec<Mutex<RingBuffer>>,
@@ -594,6 +1171,8 @@ impl TransportStats {
             sent: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             links: (0..link_count).map(|_| LinkCounters::default()).collect(),
             latencies: Mutex::new(RingBuffer::new(LATENCY_WINDOW)),
             link_latencies: (0..link_count)
@@ -634,9 +1213,28 @@ impl TransportStats {
         self.delivered.load(MemOrdering::Relaxed)
     }
 
+    pub(crate) fn on_timeout(&self) {
+        self.timed_out.fetch_add(1, MemOrdering::Relaxed);
+    }
+
+    pub(crate) fn on_retry(&self) {
+        self.retries.fetch_add(1, MemOrdering::Relaxed);
+    }
+
     /// Total messages dropped (loss or partition).
     pub fn dropped(&self) -> u64 {
         self.dropped.load(MemOrdering::Relaxed)
+    }
+
+    /// Attempts that expired against a [`TimeoutPolicy`] deadline, plus
+    /// physical socket waits the echo fabric gave up on.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.load(MemOrdering::Relaxed)
+    }
+
+    /// Extra attempts spent by the [`RetryPolicy`] (first tries excluded).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(MemOrdering::Relaxed)
     }
 
     /// Messages currently in flight (sent but not yet resolved).
@@ -890,6 +1488,256 @@ mod tests {
         assert_eq!(ring.mean(), 5.0);
         assert_eq!(ring.max(), 10.0);
         assert_eq!(ring.total_pushed(), 4);
+    }
+
+    #[test]
+    fn backoff_retry_timeout_policies_validate() {
+        assert!(Backoff::new(0.0, 10.0).is_err());
+        assert!(Backoff::new(5.0, 1.0).is_err());
+        assert!(Backoff::new(f64::NAN, 1.0).is_err());
+        let b = Backoff::new(0.5, 4.0).unwrap();
+        assert_eq!((b.base(), b.cap()), (0.5, 4.0));
+        let mut rng = Rng::seed_from(11);
+        let mut prev = b.base();
+        for _ in 0..200 {
+            let d = b.next_delay(prev, &mut rng);
+            assert!(
+                (b.base()..=b.cap()).contains(&d),
+                "delay {d} escaped [base, cap]"
+            );
+            prev = d;
+        }
+        assert!(RetryPolicy::new(0, b).is_err());
+        let r = RetryPolicy::new(3, b).unwrap();
+        assert_eq!(r.max_attempts(), 3);
+        assert_eq!(r.backoff(), b);
+        assert_eq!(RetryPolicy::none().max_attempts(), 1);
+        assert!(TimeoutPolicy::after(0.0).is_err());
+        assert!(TimeoutPolicy::after(f64::INFINITY).is_err());
+        assert_eq!(TimeoutPolicy::after(2.0).unwrap().deadline(), Some(2.0));
+        assert_eq!(TimeoutPolicy::none().deadline(), None);
+        // Policy defaults are the historical single-shot behaviour.
+        let cfg = TransportConfig::default();
+        assert_eq!(cfg.retry(), RetryPolicy::none());
+        assert_eq!(cfg.timeout(), TimeoutPolicy::none());
+        assert_eq!(cfg.supervision(), None);
+        assert_eq!(cfg.backend(), &TransportBackend::InProcess);
+    }
+
+    #[test]
+    fn deadlines_time_out_and_retries_backoff() {
+        // Latency 5 s against a 1 s deadline: both attempts expire, the
+        // message resolves as a timeout after deadline + backoff + deadline.
+        let backoff = Backoff::new(0.5, 2.0).unwrap();
+        let cfg = TransportConfig::new(LinkModel::new(LatencyModel::Constant(5.0), 0.0).unwrap())
+            .with_timeout(TimeoutPolicy::after(1.0).unwrap())
+            .with_retry(RetryPolicy::new(2, backoff).unwrap());
+        let mut rng = Rng::seed_from(5);
+        let mut t = InProcTransport::new(cfg, 10);
+        t.send(0, 1, 0, 0.0, 0, &mut rng);
+        let d = t.next_ready(f64::INFINITY).unwrap();
+        assert!(!d.delivered, "no attempt can beat the deadline");
+        let elapsed = d.deliver_at - d.sent_at;
+        assert!(
+            (2.5..=4.0).contains(&elapsed),
+            "two deadlines plus one backoff delay, got {elapsed}"
+        );
+        assert_eq!(t.stats().timed_out(), 2);
+        assert_eq!(t.stats().retries(), 1);
+
+        // A latency inside the deadline is delivered on the first try.
+        let cfg = TransportConfig::new(LinkModel::new(LatencyModel::Constant(5.0), 0.0).unwrap())
+            .with_timeout(TimeoutPolicy::after(10.0).unwrap())
+            .with_retry(RetryPolicy::new(3, backoff).unwrap());
+        let mut t = InProcTransport::new(cfg, 10);
+        t.send(0, 1, 0, 0.0, 0, &mut rng);
+        let d = t.next_ready(f64::INFINITY).unwrap();
+        assert!(d.delivered);
+        assert_eq!(d.deliver_at - d.sent_at, 5.0);
+        assert_eq!(t.stats().timed_out(), 0);
+        assert_eq!(t.stats().retries(), 0);
+
+        // Total loss with three attempts: every attempt times out.
+        let cfg = TransportConfig::new(LinkModel::new(LatencyModel::Zero, 1.0).unwrap())
+            .with_timeout(TimeoutPolicy::after(1.0).unwrap())
+            .with_retry(RetryPolicy::new(3, backoff).unwrap());
+        let mut t = InProcTransport::new(cfg, 10);
+        t.send(0, 1, 0, 0.0, 0, &mut rng);
+        let d = t.next_ready(f64::INFINITY).unwrap();
+        assert!(!d.delivered);
+        assert_eq!(t.stats().timed_out(), 3);
+        assert_eq!(t.stats().retries(), 2);
+        // Retries can rescue a lossy link: with p = 0.5 and 4 attempts the
+        // per-message failure rate drops to ~6 %.
+        let cfg = TransportConfig::new(LinkModel::new(LatencyModel::Zero, 0.5).unwrap())
+            .with_timeout(TimeoutPolicy::after(1.0).unwrap())
+            .with_retry(RetryPolicy::new(4, backoff).unwrap());
+        let mut t = InProcTransport::new(cfg, 10);
+        for i in 0..500u32 {
+            t.send(i % 10, (i + 1) % 10, 0, 0.0, 0, &mut rng);
+        }
+        let mut ok = 0;
+        while let Some(d) = t.next_ready(f64::INFINITY) {
+            ok += u32::from(d.delivered);
+        }
+        assert!(ok > 440, "retries should rescue most messages, got {ok}");
+    }
+
+    fn uds_config(segments: usize) -> TransportConfig {
+        let launcher = crate::supervise::WorkerLauncher::CurrentExeTest(
+            "supervise::tests::worker_entry".into(),
+        );
+        TransportConfig::new(
+            LinkModel::new(
+                LatencyModel::Uniform {
+                    min: 0.0,
+                    max: 10.0,
+                },
+                0.2,
+            )
+            .unwrap(),
+        )
+        .with_segments(segments)
+        .unwrap()
+        .with_backend(TransportBackend::UnixSocket(
+            crate::supervise::SocketConfig::new(launcher),
+        ))
+    }
+
+    #[test]
+    fn uds_transport_replays_the_inproc_broker_bit_for_bit() {
+        let n = 10;
+        let drain = |t: &mut dyn Transport, rng: &mut Rng| {
+            for i in 0..40u32 {
+                t.send(
+                    i % 10,
+                    (i + 3) % 10,
+                    u64::from(i),
+                    f64::from(i) * 0.1,
+                    0,
+                    rng,
+                );
+            }
+            let mut out = Vec::new();
+            while let Some(d) = t.next_ready(f64::INFINITY) {
+                out.push(d);
+            }
+            out
+        };
+        let mut rng = Rng::seed_from(42);
+        let mut inproc = InProcTransport::new(uds_config(2), n);
+        let expect = drain(&mut inproc, &mut rng);
+
+        let mut rng = Rng::seed_from(42);
+        let mut uds = UdsTransport::new(uds_config(2), n).expect("spawn socket transport");
+        let got = drain(&mut uds, &mut rng);
+        assert_eq!(
+            got, expect,
+            "healthy workers replay the virtual broker exactly"
+        );
+        assert!(!uds.is_parked(0) && !uds.is_parked(1));
+        assert_eq!(uds.stats().timed_out(), 0);
+    }
+
+    #[test]
+    fn killed_segment_parks_and_times_out_instead_of_hanging() {
+        let n = 10;
+        let mut rng = Rng::seed_from(9);
+        let cfg = uds_config(2);
+        // Zero loss so every virtual fate is "delivered".
+        let cfg = TransportConfig::new(LinkModel::reliable())
+            .with_segments(2)
+            .unwrap()
+            .with_backend(cfg.backend().clone());
+        let mut uds = UdsTransport::new(cfg, n).expect("spawn socket transport");
+
+        // Real process death: the segment parks, messages to it resolve as
+        // timeouts, and the other segment is untouched.
+        uds.kill_segment(1);
+        assert!(uds.is_parked(1));
+        uds.send(0, 9, 7, 0.0, 0, &mut rng); // process 9 lives in segment 1
+        uds.send(0, 1, 8, 0.0, 0, &mut rng); // process 1 lives in segment 0
+        let mut fates = std::collections::HashMap::new();
+        while let Some(d) = uds.next_ready(f64::INFINITY) {
+            fates.insert(d.payload, d.delivered);
+        }
+        assert!(!fates[&7], "message into the dead segment times out");
+        assert!(fates[&8], "the healthy segment still delivers");
+        assert!(uds.stats().timed_out() >= 1);
+
+        // Revival restarts the worker and the segment delivers again.
+        uds.revive_segment(1).expect("respawn worker");
+        assert!(!uds.is_parked(1));
+        assert!(uds.supervisor().restarts(1) >= 1);
+        uds.send(0, 9, 11, 0.0, 0, &mut rng);
+        let d = uds.next_ready(f64::INFINITY).unwrap();
+        assert!(d.delivered, "revived segment delivers");
+    }
+
+    #[test]
+    fn stats_survive_eight_hammering_writers_with_a_live_reader() {
+        let stats = Arc::new(TransportStats::new(1));
+        const WRITERS: usize = 8;
+        const OPS: u64 = 20_000;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let stats = Arc::clone(&stats);
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        stats.on_send(0);
+                        let delivered = (i + w as u64) % 3 != 0;
+                        // Latencies stay inside [0, 1]: any torn read would
+                        // show up as a mean or max outside that envelope.
+                        let latency = (i % 1000) as f64 / 1000.0;
+                        stats.on_resolve(0, delivered, latency);
+                        if i % 64 == 0 {
+                            stats.on_timeout();
+                            stats.on_retry();
+                        }
+                    }
+                });
+            }
+            let reader_stats = Arc::clone(&stats);
+            let reader_stop = Arc::clone(&stop);
+            let reader = scope.spawn(move || {
+                let (mut sent, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+                let (mut timed_out, mut retries) = (0u64, 0u64);
+                let mut polls = 0u64;
+                while !reader_stop.load(MemOrdering::Relaxed) {
+                    let s = reader_stats.sent();
+                    let d = reader_stats.delivered();
+                    let x = reader_stats.dropped();
+                    let t = reader_stats.timed_out();
+                    let r = reader_stats.retries();
+                    assert!(s >= sent && d >= delivered && x >= dropped);
+                    assert!(t >= timed_out && r >= retries);
+                    (sent, delivered, dropped, timed_out, retries) = (s, d, x, t, r);
+                    let mean = reader_stats.recent_latency_mean();
+                    let max = reader_stats.recent_latency_max();
+                    assert!((0.0..=1.0).contains(&mean), "torn mean {mean}");
+                    assert!((0.0..=1.0).contains(&max), "torn max {max}");
+                    assert!(mean <= max + 1e-12);
+                    polls += 1;
+                }
+                polls
+            });
+            // The scope joins writers automatically, but the reader needs an
+            // explicit stop once the writers are done; re-spawn ordering in
+            // `scope` means we must wait via a side channel instead of
+            // joining writer handles here. Simplest: poll the final count.
+            while stats.sent() < (WRITERS as u64) * OPS {
+                std::thread::yield_now();
+            }
+            stop.store(true, MemOrdering::Relaxed);
+            assert!(reader.join().expect("reader thread") > 0);
+        });
+        assert_eq!(stats.sent(), WRITERS as u64 * OPS);
+        assert_eq!(stats.delivered() + stats.dropped(), WRITERS as u64 * OPS);
+        assert_eq!(stats.in_flight(), 0);
+        assert_eq!(stats.timed_out(), WRITERS as u64 * (OPS / 64 + 1));
+        assert_eq!(stats.retries(), stats.timed_out());
+        assert_eq!(stats.link_counts(0).0, WRITERS as u64 * OPS);
     }
 
     #[test]

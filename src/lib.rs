@@ -103,11 +103,13 @@ pub mod prelude {
     pub use dpde_protocols::small_count::{NearExtinction, NearTieTakeover};
     pub use netsim::stochastic;
     pub use netsim::{
-        Adversary, AdversaryView, CascadingFailure, ChurnTrace, FailureSchedule, Group,
-        HeavyTailedChurn, InProcTransport, Injection, InjectionRecord, LatencyModel, LinkModel,
-        LinkPartition, LossConfig, MetricsRecorder, ObliviousSchedule, OnlineStats, PeriodClock,
-        Placement, Rng, Scenario, ShardConfig, SyntheticChurnConfig, TargetLargestState,
-        TargetWinner, Topology, Transport, TransportConfig, TransportGauges, TransportStats,
+        maybe_run_worker, Adversary, AdversaryView, Backoff, CascadingFailure, ChurnTrace,
+        FailureSchedule, Group, HeavyTailedChurn, InProcTransport, Injection, InjectionRecord,
+        LatencyModel, LinkModel, LinkPartition, LossConfig, MetricsRecorder, ObliviousSchedule,
+        OnlineStats, PeriodClock, Placement, RetryPolicy, Rng, Scenario, ShardConfig, SocketConfig,
+        SyntheticChurnConfig, TargetLargestState, TargetWinner, TimeoutPolicy, Topology, Transport,
+        TransportBackend, TransportConfig, TransportGauges, TransportStats, UdsTransport,
+        WorkerLauncher, WorkerSupervisor,
     };
     pub use odekit::analysis::{
         analyze_equilibrium, phase_portrait, EquilibriumFinder, PhasePortrait, Stability,

@@ -709,3 +709,120 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 }
+
+/// Worker-process entry point for the socket-transport tests below: the
+/// supervisor re-execs this test binary filtered down to this test by name.
+/// In a normal test run (no `DPDE_UDS_SOCKET` in the environment) it is an
+/// instant no-op.
+#[test]
+fn worker_entry() {
+    maybe_run_worker();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The Unix-datagram-socket transport is an execution detail, not a
+    /// model change: with zero loss and a single healthy local worker per
+    /// run, the async runtime's ensemble means over the socket backend match
+    /// the in-process broker's within the combined Welford standard-error
+    /// envelopes. (The implementation actually replays the in-proc virtual
+    /// outcomes bit-for-bit when workers stay healthy; the envelope is the
+    /// cross-backend contract this test pins.)
+    #[test]
+    fn socket_backend_matches_in_proc_ensemble_means(seed_base in 0u64..1_000) {
+        let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .with_normalizing_constant(0.2)
+            .compile(&sys)
+            .unwrap();
+        let n = 200usize;
+        let link = LinkModel::new(LatencyModel::Uniform { min: 0.0, max: 10.0 }, 0.0).unwrap();
+        let ensemble = |backend: TransportBackend| {
+            Ensemble::of(protocol.clone())
+                .scenario(
+                    Scenario::new(n, 25)
+                        .unwrap()
+                        .with_transport(TransportConfig::new(link).with_backend(backend))
+                        .unwrap(),
+                )
+                .initial(InitialStates::counts(&[n as u64 - 10, 10]))
+                .seeds(seed_base..seed_base + 4)
+                .threads(2)
+                .run::<AsyncRuntime>()
+                .unwrap()
+        };
+        let socket = ensemble(TransportBackend::UnixSocket(SocketConfig::new(
+            WorkerLauncher::CurrentExeTest("worker_entry".into()),
+        )));
+        let in_proc = ensemble(TransportBackend::InProcess);
+        let runs = 4.0f64;
+        for name in ["x", "y"] {
+            let ms = socket.mean_series(name).unwrap();
+            let ss = socket.std_series(name).unwrap();
+            let mi = in_proc.mean_series(name).unwrap();
+            let si = in_proc.std_series(name).unwrap();
+            for (p, ((a, b), (da, db))) in ms.iter().zip(&mi).zip(ss.iter().zip(&si)).enumerate() {
+                let tolerance = 6.0 * (da + db) / runs.sqrt() + 0.01 * n as f64;
+                prop_assert!(
+                    (a - b).abs() <= tolerance,
+                    "state {name} period {p}: socket mean {a}, in-proc mean {b}, \
+                     tolerance {tolerance}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The checkpoint/restart path is deterministic per seed: a supervised
+    /// run in which a worker-striking adversary repeatedly kills the densest
+    /// transport segment (crash, park, period-boundary-checkpoint restore)
+    /// replays bit-for-bit, and the kills demonstrably land. The in-process
+    /// backend keeps the same supervision semantics as the socket transport
+    /// without real process churn, which is what makes this exactly
+    /// reproducible everywhere.
+    #[test]
+    fn supervised_kill_and_restart_is_deterministic_per_seed(seed in 0u64..1_000) {
+        let sys = parse_system("x' = -x*y\ny' = x*y", &[]).unwrap();
+        let protocol = ProtocolCompiler::new("epidemic")
+            .with_normalizing_constant(0.2)
+            .compile(&sys)
+            .unwrap();
+        let transport = TransportConfig::default()
+            .with_segments(4)
+            .unwrap()
+            .with_supervision(3);
+        let scenario = Scenario::new(400, 40)
+            .unwrap()
+            .with_seed(seed)
+            .with_transport(transport)
+            .unwrap()
+            .with_adversary(
+                TargetLargestState::new(0.25, 5, 10, 2)
+                    .unwrap()
+                    .striking_workers(),
+            );
+        let run = || {
+            Simulation::of(protocol.clone())
+                .scenario(scenario.clone())
+                .initial(InitialStates::counts(&[390, 10]))
+                .observe(CountsRecorder::new())
+                .observe(ResilienceReport::new())
+                .run::<AsyncRuntime>()
+                .unwrap()
+        };
+        let first = run();
+        let victims: f64 = first
+            .metrics
+            .series("resilience:victims")
+            .unwrap()
+            .iter()
+            .map(|&(_, v)| v)
+            .sum();
+        prop_assert!(victims > 0.0, "the adversary's worker strikes must land");
+        prop_assert_eq!(first, run());
+    }
+}
